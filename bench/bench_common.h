@@ -1,0 +1,57 @@
+// Shared helpers for the experiment drivers (one binary per paper table /
+// figure). Each driver prints the same rows/series the paper reports,
+// scaled ~200x down so the full suite completes on one core; the *shape*
+// (who wins, by what factor, where feasibility caps fall) is the
+// reproduction target (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/cli.h"
+#include "common/memory.h"
+#include "common/table.h"
+#include "coupled/coupled.h"
+#include "fembem/system.h"
+
+namespace cs::bench {
+
+inline std::string mib(std::size_t bytes) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", bytes / (1024.0 * 1024.0));
+  return buf;
+}
+
+inline std::string sci(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2e", v);
+  return buf;
+}
+
+/// One experiment run: solve, emit a live progress line (stderr) and add a
+/// row to the final table. Returns the stats.
+inline coupled::SolveStats run_and_row(
+    const fembem::CoupledSystem<double>& sys, const coupled::Config& cfg,
+    TablePrinter& table, const std::string& label,
+    const std::string& config_desc) {
+  std::fprintf(stderr, "[run] %s %s N=%lld ...\n", label.c_str(),
+               config_desc.c_str(), static_cast<long long>(sys.total()));
+  auto stats = coupled::solve_coupled(sys, cfg);
+  std::fprintf(stderr, "[run]   -> %s, %.1f s, peak %s MiB\n",
+               stats.success ? "ok" : "OUT OF MEMORY", stats.total_seconds,
+               mib(stats.peak_bytes).c_str());
+  table.add_row({label, config_desc, TablePrinter::fmt_int(stats.n_total),
+                 stats.success ? TablePrinter::fmt(stats.total_seconds, 1)
+                               : "-",
+                 stats.success ? mib(stats.peak_bytes) : "-",
+                 stats.success ? sci(stats.relative_error) : "-",
+                 stats.success ? "ok" : "OUT OF MEMORY"});
+  std::fflush(stdout);
+  return stats;
+}
+
+inline const char* kRowHeaderNote =
+    "(times in seconds; memory = tracked peak MiB; scaled-down reproduction"
+    " — compare shapes, not absolute values, with the paper)";
+
+}  // namespace cs::bench

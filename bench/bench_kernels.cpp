@@ -1,0 +1,176 @@
+// google-benchmark microbenchmarks of the computational kernels under the
+// coupled solver: dense BLAS-3, factorizations, low-rank compression, ACA,
+// sparse multifrontal factor/solve and H-matrix assembly. These are not
+// paper figures; they document the per-kernel cost model of the library on
+// the host machine.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "fembem/system.h"
+#include "hmat/hmatrix.h"
+#include "la/factor.h"
+#include "la/qr_svd.h"
+#include "sparsedirect/multifrontal.h"
+
+namespace {
+
+using namespace cs;
+
+la::Matrix<double> random_matrix(index_t m, index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  la::Matrix<double> a(m, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i) a(i, j) = rng.uniform(-1, 1);
+  return a;
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const index_t n = static_cast<index_t>(state.range(0));
+  auto A = random_matrix(n, n, 1);
+  auto B = random_matrix(n, n, 2);
+  la::Matrix<double> C(n, n);
+  for (auto _ : state) {
+    la::gemm(1.0, A.view(), la::Op::kNoTrans, B.view(), la::Op::kNoTrans,
+             0.0, C.view());
+    benchmark::DoNotOptimize(C.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * static_cast<long long>(n) *
+                          n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_DenseLdlt(benchmark::State& state) {
+  const index_t n = static_cast<index_t>(state.range(0));
+  auto base = random_matrix(n, n, 3);
+  for (index_t i = 0; i < n; ++i) base(i, i) += n;
+  for (auto _ : state) {
+    state.PauseTiming();
+    la::Matrix<double> A = base;
+    state.ResumeTiming();
+    la::ldlt_factor(A.view());
+    benchmark::DoNotOptimize(A.data());
+  }
+}
+BENCHMARK(BM_DenseLdlt)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+
+void BM_DenseLu(benchmark::State& state) {
+  const index_t n = static_cast<index_t>(state.range(0));
+  auto base = random_matrix(n, n, 4);
+  for (index_t i = 0; i < n; ++i) base(i, i) += n;
+  std::vector<index_t> piv;
+  for (auto _ : state) {
+    state.PauseTiming();
+    la::Matrix<double> A = base;
+    state.ResumeTiming();
+    la::lu_factor(A.view(), piv);
+    benchmark::DoNotOptimize(A.data());
+  }
+}
+BENCHMARK(BM_DenseLu)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+
+void BM_RrqrCompress(benchmark::State& state) {
+  const index_t n = static_cast<index_t>(state.range(0));
+  // Smooth kernel block: numerically low rank.
+  la::Matrix<double> A(n, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i)
+      A(i, j) = 1.0 / (4.0 + i + 0.5 * j);
+  for (auto _ : state) {
+    auto rk = la::rrqr_compress(la::ConstMatrixView<double>(A.view()), 1e-6);
+    benchmark::DoNotOptimize(rk.U.data());
+  }
+}
+BENCHMARK(BM_RrqrCompress)->Arg(128)->Arg(512)->Unit(benchmark::kMillisecond);
+
+void BM_TruncateRk(benchmark::State& state) {
+  const index_t n = static_cast<index_t>(state.range(0));
+  const index_t k = 64;
+  auto U = random_matrix(n, k, 5);
+  auto V = random_matrix(n, k, 6);
+  for (auto _ : state) {
+    la::RkFactors<double> rk;
+    rk.U = U;
+    rk.V = V;
+    la::truncate_rk(rk, 1e-6);
+    benchmark::DoNotOptimize(rk.U.data());
+  }
+}
+BENCHMARK(BM_TruncateRk)->Arg(512)->Arg(2048)->Unit(benchmark::kMillisecond);
+
+void BM_SparseFactor3d(benchmark::State& state) {
+  const index_t g = static_cast<index_t>(state.range(0));
+  sparse::Triplets<double> t(g * g * g, g * g * g);
+  auto id = [g](index_t i, index_t j, index_t k) { return i + g * (j + g * k); };
+  for (index_t k = 0; k < g; ++k)
+    for (index_t j = 0; j < g; ++j)
+      for (index_t i = 0; i < g; ++i) {
+        t.add(id(i, j, k), id(i, j, k), 6.1);
+        if (i + 1 < g) { t.add(id(i, j, k), id(i + 1, j, k), -1.0);
+                         t.add(id(i + 1, j, k), id(i, j, k), -1.0); }
+        if (j + 1 < g) { t.add(id(i, j, k), id(i, j + 1, k), -1.0);
+                         t.add(id(i, j + 1, k), id(i, j, k), -1.0); }
+        if (k + 1 < g) { t.add(id(i, j, k), id(i, j, k + 1), -1.0);
+                         t.add(id(i, j, k + 1), id(i, j, k), -1.0); }
+      }
+  auto A = sparse::Csr<double>::from_triplets(t);
+  for (auto _ : state) {
+    sparsedirect::MultifrontalSolver<double> mf;
+    mf.factorize(A, sparsedirect::SolverOptions{});
+    benchmark::DoNotOptimize(mf.stats().factor_entries_stored);
+  }
+}
+BENCHMARK(BM_SparseFactor3d)->Arg(12)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_SparseSolveMultiRhs(benchmark::State& state) {
+  const index_t g = 14;
+  const index_t nrhs = static_cast<index_t>(state.range(0));
+  sparse::Triplets<double> t(g * g * g, g * g * g);
+  auto id = [g](index_t i, index_t j, index_t k) { return i + g * (j + g * k); };
+  for (index_t k = 0; k < g; ++k)
+    for (index_t j = 0; j < g; ++j)
+      for (index_t i = 0; i < g; ++i) {
+        t.add(id(i, j, k), id(i, j, k), 6.1);
+        if (i + 1 < g) { t.add(id(i, j, k), id(i + 1, j, k), -1.0);
+                         t.add(id(i + 1, j, k), id(i, j, k), -1.0); }
+        if (j + 1 < g) { t.add(id(i, j, k), id(i, j + 1, k), -1.0);
+                         t.add(id(i, j + 1, k), id(i, j, k), -1.0); }
+        if (k + 1 < g) { t.add(id(i, j, k), id(i, j, k + 1), -1.0);
+                         t.add(id(i, j, k + 1), id(i, j, k), -1.0); }
+      }
+  auto A = sparse::Csr<double>::from_triplets(t);
+  sparsedirect::MultifrontalSolver<double> mf;
+  mf.factorize(A, sparsedirect::SolverOptions{});
+  auto B = random_matrix(g * g * g, nrhs, 7);
+  for (auto _ : state) {
+    la::Matrix<double> X = B;
+    mf.solve(X.view());
+    benchmark::DoNotOptimize(X.data());
+  }
+}
+BENCHMARK(BM_SparseSolveMultiRhs)
+    ->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HMatrixAssemble(benchmark::State& state) {
+  const index_t nt = static_cast<index_t>(state.range(0));
+  fembem::PipeParams pp;
+  pp.n_theta = nt;
+  pp.n_axial = 2 * nt;
+  pp.n_radial = 3;
+  auto mesh = fembem::make_pipe_mesh(pp);
+  fembem::BemGenerator<double> gen(fembem::make_bem_surface(mesh), 0.0, true);
+  hmat::ClusterTree tree(gen.surface().points, 48);
+  hmat::HOptions opt;
+  opt.eps = 1e-3;
+  for (auto _ : state) {
+    auto H = hmat::HMatrix<double>::assemble(tree, tree, gen, opt);
+    benchmark::DoNotOptimize(H.stored_entries());
+  }
+}
+BENCHMARK(BM_HMatrixAssemble)->Arg(16)->Arg(24)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,41 @@
+// Table I reproduction: counts of BEM and FEM unknowns in the target
+// coupled systems. The paper's systems run from N = 1,000,000 to 9,000,000
+// on a 128 GiB node; this reproduction scales N by ~1/200 (and the memory
+// budget accordingly) while keeping the same n_BEM ~ 3.72 N^(2/3) surface
+// share law, which the generated pipe meshes then realize.
+#include "bench_common.h"
+#include "fembem/mesh.h"
+
+int main(int argc, char** argv) {
+  using namespace cs;
+  CliArgs args(argc, argv);
+  args.describe("scale", "down-scaling factor vs the paper (default 200)");
+  args.check("Reproduces Table I: FEM/BEM unknown counts per system size.");
+  const double scale = args.get_double("scale", 200.0);
+
+  std::printf("== Table I: counts of BEM and FEM unknowns ==\n");
+  std::printf("paper sizes divided by %.0f; mesh realizes the same "
+              "n_BEM ~ 3.72 N^(2/3) law\n\n", scale);
+
+  TablePrinter table({"paper N", "scaled N", "target BEM", "mesh FEM",
+                      "mesh BEM", "BEM share %"});
+  const long long paper_sizes[] = {1000000, 2000000, 4000000, 9000000};
+  for (long long paper_n : paper_sizes) {
+    const index_t n = static_cast<index_t>(paper_n / scale);
+    const index_t bem = fembem::paper_bem_count(n);
+    const auto dims = fembem::pipe_dims_for_split(n - bem, bem);
+    const auto mesh = fembem::make_pipe_mesh(dims);
+    const double share =
+        100.0 * mesh.n_surface() / (mesh.n_nodes() + mesh.n_surface());
+    table.add_row({TablePrinter::fmt_int(paper_n), TablePrinter::fmt_int(n),
+                   TablePrinter::fmt_int(bem),
+                   TablePrinter::fmt_int(mesh.n_nodes()),
+                   TablePrinter::fmt_int(mesh.n_surface()),
+                   TablePrinter::fmt(share, 1)});
+  }
+  table.print();
+  std::printf("\npaper reference rows: 1,000,000 -> 37,169 BEM / 962,831 FEM;"
+              "\n                      9,000,000 -> 160,234 BEM / 8,839,766 "
+              "FEM\n");
+  return 0;
+}

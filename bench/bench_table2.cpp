@@ -1,0 +1,119 @@
+// Table II reproduction: the industrial application. Complex,
+// non-symmetric system whose surface mesh includes BEM-only dofs (the
+// fuselage and wing), raising the BEM share so compression of the dense
+// part matters more. Rows, as in the paper:
+//   1-3  no compression at all: the advanced coupling and
+//        multi-factorization do NOT fit in memory; multi-solve is the only
+//        uncompressed solver that runs;
+//   4-5  compression in the sparse solver: multi-solve gets faster and
+//        lighter; multi-factorization becomes feasible (more memory but
+//        less time than multi-solve);
+//   6-7  compression in the dense solver too: the biggest improvement;
+//   8-9  multi-factorization accelerated further by growing the Schur
+//        block size (fewer blocks n_b), trading memory back for speed.
+#include "bench_common.h"
+
+using namespace cs;
+using coupled::Config;
+using coupled::Strategy;
+
+namespace {
+
+coupled::SolveStats run_row(const fembem::CoupledSystem<complexd>& sys,
+                            const Config& cfg, TablePrinter& table,
+                            const std::string& solver,
+                            const std::string& compression) {
+  std::fprintf(stderr, "[run] %s / %s ...\n", solver.c_str(),
+               compression.c_str());
+  auto stats = coupled::solve_coupled(sys, cfg);
+  std::fprintf(stderr, "[run]   -> %s, %.1f s, peak %s MiB\n",
+               stats.success ? "ok" : "OOM", stats.total_seconds,
+               bench::mib(stats.peak_bytes).c_str());
+  table.add_row(
+      {solver, compression,
+       stats.success ? TablePrinter::fmt(stats.total_seconds, 1) : "-",
+       stats.success ? bench::mib(stats.peak_bytes) : "-",
+       stats.success ? bench::sci(stats.relative_error) : "-",
+       stats.success ? "ok" : "OUT OF MEMORY"});
+  std::fflush(stdout);
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  args.describe("n", "total unknowns (default 9000; paper used 2,259,468)");
+  args.describe("budget-mib", "memory budget in MiB (default 340)");
+  args.check("Reproduces Table II: the industrial aero-acoustic case.");
+  const index_t n = static_cast<index_t>(args.get_int("n", 9000));
+  const std::size_t budget =
+      static_cast<std::size_t>(args.get_int("budget-mib", 340)) * 1024 * 1024;
+
+  std::printf("== Table II: industrial application (complex, non-symmetric, "
+              "enlarged BEM share) ==\n");
+  std::printf("N = %d, budget %s MiB  %s\n\n", n,
+              bench::mib(budget).c_str(), bench::kRowHeaderNote);
+
+  fembem::SystemParams params;
+  params.total_unknowns = n;
+  params.kappa = 1.2;
+  params.sigma_real = 2.5;
+  params.sigma_imag = 0.4;
+  params.symmetric_bem = false;
+  params.extra_surface_ratio = 1.0;  // fuselage/wing BEM-only dofs
+  auto sys = fembem::make_pipe_system<complexd>(params);
+  std::printf("system: %d FEM + %d BEM unknowns (BEM share %.1f%%)\n\n",
+              sys.nv(), sys.ns(), 100.0 * sys.ns() / sys.total());
+
+  TablePrinter table({"solver", "compression", "time", "peak MiB",
+                      "rel err", "status"});
+
+  auto make = [&](Strategy s, bool sparse_comp, index_t nb) {
+    Config cfg;
+    cfg.strategy = s;
+    cfg.sparse_compression = sparse_comp;
+    cfg.eps = 1e-4;  // the paper's industrial accuracy
+    cfg.n_c = 128;
+    cfg.n_S = 512;
+    cfg.n_b = nb;
+    cfg.memory_budget = budget;
+    return cfg;
+  };
+
+  // Rows 1-3: no compression anywhere.
+  run_row(sys, make(Strategy::kAdvancedCoupling, false, 2), table,
+          "advanced coupling", "none");
+  run_row(sys, make(Strategy::kMultiFactorization, false, 2), table,
+          "multi-facto (n_b=2)", "none");
+  run_row(sys, make(Strategy::kMultiSolve, false, 2), table, "multi-solve",
+          "none");
+  // Rows 4-5: compression in the sparse solver only.
+  run_row(sys, make(Strategy::kMultiSolve, true, 2), table, "multi-solve",
+          "sparse");
+  run_row(sys, make(Strategy::kMultiFactorization, true, 4), table,
+          "multi-facto (n_b=4)", "sparse");
+  // Rows 6-7: compression in sparse and dense solvers.
+  run_row(sys, make(Strategy::kMultiSolveCompressed, true, 2), table,
+          "multi-solve", "sparse+dense");
+  run_row(sys, make(Strategy::kMultiFactorizationCompressed, true, 8), table,
+          "multi-facto (n_b=8)", "sparse+dense");
+  // Rows 8-9: growing the Schur block size (smaller n_b trades the saved
+  // memory back for speed; n_b = 1 would need the whole dense Schur in one
+  // block and no longer fits the budget -- the same cliff the paper's
+  // 212 GiB single-block Schur illustrates).
+  run_row(sys, make(Strategy::kMultiFactorizationCompressed, true, 4), table,
+          "multi-facto (n_b=4)", "sparse+dense");
+  run_row(sys, make(Strategy::kMultiFactorizationCompressed, true, 2), table,
+          "multi-facto (n_b=2)", "sparse+dense");
+
+  table.print();
+  std::printf(
+      "\npaper's conclusions to check against the rows above:\n"
+      "  * without compression only multi-solve completes;\n"
+      "  * sparse compression makes multi-facto feasible and faster than "
+      "multi-solve (at more memory);\n"
+      "  * dense compression gives the largest cut in memory;\n"
+      "  * growing the Schur blocks (n_b down) trades memory for speed.\n");
+  return 0;
+}

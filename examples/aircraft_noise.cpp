@@ -1,0 +1,65 @@
+// Industrial-style aero-acoustic run (paper section VI): a complex,
+// non-symmetric coupled system whose BEM surface includes dofs with no
+// volume coupling (fuselage/wing), solved with the production-recommended
+// configuration — multi-factorization with sparse + dense compression and
+// the largest Schur blocks the memory allows.
+//
+//   $ ./aircraft_noise [--n 10000] [--budget-mib 768]
+#include <cstdio>
+
+#include "common/cli.h"
+#include "common/memory.h"
+#include "coupled/coupled.h"
+
+int main(int argc, char** argv) {
+  using namespace cs;
+  CliArgs args(argc, argv);
+  args.describe("n", "total unknowns (default 10000)");
+  args.describe("budget-mib", "memory budget in MiB (default 768)");
+  args.describe("kappa", "acoustic wavenumber (default 1.2)");
+  args.check("Industrial-style complex non-symmetric coupled solve.");
+
+  fembem::SystemParams params;
+  params.total_unknowns = static_cast<index_t>(args.get_int("n", 10000));
+  params.kappa = args.get_double("kappa", 1.2);
+  params.sigma_real = 2.5;
+  params.sigma_imag = 0.4;           // absorbing jet-flow medium
+  params.symmetric_bem = false;      // plain collocation: non-symmetric
+  params.extra_surface_ratio = 1.0;  // fuselage + wing BEM-only dofs
+
+  std::printf("assembling industrial system (complex, non-symmetric)...\n");
+  auto system = fembem::make_pipe_system<complexd>(params);
+  std::printf("-> %d FEM + %d BEM unknowns (BEM share %.1f%%)\n",
+              system.nv(), system.ns(),
+              100.0 * system.ns() / system.total());
+
+  const std::size_t budget =
+      static_cast<std::size_t>(args.get_int("budget-mib", 768)) * 1024 *
+      1024;
+
+  // Production recipe from the paper's industrial conclusions: compressed
+  // multi-factorization; start from the largest Schur blocks (n_b = 1) and
+  // shrink blocks until the run fits in memory.
+  for (index_t nb = 1; nb <= 8; nb *= 2) {
+    coupled::Config cfg;
+    cfg.strategy = coupled::Strategy::kMultiFactorizationCompressed;
+    cfg.n_b = nb;
+    cfg.eps = 1e-4;  // "considered enough by domain specialists"
+    cfg.memory_budget = budget;
+    std::printf("\ntrying multi-factorization with n_b = %d (Schur blocks "
+                "of ~%d)...\n", nb, system.ns() / nb);
+    auto stats = coupled::solve_coupled(system, cfg);
+    if (!stats.success) {
+      std::printf("  did not fit: %s\n", stats.failure.c_str());
+      continue;
+    }
+    std::printf("  solved in %.2f s, peak memory %s\n", stats.total_seconds,
+                format_bytes(stats.peak_bytes).c_str());
+    std::printf("  Schur storage %s (ratio %.2f), relative error %.2e\n",
+                format_bytes(stats.schur_bytes).c_str(),
+                stats.schur_compression_ratio, stats.relative_error);
+    return 0;
+  }
+  std::printf("\nno block count fit in the budget; raise --budget-mib\n");
+  return 1;
+}

@@ -1,0 +1,81 @@
+// Pipe acoustics study: compare all six coupled solution strategies on the
+// paper's academic "short pipe" test case and pick the best one for a given
+// memory budget — the workflow an engineer would run before a production
+// campaign (paper sections V-B/V-C).
+//
+//   $ ./pipe_acoustics [--n 12000] [--budget-mib 512] [--eps 1e-3]
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/memory.h"
+#include "common/table.h"
+#include "coupled/coupled.h"
+
+int main(int argc, char** argv) {
+  using namespace cs;
+  CliArgs args(argc, argv);
+  args.describe("n", "total unknowns (default 12000)");
+  args.describe("budget-mib", "memory budget in MiB, 0 = unlimited");
+  args.describe("eps", "low-rank accuracy (default 1e-3)");
+  args.check("Compares the six coupled strategies on the pipe test case.");
+
+  fembem::SystemParams params;
+  params.total_unknowns = static_cast<index_t>(args.get_int("n", 12000));
+  const std::size_t budget =
+      static_cast<std::size_t>(args.get_int("budget-mib", 0)) * 1024 * 1024;
+  const double eps = args.get_double("eps", 1e-3);
+
+  std::printf("assembling pipe system with ~%lld unknowns...\n",
+              args.get_int("n", 12000));
+  auto system = fembem::make_pipe_system<double>(params);
+  std::printf("-> %d FEM + %d BEM unknowns\n\n", system.nv(), system.ns());
+
+  struct Row {
+    coupled::Strategy strategy;
+    const char* note;
+  };
+  const std::vector<Row> rows = {
+      {coupled::Strategy::kBaselineCoupling, "reference (II-E)"},
+      {coupled::Strategy::kAdvancedCoupling, "reference (II-F)"},
+      {coupled::Strategy::kMultiSolve, "Algorithm 1"},
+      {coupled::Strategy::kMultiSolveCompressed, "Algorithm 2"},
+      {coupled::Strategy::kMultiFactorization, "Algorithm 3"},
+      {coupled::Strategy::kMultiFactorizationCompressed, "Algorithm 3 + H"},
+  };
+
+  TablePrinter table({"strategy", "note", "time s", "peak MiB", "Schur MiB",
+                      "rel err", "status"});
+  const char* best = nullptr;
+  double best_time = 1e300;
+  for (const auto& row : rows) {
+    coupled::Config cfg;
+    cfg.strategy = row.strategy;
+    cfg.eps = eps;
+    cfg.memory_budget = budget;
+    auto stats = coupled::solve_coupled(system, cfg);
+    auto mib = [](std::size_t b) {
+      return TablePrinter::fmt(b / (1024.0 * 1024.0), 1);
+    };
+    char err[32];
+    std::snprintf(err, sizeof(err), "%.2e", stats.relative_error);
+    table.add_row({coupled::strategy_name(row.strategy), row.note,
+                   stats.success ? TablePrinter::fmt(stats.total_seconds, 2)
+                                 : "-",
+                   stats.success ? mib(stats.peak_bytes) : "-",
+                   stats.success ? mib(stats.schur_bytes) : "-",
+                   stats.success ? err : "-",
+                   stats.success ? "ok" : "out of memory"});
+    if (stats.success && stats.total_seconds < best_time) {
+      best_time = stats.total_seconds;
+      best = coupled::strategy_name(row.strategy);
+    }
+  }
+  table.print();
+  if (best != nullptr)
+    std::printf("\nfastest feasible strategy at this size/budget: %s "
+                "(%.2f s)\n", best, best_time);
+  else
+    std::printf("\nno strategy fit in the budget; raise --budget-mib\n");
+  return 0;
+}

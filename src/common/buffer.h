@@ -1,0 +1,105 @@
+// Tracked, aligned storage used by all matrix containers in the library.
+// Every Buffer allocation flows through MemoryTracker, which is how the
+// experiment harness measures each algorithm's footprint and enforces the
+// virtual memory budget (see common/memory.h).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <utility>
+
+#include "common/memory.h"
+
+namespace cs {
+
+template <class T>
+class Buffer {
+ public:
+  Buffer() = default;
+
+  explicit Buffer(std::size_t count) { reset(count); }
+
+  Buffer(const Buffer& other) {
+    reset(other.size_);
+    std::copy(other.data_, other.data_ + other.size_, data_);
+  }
+
+  Buffer& operator=(const Buffer& other) {
+    if (this != &other) {
+      reset(other.size_);
+      std::copy(other.data_, other.data_ + other.size_, data_);
+    }
+    return *this;
+  }
+
+  Buffer(Buffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+
+  Buffer& operator=(Buffer&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  ~Buffer() { destroy(); }
+
+  /// Discard contents and reallocate for `count` elements (uninitialized
+  /// beyond value-initialization). Throws BudgetExceeded if the tracker's
+  /// budget would be exceeded.
+  void reset(std::size_t count) {
+    destroy();
+    if (count == 0) return;
+    const std::size_t bytes = count * sizeof(T);
+    MemoryTracker::instance().allocate(bytes);
+    void* raw = std::aligned_alloc(kAlignment, round_up(bytes));
+    if (raw == nullptr) {
+      MemoryTracker::instance().release(bytes);
+      throw std::bad_alloc();
+    }
+    data_ = static_cast<T*>(raw);
+    size_ = count;
+    std::fill(data_, data_ + size_, T{});
+  }
+
+  void clear() { destroy(); }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+ private:
+  static constexpr std::size_t kAlignment = 64;  // cache line
+
+  static std::size_t round_up(std::size_t bytes) {
+    return (bytes + kAlignment - 1) / kAlignment * kAlignment;
+  }
+
+  void destroy() {
+    if (data_ != nullptr) {
+      std::free(data_);
+      MemoryTracker::instance().release(size_ * sizeof(T));
+      data_ = nullptr;
+      size_ = 0;
+    }
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace cs

@@ -1,0 +1,75 @@
+#include "common/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace cs {
+
+CliArgs::CliArgs(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "program";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw std::runtime_error("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string CliArgs::get(const std::string& name,
+                         const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+long long CliArgs::get_int(const std::string& name, long long fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::stoll(it->second);
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::stod(it->second);
+}
+
+bool CliArgs::get_bool(const std::string& name, bool fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+void CliArgs::describe(const std::string& name, const std::string& help) {
+  described_[name] = help;
+}
+
+void CliArgs::check(const std::string& program_summary) const {
+  if (has("help")) {
+    std::printf("%s\n\n%s\n\nflags:\n", program_.c_str(),
+                program_summary.c_str());
+    for (const auto& [name, help] : described_)
+      std::printf("  --%-16s %s\n", name.c_str(), help.c_str());
+    std::exit(0);
+  }
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (name != "help" && described_.find(name) == described_.end()) {
+      std::fprintf(stderr, "unknown flag --%s (see --help)\n", name.c_str());
+      std::exit(2);
+    }
+  }
+}
+
+}  // namespace cs

@@ -1,0 +1,33 @@
+// Tiny command-line flag parser for the examples and benchmark drivers.
+// Flags are --name=value or --name value; unknown flags are an error so
+// typos in experiment scripts fail loudly.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace cs {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback) const;
+  long long get_int(const std::string& name, long long fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Register a known flag with help text; call before parse_check().
+  void describe(const std::string& name, const std::string& help);
+
+  /// Print usage and exit(0) if --help given; abort on unknown flags.
+  void check(const std::string& program_summary) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::map<std::string, std::string> described_;
+  std::string program_;
+};
+
+}  // namespace cs

@@ -1,0 +1,48 @@
+// Minimal leveled logger. Not performance critical; used by solvers to
+// report phase progress when verbose mode is requested.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace cs {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+template <class... Args>
+std::string format_concat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <class... Args>
+void log_debug(const Args&... args) {
+  if (log_level() <= LogLevel::kDebug)
+    log_message(LogLevel::kDebug, detail::format_concat(args...));
+}
+template <class... Args>
+void log_info(const Args&... args) {
+  if (log_level() <= LogLevel::kInfo)
+    log_message(LogLevel::kInfo, detail::format_concat(args...));
+}
+template <class... Args>
+void log_warn(const Args&... args) {
+  if (log_level() <= LogLevel::kWarn)
+    log_message(LogLevel::kWarn, detail::format_concat(args...));
+}
+template <class... Args>
+void log_error(const Args&... args) {
+  if (log_level() <= LogLevel::kError)
+    log_message(LogLevel::kError, detail::format_concat(args...));
+}
+
+}  // namespace cs

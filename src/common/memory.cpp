@@ -1,0 +1,51 @@
+#include "common/memory.h"
+
+#include <array>
+#include <cstdio>
+
+namespace cs {
+
+MemoryTracker& MemoryTracker::instance() {
+  static MemoryTracker tracker;
+  return tracker;
+}
+
+void MemoryTracker::allocate(std::size_t bytes) {
+  const std::size_t budget = budget_.load(std::memory_order_relaxed);
+  std::size_t now = current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (budget != 0 && now > budget) {
+    current_.fetch_sub(bytes, std::memory_order_relaxed);
+    throw BudgetExceeded(bytes, now - bytes, budget);
+  }
+  // Lock-free peak update.
+  std::size_t prev_peak = peak_.load(std::memory_order_relaxed);
+  while (now > prev_peak &&
+         !peak_.compare_exchange_weak(prev_peak, now,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+void MemoryTracker::release(std::size_t bytes) {
+  current_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void MemoryTracker::reset_peak() {
+  peak_.store(current_.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+}
+
+std::string format_bytes(std::size_t bytes) {
+  static const std::array<const char*, 5> units = {"B", "KiB", "MiB", "GiB",
+                                                   "TiB"};
+  double value = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (value >= 1024.0 && unit + 1 < units.size()) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", value, units[unit]);
+  return buf;
+}
+
+}  // namespace cs

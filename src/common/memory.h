@@ -1,0 +1,94 @@
+// Byte-accounted memory tracking with an optional hard budget.
+//
+// The paper's central experimental question is "what is the largest coupled
+// system each algorithm can process on a node with a fixed amount of RAM?".
+// The reproduction runs inside a container whose physical RAM differs from
+// the paper's miriel node, so instead of relying on the OS we account every
+// matrix allocation (dense, sparse, low-rank, frontal) through this tracker
+// and impose a configurable *virtual budget*. Exceeding the budget throws
+// BudgetExceeded, which the experiment harness reports exactly like the
+// paper reports an out-of-memory failure.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace cs {
+
+/// Thrown by tracked allocations when the virtual memory budget would be
+/// exceeded. Carries the attempted size for diagnostics.
+class BudgetExceeded : public std::runtime_error {
+ public:
+  BudgetExceeded(std::size_t requested, std::size_t in_use, std::size_t budget)
+      : std::runtime_error(
+            "memory budget exceeded: requested " + std::to_string(requested) +
+            " B with " + std::to_string(in_use) + " B in use, budget " +
+            std::to_string(budget) + " B"),
+        requested_(requested),
+        in_use_(in_use),
+        budget_(budget) {}
+
+  std::size_t requested() const { return requested_; }
+  std::size_t in_use() const { return in_use_; }
+  std::size_t budget() const { return budget_; }
+
+ private:
+  std::size_t requested_;
+  std::size_t in_use_;
+  std::size_t budget_;
+};
+
+/// Process-wide tracker of solver matrix storage. Thread-safe.
+class MemoryTracker {
+ public:
+  static MemoryTracker& instance();
+
+  /// Record an allocation of `bytes`. Throws BudgetExceeded when a budget is
+  /// set and would be exceeded (the allocation is not recorded in that case).
+  void allocate(std::size_t bytes);
+
+  /// Record a matching deallocation.
+  void release(std::size_t bytes);
+
+  std::size_t current() const { return current_.load(); }
+  std::size_t peak() const { return peak_.load(); }
+
+  /// Set a hard budget in bytes; 0 disables the budget.
+  void set_budget(std::size_t bytes) { budget_.store(bytes); }
+  std::size_t budget() const { return budget_.load(); }
+
+  /// Reset the peak-bytes watermark to the current usage (used between
+  /// experiment runs). Does not touch the current counter.
+  void reset_peak();
+
+ private:
+  MemoryTracker() = default;
+
+  std::atomic<std::size_t> current_{0};
+  std::atomic<std::size_t> peak_{0};
+  std::atomic<std::size_t> budget_{0};
+};
+
+/// RAII guard installing a budget for the duration of a scope and restoring
+/// the previous one on exit. Used by tests and by the figure benchmarks.
+class ScopedBudget {
+ public:
+  explicit ScopedBudget(std::size_t bytes)
+      : previous_(MemoryTracker::instance().budget()) {
+    MemoryTracker::instance().set_budget(bytes);
+  }
+  ~ScopedBudget() { MemoryTracker::instance().set_budget(previous_); }
+
+  ScopedBudget(const ScopedBudget&) = delete;
+  ScopedBudget& operator=(const ScopedBudget&) = delete;
+
+ private:
+  std::size_t previous_;
+};
+
+/// Pretty "12.3 GiB" formatting for reports.
+std::string format_bytes(std::size_t bytes);
+
+}  // namespace cs

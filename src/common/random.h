@@ -1,0 +1,43 @@
+// Deterministic random helpers. All tests and benchmarks seed explicitly so
+// every run of the reproduction is bitwise repeatable.
+#pragma once
+
+#include <random>
+
+#include "common/types.h"
+
+namespace cs {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 42) : engine_(seed) {}
+
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  index_t uniform_index(index_t lo, index_t hi) {  // inclusive bounds
+    return std::uniform_int_distribution<index_t>(lo, hi)(engine_);
+  }
+
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Random scalar of type T in [-1, 1] (each component for complex).
+  template <class T>
+  T scalar() {
+    if constexpr (is_complex_v<T>) {
+      return T(uniform(-1.0, 1.0), uniform(-1.0, 1.0));
+    } else {
+      return static_cast<T>(uniform(-1.0, 1.0));
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace cs

@@ -1,0 +1,70 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace cs {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::printf("|");
+    for (std::size_t c = 0; c < row.size(); ++c)
+      std::printf(" %-*s |", static_cast<int>(widths[c]), row[c].c_str());
+    std::printf("\n");
+  };
+  auto print_sep = [&] {
+    std::printf("+");
+    for (std::size_t w : widths) {
+      for (std::size_t i = 0; i < w + 2; ++i) std::printf("-");
+      std::printf("+");
+    }
+    std::printf("\n");
+  };
+
+  print_sep();
+  print_row(headers_);
+  print_sep();
+  for (const auto& row : rows_) print_row(row);
+  print_sep();
+  std::fflush(stdout);
+}
+
+void TablePrinter::print_csv() const {
+  auto emit = [](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      std::printf("%s%s", c ? "," : "", row[c].c_str());
+    std::printf("\n");
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  std::fflush(stdout);
+}
+
+std::string TablePrinter::fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string TablePrinter::fmt_int(long long value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", value);
+  return buf;
+}
+
+}  // namespace cs

@@ -1,0 +1,30 @@
+// Fixed-width table / CSV printer used by the bench binaries to emit the
+// rows and series of the paper's tables and figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cs {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render the table with aligned columns to stdout.
+  void print() const;
+
+  /// Render as CSV (one line per row, headers first) to stdout.
+  void print_csv() const;
+
+  static std::string fmt(double value, int precision = 3);
+  static std::string fmt_int(long long value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cs

@@ -1,0 +1,66 @@
+// Wall-clock timing helpers used by the experiment harness to report the
+// per-phase times (sparse factorization, Schur assembly, dense
+// factorization, solves) that the paper's figures are built from.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace cs {
+
+/// Simple wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates named phase durations; used by coupled::SolveStats.
+class PhaseTimes {
+ public:
+  void add(const std::string& phase, double seconds) {
+    times_[phase] += seconds;
+  }
+  double get(const std::string& phase) const {
+    auto it = times_.find(phase);
+    return it == times_.end() ? 0.0 : it->second;
+  }
+  double total() const {
+    double s = 0.0;
+    for (const auto& [k, v] : times_) s += v;
+    return s;
+  }
+  const std::map<std::string, double>& all() const { return times_; }
+
+ private:
+  std::map<std::string, double> times_;
+};
+
+/// RAII helper accumulating the lifetime of a scope into a PhaseTimes entry.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseTimes& sink, std::string phase)
+      : sink_(sink), phase_(std::move(phase)) {}
+  ~ScopedPhase() { sink_.add(phase_, timer_.seconds()); }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseTimes& sink_;
+  std::string phase_;
+  Timer timer_;
+};
+
+}  // namespace cs

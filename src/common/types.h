@@ -1,0 +1,71 @@
+// Common scalar/index typedefs and small numeric helpers shared by every
+// module of the coupled sparse/dense solver library.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <type_traits>
+
+namespace cs {
+
+/// Index type used for matrix dimensions and sparse indices. Signed so that
+/// downward loops and -1 sentinels are natural; 64-bit offsets are used
+/// separately where element counts may exceed 2^31.
+using index_t = std::int32_t;
+
+/// Offset type for element counts (nnz, dense strides).
+using offset_t = std::int64_t;
+
+using complexd = std::complex<double>;
+
+template <class T>
+struct is_complex : std::false_type {};
+template <class T>
+struct is_complex<std::complex<T>> : std::true_type {};
+template <class T>
+inline constexpr bool is_complex_v = is_complex<T>::value;
+
+/// The underlying real type of a scalar (double -> double,
+/// complex<double> -> double).
+template <class T>
+struct real_of {
+  using type = T;
+};
+template <class T>
+struct real_of<std::complex<T>> {
+  using type = T;
+};
+template <class T>
+using real_of_t = typename real_of<T>::type;
+
+/// |x|^2 without the square root (works for real and complex scalars).
+template <class T>
+inline real_of_t<T> abs2(const T& x) {
+  if constexpr (is_complex_v<T>) {
+    return x.real() * x.real() + x.imag() * x.imag();
+  } else {
+    return x * x;
+  }
+}
+
+/// Real part (identity on real scalars).
+template <class T>
+inline real_of_t<T> real_part(const T& x) {
+  if constexpr (is_complex_v<T>) {
+    return x.real();
+  } else {
+    return x;
+  }
+}
+
+/// Complex conjugate that is the identity on real scalars.
+template <class T>
+inline T conj_if(const T& x) {
+  if constexpr (is_complex_v<T>) {
+    return std::conj(x);
+  } else {
+    return x;
+  }
+}
+
+}  // namespace cs

@@ -1,0 +1,591 @@
+#include "coupled/coupled.h"
+
+#include <functional>
+
+#include "common/random.h"
+#include "dense/dense_solver.h"
+#include "hmat/hmatrix.h"
+#include "sparsedirect/multifrontal.h"
+
+namespace cs::coupled {
+
+const char* strategy_name(Strategy s) {
+  switch (s) {
+    case Strategy::kBaselineCoupling: return "baseline-coupling";
+    case Strategy::kAdvancedCoupling: return "advanced-coupling";
+    case Strategy::kMultiSolve: return "multi-solve";
+    case Strategy::kMultiSolveCompressed: return "multi-solve-compressed";
+    case Strategy::kMultiFactorization: return "multi-factorization";
+    case Strategy::kMultiFactorizationCompressed:
+      return "multi-factorization-compressed";
+    case Strategy::kMultiSolveRandomized:
+      return "multi-solve-randomized";
+  }
+  return "?";
+}
+
+namespace {
+
+using fembem::CoupledSystem;
+using hmat::ClusterTree;
+using hmat::HMatrix;
+using hmat::HOptions;
+using la::Matrix;
+using la::MatrixView;
+using sparsedirect::MultifrontalSolver;
+using sparsedirect::SolverOptions;
+
+/// Kernel generator re-indexed to surface cluster-tree coordinates.
+template <class T>
+class PermutedGenerator final : public hmat::MatrixGenerator<T> {
+ public:
+  PermutedGenerator(const hmat::MatrixGenerator<T>& base,
+                    const std::vector<index_t>& original_of_tree)
+      : base_(base), orig_(original_of_tree) {}
+  index_t rows() const override { return base_.rows(); }
+  index_t cols() const override { return base_.cols(); }
+  T entry(index_t i, index_t j) const override {
+    return base_.entry(orig_[static_cast<std::size_t>(i)],
+                       orig_[static_cast<std::size_t>(j)]);
+  }
+
+ private:
+  const hmat::MatrixGenerator<T>& base_;
+  const std::vector<index_t>& orig_;
+};
+
+/// Shared context of one coupled solve.
+template <class T>
+struct Run {
+  const CoupledSystem<T>& sys;
+  const Config& cfg;
+  SolveStats& stats;
+  ClusterTree tree;            // surface dof clustering
+  sparse::Csr<T> A_sv_tree;    // coupling rows in tree order
+  la::Vector<T> b_s_tree;
+  PermutedGenerator<T> gen_tree;
+
+  Run(const CoupledSystem<T>& s, const Config& c, SolveStats& st)
+      : sys(s),
+        cfg(c),
+        stats(st),
+        tree(s.surface_points(), c.hmat_leaf),
+        gen_tree(*s.A_ss, tree.original_of_tree()) {
+    // Permute coupling rows and the surface right-hand side once.
+    const auto& perm = tree.tree_of_original();
+    sparse::Triplets<T> trip(sys.ns(), sys.nv());
+    for (index_t r = 0; r < sys.A_sv.rows(); ++r)
+      for (offset_t k = sys.A_sv.row_begin(r); k < sys.A_sv.row_end(r); ++k)
+        trip.add(perm[static_cast<std::size_t>(r)], sys.A_sv.col(k),
+                 sys.A_sv.value(k));
+    A_sv_tree = sparse::Csr<T>::from_triplets(trip);
+    b_s_tree = la::Vector<T>(sys.ns());
+    for (index_t r = 0; r < sys.ns(); ++r)
+      b_s_tree[perm[static_cast<std::size_t>(r)]] = sys.b_s[r];
+  }
+
+  SolverOptions sparse_options(bool symmetric, index_t schur_size) const {
+    SolverOptions so;
+    so.symmetric = symmetric;
+    so.schur_size = schur_size;
+    so.compress = cfg.sparse_compression;
+    so.blr_eps = cfg.eps;
+    so.ordering = cfg.ordering;
+    so.parallel_fronts = cfg.parallel_fronts;
+    return so;
+  }
+
+  HOptions h_options() const {
+    HOptions ho;
+    ho.eps = cfg.eps;
+    ho.eta = cfg.eta;
+    return ho;
+  }
+
+  /// Common finishing sequence (paper eq. (7)): forms the reduced
+  /// right-hand side, solves the Schur system and back-substitutes.
+  /// `interior` must solve A_vv X = B in place (the leading block of
+  /// whatever factorization the strategy kept); `schur_solve` solves
+  /// S X = B in place in tree coordinates.
+  void finish(const MultifrontalSolver<T>& interior,
+              const std::function<void(MatrixView<T>)>& schur_solve) {
+    ScopedPhase phase(stats.phases, "solution");
+    const index_t nv = sys.nv();
+    const index_t ns = sys.ns();
+
+    // y_v = A_vv^{-1} b_v.
+    Matrix<T> yv(nv, 1);
+    for (index_t i = 0; i < nv; ++i) yv(i, 0) = sys.b_v[i];
+    interior.solve(yv.view());
+
+    // t = b_s - A_sv y_v (tree order).
+    Matrix<T> t(ns, 1);
+    for (index_t i = 0; i < ns; ++i) t(i, 0) = b_s_tree[i];
+    A_sv_tree.spmv(T{-1}, &yv(0, 0), T{1}, &t(0, 0));
+
+    // x_s = S^{-1} t.
+    schur_solve(t.view());
+
+    // x_v = A_vv^{-1} (b_v - A_sv^T x_s).
+    Matrix<T> rv(nv, 1);
+    for (index_t i = 0; i < nv; ++i) rv(i, 0) = sys.b_v[i];
+    A_sv_tree.spmv_trans(T{-1}, &t(0, 0), T{1}, &rv(0, 0));
+    interior.solve(rv.view());
+
+    // Scatter x_s back to the caller's surface ordering.
+    la::Vector<T> xs(ns), xv(nv);
+    const auto& orig = tree.original_of_tree();
+    for (index_t p = 0; p < ns; ++p)
+      xs[orig[static_cast<std::size_t>(p)]] = t(p, 0);
+    for (index_t i = 0; i < nv; ++i) xv[i] = rv(i, 0);
+
+    // Optional iterative refinement against the *exact* coupled operator
+    // (the dense block applied through its kernel generator): recovers the
+    // accuracy lost to aggressive compression.
+    for (int it = 0; it < cfg.refine_iterations; ++it) {
+      // Residuals in caller coordinates.
+      la::Vector<T> r_v(nv), r_s(ns);
+      for (index_t i = 0; i < nv; ++i) r_v[i] = sys.b_v[i];
+      sys.A_vv.spmv(T{-1}, xv.data(), T{1}, r_v.data());
+      sys.A_sv.spmv_trans(T{-1}, xs.data(), T{1}, r_v.data());
+      fembem::generator_matvec(*sys.A_ss, xs.data(), r_s.data());
+      for (index_t i = 0; i < ns; ++i) r_s[i] = sys.b_s[i] - r_s[i];
+      sys.A_sv.spmv(T{-1}, xv.data(), T{1}, r_s.data());
+
+      // Correction through the same factorizations.
+      Matrix<T> dy(nv, 1);
+      for (index_t i = 0; i < nv; ++i) dy(i, 0) = r_v[i];
+      interior.solve(dy.view());
+      Matrix<T> dt(ns, 1);
+      const auto& perm = tree.tree_of_original();
+      for (index_t i = 0; i < ns; ++i)
+        dt(perm[static_cast<std::size_t>(i)], 0) = r_s[i];
+      A_sv_tree.spmv(T{-1}, &dy(0, 0), T{1}, &dt(0, 0));
+      schur_solve(dt.view());
+      Matrix<T> dv(nv, 1);
+      for (index_t i = 0; i < nv; ++i) dv(i, 0) = r_v[i];
+      A_sv_tree.spmv_trans(T{-1}, &dt(0, 0), T{1}, &dv(0, 0));
+      interior.solve(dv.view());
+
+      for (index_t p = 0; p < ns; ++p)
+        xs[orig[static_cast<std::size_t>(p)]] += dt(p, 0);
+      for (index_t i = 0; i < nv; ++i) xv[i] += dv(i, 0);
+    }
+
+    stats.relative_error = sys.relative_error(xv, xs);
+  }
+};
+
+/// Factor the compressed Schur H-matrix: H-LU by default, symmetric
+/// H-LDL^T (the paper's HMAT mode) when requested and applicable.
+template <class T>
+void factor_schur_h(HMatrix<T>& S, const Run<T>& run) {
+  if (run.cfg.hmat_symmetric_ldlt && run.sys.symmetric) {
+    S.ldlt_factorize();
+  } else {
+    S.lu_factorize();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Baseline coupling (II-E) and multi-solve (Alg. 1 / Alg. 2)
+// ---------------------------------------------------------------------------
+
+/// blocked = false reproduces the baseline coupling (one sparse solve with
+/// all n_BEM right-hand sides at once); blocked = true is multi-solve.
+template <class T>
+void run_multisolve(Run<T>& run, bool blocked, bool compressed) {
+  const auto& cfg = run.cfg;
+  auto& stats = run.stats;
+  const index_t nv = run.sys.nv();
+  const index_t ns = run.sys.ns();
+
+  MultifrontalSolver<T> mf;
+  {
+    ScopedPhase phase(stats.phases, "sparse_factorization");
+    mf.factorize(run.sys.A_vv, run.sparse_options(true, 0));
+  }
+  stats.sparse_factor_bytes = mf.factor_bytes();
+
+  if (!compressed) {
+    // Dense Schur accumulation (MUMPS/SPIDO-style coupling).
+    Matrix<T> S(ns, ns);
+    {
+      ScopedPhase phase(stats.phases, "schur");
+      const index_t step = blocked ? cfg.n_c : ns;
+      for (index_t c0 = 0; c0 < ns; c0 += step) {
+        const index_t nc = std::min(step, ns - c0);
+        // Y_i = A_vv^{-1} A_sv(i)^T, retrieved dense (the API limitation).
+        Matrix<T> Y(nv, nc);
+        run.A_sv_tree.rows_as_dense_transposed(c0, nc, Y.view());
+        mf.solve(Y.view());
+        auto slab = S.block(0, c0, ns, nc);
+        fembem::generator_block(run.gen_tree, 0, c0, slab);  // A_ss block
+        run.A_sv_tree.spmm(T{-1}, Y.view(), T{1}, slab);     // - A_sv Y_i
+      }
+    }
+    stats.schur_bytes = S.size_bytes();
+    stats.schur_compression_ratio = 1.0;
+    dense::DenseSolver<T> ds;
+    {
+      ScopedPhase phase(stats.phases, "dense_factorization");
+      ds.factorize(std::move(S), run.sys.symmetric);
+    }
+    run.finish(mf, [&](MatrixView<T> B) { ds.solve(B); });
+  } else {
+    // Compressed Schur (MUMPS/HMAT-style): A_ss assembled directly in
+    // compressed form; dense Z panels folded in with compressed AXPYs.
+    HMatrix<T> S = HMatrix<T>::zero(run.tree, run.tree, run.h_options());
+    {
+      ScopedPhase phase(stats.phases, "schur");
+      S = HMatrix<T>::assemble(run.tree, run.tree, *run.sys.A_ss,
+                               run.h_options());
+      const index_t panel = std::max(cfg.n_S, cfg.n_c);
+      for (index_t c0 = 0; c0 < ns; c0 += panel) {
+        const index_t np = std::min(panel, ns - c0);
+        Matrix<T> Z(ns, np);
+        for (index_t cc = 0; cc < np; cc += cfg.n_c) {
+          const index_t nc = std::min(cfg.n_c, np - cc);
+          Matrix<T> Y(nv, nc);
+          run.A_sv_tree.rows_as_dense_transposed(c0 + cc, nc, Y.view());
+          mf.solve(Y.view());
+          run.A_sv_tree.spmm(T{1}, Y.view(), T{0},
+                             Z.block(0, cc, ns, nc));
+        }
+        S.add_dense_block(T{-1}, Z.view(), 0, c0);  // compressed AXPY
+      }
+    }
+    stats.schur_bytes = S.memory_bytes();
+    stats.schur_compression_ratio = S.compression_ratio();
+    {
+      ScopedPhase phase(stats.phases, "dense_factorization");
+      factor_schur_h(S, run);
+    }
+    stats.schur_bytes = std::max(stats.schur_bytes, S.memory_bytes());
+    run.finish(mf, [&](MatrixView<T> B) { S.solve(B); });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized compressed Schur (the paper's future-work extension): the
+// correction M = A_sv A_vv^{-1} A_sv^T is captured directly as low-rank
+// factors by an adaptive two-pass randomized range finder (M is symmetric
+// because A_vv is, so M ~ Q (M Q)^T), then folded into the H-matrix A_ss.
+// Worthwhile when M's global spectrum decays fast; the ablation bench
+// measures where it wins/loses against the blocked algorithms.
+// ---------------------------------------------------------------------------
+
+template <class T>
+void run_multisolve_randomized(Run<T>& run) {
+  const auto& cfg = run.cfg;
+  auto& stats = run.stats;
+  const index_t nv = run.sys.nv();
+  const index_t ns = run.sys.ns();
+
+  MultifrontalSolver<T> mf;
+  {
+    ScopedPhase phase(stats.phases, "sparse_factorization");
+    mf.factorize(run.sys.A_vv, run.sparse_options(true, 0));
+  }
+  stats.sparse_factor_bytes = mf.factor_bytes();
+
+  // out := M * G by two sparse products around a multi-RHS solve.
+  auto apply_m = [&](la::ConstMatrixView<T> G, la::MatrixView<T> out) {
+    Matrix<T> Y(nv, G.cols());
+    run.A_sv_tree.spmm_trans(T{1}, G, T{0}, Y.view());
+    mf.solve(Y.view());
+    run.A_sv_tree.spmm(T{1}, la::ConstMatrixView<T>(Y.view()), T{0}, out);
+  };
+
+  HMatrix<T> S = HMatrix<T>::zero(run.tree, run.tree, run.h_options());
+  {
+    ScopedPhase phase(stats.phases, "schur");
+    S = HMatrix<T>::assemble(run.tree, run.tree, *run.sys.A_ss,
+                             run.h_options());
+
+    Rng rng(20220512);
+    auto gaussian = [&](index_t rows, index_t cols) {
+      Matrix<T> G(rows, cols);
+      for (index_t j = 0; j < cols; ++j)
+        for (index_t i = 0; i < rows; ++i)
+          G(i, j) = T(rng.normal());
+      return G;
+    };
+
+    const index_t cap = std::max<index_t>(
+        1, std::min<index_t>(
+               ns, static_cast<index_t>(cfg.rand_max_rank_ratio * ns)));
+    index_t r = std::min<index_t>(cap, cfg.rand_initial_rank);
+    Matrix<T> W(ns, 0);
+    Matrix<T> Q;
+    while (true) {
+      // Extend the sample block to r columns.
+      const index_t have = W.cols();
+      Matrix<T> W_new(ns, r);
+      if (have > 0)
+        W_new.block(0, 0, ns, have).copy_from(
+            la::ConstMatrixView<T>(W.view()));
+      {
+        auto G = gaussian(ns, r - have);
+        apply_m(la::ConstMatrixView<T>(G.view()),
+                W_new.block(0, have, ns, r - have));
+      }
+      W = std::move(W_new);
+      // Orthonormal range basis.
+      Matrix<T> QR = W;
+      std::vector<T> tau;
+      la::householder_qr(QR.view(), tau);
+      Q = la::form_q_thin(la::ConstMatrixView<T>(QR.view()), tau);
+      // Posterior accuracy probe: || (I - Q Q^T') M z || / || M z ||.
+      const index_t n_probe = 4;
+      auto Z = gaussian(ns, n_probe);
+      Matrix<T> P(ns, n_probe);
+      apply_m(la::ConstMatrixView<T>(Z.view()), P.view());
+      Matrix<T> C(r, n_probe);
+      // C = Q^H P (unitary basis: conjugated inner products).
+      for (index_t j = 0; j < n_probe; ++j)
+        for (index_t c = 0; c < r; ++c) {
+          T acc{};
+          for (index_t i = 0; i < ns; ++i) acc += conj_if(Q(i, c)) * P(i, j);
+          C(c, j) = acc;
+        }
+      Matrix<T> R = P;
+      la::gemm(T{-1}, la::ConstMatrixView<T>(Q.view()), la::Op::kNoTrans,
+               la::ConstMatrixView<T>(C.view()), la::Op::kNoTrans, T{1},
+               R.view());
+      const double rel =
+          la::norm_fro(la::ConstMatrixView<T>(R.view())) /
+          std::max(1e-300, double(la::norm_fro(la::ConstMatrixView<T>(
+                               P.view()))));
+      if (rel <= cfg.eps || r >= cap) break;
+      r = std::min<index_t>(cap, 2 * r);
+    }
+    stats.randomized_rank = Q.cols();
+
+    // Second pass. With the library's plain-transpose Rk convention and M
+    // complex symmetric (M^T = M), the projected approximation
+    // M ~ Q Q^H M factors as U V^T with U = Q and V = M conj(Q):
+    //   Q (M conj(Q))^T = Q conj(Q)^T M^T = (Q Q^H) M.
+    Matrix<T> Qc(ns, Q.cols());
+    for (index_t j = 0; j < Q.cols(); ++j)
+      for (index_t i = 0; i < ns; ++i) Qc(i, j) = conj_if(Q(i, j));
+    la::RkFactors<T> correction;
+    correction.V = Matrix<T>(ns, Q.cols());
+    apply_m(la::ConstMatrixView<T>(Qc.view()), correction.V.view());
+    correction.U = std::move(Q);
+    // S -= M (compressed, directly from factors).
+    S.add_low_rank(T{-1}, correction);
+  }
+  stats.schur_bytes = S.memory_bytes();
+  stats.schur_compression_ratio = S.compression_ratio();
+  {
+    ScopedPhase phase(stats.phases, "dense_factorization");
+    factor_schur_h(S, run);
+  }
+  run.finish(mf, [&](MatrixView<T> B) { S.solve(B); });
+}
+
+// ---------------------------------------------------------------------------
+// Advanced coupling (II-F): one sparse factorization+Schur call
+// ---------------------------------------------------------------------------
+
+template <class T>
+void run_advanced(Run<T>& run) {
+  auto& stats = run.stats;
+  const index_t nv = run.sys.nv();
+  const index_t ns = run.sys.ns();
+
+  // K = [[A_vv, A_sv^T],[A_sv, 0]], symmetric, Schur on the trailing ns.
+  MultifrontalSolver<T> mf;
+  {
+    ScopedPhase phase(stats.phases, "sparse_factorization");
+    sparse::Triplets<T> trip(nv + ns, nv + ns);
+    const auto& A = run.sys.A_vv;
+    for (index_t r = 0; r < nv; ++r)
+      for (offset_t k = A.row_begin(r); k < A.row_end(r); ++k)
+        trip.add(r, A.col(k), A.value(k));
+    const auto& C = run.A_sv_tree;
+    for (index_t r = 0; r < ns; ++r)
+      for (offset_t k = C.row_begin(r); k < C.row_end(r); ++k) {
+        trip.add(nv + r, C.col(k), C.value(k));
+        trip.add(C.col(k), nv + r, C.value(k));
+      }
+    auto K = sparse::Csr<T>::from_triplets(trip);
+    mf.factorize(K, run.sparse_options(true, ns));
+  }
+  stats.sparse_factor_bytes = mf.factor_bytes();
+
+  // The Schur complement arrives as one non-compressed dense matrix.
+  Matrix<T> S = mf.take_schur();  // = -A_sv A_vv^{-1} A_sv^T (tree order)
+  {
+    ScopedPhase phase(stats.phases, "schur");
+    // S += A_ss.
+#pragma omp parallel for schedule(dynamic, 8)
+    for (index_t j = 0; j < ns; ++j)
+      for (index_t i = 0; i < ns; ++i)
+        S(i, j) += run.gen_tree.entry(i, j);
+  }
+  stats.schur_bytes = S.size_bytes();
+  dense::DenseSolver<T> ds;
+  {
+    ScopedPhase phase(stats.phases, "dense_factorization");
+    ds.factorize(std::move(S), run.sys.symmetric);
+  }
+  run.finish(mf, [&](MatrixView<T> B) { ds.solve(B); });
+}
+
+// ---------------------------------------------------------------------------
+// Multi-factorization (Alg. 3, plus the compressed-Schur variant)
+// ---------------------------------------------------------------------------
+
+template <class T>
+void run_multifacto(Run<T>& run, bool compressed) {
+  const auto& cfg = run.cfg;
+  auto& stats = run.stats;
+  const index_t nv = run.sys.nv();
+  const index_t ns = run.sys.ns();
+  const index_t nb = std::max<index_t>(1, cfg.n_b);
+
+  // Balanced block boundaries over the surface dofs.
+  std::vector<index_t> start(static_cast<std::size_t>(nb) + 1);
+  for (index_t k = 0; k <= nb; ++k)
+    start[static_cast<std::size_t>(k)] =
+        static_cast<index_t>(static_cast<offset_t>(k) * ns / nb);
+
+  // Schur accumulator: dense, or the compressed A_ss H-matrix.
+  Matrix<T> S_dense;
+  HMatrix<T> S_h = HMatrix<T>::zero(run.tree, run.tree, run.h_options());
+  if (compressed) {
+    ScopedPhase phase(stats.phases, "schur");
+    S_h = HMatrix<T>::assemble(run.tree, run.tree, *run.sys.A_ss,
+                               run.h_options());
+  } else {
+    S_dense = Matrix<T>(ns, ns);
+  }
+
+  MultifrontalSolver<T> mf_last;  // the last diagonal factorization serves
+                                  // the interior solves of the finish phase
+  for (index_t bi = 0; bi < nb; ++bi) {
+    const index_t r0 = start[static_cast<std::size_t>(bi)];
+    const index_t nri = start[static_cast<std::size_t>(bi) + 1] - r0;
+    for (index_t bj = 0; bj < nb; ++bj) {
+      const index_t c0 = start[static_cast<std::size_t>(bj)];
+      const index_t ncj = start[static_cast<std::size_t>(bj) + 1] - c0;
+      // W = [[A_vv, A_sv(j)^T],[A_sv(i), 0]]; unsymmetric (duplicated
+      // storage + LU), padded square when the edge blocks differ in size.
+      const index_t p = std::max(nri, ncj);
+      MultifrontalSolver<T> mf;
+      {
+        ScopedPhase phase(stats.phases, "sparse_factorization");
+        sparse::Triplets<T> trip(nv + p, nv + p);
+        const auto& A = run.sys.A_vv;
+        for (index_t r = 0; r < nv; ++r)
+          for (offset_t k = A.row_begin(r); k < A.row_end(r); ++k)
+            trip.add(r, A.col(k), A.value(k));
+        const auto& C = run.A_sv_tree;
+        for (index_t r = 0; r < nri; ++r)
+          for (offset_t k = C.row_begin(r0 + r); k < C.row_end(r0 + r); ++k)
+            trip.add(nv + r, C.col(k), C.value(k));
+        for (index_t q = 0; q < ncj; ++q)
+          for (offset_t k = C.row_begin(c0 + q); k < C.row_end(c0 + q); ++k)
+            trip.add(C.col(k), nv + q, C.value(k));
+        auto W = sparse::Csr<T>::from_triplets(trip);
+        // Superfluous re-factorization of A_vv on every call: the API
+        // limitation that gives the algorithm its name.
+        mf.factorize(W, run.sparse_options(false, p));
+      }
+      Matrix<T> X = mf.take_schur();  // p x p, = -A_sv(i) A_vv^{-1} A_sv(j)^T
+      {
+        ScopedPhase phase(stats.phases, "schur");
+        if (compressed) {
+          S_h.add_dense_block(T{1}, X.block(0, 0, nri, ncj), r0, c0);
+        } else {
+          auto slab = S_dense.block(r0, c0, nri, ncj);
+          fembem::generator_block(run.gen_tree, r0, c0, slab);
+          la::axpy(T{1}, X.block(0, 0, nri, ncj), slab);
+        }
+      }
+      X.clear();
+      if (bi == nb - 1 && bj == nb - 1) {
+        mf_last = std::move(mf);
+        stats.sparse_factor_bytes = mf_last.factor_bytes();
+      }
+    }
+  }
+
+  if (compressed) {
+    stats.schur_bytes = S_h.memory_bytes();
+    stats.schur_compression_ratio = S_h.compression_ratio();
+    {
+      ScopedPhase phase(stats.phases, "dense_factorization");
+      factor_schur_h(S_h, run);
+    }
+    stats.schur_bytes = std::max(stats.schur_bytes, S_h.memory_bytes());
+    run.finish(mf_last, [&](MatrixView<T> B) { S_h.solve(B); });
+  } else {
+    stats.schur_bytes = S_dense.size_bytes();
+    dense::DenseSolver<T> ds;
+    {
+      ScopedPhase phase(stats.phases, "dense_factorization");
+      ds.factorize(std::move(S_dense), run.sys.symmetric);
+    }
+    run.finish(mf_last, [&](MatrixView<T> B) { ds.solve(B); });
+  }
+}
+
+}  // namespace
+
+template <class T>
+SolveStats solve_coupled(const CoupledSystem<T>& system,
+                         const Config& config) {
+  SolveStats stats;
+  stats.n_fem = system.nv();
+  stats.n_bem = system.ns();
+  stats.n_total = system.total();
+
+  auto& tracker = MemoryTracker::instance();
+  tracker.reset_peak();
+  ScopedBudget budget(config.memory_budget);
+  Timer total;
+  try {
+    Run<T> run(system, config, stats);
+    switch (config.strategy) {
+      case Strategy::kBaselineCoupling:
+        run_multisolve(run, /*blocked=*/false, /*compressed=*/false);
+        break;
+      case Strategy::kMultiSolve:
+        run_multisolve(run, /*blocked=*/true, /*compressed=*/false);
+        break;
+      case Strategy::kMultiSolveCompressed:
+        run_multisolve(run, /*blocked=*/true, /*compressed=*/true);
+        break;
+      case Strategy::kAdvancedCoupling:
+        run_advanced(run);
+        break;
+      case Strategy::kMultiFactorization:
+        run_multifacto(run, /*compressed=*/false);
+        break;
+      case Strategy::kMultiFactorizationCompressed:
+        run_multifacto(run, /*compressed=*/true);
+        break;
+      case Strategy::kMultiSolveRandomized:
+        run_multisolve_randomized(run);
+        break;
+    }
+    stats.success = true;
+  } catch (const BudgetExceeded& e) {
+    stats.failure = std::string("out of memory budget: ") + e.what();
+  } catch (const la::SingularMatrix& e) {
+    stats.failure = std::string("numerical failure: ") + e.what();
+  }
+  stats.total_seconds = total.seconds();
+  stats.peak_bytes = tracker.peak();
+  return stats;
+}
+
+template SolveStats solve_coupled<double>(const CoupledSystem<double>&,
+                                          const Config&);
+template SolveStats solve_coupled<complexd>(const CoupledSystem<complexd>&,
+                                            const Config&);
+
+}  // namespace cs::coupled

@@ -1,0 +1,65 @@
+// Non-compressed dense direct solver ("SPIDO" analogue): blocked LDL^T for
+// symmetric matrices, blocked LU with partial pivoting otherwise, over the
+// cache-blocked kernels of src/la. It intentionally offers the same minimal
+// factorize/solve surface as the H-matrix solver so the coupled algorithms
+// can swap the dense backend (baseline MUMPS/SPIDO coupling vs compressed
+// MUMPS/HMAT coupling) without code changes.
+#pragma once
+
+#include <stdexcept>
+#include <utility>
+
+#include "la/factor.h"
+#include "la/matrix.h"
+
+namespace cs::dense {
+
+template <class T>
+class DenseSolver {
+ public:
+  /// Factorize in place, taking ownership of the matrix storage (the Schur
+  /// complement is large; the caller must not keep a second copy).
+  void factorize(la::Matrix<T>&& A, bool symmetric) {
+    if (A.rows() != A.cols())
+      throw std::invalid_argument("dense solver needs a square matrix");
+    a_ = std::move(A);
+    symmetric_ = symmetric;
+    if (symmetric_) {
+      la::ldlt_factor(a_.view());
+    } else {
+      la::lu_factor(a_.view(), piv_);
+    }
+    factored_ = true;
+  }
+
+  /// In-place solve A X = B.
+  void solve(la::MatrixView<T> B) const {
+    if (!factored_) throw std::logic_error("solve() before factorize()");
+    if (B.rows() != a_.rows())
+      throw std::invalid_argument("right-hand side dimension mismatch");
+    if (symmetric_) {
+      la::ldlt_solve<T>(a_.view(), B);
+    } else {
+      la::lu_solve<T>(a_.view(), piv_, B);
+    }
+  }
+
+  bool factored() const { return factored_; }
+  index_t dim() const { return a_.rows(); }
+  std::size_t memory_bytes() const { return a_.size_bytes(); }
+
+  /// Release the factor storage.
+  void clear() {
+    a_.clear();
+    piv_.clear();
+    factored_ = false;
+  }
+
+ private:
+  la::Matrix<T> a_;
+  std::vector<index_t> piv_;
+  bool symmetric_ = true;
+  bool factored_ = false;
+};
+
+}  // namespace cs::dense

@@ -1,0 +1,139 @@
+// P1 tetrahedral FEM assembly on the pipe mesh: stiffness K, mass M and
+// the volume operator A_vv = K + (sigma_r + i sigma_i - kappa^2) M used by
+// the coupled system (sigma_r > 0 and kappa = 0 gives the real SPD case of
+// the paper's pipe benchmark; kappa > 0 with a small imaginary shift gives
+// the complex symmetric Helmholtz-like case of the industrial benchmark).
+// The surface/volume coupling A_sv is the boundary mass matrix between
+// surface dofs (boundary vertices) and volume dofs.
+#pragma once
+
+#include <array>
+#include <cmath>
+
+#include "fembem/mesh.h"
+#include "sparse/sparse.h"
+
+namespace cs::fembem {
+
+struct FemCoefficients {
+  double kappa = 0.0;        ///< wavenumber (0 -> SPD Laplace-like operator)
+  double sigma_real = 1.0;   ///< real mass shift
+  double sigma_imag = 0.0;   ///< imaginary mass shift (absorption)
+};
+
+namespace detail {
+
+/// Element stiffness and mass of a P1 tetrahedron.
+struct TetElement {
+  std::array<std::array<double, 4>, 4> stiffness;
+  std::array<std::array<double, 4>, 4> mass;
+};
+
+inline TetElement tet_element(const Point3& p0, const Point3& p1,
+                              const Point3& p2, const Point3& p3) {
+  const double vol = std::abs(tet_volume(p0, p1, p2, p3));
+  // Barycentric gradients: solve for the constant gradients of the four
+  // hat functions via the inverse of the edge matrix.
+  const double x[4] = {p0.x, p1.x, p2.x, p3.x};
+  const double y[4] = {p0.y, p1.y, p2.y, p3.y};
+  const double z[4] = {p0.z, p1.z, p2.z, p3.z};
+  // grad lambda_i = n_i / (6 V) with n_i the inward face normal times area
+  // (classic formula via cofactors).
+  std::array<std::array<double, 3>, 4> grad{};
+  for (int i = 0; i < 4; ++i) {
+    const int a = (i + 1) % 4, b = (i + 2) % 4, c = (i + 3) % 4;
+    // Normal of the face opposite to vertex i.
+    const double ux = x[b] - x[a], uy = y[b] - y[a], uz = z[b] - z[a];
+    const double vx = x[c] - x[a], vy = y[c] - y[a], vz = z[c] - z[a];
+    double nx = uy * vz - uz * vy;
+    double ny = uz * vx - ux * vz;
+    double nz = ux * vy - uy * vx;
+    // Orient towards vertex i.
+    const double wx = x[i] - x[a], wy = y[i] - y[a], wz = z[i] - z[a];
+    if (nx * wx + ny * wy + nz * wz < 0) {
+      nx = -nx;
+      ny = -ny;
+      nz = -nz;
+    }
+    grad[static_cast<std::size_t>(i)] = {nx / (6.0 * vol), ny / (6.0 * vol),
+                                         nz / (6.0 * vol)};
+  }
+  TetElement e{};
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) {
+      const auto& gi = grad[static_cast<std::size_t>(i)];
+      const auto& gj = grad[static_cast<std::size_t>(j)];
+      e.stiffness[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          vol * (gi[0] * gj[0] + gi[1] * gj[1] + gi[2] * gj[2]);
+      e.mass[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          (i == j) ? vol / 10.0 : vol / 20.0;
+    }
+  return e;
+}
+
+template <class T>
+T volume_coefficient(const FemCoefficients& c) {
+  const double real_shift = c.sigma_real - c.kappa * c.kappa;
+  if constexpr (is_complex_v<T>) {
+    return T(real_shift, c.sigma_imag);
+  } else {
+    return T(real_shift);
+  }
+}
+
+}  // namespace detail
+
+/// Assemble the volume operator A_vv = K + coef * M (full symmetric CSR).
+template <class T>
+sparse::Csr<T> assemble_volume_operator(const PipeMesh& mesh,
+                                        const FemCoefficients& coef) {
+  const index_t n = mesh.n_nodes();
+  sparse::Triplets<T> trip(n, n);
+  trip.i.reserve(mesh.tets.size() * 16);
+  trip.j.reserve(mesh.tets.size() * 16);
+  trip.v.reserve(mesh.tets.size() * 16);
+  const T c = detail::volume_coefficient<T>(coef);
+  for (const auto& tet : mesh.tets) {
+    const auto e = detail::tet_element(
+        mesh.nodes[static_cast<std::size_t>(tet[0])],
+        mesh.nodes[static_cast<std::size_t>(tet[1])],
+        mesh.nodes[static_cast<std::size_t>(tet[2])],
+        mesh.nodes[static_cast<std::size_t>(tet[3])]);
+    for (int i = 0; i < 4; ++i)
+      for (int j = 0; j < 4; ++j) {
+        const T value =
+            T(e.stiffness[static_cast<std::size_t>(i)]
+                         [static_cast<std::size_t>(j)]) +
+            c * T(e.mass[static_cast<std::size_t>(i)]
+                        [static_cast<std::size_t>(j)]);
+        trip.add(tet[static_cast<std::size_t>(i)],
+                 tet[static_cast<std::size_t>(j)], value);
+      }
+  }
+  return sparse::Csr<T>::from_triplets(trip);
+}
+
+/// Assemble the sparse surface/volume coupling A_sv (n_surface x n_nodes):
+/// the P1 mass matrix of the boundary triangulation, rows indexed by
+/// surface dof, columns by volume dof.
+template <class T>
+sparse::Csr<T> assemble_coupling(const PipeMesh& mesh) {
+  sparse::Triplets<T> trip(mesh.n_surface(), mesh.n_nodes());
+  for (const auto& tri : mesh.boundary_tris) {
+    const double area =
+        tri_area(mesh.nodes[static_cast<std::size_t>(tri[0])],
+                 mesh.nodes[static_cast<std::size_t>(tri[1])],
+                 mesh.nodes[static_cast<std::size_t>(tri[2])]);
+    for (int i = 0; i < 3; ++i)
+      for (int j = 0; j < 3; ++j) {
+        const index_t s =
+            mesh.surface_of_node[static_cast<std::size_t>(
+                tri[static_cast<std::size_t>(i)])];
+        trip.add(s, tri[static_cast<std::size_t>(j)],
+                 T((i == j) ? area / 6.0 : area / 12.0));
+      }
+  }
+  return sparse::Csr<T>::from_triplets(trip);
+}
+
+}  // namespace cs::fembem

@@ -1,0 +1,111 @@
+// Plain-text export of coupled systems (MatrixMarket for the sparse
+// blocks, a simple dense/coordinate format for vectors and BEM samples).
+// The paper's pipe generator (test_fembem) is published precisely so the
+// community can reproduce the benchmark systems; this header provides the
+// same service for this library's generator, so the systems can be fed to
+// external solvers (MUMPS, PaStiX, hmat-oss, ...) for cross-validation.
+#pragma once
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "fembem/system.h"
+
+namespace cs::fembem {
+
+namespace detail {
+
+inline void write_value(std::FILE* f, double v) {
+  std::fprintf(f, "%.17g", v);
+}
+inline void write_value(std::FILE* f, const complexd& v) {
+  std::fprintf(f, "%.17g %.17g", v.real(), v.imag());
+}
+
+template <class T>
+const char* mm_field() {
+  return is_complex_v<T> ? "complex" : "real";
+}
+
+class File {
+ public:
+  explicit File(const std::string& path) : f_(std::fopen(path.c_str(), "w")) {
+    if (f_ == nullptr)
+      throw std::runtime_error("cannot open '" + path + "' for writing");
+  }
+  ~File() {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+  std::FILE* get() { return f_; }
+
+ private:
+  std::FILE* f_;
+};
+
+}  // namespace detail
+
+/// Write a sparse matrix in MatrixMarket coordinate format (1-based).
+template <class T>
+void write_matrix_market(const sparse::Csr<T>& A, const std::string& path) {
+  detail::File file(path);
+  std::FILE* f = file.get();
+  std::fprintf(f, "%%%%MatrixMarket matrix coordinate %s general\n",
+               detail::mm_field<T>());
+  std::fprintf(f, "%d %d %lld\n", A.rows(), A.cols(),
+               static_cast<long long>(A.nnz()));
+  for (index_t r = 0; r < A.rows(); ++r)
+    for (offset_t k = A.row_begin(r); k < A.row_end(r); ++k) {
+      std::fprintf(f, "%d %d ", r + 1, A.col(k) + 1);
+      detail::write_value(f, A.value(k));
+      std::fprintf(f, "\n");
+    }
+}
+
+/// Write a vector in MatrixMarket array format.
+template <class T>
+void write_vector(const la::Vector<T>& v, const std::string& path) {
+  detail::File file(path);
+  std::FILE* f = file.get();
+  std::fprintf(f, "%%%%MatrixMarket matrix array %s general\n",
+               detail::mm_field<T>());
+  std::fprintf(f, "%d 1\n", v.size());
+  for (index_t i = 0; i < v.size(); ++i) {
+    detail::write_value(f, v[i]);
+    std::fprintf(f, "\n");
+  }
+}
+
+/// Write the surface collocation points and weights ("x y z w" per line)
+/// so external BEM codes can rebuild A_ss from the same geometry.
+inline void write_surface(const BemSurface& surface,
+                          const std::string& path) {
+  detail::File file(path);
+  std::FILE* f = file.get();
+  std::fprintf(f, "# x y z weight (one BEM collocation point per line)\n");
+  for (std::size_t i = 0; i < surface.points.size(); ++i) {
+    const auto& p = surface.points[i];
+    std::fprintf(f, "%.17g %.17g %.17g %.17g\n", p.x, p.y, p.z,
+                 surface.weights[i]);
+  }
+}
+
+/// Export a full coupled system under `prefix`: prefix_Avv.mtx,
+/// prefix_Asv.mtx, prefix_bv.mtx, prefix_bs.mtx, prefix_xv_ref.mtx,
+/// prefix_xs_ref.mtx and prefix_surface.txt. A_ss is *not* materialized
+/// (it is dense and defined by the kernel over prefix_surface.txt; see
+/// BemGenerator for the exact formula).
+template <class T>
+void export_system(const CoupledSystem<T>& sys, const std::string& prefix) {
+  write_matrix_market(sys.A_vv, prefix + "_Avv.mtx");
+  write_matrix_market(sys.A_sv, prefix + "_Asv.mtx");
+  write_vector(sys.b_v, prefix + "_bv.mtx");
+  write_vector(sys.b_s, prefix + "_bs.mtx");
+  write_vector(sys.x_v_ref, prefix + "_xv_ref.mtx");
+  write_vector(sys.x_s_ref, prefix + "_xs_ref.mtx");
+  write_surface(sys.A_ss->surface(), prefix + "_surface.txt");
+}
+
+}  // namespace cs::fembem

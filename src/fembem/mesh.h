@@ -1,0 +1,70 @@
+// Structured tetrahedral mesh of a cylindrical shell ("short pipe"), the
+// reproducible test geometry of the paper (their test_fembem pipe case).
+//
+// Nodes live on a (radial x angular x axial) grid; each hexahedral cell is
+// split into tetrahedra; the angular direction is periodic so the only
+// boundary surfaces are the inner/outer cylinder walls and the two end
+// rings. Boundary triangles (and hence the BEM surface unknowns) are
+// recovered topologically: a tetrahedron face used exactly once is a
+// boundary face.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/types.h"
+#include "hmat/cluster.h"
+
+namespace cs::fembem {
+
+using hmat::Point3;
+
+struct PipeMesh {
+  std::vector<Point3> nodes;
+  std::vector<std::array<index_t, 4>> tets;
+  std::vector<std::array<index_t, 3>> boundary_tris;
+  /// Unique mesh node ids lying on the boundary, sorted ascending. The
+  /// position in this vector is the *surface dof index*.
+  std::vector<index_t> boundary_nodes;
+  /// surface dof index of a mesh node, or -1.
+  std::vector<index_t> surface_of_node;
+
+  index_t n_nodes() const { return static_cast<index_t>(nodes.size()); }
+  index_t n_surface() const {
+    return static_cast<index_t>(boundary_nodes.size());
+  }
+};
+
+struct PipeParams {
+  index_t n_radial = 4;    ///< node layers across the shell thickness
+  index_t n_theta = 16;    ///< angular divisions (periodic)
+  index_t n_axial = 16;    ///< node layers along the axis
+  double inner_radius = 0.6;
+  double outer_radius = 1.0;
+  double length = 3.0;
+};
+
+/// Build the structured pipe mesh.
+PipeMesh make_pipe_mesh(const PipeParams& params);
+
+/// Pick mesh dimensions so that the total unknown count (volume + surface)
+/// approaches `total_unknowns`. With n_radial = 0 (default) the mesh
+/// refines isotropically (3D scaling); a positive n_radial pins the shell
+/// thickness.
+PipeParams pipe_dims_for_total(index_t total_unknowns, index_t n_radial = 0);
+
+/// The paper's Table I surface share: n_BEM ~ 3.72 * N^(2/3).
+index_t paper_bem_count(index_t total_unknowns);
+
+/// Pick mesh dimensions hitting a prescribed FEM/BEM unknown split
+/// (used to reproduce the exact proportions of the paper's Table I).
+PipeParams pipe_dims_for_split(index_t n_fem, index_t n_bem);
+
+/// Volume of a tetrahedron (signed).
+double tet_volume(const Point3& a, const Point3& b, const Point3& c,
+                  const Point3& d);
+
+/// Area of a triangle.
+double tri_area(const Point3& a, const Point3& b, const Point3& c);
+
+}  // namespace cs::fembem

@@ -1,0 +1,163 @@
+// Adaptive Cross Approximation (ACA with partial pivoting) for assembling
+// admissible H-matrix blocks directly in compressed form from a matrix
+// generator (the "proper low-rank assembly scheme" of the paper: the dense
+// BEM block A_ss never needs to be materialized).
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "la/qr_svd.h"
+
+namespace cs::hmat {
+
+/// Entry generator in *original* (application) index space. Implemented by
+/// the BEM kernel assembler; also by adapters around stored dense matrices.
+template <class T>
+class MatrixGenerator {
+ public:
+  virtual ~MatrixGenerator() = default;
+  virtual index_t rows() const = 0;
+  virtual index_t cols() const = 0;
+  virtual T entry(index_t i, index_t j) const = 0;
+
+  /// Bulk evaluation of one row / column restricted to an id list; the
+  /// default loops over entry(). Kernels may override with vectorized code.
+  virtual void row(index_t i, const index_t* col_ids, index_t n,
+                   T* out) const {
+    for (index_t k = 0; k < n; ++k) out[k] = entry(i, col_ids[k]);
+  }
+  virtual void col(index_t j, const index_t* row_ids, index_t m,
+                   T* out) const {
+    for (index_t k = 0; k < m; ++k) out[k] = entry(row_ids[k], j);
+  }
+};
+
+/// ACA with partial pivoting on the sub-block (row_ids x col_ids) of the
+/// generator, at relative accuracy eps. Returns U (m x k), V (n x k) with
+/// block ~= U V^T. If convergence is not reached within max_rank crosses
+/// the factors found so far are returned (rank == max_rank signals a hard
+/// block; callers may fall back to dense assembly).
+template <class T>
+la::RkFactors<T> aca_assemble(const MatrixGenerator<T>& gen,
+                              const std::vector<index_t>& row_ids,
+                              const std::vector<index_t>& col_ids,
+                              real_of_t<T> eps, index_t max_rank = -1) {
+  using R = real_of_t<T>;
+  const index_t m = static_cast<index_t>(row_ids.size());
+  const index_t n = static_cast<index_t>(col_ids.size());
+  const index_t kmax =
+      (max_rank > 0) ? std::min<index_t>(max_rank, std::min(m, n))
+                     : std::min(m, n);
+
+  std::vector<la::Vector<T>> us;
+  std::vector<la::Vector<T>> vs;
+  std::vector<char> row_used(static_cast<std::size_t>(m), 0);
+  std::vector<char> col_used(static_cast<std::size_t>(n), 0);
+
+  R approx_norm2 = 0;  // running ||U V^T||_F^2 estimate
+  index_t next_row = 0;
+
+  std::vector<T> scratch_row(static_cast<std::size_t>(n));
+  std::vector<T> scratch_col(static_cast<std::size_t>(m));
+
+  while (static_cast<index_t>(us.size()) < kmax) {
+    // Residual row at next_row: A(i,:) - sum_k u_k(i) v_k.
+    index_t i_star = -1;
+    index_t j_star = -1;
+    R best = 0;
+    // Try a few rows in case of an exactly-zero residual row.
+    for (index_t attempt = 0; attempt < m; ++attempt) {
+      index_t cand = -1;
+      for (index_t i = next_row; i < next_row + m; ++i) {
+        const index_t ii = i % m;
+        if (!row_used[static_cast<std::size_t>(ii)]) {
+          cand = ii;
+          break;
+        }
+      }
+      if (cand < 0) break;
+      row_used[static_cast<std::size_t>(cand)] = 1;
+      gen.row(row_ids[static_cast<std::size_t>(cand)], col_ids.data(), n,
+              scratch_row.data());
+      for (std::size_t k = 0; k < us.size(); ++k) {
+        const T uik = us[k][cand];
+        if (uik == T{0}) continue;
+        for (index_t j = 0; j < n; ++j) scratch_row[static_cast<std::size_t>(j)] -= uik * vs[k][j];
+      }
+      best = 0;
+      for (index_t j = 0; j < n; ++j) {
+        if (col_used[static_cast<std::size_t>(j)]) continue;
+        const R a = std::abs(scratch_row[static_cast<std::size_t>(j)]);
+        if (a > best) {
+          best = a;
+          j_star = j;
+        }
+      }
+      if (best > R{0}) {
+        i_star = cand;
+        break;
+      }
+    }
+    if (i_star < 0 || best == R{0}) break;  // block exhausted (likely zero)
+
+    // v = residual row / pivot; u = residual column at j_star.
+    const T pivot = scratch_row[static_cast<std::size_t>(j_star)];
+    la::Vector<T> v(n);
+    for (index_t j = 0; j < n; ++j)
+      v[j] = scratch_row[static_cast<std::size_t>(j)] / pivot;
+    col_used[static_cast<std::size_t>(j_star)] = 1;
+
+    gen.col(col_ids[static_cast<std::size_t>(j_star)], row_ids.data(), m,
+            scratch_col.data());
+    la::Vector<T> u(m);
+    for (index_t i = 0; i < m; ++i) u[i] = scratch_col[static_cast<std::size_t>(i)];
+    for (std::size_t k = 0; k < us.size(); ++k) {
+      const T vjk = vs[k][j_star];
+      if (vjk == T{0}) continue;
+      for (index_t i = 0; i < m; ++i) u[i] -= vjk * us[k][i];
+    }
+
+    // Norm bookkeeping for the stopping criterion.
+    R u2 = 0, v2 = 0;
+    for (index_t i = 0; i < m; ++i) u2 += abs2(u[i]);
+    for (index_t j = 0; j < n; ++j) v2 += abs2(v[j]);
+    R cross = 0;
+    for (std::size_t k = 0; k < us.size(); ++k) {
+      T uu{}, vv{};
+      for (index_t i = 0; i < m; ++i) uu += conj_if(us[k][i]) * u[i];
+      for (index_t j = 0; j < n; ++j) vv += conj_if(vs[k][j]) * v[j];
+      cross += 2 * real_part(uu * conj_if(vv));
+    }
+    approx_norm2 += u2 * v2 + cross;
+
+    // Pick the next row: the largest remaining |u| entry.
+    next_row = 0;
+    R unext = -1;
+    for (index_t i = 0; i < m; ++i) {
+      if (row_used[static_cast<std::size_t>(i)]) continue;
+      const R a = std::abs(u[i]);
+      if (a > unext) {
+        unext = a;
+        next_row = i;
+      }
+    }
+
+    us.push_back(std::move(u));
+    vs.push_back(std::move(v));
+
+    if (u2 * v2 <= eps * eps * std::max(approx_norm2, R{0})) break;
+  }
+
+  la::RkFactors<T> rk;
+  const index_t k = static_cast<index_t>(us.size());
+  rk.U = la::Matrix<T>(m, k);
+  rk.V = la::Matrix<T>(n, k);
+  for (index_t c = 0; c < k; ++c) {
+    for (index_t i = 0; i < m; ++i) rk.U(i, c) = us[static_cast<std::size_t>(c)][i];
+    for (index_t j = 0; j < n; ++j) rk.V(j, c) = vs[static_cast<std::size_t>(c)][j];
+  }
+  return rk;
+}
+
+}  // namespace cs::hmat

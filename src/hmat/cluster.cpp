@@ -1,0 +1,115 @@
+#include "hmat/cluster.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace cs::hmat {
+
+double BoundingBox::diameter() const {
+  const double dx = hi.x - lo.x;
+  const double dy = hi.y - lo.y;
+  const double dz = hi.z - lo.z;
+  return std::sqrt(dx * dx + dy * dy + dz * dz);
+}
+
+double BoundingBox::distance(const BoundingBox& a, const BoundingBox& b) {
+  auto axis_gap = [](double alo, double ahi, double blo, double bhi) {
+    if (ahi < blo) return blo - ahi;
+    if (bhi < alo) return alo - bhi;
+    return 0.0;
+  };
+  const double gx = axis_gap(a.lo.x, a.hi.x, b.lo.x, b.hi.x);
+  const double gy = axis_gap(a.lo.y, a.hi.y, b.lo.y, b.hi.y);
+  const double gz = axis_gap(a.lo.z, a.hi.z, b.lo.z, b.hi.z);
+  return std::sqrt(gx * gx + gy * gy + gz * gz);
+}
+
+namespace {
+
+BoundingBox bbox_of(const std::vector<index_t>& ids, index_t begin,
+                    index_t end, const std::vector<Point3>& points) {
+  BoundingBox box;
+  box.lo = {std::numeric_limits<double>::max(),
+            std::numeric_limits<double>::max(),
+            std::numeric_limits<double>::max()};
+  box.hi = {std::numeric_limits<double>::lowest(),
+            std::numeric_limits<double>::lowest(),
+            std::numeric_limits<double>::lowest()};
+  for (index_t k = begin; k < end; ++k) {
+    const Point3& p = points[static_cast<std::size_t>(
+        ids[static_cast<std::size_t>(k)])];
+    box.lo.x = std::min(box.lo.x, p.x);
+    box.lo.y = std::min(box.lo.y, p.y);
+    box.lo.z = std::min(box.lo.z, p.z);
+    box.hi.x = std::max(box.hi.x, p.x);
+    box.hi.y = std::max(box.hi.y, p.y);
+    box.hi.z = std::max(box.hi.z, p.z);
+  }
+  return box;
+}
+
+}  // namespace
+
+ClusterTree::ClusterTree(const std::vector<Point3>& points, index_t leaf_size)
+    : leaf_size_(std::max<index_t>(1, leaf_size)) {
+  const index_t n = static_cast<index_t>(points.size());
+  std::vector<index_t> ids(static_cast<std::size_t>(n));
+  std::iota(ids.begin(), ids.end(), 0);
+  root_ = build(ids, 0, n, points);
+  iperm_ = std::move(ids);
+  perm_.resize(static_cast<std::size_t>(n));
+  for (index_t p = 0; p < n; ++p)
+    perm_[static_cast<std::size_t>(iperm_[static_cast<std::size_t>(p)])] = p;
+}
+
+std::unique_ptr<ClusterNode> ClusterTree::build(
+    std::vector<index_t>& ids, index_t begin, index_t end,
+    const std::vector<Point3>& points) {
+  auto node = std::make_unique<ClusterNode>();
+  node->begin = begin;
+  node->end = end;
+  node->box = bbox_of(ids, begin, end, points);
+  if (end - begin <= leaf_size_) return node;
+
+  // Median split along the longest axis of the bounding box.
+  const double dx = node->box.hi.x - node->box.lo.x;
+  const double dy = node->box.hi.y - node->box.lo.y;
+  const double dz = node->box.hi.z - node->box.lo.z;
+  auto coord = [&](index_t id) {
+    const Point3& p = points[static_cast<std::size_t>(id)];
+    if (dx >= dy && dx >= dz) return p.x;
+    if (dy >= dz) return p.y;
+    return p.z;
+  };
+  const index_t mid = begin + (end - begin) / 2;
+  std::nth_element(ids.begin() + begin, ids.begin() + mid, ids.begin() + end,
+                   [&](index_t a, index_t b) { return coord(a) < coord(b); });
+  node->left = build(ids, begin, mid, points);
+  node->right = build(ids, mid, end, points);
+  return node;
+}
+
+namespace {
+index_t count_nodes(const ClusterNode& n) {
+  if (n.is_leaf()) return 1;
+  return 1 + count_nodes(*n.left) + count_nodes(*n.right);
+}
+index_t depth_of(const ClusterNode& n) {
+  if (n.is_leaf()) return 1;
+  return 1 + std::max(depth_of(*n.left), depth_of(*n.right));
+}
+}  // namespace
+
+index_t ClusterTree::node_count() const { return count_nodes(*root_); }
+index_t ClusterTree::depth() const { return depth_of(*root_); }
+
+bool admissible(const ClusterNode& rows, const ClusterNode& cols, double eta) {
+  const double dist = BoundingBox::distance(rows.box, cols.box);
+  if (dist <= 0.0) return false;
+  return std::min(rows.box.diameter(), cols.box.diameter()) <= eta * dist;
+}
+
+}  // namespace cs::hmat

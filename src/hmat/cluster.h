@@ -1,0 +1,76 @@
+// Geometric cluster trees for hierarchical (H-) matrices.
+//
+// The BEM surface unknowns carry 3D coordinates; the cluster tree
+// recursively bisects them along the longest bounding-box axis (median
+// split) until leaves hold at most `leaf_size` points. Block admissibility
+// uses the standard eta-criterion
+//     min(diam(rows), diam(cols)) <= eta * dist(rows, cols),
+// which makes well-separated interaction blocks low-rank for asymptotically
+// smooth kernels (Laplace/Helmholtz single layer).
+#pragma once
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cs::hmat {
+
+struct Point3 {
+  double x = 0, y = 0, z = 0;
+};
+
+struct BoundingBox {
+  Point3 lo, hi;
+
+  double diameter() const;
+  /// Euclidean distance between boxes (0 if they intersect).
+  static double distance(const BoundingBox& a, const BoundingBox& b);
+};
+
+/// A node of the cluster tree: a contiguous range [begin, end) of the
+/// tree-ordered point permutation.
+struct ClusterNode {
+  index_t begin = 0;
+  index_t end = 0;
+  BoundingBox box;
+  std::unique_ptr<ClusterNode> left;
+  std::unique_ptr<ClusterNode> right;
+
+  index_t size() const { return end - begin; }
+  bool is_leaf() const { return left == nullptr; }
+};
+
+/// Cluster tree over a point set. `tree_of_original[i]` is the tree-order
+/// position of original point i; `original_of_tree[p]` the inverse.
+class ClusterTree {
+ public:
+  ClusterTree(const std::vector<Point3>& points, index_t leaf_size);
+
+  const ClusterNode& root() const { return *root_; }
+  index_t size() const { return static_cast<index_t>(perm_.size()); }
+  index_t leaf_size() const { return leaf_size_; }
+
+  const std::vector<index_t>& tree_of_original() const { return perm_; }
+  const std::vector<index_t>& original_of_tree() const { return iperm_; }
+
+  /// Number of nodes / depth (diagnostics and tests).
+  index_t node_count() const;
+  index_t depth() const;
+
+ private:
+  std::unique_ptr<ClusterNode> build(std::vector<index_t>& ids, index_t begin,
+                                     index_t end,
+                                     const std::vector<Point3>& points);
+
+  std::unique_ptr<ClusterNode> root_;
+  std::vector<index_t> perm_;   // original -> tree position
+  std::vector<index_t> iperm_;  // tree position -> original
+  index_t leaf_size_ = 0;
+};
+
+/// Standard eta-admissibility.
+bool admissible(const ClusterNode& rows, const ClusterNode& cols, double eta);
+
+}  // namespace cs::hmat

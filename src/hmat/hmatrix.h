@@ -1,0 +1,1075 @@
+// Hierarchical (H-) matrices: compressed storage, algebra and direct
+// solution for the dense BEM blocks and Schur complements of the coupled
+// solver (the library's hmat-oss analogue).
+//
+// An HMatrix is a quadtree over a pair of cluster trees. Each block is
+//  * subdivided (kNode) when both clusters have children and the block is
+//    not admissible,
+//  * a rank-k leaf (kRk, U V^T factors) when eta-admissible,
+//  * a dense leaf (kFull) otherwise.
+//
+// Provided operations (all coordinates are *tree-ordered*; callers permute
+// their data once with ClusterTree::tree_of_original):
+//  * assemble()        : direct compressed assembly via ACA from a kernel
+//                        generator ("low-rank assembly scheme");
+//  * from_dense()/zero(): structure-preserving constructors;
+//  * mult()            : y := a op(H) x + b y for dense x, y;
+//  * add_dense_block() : the paper's "compressed AXPY" -- a dense update
+//                        (a retrieved Schur block) is compressed per leaf
+//                        and accumulated with Rk recompression at eps;
+//  * lu_factorize()/solve(): in-place H-LU (no global pivoting; dense
+//                        diagonal leaves use partially pivoted LU). The
+//                        paper's HMAT runs LDL^T on symmetric systems; we
+//                        substitute H-LU (documented in DESIGN.md), which
+//                        preserves the memory/time behaviour up to a
+//                        constant factor and also covers the unsymmetric
+//                        industrial case.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "hmat/aca.h"
+#include "hmat/cluster.h"
+#include "la/factor.h"
+#include "la/qr_svd.h"
+
+namespace cs::hmat {
+
+struct HOptions {
+  double eps = 1e-3;      ///< compression / recompression accuracy
+  double eta = 2.0;       ///< admissibility parameter
+  index_t rk_min_dim = 16;  ///< below this, blocks stay dense
+  index_t aca_max_rank_ratio = 2;  ///< ACA rank cap = min(m,n)/ratio
+};
+
+template <class T>
+class HMatrix {
+ public:
+  enum class Kind { kNode, kFull, kRk };
+
+  /// Compressed assembly from a kernel generator. `gen` is indexed in
+  /// original ids; rows/cols cluster trees supply the orderings.
+  static HMatrix assemble(const ClusterTree& rows, const ClusterTree& cols,
+                          const MatrixGenerator<T>& gen,
+                          const HOptions& opt) {
+    HMatrix h = build_structure(rows.root(), cols.root(), opt);
+    h.fill_from_generator(gen, rows.original_of_tree(),
+                          cols.original_of_tree());
+    return h;
+  }
+
+  /// Structure-preserving compression of a dense matrix given in
+  /// tree-ordered coordinates.
+  static HMatrix from_dense(const ClusterTree& rows, const ClusterTree& cols,
+                            la::ConstMatrixView<T> dense,
+                            const HOptions& opt) {
+    HMatrix h = build_structure(rows.root(), cols.root(), opt);
+    h.fill_from_dense(dense);
+    return h;
+  }
+
+  /// All-zero H-matrix with the admissibility structure (rank-0 Rk leaves,
+  /// zero dense leaves). The Schur accumulator of the coupled algorithms
+  /// starts from this.
+  static HMatrix zero(const ClusterTree& rows, const ClusterTree& cols,
+                      const HOptions& opt) {
+    HMatrix h = build_structure(rows.root(), cols.root(), opt);
+    h.fill_zero();
+    return h;
+  }
+
+  index_t rows() const { return row_->size(); }
+  index_t cols() const { return col_->size(); }
+  Kind kind() const { return kind_; }
+  const HOptions& options() const { return opt_; }
+
+  /// y := alpha * op(H) * x + beta * y (dense multi-vectors, tree order).
+  void mult(T alpha, la::ConstMatrixView<T> X, T beta, la::MatrixView<T> Y,
+            la::Op op = la::Op::kNoTrans) const {
+    if (beta != T{1}) la::scale(beta, Y);
+    mult_add(alpha, X, Y, op);
+  }
+
+  /// Compressed AXPY: this += alpha * D placed at absolute tree
+  /// coordinates (row0, col0). Dense leaves accumulate directly; Rk leaves
+  /// compress the incoming block and recompress at eps.
+  void add_dense_block(T alpha, la::ConstMatrixView<T> D, index_t row0,
+                       index_t col0) {
+    if (D.rows() == 0 || D.cols() == 0) return;
+    if (row0 < row_->begin || row0 + D.rows() > row_->end ||
+        col0 < col_->begin || col0 + D.cols() > col_->end)
+      throw std::out_of_range("add_dense_block outside matrix");
+    add_dense_block_rec(alpha, D, row0, col0);
+  }
+
+  /// Global low-rank update: this += alpha * U V^T over the whole matrix
+  /// (Rk leaves recompress at eps). Used by the randomized compressed-Schur
+  /// extension, where the Schur correction arrives directly as factors.
+  void add_low_rank(T alpha, const la::RkFactors<T>& rk) {
+    if (rk.U.rows() != rows() || rk.V.rows() != cols())
+      throw std::invalid_argument("low-rank update dimension mismatch");
+    add_rk(alpha, rk);
+  }
+
+  /// Dense materialization (tests / small blocks only).
+  la::Matrix<T> to_dense() const {
+    la::Matrix<T> out(rows(), cols());
+    to_dense_rec(out.view(), row_->begin, col_->begin);
+    return out;
+  }
+
+  /// In-place H-LU factorization (square blocks on one cluster tree).
+  void lu_factorize() {
+    if (row_ != col_)
+      throw std::logic_error("H-LU requires a square H-matrix on one tree");
+    lu_rec();
+    factored_ = true;
+    ldlt_ = false;
+  }
+  bool factored() const { return factored_; }
+
+  /// In-place H-LDL^T factorization for *symmetric* data (the classic
+  /// symmetric H-solver mode, as in the paper's HMAT): only the diagonal
+  /// and strictly-lower blocks are read and written; upper blocks become
+  /// stale and are ignored by solve(). Unpivoted, like the dense LDL^T.
+  void ldlt_factorize() {
+    if (row_ != col_)
+      throw std::logic_error("H-LDLT requires a square H-matrix on one tree");
+    ldlt_rec();
+    factored_ = true;
+    ldlt_ = true;
+  }
+
+  /// In-place solve A X = B after lu_factorize() / ldlt_factorize(); B is
+  /// tree-ordered.
+  void solve(la::MatrixView<T> B) const {
+    if (!factored_)
+      throw std::logic_error("solve() before a factorization");
+    assert(B.rows() == rows());
+    if (ldlt_) {
+      forward_unit_lower(*this, B);
+      scale_by_diag_inv(*this, B);
+      backward_unit_lower_trans(*this, B);
+    } else {
+      solve_lower_dense(*this, B);
+      solve_upper_dense(*this, B);
+    }
+  }
+
+  // -- statistics ----------------------------------------------------------
+
+  offset_t stored_entries() const {
+    offset_t total = 0;
+    visit([&](const HMatrix& h) {
+      if (h.kind_ == Kind::kFull) {
+        total += static_cast<offset_t>(h.full_.rows()) * h.full_.cols();
+      } else if (h.kind_ == Kind::kRk) {
+        total += static_cast<offset_t>(h.rk_.U.rows()) * h.rk_.U.cols() +
+                 static_cast<offset_t>(h.rk_.V.rows()) * h.rk_.V.cols();
+      }
+    });
+    return total;
+  }
+
+  std::size_t memory_bytes() const {
+    return static_cast<std::size_t>(stored_entries()) * sizeof(T);
+  }
+
+  index_t max_rank() const {
+    index_t r = 0;
+    visit([&](const HMatrix& h) {
+      if (h.kind_ == Kind::kRk) r = std::max(r, h.rk_.rank());
+    });
+    return r;
+  }
+
+  offset_t rk_leaves() const {
+    offset_t c = 0;
+    visit([&](const HMatrix& h) { c += h.kind_ == Kind::kRk ? 1 : 0; });
+    return c;
+  }
+  offset_t full_leaves() const {
+    offset_t c = 0;
+    visit([&](const HMatrix& h) { c += h.kind_ == Kind::kFull ? 1 : 0; });
+    return c;
+  }
+
+  /// Storage relative to the dense equivalent (1.0 = no compression).
+  double compression_ratio() const {
+    const double dense =
+        static_cast<double>(rows()) * static_cast<double>(cols());
+    return dense > 0 ? static_cast<double>(stored_entries()) / dense : 0.0;
+  }
+
+ private:
+  HMatrix() = default;
+
+  static HMatrix build_structure(const ClusterNode& rn, const ClusterNode& cn,
+                                 const HOptions& opt) {
+    HMatrix h;
+    h.row_ = &rn;
+    h.col_ = &cn;
+    h.opt_ = opt;
+    const bool big_enough =
+        rn.size() >= opt.rk_min_dim && cn.size() >= opt.rk_min_dim;
+    if (big_enough && admissible(rn, cn, opt.eta)) {
+      h.kind_ = Kind::kRk;
+    } else if (!rn.is_leaf() && !cn.is_leaf()) {
+      h.kind_ = Kind::kNode;
+      const ClusterNode* rks[2] = {rn.left.get(), rn.right.get()};
+      const ClusterNode* cks[2] = {cn.left.get(), cn.right.get()};
+      for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 2; ++j)
+          h.child_[static_cast<std::size_t>(2 * i + j)] =
+              std::make_unique<HMatrix>(
+                  build_structure(*rks[i], *cks[j], opt));
+    } else {
+      h.kind_ = Kind::kFull;
+    }
+    return h;
+  }
+
+  HMatrix& child(int i, int j) {
+    return *child_[static_cast<std::size_t>(2 * i + j)];
+  }
+  const HMatrix& child(int i, int j) const {
+    return *child_[static_cast<std::size_t>(2 * i + j)];
+  }
+
+  template <class F>
+  void visit(F&& f) const {
+    f(*this);
+    if (kind_ == Kind::kNode)
+      for (const auto& c : child_) c->visit(f);
+  }
+
+  // -- assembly -------------------------------------------------------------
+
+  void collect_leaves(std::vector<HMatrix*>& out) {
+    if (kind_ == Kind::kNode) {
+      for (auto& c : child_) c->collect_leaves(out);
+    } else {
+      out.push_back(this);
+    }
+  }
+
+  void fill_from_generator(const MatrixGenerator<T>& gen,
+                           const std::vector<index_t>& row_orig,
+                           const std::vector<index_t>& col_orig) {
+    switch (kind_) {
+      case Kind::kNode: {
+        // Leaves are independent: assemble them in parallel (the paper's
+        // multi-threaded H assembly). Exceptions (e.g. BudgetExceeded)
+        // must not escape the parallel region.
+        std::vector<HMatrix*> leaves;
+        collect_leaves(leaves);
+        std::exception_ptr error = nullptr;
+        std::atomic<bool> failed{false};
+#pragma omp parallel for schedule(dynamic)
+        for (std::size_t l = 0; l < leaves.size(); ++l) {
+          if (failed.load(std::memory_order_relaxed)) continue;
+          try {
+            leaves[l]->fill_from_generator(gen, row_orig, col_orig);
+          } catch (...) {
+#pragma omp critical(cs_hmat_fill_error)
+            {
+              if (!failed.exchange(true)) error = std::current_exception();
+            }
+          }
+        }
+        if (error) std::rethrow_exception(error);
+        break;
+      }
+      case Kind::kRk: {
+        std::vector<index_t> rids(row_orig.begin() + row_->begin,
+                                  row_orig.begin() + row_->end);
+        std::vector<index_t> cids(col_orig.begin() + col_->begin,
+                                  col_orig.begin() + col_->end);
+        const index_t cap = std::max<index_t>(
+            1, std::min(rows(), cols()) /
+                   std::max<index_t>(1, opt_.aca_max_rank_ratio));
+        rk_ = aca_assemble(gen, rids, cids, real_of_t<T>(opt_.eps), cap);
+        if (rk_.rank() >= cap && cap < std::min(rows(), cols())) {
+          // ACA did not converge within the rank cap: fall back to dense
+          // evaluation + deterministic compression.
+          la::Matrix<T> dense(rows(), cols());
+          for (index_t j = 0; j < cols(); ++j)
+            gen.col(cids[static_cast<std::size_t>(j)], rids.data(), rows(),
+                    &dense(0, j));
+          rk_ = la::rrqr_compress(la::ConstMatrixView<T>(dense.view()),
+                                  real_of_t<T>(opt_.eps));
+        } else {
+          // ACA overestimates the rank; recompress (ACA+).
+          la::truncate_rk(rk_, real_of_t<T>(opt_.eps));
+        }
+        demote_if_uneconomical();
+        break;
+      }
+      case Kind::kFull: {
+        full_ = la::Matrix<T>(rows(), cols());
+        std::vector<index_t> rids(row_orig.begin() + row_->begin,
+                                  row_orig.begin() + row_->end);
+        for (index_t j = 0; j < cols(); ++j)
+          gen.col(col_orig[static_cast<std::size_t>(col_->begin + j)],
+                  rids.data(), rows(), &full_(0, j));
+        break;
+      }
+    }
+  }
+
+  void fill_from_dense(la::ConstMatrixView<T> dense) {
+    // `dense` is the whole matrix in tree coordinates; pick our block.
+    switch (kind_) {
+      case Kind::kNode:
+        for (auto& c : child_) c->fill_from_dense(dense);
+        break;
+      case Kind::kRk:
+        rk_ = la::rrqr_compress(
+            dense.block(row_->begin, col_->begin, rows(), cols()),
+            real_of_t<T>(opt_.eps));
+        demote_if_uneconomical();
+        break;
+      case Kind::kFull:
+        full_ = la::Matrix<T>(rows(), cols());
+        full_.view().copy_from(
+            dense.block(row_->begin, col_->begin, rows(), cols()));
+        break;
+    }
+  }
+
+  /// Turn an Rk leaf whose factors are bigger than the dense block into a
+  /// dense leaf (compression that does not pay is not kept).
+  void demote_if_uneconomical() {
+    if (kind_ != Kind::kRk) return;
+    const offset_t rk_entries =
+        static_cast<offset_t>(rk_.rank()) * (rows() + cols());
+    if (rk_entries < static_cast<offset_t>(rows()) * cols()) return;
+    full_ = la::Matrix<T>(rows(), cols());
+    la::gemm(T{1}, rk_.U.view(), la::Op::kNoTrans, rk_.V.view(), la::Op::kTrans,
+             T{0}, full_.view());
+    rk_ = la::RkFactors<T>{};
+    kind_ = Kind::kFull;
+  }
+
+  void fill_zero() {
+    switch (kind_) {
+      case Kind::kNode:
+        for (auto& c : child_) c->fill_zero();
+        break;
+      case Kind::kRk:
+        rk_.U = la::Matrix<T>(rows(), 0);
+        rk_.V = la::Matrix<T>(cols(), 0);
+        break;
+      case Kind::kFull:
+        full_ = la::Matrix<T>(rows(), cols());
+        break;
+    }
+  }
+
+  // -- mat-vec / mat-dense --------------------------------------------------
+
+  /// Y += alpha * op(this) * X, with X, Y spanning this block exactly.
+  void mult_add(T alpha, la::ConstMatrixView<T> X, la::MatrixView<T> Y,
+                la::Op op) const {
+    const index_t nrhs = X.cols();
+    switch (kind_) {
+      case Kind::kNode: {
+        const index_t r0 = row_->begin, c0 = col_->begin;
+        for (int i = 0; i < 2; ++i)
+          for (int j = 0; j < 2; ++j) {
+            const auto& ch = child(i, j);
+            const index_t rb = ch.row_->begin - r0, rn = ch.rows();
+            const index_t cb = ch.col_->begin - c0, cn = ch.cols();
+            if (op == la::Op::kNoTrans) {
+              ch.mult_add(alpha, X.block(cb, 0, cn, nrhs),
+                          Y.block(rb, 0, rn, nrhs), op);
+            } else {
+              ch.mult_add(alpha, X.block(rb, 0, rn, nrhs),
+                          Y.block(cb, 0, cn, nrhs), op);
+            }
+          }
+        break;
+      }
+      case Kind::kFull:
+        la::gemm(alpha, la::ConstMatrixView<T>(full_.view()), op, X,
+                 la::Op::kNoTrans, T{1}, Y);
+        break;
+      case Kind::kRk: {
+        if (rk_.rank() == 0) break;
+        la::Matrix<T> tmp(rk_.rank(), nrhs);
+        if (op == la::Op::kNoTrans) {
+          // Y += alpha U (V^T X).
+          la::gemm(T{1}, rk_.V.view(), la::Op::kTrans, X, la::Op::kNoTrans,
+                   T{0}, tmp.view());
+          la::gemm(alpha, rk_.U.view(), la::Op::kNoTrans,
+                   la::ConstMatrixView<T>(tmp.view()), la::Op::kNoTrans, T{1},
+                   Y);
+        } else {
+          // Y += alpha V (U^T X)   [(U V^T)^T = V U^T, plain transpose].
+          la::gemm(T{1}, rk_.U.view(), la::Op::kTrans, X, la::Op::kNoTrans,
+                   T{0}, tmp.view());
+          la::gemm(alpha, rk_.V.view(), la::Op::kNoTrans,
+                   la::ConstMatrixView<T>(tmp.view()), la::Op::kNoTrans, T{1},
+                   Y);
+        }
+        break;
+      }
+    }
+  }
+
+  // -- compressed AXPY ------------------------------------------------------
+
+  void add_dense_block_rec(T alpha, la::ConstMatrixView<T> D, index_t row0,
+                           index_t col0) {
+    switch (kind_) {
+      case Kind::kNode:
+        for (const auto& c : child_) {
+          // Intersect [row0, row0+m) x [col0, col0+n) with the child.
+          const index_t r_lo = std::max(row0, c->row_->begin);
+          const index_t r_hi = std::min(row0 + D.rows(), c->row_->end);
+          const index_t c_lo = std::max(col0, c->col_->begin);
+          const index_t c_hi = std::min(col0 + D.cols(), c->col_->end);
+          if (r_lo >= r_hi || c_lo >= c_hi) continue;
+          c->add_dense_block_rec(
+              alpha, D.block(r_lo - row0, c_lo - col0, r_hi - r_lo,
+                             c_hi - c_lo),
+              r_lo, c_lo);
+        }
+        break;
+      case Kind::kFull:
+        la::axpy(alpha, D,
+                 full_.view().block(row0 - row_->begin, col0 - col_->begin,
+                                    D.rows(), D.cols()));
+        break;
+      case Kind::kRk: {
+        // Compress the incoming block, pad into leaf coordinates and
+        // recompress (the paper's compressed AXPY with recompression).
+        auto upd = la::rrqr_compress(D, real_of_t<T>(opt_.eps));
+        if (upd.rank() == 0) break;
+        const index_t k = upd.rank();
+        la::Matrix<T> U(rows(), k);
+        la::Matrix<T> V(cols(), k);
+        for (index_t c = 0; c < k; ++c) {
+          for (index_t i = 0; i < D.rows(); ++i)
+            U(row0 - row_->begin + i, c) = alpha * upd.U(i, c);
+          for (index_t j = 0; j < D.cols(); ++j)
+            V(col0 - col_->begin + j, c) = upd.V(j, c);
+        }
+        add_rk_factors(U.view(), V.view());
+        break;
+      }
+    }
+  }
+
+  /// this(Rk leaf) += U V^T followed by recompression.
+  void add_rk_factors(la::ConstMatrixView<T> U, la::ConstMatrixView<T> V) {
+    assert(kind_ == Kind::kRk);
+    const index_t k0 = rk_.rank();
+    const index_t k1 = U.cols();
+    la::RkFactors<T> merged;
+    merged.U = la::Matrix<T>(rows(), k0 + k1);
+    merged.V = la::Matrix<T>(cols(), k0 + k1);
+    if (k0 > 0) {
+      merged.U.block(0, 0, rows(), k0).copy_from(rk_.U.view());
+      merged.V.block(0, 0, cols(), k0).copy_from(rk_.V.view());
+    }
+    merged.U.block(0, k0, rows(), k1).copy_from(U);
+    merged.V.block(0, k0, cols(), k1).copy_from(V);
+    la::truncate_rk(merged, real_of_t<T>(opt_.eps));
+    rk_ = std::move(merged);
+  }
+
+  /// Generic accumulation this += alpha * (rk over the whole block).
+  void add_rk(T alpha, const la::RkFactors<T>& rk) {
+    if (rk.rank() == 0) return;
+    switch (kind_) {
+      case Kind::kNode:
+        for (const auto& c : child_) {
+          la::RkFactors<T> sub;
+          sub.U = la::Matrix<T>(c->rows(), rk.rank());
+          sub.V = la::Matrix<T>(c->cols(), rk.rank());
+          sub.U.view().copy_from(rk.U.view().block(
+              c->row_->begin - row_->begin, 0, c->rows(), rk.rank()));
+          sub.V.view().copy_from(rk.V.view().block(
+              c->col_->begin - col_->begin, 0, c->cols(), rk.rank()));
+          c->add_rk(alpha, sub);
+        }
+        break;
+      case Kind::kFull:
+        la::gemm(alpha, rk.U.view(), la::Op::kNoTrans, rk.V.view(),
+                 la::Op::kTrans, T{1}, full_.view());
+        break;
+      case Kind::kRk: {
+        la::Matrix<T> Ua(rows(), rk.rank());
+        for (index_t c = 0; c < rk.rank(); ++c)
+          for (index_t i = 0; i < rows(); ++i) Ua(i, c) = alpha * rk.U(i, c);
+        add_rk_factors(Ua.view(), rk.V.view());
+        break;
+      }
+    }
+  }
+
+  void to_dense_rec(la::MatrixView<T> out, index_t row_origin,
+                    index_t col_origin) const {
+    switch (kind_) {
+      case Kind::kNode:
+        for (const auto& c : child_) c->to_dense_rec(out, row_origin, col_origin);
+        break;
+      case Kind::kFull:
+        out.block(row_->begin - row_origin, col_->begin - col_origin, rows(),
+                  cols())
+            .copy_from(full_.view());
+        break;
+      case Kind::kRk:
+        la::gemm(T{1}, rk_.U.view(), la::Op::kNoTrans, rk_.V.view(),
+                 la::Op::kTrans, T{0},
+                 out.block(row_->begin - row_origin,
+                           col_->begin - col_origin, rows(), cols()));
+        break;
+    }
+  }
+
+  // -- H-LU -----------------------------------------------------------------
+
+  void lu_rec() {
+    switch (kind_) {
+      case Kind::kFull:
+        la::lu_factor(full_.view(), piv_);
+        break;
+      case Kind::kRk:
+        throw std::logic_error("diagonal H block cannot be low-rank");
+      case Kind::kNode: {
+        child(0, 0).lu_rec();
+        solve_lower_h(child(0, 0), child(0, 1));   // A01 := L00^{-1} A01
+        solve_upper_right_h(child(0, 0), child(1, 0));  // A10 := A10 U00^{-1}
+        gemm_h(T{-1}, child(1, 0), child(0, 1), child(1, 1));
+        child(1, 1).lu_rec();
+        break;
+      }
+    }
+  }
+
+  // -- H-LDLT ---------------------------------------------------------------
+
+  void ldlt_rec() {
+    switch (kind_) {
+      case Kind::kFull:
+        la::ldlt_factor(full_.view());
+        break;
+      case Kind::kRk:
+        throw std::logic_error("diagonal H block cannot be low-rank");
+      case Kind::kNode: {
+        child(0, 0).ldlt_rec();
+        // A10 := A10 L00^{-T} D00^{-1}.
+        solve_ldlt_right_h(child(0, 0), child(1, 0));
+        // A11 -= A10 D00 A10^T. (The update also refreshes A11's upper
+        // blocks; only diagonal/lower are read afterwards.)
+        std::vector<T> d(static_cast<std::size_t>(child(0, 0).rows()));
+        gather_diag(child(0, 0), d.data());
+        gemm_d(T{-1}, child(1, 0), d.data(), child(1, 0), child(1, 1));
+        child(1, 1).ldlt_rec();
+        break;
+      }
+    }
+  }
+
+  /// Collect the diagonal of a factored (LDLT) diagonal block.
+  static void gather_diag(const HMatrix& A, T* out) {
+    if (A.kind_ == Kind::kFull) {
+      for (index_t k = 0; k < A.rows(); ++k) out[k] = A.full_(k, k);
+      return;
+    }
+    assert(A.kind_ == Kind::kNode);
+    gather_diag(A.child(0, 0), out);
+    gather_diag(A.child(1, 1), out + A.child(0, 0).rows());
+  }
+
+  /// M(k, :) *= D_A(k) or /= D_A(k); the diagonal lives in the factored
+  /// dense diagonal leaves of A.
+  static void scale_by_diag_impl(const HMatrix& A, la::MatrixView<T> M,
+                                 bool inverse) {
+    if (A.kind_ == Kind::kFull) {
+      for (index_t k = 0; k < A.rows(); ++k) {
+        const T d = A.full_(k, k);
+        const T s = inverse ? T{1} / d : d;
+        for (index_t j = 0; j < M.cols(); ++j) M(k, j) *= s;
+      }
+      return;
+    }
+    assert(A.kind_ == Kind::kNode);
+    const index_t n0 = A.child(0, 0).rows();
+    scale_by_diag_impl(A.child(0, 0), M.block(0, 0, n0, M.cols()), inverse);
+    scale_by_diag_impl(A.child(1, 1),
+                       M.block(n0, 0, M.rows() - n0, M.cols()), inverse);
+  }
+  static void scale_by_diag(const HMatrix& A, la::MatrixView<T> M) {
+    scale_by_diag_impl(A, M, false);
+  }
+  static void scale_by_diag_inv(const HMatrix& A, la::MatrixView<T> M) {
+    scale_by_diag_impl(A, M, true);
+  }
+
+  /// M := L_A^{-1} M (unit lower of an LDLT-factored A; no pivots).
+  static void forward_unit_lower(const HMatrix& A, la::MatrixView<T> M) {
+    if (A.kind_ == Kind::kFull) {
+      la::trsm(la::Side::kLeft, la::Uplo::kLower, la::Op::kNoTrans,
+               la::Diag::kUnit, A.full_.view(), M);
+      return;
+    }
+    assert(A.kind_ == Kind::kNode);
+    const index_t n0 = A.child(0, 0).rows();
+    auto M0 = M.block(0, 0, n0, M.cols());
+    auto M1 = M.block(n0, 0, M.rows() - n0, M.cols());
+    forward_unit_lower(A.child(0, 0), M0);
+    A.child(1, 0).mult_add(T{-1}, la::ConstMatrixView<T>(M0), M1,
+                           la::Op::kNoTrans);
+    forward_unit_lower(A.child(1, 1), M1);
+  }
+
+  /// M := L_A^{-T} M.
+  static void backward_unit_lower_trans(const HMatrix& A,
+                                        la::MatrixView<T> M) {
+    if (A.kind_ == Kind::kFull) {
+      la::trsm(la::Side::kLeft, la::Uplo::kLower, la::Op::kTrans,
+               la::Diag::kUnit, A.full_.view(), M);
+      return;
+    }
+    assert(A.kind_ == Kind::kNode);
+    const index_t n0 = A.child(0, 0).rows();
+    auto M0 = M.block(0, 0, n0, M.cols());
+    auto M1 = M.block(n0, 0, M.rows() - n0, M.cols());
+    backward_unit_lower_trans(A.child(1, 1), M1);
+    A.child(1, 0).mult_add(T{-1}, la::ConstMatrixView<T>(M1), M0,
+                           la::Op::kTrans);
+    backward_unit_lower_trans(A.child(0, 0), M0);
+  }
+
+  /// B := B L_A^{-T} D_A^{-1} for an H operand (the LDLT panel transform).
+  static void solve_ldlt_right_h(const HMatrix& A, HMatrix& B) {
+    switch (B.kind_) {
+      case Kind::kRk:
+        // (U V^T) L^{-T} D^{-1} = U (D^{-1} L^{-1} V)^T.
+        if (B.rk_.rank() > 0) {
+          forward_unit_lower(A, B.rk_.V.view());
+          scale_by_diag_inv(A, B.rk_.V.view());
+        }
+        return;
+      case Kind::kFull: {
+        // B := B L^{-T} D^{-1}  <=>  B^T := D^{-1} L^{-1} B^T.
+        la::Matrix<T> Bt(B.full_.cols(), B.full_.rows());
+        for (index_t j = 0; j < B.full_.cols(); ++j)
+          for (index_t i = 0; i < B.full_.rows(); ++i)
+            Bt(j, i) = B.full_(i, j);
+        forward_unit_lower(A, Bt.view());
+        scale_by_diag_inv(A, Bt.view());
+        for (index_t j = 0; j < B.full_.cols(); ++j)
+          for (index_t i = 0; i < B.full_.rows(); ++i)
+            B.full_(i, j) = Bt(j, i);
+        return;
+      }
+      case Kind::kNode: {
+        assert(A.kind_ == Kind::kNode);
+        solve_ldlt_right_h(A.child(0, 0), B.child(0, 0));
+        solve_ldlt_right_h(A.child(0, 0), B.child(1, 0));
+        // B*1 := (B*1 - B*0 D00 L10^T) L11^{-T} D1^{-1}.
+        std::vector<T> d(static_cast<std::size_t>(A.child(0, 0).rows()));
+        gather_diag(A.child(0, 0), d.data());
+        gemm_d(T{-1}, B.child(0, 0), d.data(), A.child(1, 0), B.child(0, 1));
+        gemm_d(T{-1}, B.child(1, 0), d.data(), A.child(1, 0), B.child(1, 1));
+        solve_ldlt_right_h(A.child(1, 1), B.child(0, 1));
+        solve_ldlt_right_h(A.child(1, 1), B.child(1, 1));
+        return;
+      }
+    }
+  }
+
+  /// C += alpha * X diag(d) Y^T (d spans the shared column cluster of X
+  /// and Y; Y is used transposed, so its *rows* match C's columns).
+  static void gemm_d(T alpha, const HMatrix& X, const T* d, const HMatrix& Y,
+                     HMatrix& C) {
+    if (X.kind_ == Kind::kNode && Y.kind_ == Kind::kNode &&
+        C.kind_ == Kind::kNode) {
+      const index_t k0 = X.child(0, 0).cols();
+      for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 2; ++j)
+          for (int l = 0; l < 2; ++l)
+            gemm_d(alpha, X.child(i, l), l == 0 ? d : d + k0, Y.child(j, l),
+                   C.child(i, j));
+      return;
+    }
+    la::RkFactors<T> rk = multiply_to_rk_d(X, d, Y);
+    C.add_rk(alpha, rk);
+  }
+
+  /// X diag(d) Y^T as rank-k factors.
+  static la::RkFactors<T> multiply_to_rk_d(const HMatrix& X, const T* d,
+                                           const HMatrix& Y) {
+    const real_of_t<T> eps = real_of_t<T>(X.opt_.eps);
+    la::RkFactors<T> out;
+    if (X.kind_ == Kind::kRk) {
+      // (Ux Vx^T) D Y^T = Ux (Y (D Vx))^T.
+      la::Matrix<T> W = X.rk_.V;
+      for (index_t c = 0; c < W.cols(); ++c)
+        for (index_t i = 0; i < W.rows(); ++i) W(i, c) *= d[i];
+      out.U = X.rk_.U;
+      out.V = la::Matrix<T>(Y.rows(), X.rk_.rank());
+      if (X.rk_.rank() > 0)
+        Y.mult_add(T{1}, la::ConstMatrixView<T>(W.view()), out.V.view(),
+                   la::Op::kNoTrans);
+      return out;
+    }
+    if (Y.kind_ == Kind::kRk) {
+      // X D (Uy Vy^T)^T = (X (D Vy)) Uy^T.
+      la::Matrix<T> W = Y.rk_.V;
+      for (index_t c = 0; c < W.cols(); ++c)
+        for (index_t i = 0; i < W.rows(); ++i) W(i, c) *= d[i];
+      out.U = la::Matrix<T>(X.rows(), Y.rk_.rank());
+      if (Y.rk_.rank() > 0)
+        X.mult_add(T{1}, la::ConstMatrixView<T>(W.view()), out.U.view(),
+                   la::Op::kNoTrans);
+      out.V = Y.rk_.U;
+      return out;
+    }
+    if (X.kind_ == Kind::kFull && Y.kind_ == Kind::kFull) {
+      // Factors ((X D), Y): rank bounded by the shared dimension.
+      out.U = X.full_;
+      for (index_t c = 0; c < out.U.cols(); ++c)
+        for (index_t i = 0; i < out.U.rows(); ++i) out.U(i, c) *= d[c];
+      out.V = Y.full_;
+      la::truncate_rk(out, eps);
+      return out;
+    }
+    if (X.kind_ == Kind::kNode && Y.kind_ == Kind::kNode) {
+      // Quadrant merge, as in multiply_to_rk.
+      const index_t k0 = X.child(0, 0).cols();
+      std::array<la::RkFactors<T>, 4> quads;
+      index_t total_rank = 0;
+      for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 2; ++j) {
+          auto r0 = multiply_to_rk_d(X.child(i, 0), d, Y.child(j, 0));
+          auto r1 = multiply_to_rk_d(X.child(i, 1), d + k0, Y.child(j, 1));
+          la::RkFactors<T> q;
+          const index_t m = X.child(i, 0).rows();
+          const index_t n = Y.child(j, 0).rows();
+          q.U = la::Matrix<T>(m, r0.rank() + r1.rank());
+          q.V = la::Matrix<T>(n, r0.rank() + r1.rank());
+          if (r0.rank() > 0) {
+            q.U.block(0, 0, m, r0.rank()).copy_from(r0.U.view());
+            q.V.block(0, 0, n, r0.rank()).copy_from(r0.V.view());
+          }
+          if (r1.rank() > 0) {
+            q.U.block(0, r0.rank(), m, r1.rank()).copy_from(r1.U.view());
+            q.V.block(0, r0.rank(), n, r1.rank()).copy_from(r1.V.view());
+          }
+          la::truncate_rk(q, eps);
+          total_rank += q.rank();
+          quads[static_cast<std::size_t>(2 * i + j)] = std::move(q);
+        }
+      const index_t m0 = X.child(0, 0).rows(), m1 = X.child(1, 0).rows();
+      const index_t n0 = Y.child(0, 0).rows(), n1 = Y.child(1, 0).rows();
+      out.U = la::Matrix<T>(m0 + m1, total_rank);
+      out.V = la::Matrix<T>(n0 + n1, total_rank);
+      index_t at = 0;
+      for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 2; ++j) {
+          const auto& q = quads[static_cast<std::size_t>(2 * i + j)];
+          if (q.rank() == 0) continue;
+          out.U.block(i == 0 ? 0 : m0, at, q.U.rows(), q.rank())
+              .copy_from(q.U.view());
+          out.V.block(j == 0 ? 0 : n0, at, q.V.rows(), q.rank())
+              .copy_from(q.V.view());
+          at += q.rank();
+        }
+      la::truncate_rk(out, eps);
+      return out;
+    }
+    // Mixed Full x Node: fall back through an identity factor.
+    if (X.kind_ == Kind::kFull) {
+      // X (m x k) dense, Y node: result = X D Y^T = ((X D)) (Y)^T via
+      // V = Y (D X^T)^T? Use rank-m identity: U = I_m, V = Y (D X^T cols).
+      const index_t m = X.rows();
+      la::Matrix<T> XDt(X.cols(), m);  // (X D)^T = D X^T
+      for (index_t j = 0; j < X.cols(); ++j)
+        for (index_t i = 0; i < m; ++i) XDt(j, i) = X.full_(i, j) * d[j];
+      out.V = la::Matrix<T>(Y.rows(), m);
+      Y.mult_add(T{1}, la::ConstMatrixView<T>(XDt.view()), out.V.view(),
+                 la::Op::kNoTrans);
+      out.U = la::Matrix<T>::identity(m);
+      la::truncate_rk(out, eps);
+      return out;
+    }
+    // X node, Y Full: U = X (D Y^T cols) = X (D applied to Y's rows)^T...
+    {
+      const index_t n = Y.rows();
+      la::Matrix<T> DYt(Y.cols(), n);  // (Y D)^T? we need X D Y^T: W = D Y^T
+      for (index_t j = 0; j < Y.cols(); ++j)
+        for (index_t i = 0; i < n; ++i) DYt(j, i) = Y.full_(i, j) * d[j];
+      out.U = la::Matrix<T>(X.rows(), n);
+      X.mult_add(T{1}, la::ConstMatrixView<T>(DYt.view()), out.U.view(),
+                 la::Op::kNoTrans);
+      out.V = la::Matrix<T>::identity(n);
+      la::truncate_rk(out, eps);
+      return out;
+    }
+  }
+
+  /// M := L_A^{-1} (P_A applied) M for dense M spanning A's rows.
+  static void solve_lower_dense(const HMatrix& A, la::MatrixView<T> M) {
+    if (A.kind_ == Kind::kFull) {
+      la::lu_apply_pivots(A.piv_, M);
+      la::trsm(la::Side::kLeft, la::Uplo::kLower, la::Op::kNoTrans,
+               la::Diag::kUnit, A.full_.view(), M);
+      return;
+    }
+    assert(A.kind_ == Kind::kNode);
+    const index_t n0 = A.child(0, 0).rows();
+    const index_t n1 = A.child(1, 1).rows();
+    auto M0 = M.block(0, 0, n0, M.cols());
+    auto M1 = M.block(n0, 0, n1, M.cols());
+    solve_lower_dense(A.child(0, 0), M0);
+    A.child(1, 0).mult_add(T{-1}, la::ConstMatrixView<T>(M0), M1,
+                           la::Op::kNoTrans);
+    solve_lower_dense(A.child(1, 1), M1);
+  }
+
+  /// M := U_A^{-1} M for dense M spanning A's rows.
+  static void solve_upper_dense(const HMatrix& A, la::MatrixView<T> M) {
+    if (A.kind_ == Kind::kFull) {
+      la::trsm(la::Side::kLeft, la::Uplo::kUpper, la::Op::kNoTrans,
+               la::Diag::kNonUnit, A.full_.view(), M);
+      return;
+    }
+    assert(A.kind_ == Kind::kNode);
+    const index_t n0 = A.child(0, 0).rows();
+    const index_t n1 = A.child(1, 1).rows();
+    auto M0 = M.block(0, 0, n0, M.cols());
+    auto M1 = M.block(n0, 0, n1, M.cols());
+    solve_upper_dense(A.child(1, 1), M1);
+    A.child(0, 1).mult_add(T{-1}, la::ConstMatrixView<T>(M1), M0,
+                           la::Op::kNoTrans);
+    solve_upper_dense(A.child(0, 0), M0);
+  }
+
+  /// M := U_A^{-T} M for dense M spanning A's columns (used to push an
+  /// upper solve through the V factor of an Rk block).
+  static void solve_upper_trans_dense(const HMatrix& A, la::MatrixView<T> M) {
+    if (A.kind_ == Kind::kFull) {
+      la::trsm(la::Side::kLeft, la::Uplo::kUpper, la::Op::kTrans,
+               la::Diag::kNonUnit, A.full_.view(), M);
+      return;
+    }
+    assert(A.kind_ == Kind::kNode);
+    const index_t n0 = A.child(0, 0).cols();
+    const index_t n1 = A.child(1, 1).cols();
+    auto M0 = M.block(0, 0, n0, M.cols());
+    auto M1 = M.block(n0, 0, n1, M.cols());
+    solve_upper_trans_dense(A.child(0, 0), M0);
+    A.child(0, 1).mult_add(T{-1}, la::ConstMatrixView<T>(M0), M1,
+                           la::Op::kTrans);
+    solve_upper_trans_dense(A.child(1, 1), M1);
+  }
+
+  /// B := L_A^{-1} B (H-operand forward solve).
+  static void solve_lower_h(const HMatrix& A, HMatrix& B) {
+    switch (B.kind_) {
+      case Kind::kRk:
+        if (B.rk_.rank() > 0) solve_lower_dense(A, B.rk_.U.view());
+        return;
+      case Kind::kFull:
+        solve_lower_dense(A, B.full_.view());
+        return;
+      case Kind::kNode: {
+        assert(A.kind_ == Kind::kNode);
+        solve_lower_h(A.child(0, 0), B.child(0, 0));
+        solve_lower_h(A.child(0, 0), B.child(0, 1));
+        gemm_h(T{-1}, A.child(1, 0), B.child(0, 0), B.child(1, 0));
+        gemm_h(T{-1}, A.child(1, 0), B.child(0, 1), B.child(1, 1));
+        solve_lower_h(A.child(1, 1), B.child(1, 0));
+        solve_lower_h(A.child(1, 1), B.child(1, 1));
+        return;
+      }
+    }
+  }
+
+  /// B := B * U_A^{-1} (H-operand right upper solve).
+  static void solve_upper_right_h(const HMatrix& A, HMatrix& B) {
+    switch (B.kind_) {
+      case Kind::kRk:
+        // (U V^T) U_A^{-1} = U (U_A^{-T} V)^T.
+        if (B.rk_.rank() > 0) solve_upper_trans_dense(A, B.rk_.V.view());
+        return;
+      case Kind::kFull: {
+        // B := B U_A^{-1}  <=>  B^T := U_A^{-T} B^T.
+        la::Matrix<T> Bt(B.full_.cols(), B.full_.rows());
+        for (index_t j = 0; j < B.full_.cols(); ++j)
+          for (index_t i = 0; i < B.full_.rows(); ++i)
+            Bt(j, i) = B.full_(i, j);
+        solve_upper_trans_dense(A, Bt.view());
+        for (index_t j = 0; j < B.full_.cols(); ++j)
+          for (index_t i = 0; i < B.full_.rows(); ++i)
+            B.full_(i, j) = Bt(j, i);
+        return;
+      }
+      case Kind::kNode: {
+        assert(A.kind_ == Kind::kNode);
+        solve_upper_right_h(A.child(0, 0), B.child(0, 0));
+        solve_upper_right_h(A.child(0, 0), B.child(1, 0));
+        gemm_h(T{-1}, B.child(0, 0), A.child(0, 1), B.child(0, 1));
+        gemm_h(T{-1}, B.child(1, 0), A.child(0, 1), B.child(1, 1));
+        solve_upper_right_h(A.child(1, 1), B.child(0, 1));
+        solve_upper_right_h(A.child(1, 1), B.child(1, 1));
+        return;
+      }
+    }
+  }
+
+  /// C += alpha * A * B with truncation at C's eps.
+  static void gemm_h(T alpha, const HMatrix& A, const HMatrix& B,
+                     HMatrix& C) {
+    if (A.kind_ == Kind::kNode && B.kind_ == Kind::kNode &&
+        C.kind_ == Kind::kNode) {
+      for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 2; ++j)
+          for (int l = 0; l < 2; ++l)
+            gemm_h(alpha, A.child(i, l), B.child(l, j), C.child(i, j));
+      return;
+    }
+    // Leaf-involving product: compute as rank-k and accumulate.
+    la::RkFactors<T> rk = multiply_to_rk(A, B);
+    C.add_rk(alpha, rk);
+  }
+
+  /// A * B as rank-k factors (truncated at A's eps).
+  static la::RkFactors<T> multiply_to_rk(const HMatrix& A, const HMatrix& B) {
+    const real_of_t<T> eps = real_of_t<T>(A.opt_.eps);
+    la::RkFactors<T> out;
+    if (A.kind_ == Kind::kRk) {
+      // (U V^T) B = U (B^T V)^T.
+      out.U = A.rk_.U;
+      out.V = la::Matrix<T>(B.cols(), A.rk_.rank());
+      if (A.rk_.rank() > 0)
+        B.mult_add(T{1}, la::ConstMatrixView<T>(A.rk_.V.view()), out.V.view(),
+                   la::Op::kTrans);
+      return out;
+    }
+    if (B.kind_ == Kind::kRk) {
+      // A (U V^T) = (A U) V^T.
+      out.U = la::Matrix<T>(A.rows(), B.rk_.rank());
+      if (B.rk_.rank() > 0)
+        A.mult_add(T{1}, la::ConstMatrixView<T>(B.rk_.U.view()), out.U.view(),
+                   la::Op::kNoTrans);
+      out.V = B.rk_.V;
+      return out;
+    }
+    if (A.kind_ == Kind::kFull && B.kind_ == Kind::kFull) {
+      // Rank bounded by the small shared dimension: factors (A, B^T).
+      out.U = A.full_;
+      out.V = la::Matrix<T>(B.full_.cols(), B.full_.rows());
+      for (index_t j = 0; j < B.full_.cols(); ++j)
+        for (index_t i = 0; i < B.full_.rows(); ++i)
+          out.V(j, i) = B.full_(i, j);
+      la::truncate_rk(out, eps);
+      return out;
+    }
+    if (A.kind_ == Kind::kNode && B.kind_ == Kind::kNode) {
+      // Quadrant products, merged and truncated.
+      std::array<la::RkFactors<T>, 4> quads;
+      index_t total_rank = 0;
+      for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 2; ++j) {
+          auto r0 = multiply_to_rk(A.child(i, 0), B.child(0, j));
+          auto r1 = multiply_to_rk(A.child(i, 1), B.child(1, j));
+          // Merge the two contributions of this quadrant.
+          la::RkFactors<T> q;
+          const index_t m = A.child(i, 0).rows();
+          const index_t n = B.child(0, j).cols();
+          q.U = la::Matrix<T>(m, r0.rank() + r1.rank());
+          q.V = la::Matrix<T>(n, r0.rank() + r1.rank());
+          if (r0.rank() > 0) {
+            q.U.block(0, 0, m, r0.rank()).copy_from(r0.U.view());
+            q.V.block(0, 0, n, r0.rank()).copy_from(r0.V.view());
+          }
+          if (r1.rank() > 0) {
+            q.U.block(0, r0.rank(), m, r1.rank()).copy_from(r1.U.view());
+            q.V.block(0, r0.rank(), n, r1.rank()).copy_from(r1.V.view());
+          }
+          la::truncate_rk(q, eps);
+          total_rank += q.rank();
+          quads[static_cast<std::size_t>(2 * i + j)] = std::move(q);
+        }
+      // Assemble the 2x2 quadrants into one factorization.
+      const index_t m0 = A.child(0, 0).rows(), m1 = A.child(1, 0).rows();
+      const index_t n0 = B.child(0, 0).cols(), n1 = B.child(0, 1).cols();
+      out.U = la::Matrix<T>(m0 + m1, total_rank);
+      out.V = la::Matrix<T>(n0 + n1, total_rank);
+      index_t at = 0;
+      for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 2; ++j) {
+          const auto& q = quads[static_cast<std::size_t>(2 * i + j)];
+          if (q.rank() == 0) continue;
+          const index_t rb = (i == 0) ? 0 : m0;
+          const index_t cb = (j == 0) ? 0 : n0;
+          out.U.block(rb, at, q.U.rows(), q.rank()).copy_from(q.U.view());
+          out.V.block(cb, at, q.V.rows(), q.rank()).copy_from(q.V.view());
+          at += q.rank();
+        }
+      la::truncate_rk(out, eps);
+      return out;
+    }
+    // Mixed Full x Node: A dense with few rows (its row cluster is a leaf,
+    // its column cluster is not). Rank is bounded by A's row count.
+    if (A.kind_ == Kind::kFull && B.kind_ == Kind::kNode) {
+      const index_t m = A.rows();
+      la::Matrix<T> At(A.cols(), m);
+      for (index_t j = 0; j < A.cols(); ++j)
+        for (index_t i = 0; i < m; ++i) At(j, i) = A.full_(i, j);
+      out.V = la::Matrix<T>(B.cols(), m);  // V = (A B)^T = B^T A^T
+      B.mult_add(T{1}, la::ConstMatrixView<T>(At.view()), out.V.view(),
+                 la::Op::kTrans);
+      out.U = la::Matrix<T>::identity(m);
+      la::truncate_rk(out, eps);
+      return out;
+    }
+    // Mixed Node x Full: B dense with few columns.
+    if (A.kind_ == Kind::kNode && B.kind_ == Kind::kFull) {
+      const index_t n = B.cols();
+      out.U = la::Matrix<T>(A.rows(), n);
+      A.mult_add(T{1}, la::ConstMatrixView<T>(B.full_.view()), out.U.view(),
+                 la::Op::kNoTrans);
+      out.V = la::Matrix<T>::identity(n);
+      la::truncate_rk(out, eps);
+      return out;
+    }
+    throw std::logic_error("inconsistent H-matrix block structures in gemm");
+  }
+
+  const ClusterNode* row_ = nullptr;
+  const ClusterNode* col_ = nullptr;
+  HOptions opt_;
+  Kind kind_ = Kind::kFull;
+  std::array<std::unique_ptr<HMatrix>, 4> child_;
+  la::Matrix<T> full_;
+  la::RkFactors<T> rk_;
+  std::vector<index_t> piv_;
+  bool factored_ = false;
+  bool ldlt_ = false;
+};
+
+/// Generator adapter around a stored dense matrix (original coordinates).
+template <class T>
+class DenseGenerator final : public MatrixGenerator<T> {
+ public:
+  explicit DenseGenerator(la::ConstMatrixView<T> m) : m_(m) {}
+  index_t rows() const override { return m_.rows(); }
+  index_t cols() const override { return m_.cols(); }
+  T entry(index_t i, index_t j) const override { return m_(i, j); }
+
+ private:
+  la::ConstMatrixView<T> m_;
+};
+
+}  // namespace cs::hmat

@@ -1,0 +1,308 @@
+// BLAS-like dense kernels on MatrixView: gemm/gemv/trsm/axpy/norms.
+//
+// These are the building blocks under the dense solver ("SPIDO" analogue),
+// the multifrontal fronts, and the H-matrix arithmetic. Loops are ordered
+// for column-major access and parallelized with OpenMP over output columns;
+// transposition is plain (not conjugated) because the library manipulates
+// complex *symmetric* (not Hermitian) matrices, as in the paper's BEM/FEM
+// setting.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "la/matrix.h"
+
+namespace cs::la {
+
+enum class Op { kNoTrans, kTrans };
+
+/// C := beta*C + alpha * op(A) * op(B).
+template <class T>
+void gemm(T alpha, ConstMatrixView<T> A, Op opA, ConstMatrixView<T> B, Op opB,
+          T beta, MatrixView<T> C) {
+  const index_t m = C.rows();
+  const index_t n = C.cols();
+  const index_t k = (opA == Op::kNoTrans) ? A.cols() : A.rows();
+  assert(((opA == Op::kNoTrans) ? A.rows() : A.cols()) == m);
+  assert(((opB == Op::kNoTrans) ? B.rows() : B.cols()) == k);
+  assert(((opB == Op::kNoTrans) ? B.cols() : B.rows()) == n);
+
+  if (beta != T{1}) {
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = 0; i < m; ++i)
+        C(i, j) = (beta == T{0}) ? T{0} : beta * C(i, j);
+  }
+  if (alpha == T{0} || m == 0 || n == 0 || k == 0) return;
+
+  const bool parallel = static_cast<offset_t>(m) * n * k > 65536;
+
+  // Column-blocked kernels: each column of A is reused across kColBlock
+  // output columns, cutting A's memory traffic by that factor for
+  // multi-RHS products (the BLAS-3 amortization the blocked algorithms
+  // rely on).
+  constexpr index_t kColBlock = 8;
+  if (opA == Op::kNoTrans &&
+      (opB == Op::kNoTrans || opB == Op::kTrans)) {
+#pragma omp parallel for schedule(static) if (parallel)
+    for (index_t j0 = 0; j0 < n; j0 += kColBlock) {
+      const index_t jb = std::min(kColBlock, n - j0);
+      T bvals[kColBlock];
+      T* ccols[kColBlock];
+      for (index_t jj = 0; jj < jb; ++jj) ccols[jj] = &C(0, j0 + jj);
+      for (index_t p = 0; p < k; ++p) {
+        bool any = false;
+        for (index_t jj = 0; jj < jb; ++jj) {
+          bvals[jj] = alpha * ((opB == Op::kNoTrans) ? B(p, j0 + jj)
+                                                     : B(j0 + jj, p));
+          any = any || bvals[jj] != T{0};
+        }
+        if (!any) continue;
+        const T* ap = &A(0, p);
+        if (jb == kColBlock) {
+          for (index_t i = 0; i < m; ++i) {
+            const T a = ap[i];
+            for (index_t jj = 0; jj < kColBlock; ++jj)
+              ccols[jj][i] += bvals[jj] * a;
+          }
+        } else {
+          for (index_t i = 0; i < m; ++i) {
+            const T a = ap[i];
+            for (index_t jj = 0; jj < jb; ++jj) ccols[jj][i] += bvals[jj] * a;
+          }
+        }
+      }
+    }
+  } else if (opA == Op::kTrans && opB == Op::kNoTrans) {
+#pragma omp parallel for schedule(static) if (parallel)
+    for (index_t j0 = 0; j0 < n; j0 += kColBlock) {
+      const index_t jb = std::min(kColBlock, n - j0);
+      const T* bcols[kColBlock];
+      for (index_t jj = 0; jj < jb; ++jj) bcols[jj] = &B(0, j0 + jj);
+      for (index_t i = 0; i < m; ++i) {
+        const T* ai = &A(0, i);  // column i of A == row i of A^T
+        T acc[kColBlock] = {};
+        for (index_t p = 0; p < k; ++p) {
+          const T a = ai[p];
+          for (index_t jj = 0; jj < jb; ++jj) acc[jj] += a * bcols[jj][p];
+        }
+        for (index_t jj = 0; jj < jb; ++jj)
+          C(i, j0 + jj) += alpha * acc[jj];
+      }
+    }
+  } else {  // T,T
+#pragma omp parallel for schedule(static) if (parallel)
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t i = 0; i < m; ++i) {
+        const T* ai = &A(0, i);
+        T acc{};
+        for (index_t p = 0; p < k; ++p) acc += ai[p] * B(j, p);
+        C(i, j) += alpha * acc;
+      }
+    }
+  }
+}
+
+// Forwarding overloads so mutable views can be passed where read-only input
+// operands are expected (implicit conversions do not participate in template
+// argument deduction).
+template <class T>
+void gemm(T alpha, MatrixView<T> A, Op opA, MatrixView<T> B, Op opB, T beta,
+          MatrixView<T> C) {
+  gemm(alpha, ConstMatrixView<T>(A), opA, ConstMatrixView<T>(B), opB, beta, C);
+}
+template <class T>
+void gemm(T alpha, ConstMatrixView<T> A, Op opA, MatrixView<T> B, Op opB,
+          T beta, MatrixView<T> C) {
+  gemm(alpha, A, opA, ConstMatrixView<T>(B), opB, beta, C);
+}
+template <class T>
+void gemm(T alpha, MatrixView<T> A, Op opA, ConstMatrixView<T> B, Op opB,
+          T beta, MatrixView<T> C) {
+  gemm(alpha, ConstMatrixView<T>(A), opA, B, opB, beta, C);
+}
+
+/// y := beta*y + alpha * op(A) * x.
+template <class T>
+void gemv(T alpha, ConstMatrixView<T> A, Op opA, const T* x, T beta, T* y) {
+  const index_t m = (opA == Op::kNoTrans) ? A.rows() : A.cols();
+  const index_t k = (opA == Op::kNoTrans) ? A.cols() : A.rows();
+  for (index_t i = 0; i < m; ++i) y[i] = (beta == T{0}) ? T{0} : beta * y[i];
+  if (opA == Op::kNoTrans) {
+    for (index_t p = 0; p < k; ++p) {
+      const T axp = alpha * x[p];
+      if (axp == T{0}) continue;
+      const T* ap = &A(0, p);
+      for (index_t i = 0; i < m; ++i) y[i] += axp * ap[i];
+    }
+  } else {
+    for (index_t i = 0; i < m; ++i) {
+      const T* ai = &A(0, i);
+      T acc{};
+      for (index_t p = 0; p < k; ++p) acc += ai[p] * x[p];
+      y[i] += alpha * acc;
+    }
+  }
+}
+
+enum class Side { kLeft, kRight };
+enum class Uplo { kLower, kUpper };
+enum class Diag { kUnit, kNonUnit };
+
+/// Triangular solve with multiple right-hand sides:
+///   Side::kLeft : B := op(A)^{-1} * B
+///   Side::kRight: B := B * op(A)^{-1}
+/// A is triangular (lower or upper), optionally unit-diagonal.
+template <class T>
+void trsm(Side side, Uplo uplo, Op opA, Diag diag, ConstMatrixView<T> A,
+          MatrixView<T> B) {
+  const index_t n = A.rows();
+  assert(A.cols() == n);
+  const bool unit = diag == Diag::kUnit;
+
+  // Effective orientation of op(A).
+  const bool lower = (uplo == Uplo::kLower) != (opA == Op::kTrans);
+  auto a = [&](index_t i, index_t j) -> T {
+    return (opA == Op::kTrans) ? A(j, i) : A(i, j);
+  };
+
+  if (side == Side::kLeft) {
+    assert(B.rows() == n);
+    const index_t nrhs = B.cols();
+#pragma omp parallel for schedule(static) \
+    if (static_cast<offset_t>(n) * n * nrhs > 65536)
+    for (index_t j = 0; j < nrhs; ++j) {
+      T* bj = &B(0, j);
+      if (lower) {
+        for (index_t i = 0; i < n; ++i) {
+          T acc = bj[i];
+          for (index_t p = 0; p < i; ++p) acc -= a(i, p) * bj[p];
+          bj[i] = unit ? acc : acc / a(i, i);
+        }
+      } else {
+        for (index_t i = n - 1; i >= 0; --i) {
+          T acc = bj[i];
+          for (index_t p = i + 1; p < n; ++p) acc -= a(i, p) * bj[p];
+          bj[i] = unit ? acc : acc / a(i, i);
+        }
+      }
+    }
+  } else {  // Right: B := B * op(A)^{-1}; process columns of B.
+    assert(B.cols() == n);
+    const index_t m = B.rows();
+    if (lower) {
+      // x_j depends on columns > j of op(A): B(:,j) = (B(:,j) - sum_{p>j}
+      // B(:,p) * a(p,j)) / a(j,j) going j from n-1 downto 0.
+      for (index_t j = n - 1; j >= 0; --j) {
+        T* bj = &B(0, j);
+        for (index_t p = j + 1; p < n; ++p) {
+          const T apj = a(p, j);
+          if (apj == T{0}) continue;
+          const T* bp = &B(0, p);
+          for (index_t i = 0; i < m; ++i) bj[i] -= bp[i] * apj;
+        }
+        if (!unit) {
+          const T inv = T{1} / a(j, j);
+          for (index_t i = 0; i < m; ++i) bj[i] *= inv;
+        }
+      }
+    } else {
+      for (index_t j = 0; j < n; ++j) {
+        T* bj = &B(0, j);
+        for (index_t p = 0; p < j; ++p) {
+          const T apj = a(p, j);
+          if (apj == T{0}) continue;
+          const T* bp = &B(0, p);
+          for (index_t i = 0; i < m; ++i) bj[i] -= bp[i] * apj;
+        }
+        if (!unit) {
+          const T inv = T{1} / a(j, j);
+          for (index_t i = 0; i < m; ++i) bj[i] *= inv;
+        }
+      }
+    }
+  }
+}
+
+template <class T>
+void gemv(T alpha, MatrixView<T> A, Op opA, const T* x, T beta, T* y) {
+  gemv(alpha, ConstMatrixView<T>(A), opA, x, beta, y);
+}
+
+template <class T>
+void trsm(Side side, Uplo uplo, Op opA, Diag diag, MatrixView<T> A,
+          MatrixView<T> B) {
+  trsm(side, uplo, opA, diag, ConstMatrixView<T>(A), B);
+}
+
+/// B := B + alpha * A (element-wise matrix AXPY).
+template <class T>
+void axpy(T alpha, ConstMatrixView<T> A, MatrixView<T> B) {
+  assert(A.rows() == B.rows() && A.cols() == B.cols());
+  for (index_t j = 0; j < A.cols(); ++j) {
+    const T* aj = &A(0, j);
+    T* bj = &B(0, j);
+    for (index_t i = 0; i < A.rows(); ++i) bj[i] += alpha * aj[i];
+  }
+}
+
+template <class T>
+void axpy(T alpha, MatrixView<T> A, MatrixView<T> B) {
+  axpy(alpha, ConstMatrixView<T>(A), B);
+}
+
+template <class T>
+void scale(T alpha, MatrixView<T> A) {
+  for (index_t j = 0; j < A.cols(); ++j)
+    for (index_t i = 0; i < A.rows(); ++i) A(i, j) *= alpha;
+}
+
+/// Frobenius norm.
+template <class T>
+real_of_t<T> norm_fro(ConstMatrixView<T> A) {
+  real_of_t<T> acc = 0;
+  for (index_t j = 0; j < A.cols(); ++j)
+    for (index_t i = 0; i < A.rows(); ++i) acc += abs2(A(i, j));
+  return std::sqrt(acc);
+}
+
+/// Largest |a_ij|.
+template <class T>
+real_of_t<T> max_abs(ConstMatrixView<T> A) {
+  real_of_t<T> best = 0;
+  for (index_t j = 0; j < A.cols(); ++j)
+    for (index_t i = 0; i < A.rows(); ++i)
+      best = std::max(best, std::abs(A(i, j)));
+  return best;
+}
+
+/// ||A - B||_F / ||B||_F (0/0 -> 0), the relative error metric used
+/// throughout the tests.
+template <class T>
+real_of_t<T> rel_diff(ConstMatrixView<T> A, ConstMatrixView<T> B) {
+  assert(A.rows() == B.rows() && A.cols() == B.cols());
+  real_of_t<T> num = 0, den = 0;
+  for (index_t j = 0; j < A.cols(); ++j)
+    for (index_t i = 0; i < A.rows(); ++i) {
+      num += abs2(T(A(i, j) - B(i, j)));
+      den += abs2(B(i, j));
+    }
+  if (den == 0) return num == 0 ? 0 : std::sqrt(num);
+  return std::sqrt(num / den);
+}
+
+template <class T>
+real_of_t<T> norm_fro(MatrixView<T> A) {
+  return norm_fro(ConstMatrixView<T>(A));
+}
+template <class T>
+real_of_t<T> max_abs(MatrixView<T> A) {
+  return max_abs(ConstMatrixView<T>(A));
+}
+template <class T>
+real_of_t<T> rel_diff(MatrixView<T> A, MatrixView<T> B) {
+  return rel_diff(ConstMatrixView<T>(A), ConstMatrixView<T>(B));
+}
+
+}  // namespace cs::la

@@ -1,0 +1,208 @@
+// Blocked dense factorizations: LDL^T (symmetric, possibly complex
+// symmetric) and LU with partial pivoting, plus the *partial* variants that
+// factor only the leading block of a matrix and update the trailing block.
+//
+// The partial variants are the computational heart of the multifrontal
+// sparse solver's fronts and of its Schur complement feature: factoring the
+// fully-summed block of a front and leaving the updated border (the
+// contribution block / Schur complement) in place is exactly
+// ldlt_factor_partial / lu_factor_partial.
+//
+// Pivoting policy: LDL^T is unpivoted (the paper's solvers run LDL^T on
+// complex symmetric matrices; our generated FEM/BEM matrices are strongly
+// regular by construction). LU restricts pivot search to the fully-summed
+// rows of the leading block so that border row indices remain stable for
+// the multifrontal assembly (delayed pivots are out of scope; see
+// DESIGN.md section 5).
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "la/blas.h"
+#include "la/matrix.h"
+
+namespace cs::la {
+
+class SingularMatrix : public std::runtime_error {
+ public:
+  explicit SingularMatrix(index_t column)
+      : std::runtime_error("zero pivot encountered at column " +
+                           std::to_string(column)),
+        column_(column) {}
+  index_t column() const { return column_; }
+
+ private:
+  index_t column_;
+};
+
+namespace detail {
+
+/// Unblocked LDL^T of a panel: A is m x b with the b x b pivot block on
+/// top; all b columns are factored and updates stay within the panel.
+template <class T>
+void ldlt_panel(MatrixView<T> A) {
+  const index_t m = A.rows();
+  const index_t b = A.cols();
+  for (index_t k = 0; k < b; ++k) {
+    const T d = A(k, k);
+    if (d == T{0}) throw SingularMatrix(k);
+    const T inv = T{1} / d;
+    for (index_t i = k + 1; i < m; ++i) A(i, k) *= inv;
+    for (index_t j = k + 1; j < b; ++j) {
+      const T ljk_d = A(j, k) * d;
+      if (ljk_d == T{0}) continue;
+      T* aj = &A(0, j);
+      const T* lk = &A(0, k);
+      for (index_t i = j; i < m; ++i) aj[i] -= lk[i] * ljk_d;
+    }
+  }
+}
+
+}  // namespace detail
+
+/// In-place LDL^T of the leading ns x ns block of symmetric A (lower
+/// triangle referenced and produced; unit L strictly below the diagonal, D
+/// on the diagonal). The trailing (n-ns) block's lower triangle receives
+/// the Schur update  A22 - L21 D L21^T.
+template <class T>
+void ldlt_factor_partial(MatrixView<T> A, index_t ns, index_t nb = 96) {
+  const index_t n = A.rows();
+  for (index_t k = 0; k < ns; k += nb) {
+    const index_t b = std::min(nb, ns - k);
+    // Factor the panel [k:n, k:k+b) unblocked (it also updates the
+    // in-panel part of the border rows).
+    detail::ldlt_panel(A.block(k, k, n - k, b));
+    const index_t rest = n - (k + b);
+    if (rest == 0) continue;
+    // Trailing update: A22 -= L21 * D * L21^T, lower triangle only, where
+    // L21 = A[k+b:n, k:k+b) and D = diag(A[k:k+b)).
+    ConstMatrixView<T> L21 = A.block(k + b, k, rest, b);
+    Matrix<T> W(rest, b);  // W = L21 * D
+    for (index_t j = 0; j < b; ++j) {
+      const T d = A(k + j, k + j);
+      const T* src = &L21(0, j);
+      T* dst = &W(0, j);
+      for (index_t i = 0; i < rest; ++i) dst[i] = src[i] * d;
+    }
+    MatrixView<T> A22 = A.block(k + b, k + b, rest, rest);
+    // Column-wise rank-b update of the lower triangle.
+    const bool parallel = static_cast<offset_t>(rest) * rest * b > 65536;
+#pragma omp parallel for schedule(dynamic, 8) if (parallel)
+    for (index_t j = 0; j < rest; ++j) {
+      T* cj = &A22(0, j);
+      for (index_t p = 0; p < b; ++p) {
+        const T l_jp = L21(j, p);
+        if (l_jp == T{0}) continue;
+        const T* wp = &W(0, p);
+        for (index_t i = j; i < rest; ++i) cj[i] -= wp[i] * l_jp;
+      }
+    }
+  }
+}
+
+/// Full in-place LDL^T (lower). See ldlt_factor_partial.
+template <class T>
+void ldlt_factor(MatrixView<T> A, index_t nb = 96) {
+  ldlt_factor_partial(A, A.rows(), nb);
+}
+
+/// Solve (L D L^T) X = B in place given a factored A (lower storage).
+template <class T>
+void ldlt_solve(ConstMatrixView<T> A, MatrixView<T> B) {
+  const index_t n = A.rows();
+  trsm(Side::kLeft, Uplo::kLower, Op::kNoTrans, Diag::kUnit, A, B);
+  for (index_t j = 0; j < B.cols(); ++j)
+    for (index_t i = 0; i < n; ++i) B(i, j) /= A(i, i);
+  trsm(Side::kLeft, Uplo::kLower, Op::kTrans, Diag::kUnit, A, B);
+}
+
+/// In-place LU with partial pivoting of the leading ns columns of A; pivot
+/// search restricted to rows [k, ns) (fully-summed rows). piv[k] is the row
+/// swapped into position k. The trailing (n-ns) square block receives the
+/// Schur update A22 - L21 U12.
+template <class T>
+void lu_factor_partial(MatrixView<T> A, index_t ns, std::vector<index_t>& piv,
+                       index_t nb = 96) {
+  const index_t n = A.rows();
+  piv.assign(static_cast<std::size_t>(ns), 0);
+  for (index_t k0 = 0; k0 < ns; k0 += nb) {
+    const index_t b = std::min(nb, ns - k0);
+    // Unblocked panel factorization on columns [k0, k0+b).
+    for (index_t k = k0; k < k0 + b; ++k) {
+      // Pivot: largest |A(i,k)| for i in [k, ns).
+      index_t p = k;
+      real_of_t<T> best = std::abs(A(k, k));
+      for (index_t i = k + 1; i < ns; ++i) {
+        const real_of_t<T> v = std::abs(A(i, k));
+        if (v > best) {
+          best = v;
+          p = i;
+        }
+      }
+      piv[static_cast<std::size_t>(k)] = p;
+      if (best == real_of_t<T>{0}) throw SingularMatrix(k);
+      if (p != k)
+        for (index_t j = 0; j < A.cols(); ++j) std::swap(A(k, j), A(p, j));
+      const T inv = T{1} / A(k, k);
+      for (index_t i = k + 1; i < n; ++i) A(i, k) *= inv;
+      // Update the remaining panel columns.
+      for (index_t j = k + 1; j < k0 + b; ++j) {
+        const T akj = A(k, j);
+        if (akj == T{0}) continue;
+        T* aj = &A(0, j);
+        const T* lk = &A(0, k);
+        for (index_t i = k + 1; i < n; ++i) aj[i] -= lk[i] * akj;
+      }
+    }
+    const index_t rest_cols = n - (k0 + b);
+    const index_t rest_rows = n - (k0 + b);
+    if (rest_cols == 0) continue;
+    // U12 := L11^{-1} * A12  (unit lower triangular solve on the panel).
+    ConstMatrixView<T> L11 = A.block(k0, k0, b, b);
+    MatrixView<T> A12 = A.block(k0, k0 + b, b, rest_cols);
+    trsm(Side::kLeft, Uplo::kLower, Op::kNoTrans, Diag::kUnit, L11, A12);
+    // A22 -= L21 * U12.
+    ConstMatrixView<T> L21 = A.block(k0 + b, k0, rest_rows, b);
+    MatrixView<T> A22 = A.block(k0 + b, k0 + b, rest_rows, rest_cols);
+    gemm(T{-1}, L21, Op::kNoTrans, ConstMatrixView<T>(A12), Op::kNoTrans, T{1},
+         A22);
+  }
+}
+
+/// Full in-place LU with partial pivoting.
+template <class T>
+void lu_factor(MatrixView<T> A, std::vector<index_t>& piv, index_t nb = 96) {
+  assert(A.rows() == A.cols());
+  lu_factor_partial(A, A.rows(), piv, nb);
+}
+
+/// Apply the pivot row swaps of lu_factor to a right-hand side block.
+template <class T>
+void lu_apply_pivots(const std::vector<index_t>& piv, MatrixView<T> B) {
+  for (std::size_t k = 0; k < piv.size(); ++k) {
+    const index_t p = piv[k];
+    if (p != static_cast<index_t>(k))
+      for (index_t j = 0; j < B.cols(); ++j)
+        std::swap(B(static_cast<index_t>(k), j), B(p, j));
+  }
+}
+
+/// Solve (P A = L U) X = B in place given a factored A.
+template <class T>
+void lu_solve(ConstMatrixView<T> A, const std::vector<index_t>& piv,
+              MatrixView<T> B) {
+  lu_apply_pivots(piv, B);
+  trsm(Side::kLeft, Uplo::kLower, Op::kNoTrans, Diag::kUnit, A, B);
+  trsm(Side::kLeft, Uplo::kUpper, Op::kNoTrans, Diag::kNonUnit, A, B);
+}
+
+/// Mirror the lower triangle into the upper one (A := lower(A) symmetric).
+template <class T>
+void symmetrize_from_lower(MatrixView<T> A) {
+  assert(A.rows() == A.cols());
+  for (index_t j = 0; j < A.cols(); ++j)
+    for (index_t i = j + 1; i < A.rows(); ++i) A(j, i) = A(i, j);
+}
+
+}  // namespace cs::la

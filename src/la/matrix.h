@@ -1,0 +1,209 @@
+// Column-major dense matrix container and non-owning views.
+//
+// All dense storage in the library (frontal matrices, Schur blocks, H-matrix
+// leaves, right-hand sides) is built on Matrix<T>, whose backing Buffer is
+// byte-accounted by common/memory.h. Views carry a leading dimension so that
+// sub-blocks of fronts and Schur panels can be addressed without copies.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+
+#include "common/buffer.h"
+#include "common/types.h"
+
+namespace cs::la {
+
+template <class T>
+class ConstMatrixView;
+
+/// Non-owning mutable view of a column-major block: element (i,j) is at
+/// data[i + j*ld].
+template <class T>
+class MatrixView {
+ public:
+  MatrixView() = default;
+  MatrixView(T* data, index_t rows, index_t cols, offset_t ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    assert(ld >= rows);
+  }
+
+  T* data() const { return data_; }
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  offset_t ld() const { return ld_; }
+
+  T& operator()(index_t i, index_t j) const {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<offset_t>(i) + static_cast<offset_t>(j) * ld_];
+  }
+
+  /// Sub-block view rows [r0, r0+nr), cols [c0, c0+nc).
+  MatrixView block(index_t r0, index_t c0, index_t nr, index_t nc) const {
+    assert(r0 >= 0 && c0 >= 0 && r0 + nr <= rows_ && c0 + nc <= cols_);
+    return MatrixView(data_ + r0 + static_cast<offset_t>(c0) * ld_, nr, nc,
+                      ld_);
+  }
+
+  MatrixView col(index_t j) const { return block(0, j, rows_, 1); }
+
+  void fill(const T& value) const {
+    for (index_t j = 0; j < cols_; ++j)
+      for (index_t i = 0; i < rows_; ++i) (*this)(i, j) = value;
+  }
+
+  void copy_from(ConstMatrixView<T> src) const;
+
+ private:
+  T* data_ = nullptr;
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  offset_t ld_ = 0;
+};
+
+/// Non-owning read-only view.
+template <class T>
+class ConstMatrixView {
+ public:
+  ConstMatrixView() = default;
+  ConstMatrixView(const T* data, index_t rows, index_t cols, offset_t ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    assert(ld >= rows);
+  }
+  // Implicit widening from a mutable view.
+  ConstMatrixView(MatrixView<T> v)  // NOLINT(google-explicit-constructor)
+      : data_(v.data()), rows_(v.rows()), cols_(v.cols()), ld_(v.ld()) {}
+
+  const T* data() const { return data_; }
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  offset_t ld() const { return ld_; }
+
+  const T& operator()(index_t i, index_t j) const {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<offset_t>(i) + static_cast<offset_t>(j) * ld_];
+  }
+
+  ConstMatrixView block(index_t r0, index_t c0, index_t nr, index_t nc) const {
+    assert(r0 >= 0 && c0 >= 0 && r0 + nr <= rows_ && c0 + nc <= cols_);
+    return ConstMatrixView(data_ + r0 + static_cast<offset_t>(c0) * ld_, nr,
+                           nc, ld_);
+  }
+
+  ConstMatrixView col(index_t j) const { return block(0, j, rows_, 1); }
+
+ private:
+  const T* data_ = nullptr;
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  offset_t ld_ = 0;
+};
+
+template <class T>
+void MatrixView<T>::copy_from(ConstMatrixView<T> src) const {
+  assert(src.rows() == rows_ && src.cols() == cols_);
+  for (index_t j = 0; j < cols_; ++j)
+    for (index_t i = 0; i < rows_; ++i) (*this)(i, j) = src(i, j);
+}
+
+/// Owning column-major dense matrix. Storage is tracked (see Buffer).
+template <class T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(index_t rows, index_t cols)
+      : rows_(rows),
+        cols_(cols),
+        data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols)) {
+    assert(rows >= 0 && cols >= 0);
+  }
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  offset_t ld() const { return rows_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+  std::size_t size_bytes() const { return data_.size() * sizeof(T); }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  T& operator()(index_t i, index_t j) {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(i) +
+                 static_cast<std::size_t>(j) * rows_];
+  }
+  const T& operator()(index_t i, index_t j) const {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(i) +
+                 static_cast<std::size_t>(j) * rows_];
+  }
+
+  MatrixView<T> view() {
+    return MatrixView<T>(data_.data(), rows_, cols_, rows_);
+  }
+  ConstMatrixView<T> view() const {
+    return ConstMatrixView<T>(data_.data(), rows_, cols_, rows_);
+  }
+  ConstMatrixView<T> cview() const { return view(); }
+
+  MatrixView<T> block(index_t r0, index_t c0, index_t nr, index_t nc) {
+    return view().block(r0, c0, nr, nc);
+  }
+  ConstMatrixView<T> block(index_t r0, index_t c0, index_t nr,
+                           index_t nc) const {
+    return view().block(r0, c0, nr, nc);
+  }
+
+  void fill(const T& value) { view().fill(value); }
+
+  /// Release storage (becomes 0 x 0). Used by the coupled algorithms to drop
+  /// temporaries as early as possible, which matters for the peak footprint.
+  void clear() {
+    data_.clear();
+    rows_ = cols_ = 0;
+  }
+
+  static Matrix identity(index_t n) {
+    Matrix m(n, n);
+    for (index_t i = 0; i < n; ++i) m(i, i) = T{1};
+    return m;
+  }
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  Buffer<T> data_;
+};
+
+/// Owning dense vector (thin wrapper over Matrix semantics, tracked).
+template <class T>
+class Vector {
+ public:
+  Vector() = default;
+  explicit Vector(index_t n) : data_(static_cast<std::size_t>(n)) {}
+
+  index_t size() const { return static_cast<index_t>(data_.size()); }
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  T& operator[](index_t i) { return data_[static_cast<std::size_t>(i)]; }
+  const T& operator[](index_t i) const {
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  MatrixView<T> as_matrix() {
+    return MatrixView<T>(data_.data(), size(), 1, size());
+  }
+  ConstMatrixView<T> as_matrix() const {
+    return ConstMatrixView<T>(data_.data(), size(), 1, size());
+  }
+
+  void fill(const T& value) {
+    for (auto& x : data_) x = value;
+  }
+
+ private:
+  Buffer<T> data_;
+};
+
+}  // namespace cs::la

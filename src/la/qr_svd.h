@@ -1,0 +1,362 @@
+// Orthogonal factorizations used by the low-rank compression machinery:
+//
+//  * householder_qr / form_q_thin : thin QR of tall matrices (complex-aware,
+//    with conjugated reflectors, i.e. Q is unitary);
+//  * jacobi_svd : one-sided Jacobi SVD of small dense matrices (the cores
+//    arising in Rk truncation);
+//  * rrqr_compress : rank-revealing column-pivoted QR that converts a dense
+//    block into a rank-k factorization U V^T at relative accuracy eps --
+//    this is the "Compress(X)" primitive of the paper's compressed-Schur
+//    algorithm variants (Alg. 2 line 8 and the compressed AXPY of Alg. 3).
+//
+// Low-rank convention throughout the library: A ~= U * V^T with a *plain*
+// (non-conjugated) transpose, matching the complex-symmetric BEM setting.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "la/blas.h"
+#include "la/matrix.h"
+
+namespace cs::la {
+
+/// In-place Householder QR of an m x k matrix (m >= k). On exit the upper
+/// triangle holds R and the Householder vectors are stored below the
+/// diagonal (v_j(j) = 1 implicit); tau holds the reflector coefficients.
+template <class T>
+void householder_qr(MatrixView<T> A, std::vector<T>& tau) {
+  const index_t m = A.rows();
+  const index_t k = A.cols();
+  tau.assign(static_cast<std::size_t>(k), T{0});
+  for (index_t j = 0; j < k; ++j) {
+    // Build the reflector for column j.
+    real_of_t<T> xnorm2 = 0;
+    for (index_t i = j + 1; i < m; ++i) xnorm2 += abs2(A(i, j));
+    const T alpha = A(j, j);
+    if (xnorm2 == 0) {
+      // Column is already upper triangular; no reflector needed.
+      tau[static_cast<std::size_t>(j)] = T{0};
+      continue;
+    }
+    const real_of_t<T> anorm = std::sqrt(abs2(alpha) + xnorm2);
+    // beta = -sign(alpha) * ||x|| (complex sign: alpha/|alpha|).
+    T beta;
+    if (std::abs(alpha) == real_of_t<T>{0}) {
+      beta = T{-anorm};
+    } else {
+      beta = -(alpha / std::abs(alpha)) * anorm;
+    }
+    const T tau_j = (beta - alpha) / beta;
+    const T scale = T{1} / (alpha - beta);
+    for (index_t i = j + 1; i < m; ++i) A(i, j) *= scale;
+    A(j, j) = beta;
+    tau[static_cast<std::size_t>(j)] = tau_j;
+    // Apply (I - tau v v^H) to the remaining columns.
+    for (index_t c = j + 1; c < k; ++c) {
+      T w = A(j, c);
+      for (index_t i = j + 1; i < m; ++i) w += conj_if(A(i, j)) * A(i, c);
+      w *= tau_j;
+      A(j, c) -= w;
+      for (index_t i = j + 1; i < m; ++i) A(i, c) -= w * A(i, j);
+    }
+  }
+}
+
+/// Build the thin Q (m x k) from the output of householder_qr.
+template <class T>
+Matrix<T> form_q_thin(ConstMatrixView<T> QR, const std::vector<T>& tau) {
+  const index_t m = QR.rows();
+  const index_t k = QR.cols();
+  Matrix<T> Q(m, k);
+  for (index_t j = 0; j < k; ++j) Q(j, j) = T{1};
+  for (index_t j = k - 1; j >= 0; --j) {
+    const T tau_j = tau[static_cast<std::size_t>(j)];
+    if (tau_j == T{0}) continue;
+    for (index_t c = 0; c < k; ++c) {
+      T w = Q(j, c);
+      for (index_t i = j + 1; i < m; ++i) w += conj_if(QR(i, j)) * Q(i, c);
+      w *= tau_j;
+      Q(j, c) -= w;
+      for (index_t i = j + 1; i < m; ++i) Q(i, c) -= w * QR(i, j);
+    }
+  }
+  return Q;
+}
+
+/// One-sided Jacobi SVD of a small dense n x n (or m x n, m >= n) matrix:
+/// A = U * diag(sigma) * V^H with unitary U (m x n), V (n x n) and
+/// descending real singular values. Intended for the small cores of Rk
+/// truncations (n up to a few hundred).
+template <class T>
+void jacobi_svd(ConstMatrixView<T> A, Matrix<T>& U,
+                std::vector<real_of_t<T>>& sigma, Matrix<T>& V) {
+  using R = real_of_t<T>;
+  const index_t m = A.rows();
+  const index_t n = A.cols();
+  Matrix<T> G(m, n);
+  G.view().copy_from(A);
+  V = Matrix<T>::identity(n);
+
+  const R eps = std::numeric_limits<R>::epsilon();
+
+  for (int sweep = 0; sweep < 60; ++sweep) {
+    bool converged = true;
+    for (index_t p = 0; p < n - 1; ++p) {
+      for (index_t q = p + 1; q < n; ++q) {
+        // Hermitian 2x2 Gram block of columns p, q.
+        R app = 0, aqq = 0;
+        T apq{};
+        for (index_t i = 0; i < m; ++i) {
+          app += abs2(G(i, p));
+          aqq += abs2(G(i, q));
+          apq += conj_if(G(i, p)) * G(i, q);
+        }
+        const R apq_abs = std::abs(apq);
+        if (apq_abs == R{0} ||
+            apq_abs <= R{16} * eps * std::sqrt(app * aqq)) {
+          continue;
+        }
+        converged = false;
+        // Classic Jacobi rotation zeroing the off-diagonal.
+        const R tau_r = (aqq - app) / (R{2} * apq_abs);
+        const R t = (tau_r >= 0 ? R{1} : R{-1}) /
+                    (std::abs(tau_r) + std::sqrt(R{1} + tau_r * tau_r));
+        const R c = R{1} / std::sqrt(R{1} + t * t);
+        const T s = (apq / apq_abs) * T{t * c};
+        // G(:, [p q]) *= [c, s; -conj(s), c]^H-style plane rotation.
+        for (index_t i = 0; i < m; ++i) {
+          const T gp = G(i, p);
+          const T gq = G(i, q);
+          G(i, p) = T{c} * gp - conj_if(s) * gq;
+          G(i, q) = s * gp + T{c} * gq;
+        }
+        for (index_t i = 0; i < n; ++i) {
+          const T vp = V(i, p);
+          const T vq = V(i, q);
+          V(i, p) = T{c} * vp - conj_if(s) * vq;
+          V(i, q) = s * vp + T{c} * vq;
+        }
+      }
+    }
+    if (converged) break;
+  }
+
+  sigma.assign(static_cast<std::size_t>(n), R{0});
+  U = Matrix<T>(m, n);
+  std::vector<index_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<R> norms(static_cast<std::size_t>(n));
+  for (index_t j = 0; j < n; ++j) {
+    R acc = 0;
+    for (index_t i = 0; i < m; ++i) acc += abs2(G(i, j));
+    norms[static_cast<std::size_t>(j)] = std::sqrt(acc);
+  }
+  std::sort(order.begin(), order.end(), [&](index_t a, index_t b) {
+    return norms[static_cast<std::size_t>(a)] >
+           norms[static_cast<std::size_t>(b)];
+  });
+  Matrix<T> Vs(n, n);
+  for (index_t jj = 0; jj < n; ++jj) {
+    const index_t j = order[static_cast<std::size_t>(jj)];
+    const R s = norms[static_cast<std::size_t>(j)];
+    sigma[static_cast<std::size_t>(jj)] = s;
+    const R inv = (s > R{0}) ? R{1} / s : R{0};
+    for (index_t i = 0; i < m; ++i) U(i, jj) = G(i, j) * T{inv};
+    for (index_t i = 0; i < n; ++i) Vs(i, jj) = V(i, j);
+  }
+  V = std::move(Vs);
+}
+
+/// Result of a rank-revealing compression: A ~= U * V^T with U m x k,
+/// V n x k.
+template <class T>
+struct RkFactors {
+  Matrix<T> U;
+  Matrix<T> V;
+  index_t rank() const { return U.cols(); }
+};
+
+/// Rank-revealing column-pivoted Householder QR compression of a dense
+/// block at relative Frobenius-like accuracy eps: stops once the
+/// remaining column-norm mass is below eps * ||A||_F. Returns U = thin Q,
+/// V^T = R P^T. max_rank bounds the work (<=0 means min(m,n)).
+template <class T>
+RkFactors<T> rrqr_compress(ConstMatrixView<T> A, real_of_t<T> eps,
+                           index_t max_rank = -1) {
+  using R = real_of_t<T>;
+  const index_t m = A.rows();
+  const index_t n = A.cols();
+  const index_t kmax0 = std::min(m, n);
+  const index_t kmax = (max_rank > 0) ? std::min(kmax0, max_rank) : kmax0;
+
+  Matrix<T> W(m, n);
+  W.view().copy_from(A);
+  std::vector<index_t> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  std::vector<R> colnorm2(static_cast<std::size_t>(n));
+  R total2 = 0;
+  for (index_t j = 0; j < n; ++j) {
+    R acc = 0;
+    for (index_t i = 0; i < m; ++i) acc += abs2(W(i, j));
+    colnorm2[static_cast<std::size_t>(j)] = acc;
+    total2 += acc;
+  }
+  const R thresh2 = eps * eps * total2;
+
+  std::vector<T> tau;
+  tau.reserve(static_cast<std::size_t>(kmax));
+  index_t k = 0;
+  R remaining2 = total2;
+  while (k < kmax && remaining2 > thresh2) {
+    // Select the column with the largest remaining norm.
+    index_t best = k;
+    for (index_t j = k + 1; j < n; ++j)
+      if (colnorm2[static_cast<std::size_t>(j)] >
+          colnorm2[static_cast<std::size_t>(best)])
+        best = j;
+    if (best != k) {
+      for (index_t i = 0; i < m; ++i) std::swap(W(i, k), W(i, best));
+      std::swap(colnorm2[static_cast<std::size_t>(k)],
+                colnorm2[static_cast<std::size_t>(best)]);
+      std::swap(perm[static_cast<std::size_t>(k)],
+                perm[static_cast<std::size_t>(best)]);
+    }
+    // Householder reflector for column k (rows k..m).
+    R xnorm2 = 0;
+    for (index_t i = k + 1; i < m; ++i) xnorm2 += abs2(W(i, k));
+    const T alpha = W(k, k);
+    const R anorm = std::sqrt(abs2(alpha) + xnorm2);
+    if (anorm == R{0}) break;
+    T beta = (std::abs(alpha) == R{0}) ? T{-anorm}
+                                       : -(alpha / std::abs(alpha)) * anorm;
+    const T tau_k = (beta - alpha) / beta;
+    const T scale = T{1} / (alpha - beta);
+    for (index_t i = k + 1; i < m; ++i) W(i, k) *= scale;
+    W(k, k) = beta;
+    tau.push_back(tau_k);
+    // Apply to trailing columns and recompute their remaining norms
+    // exactly (downdating is numerically unreliable at tight eps).
+    remaining2 = 0;
+    for (index_t c = k + 1; c < n; ++c) {
+      T w = W(k, c);
+      for (index_t i = k + 1; i < m; ++i) w += conj_if(W(i, k)) * W(i, c);
+      w *= tau_k;
+      W(k, c) -= w;
+      R below2 = 0;
+      for (index_t i = k + 1; i < m; ++i) {
+        W(i, c) -= w * W(i, k);
+        below2 += abs2(W(i, c));
+      }
+      colnorm2[static_cast<std::size_t>(c)] = below2;
+      remaining2 += below2;
+    }
+    ++k;
+  }
+
+  RkFactors<T> rk;
+  if (k == 0) {
+    rk.U = Matrix<T>(m, 0);
+    rk.V = Matrix<T>(n, 0);
+    return rk;
+  }
+  // U = thin Q (m x k).
+  rk.U = form_q_thin(ConstMatrixView<T>(W.block(0, 0, m, k)), tau);
+  // V(j, :) = R(:, position of original column j)^T.
+  rk.V = Matrix<T>(n, k);
+  for (index_t jp = 0; jp < n; ++jp) {
+    const index_t j = perm[static_cast<std::size_t>(jp)];
+    const index_t upto = std::min(k, jp + 1);
+    for (index_t i = 0; i < upto; ++i) rk.V(j, i) = W(i, jp);
+  }
+  return rk;
+}
+
+/// Recompress rank-k factors U V^T to the smallest rank r such that the
+/// discarded singular-value mass satisfies sum_{i>r} s_i^2 <= eps^2 *
+/// sum_i s_i^2 (relative Frobenius criterion, matching rrqr_compress).
+/// Standard QR+SVD core algorithm; cost O((m+n) k^2 + k^3).
+template <class T>
+void truncate_rk(RkFactors<T>& rk, real_of_t<T> eps) {
+  using R = real_of_t<T>;
+  const index_t m = rk.U.rows();
+  const index_t n = rk.V.rows();
+  const index_t k = rk.U.cols();
+  if (k == 0) return;
+  if (k > m || k > n) {
+    // Factors are fatter than the block: materialize and recompress.
+    Matrix<T> dense(m, n);
+    gemm(T{1}, rk.U.view(), Op::kNoTrans, rk.V.view(), Op::kTrans, T{0},
+         dense.view());
+    rk = rrqr_compress(ConstMatrixView<T>(dense.view()), eps);
+    return;
+  }
+
+  std::vector<T> tau_u, tau_v;
+  Matrix<T> QRu = std::move(rk.U);
+  Matrix<T> QRv = std::move(rk.V);
+  householder_qr(QRu.view(), tau_u);
+  householder_qr(QRv.view(), tau_v);
+
+  // Core C = Ru * Rv^T (k x k); R factors are upper triangular, so the
+  // inner sum starts at max(i, j).
+  Matrix<T> C(k, k);
+  for (index_t j = 0; j < k; ++j)
+    for (index_t i = 0; i < k; ++i) {
+      T acc{};
+      for (index_t p = std::max(i, j); p < k; ++p)
+        acc += QRu(i, p) * QRv(j, p);
+      C(i, j) = acc;
+    }
+
+  Matrix<T> Uc, Vc;
+  std::vector<R> sigma;
+  jacobi_svd(ConstMatrixView<T>(C.view()), Uc, sigma, Vc);
+
+  R total2 = 0;
+  for (R s : sigma) total2 += s * s;
+  index_t r = k;
+  R tail2 = 0;
+  while (r > 0) {
+    const R s = sigma[static_cast<std::size_t>(r - 1)];
+    if (tail2 + s * s > eps * eps * total2) break;
+    tail2 += s * s;
+    --r;
+  }
+
+  // U' = Qu * (Uc(:, :r) * diag(s)), V' = Qv * conj(Vc(:, :r)).
+  Matrix<T> Us(k, r);
+  for (index_t j = 0; j < r; ++j)
+    for (index_t i = 0; i < k; ++i)
+      Us(i, j) = Uc(i, j) * T{sigma[static_cast<std::size_t>(j)]};
+  Matrix<T> Vconj(k, r);
+  for (index_t j = 0; j < r; ++j)
+    for (index_t i = 0; i < k; ++i) Vconj(i, j) = conj_if(Vc(i, j));
+
+  // Apply the stored Q factors to the small cores.
+  auto apply_q = [](const Matrix<T>& QR, const std::vector<T>& tau,
+                    const Matrix<T>& core, index_t rows) {
+    Matrix<T> out(rows, core.cols());
+    out.block(0, 0, core.rows(), core.cols()).copy_from(core.view());
+    const index_t kk = QR.cols();
+    for (index_t j = kk - 1; j >= 0; --j) {
+      const T tau_j = tau[static_cast<std::size_t>(j)];
+      if (tau_j == T{0}) continue;
+      for (index_t c = 0; c < out.cols(); ++c) {
+        T w = out(j, c);
+        for (index_t i = j + 1; i < rows; ++i)
+          w += conj_if(QR(i, j)) * out(i, c);
+        w *= tau_j;
+        out(j, c) -= w;
+        for (index_t i = j + 1; i < rows; ++i) out(i, c) -= w * QR(i, j);
+      }
+    }
+    return out;
+  };
+  rk.U = apply_q(QRu, tau_u, Us, m);
+  rk.V = apply_q(QRv, tau_v, Vconj, n);
+}
+
+}  // namespace cs::la

@@ -1,0 +1,159 @@
+// Nested dissection via BFS level-set bisection.
+//
+// Each recursion step runs a BFS from a pseudo-peripheral vertex of the
+// (sub)graph, picks the median level as the separator, recurses on the two
+// halves and numbers the separator last. Small pieces fall back to minimum
+// degree. On 3D FEM meshes this yields the O(n^2) factor-size / O(n^{4/3})
+// front-size asymptotics that make the multifrontal solver scale, without
+// needing an external graph partitioner.
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+#include "ordering/ordering.h"
+
+namespace cs::ordering {
+
+namespace {
+
+constexpr index_t kLeafSize = 64;
+
+/// Induced sub-pattern of `verts` (which must be active); local indices
+/// follow the order of `verts`.
+sparse::Pattern induced(const sparse::Pattern& pattern,
+                        const std::vector<index_t>& verts,
+                        std::vector<index_t>& local_of_global) {
+  sparse::Pattern sub;
+  sub.n = static_cast<index_t>(verts.size());
+  for (std::size_t l = 0; l < verts.size(); ++l)
+    local_of_global[static_cast<std::size_t>(verts[l])] =
+        static_cast<index_t>(l);
+  sub.adj_ptr.assign(verts.size() + 1, 0);
+  for (std::size_t l = 0; l < verts.size(); ++l) {
+    const index_t v = verts[l];
+    for (offset_t k = pattern.adj_ptr[static_cast<std::size_t>(v)];
+         k < pattern.adj_ptr[static_cast<std::size_t>(v) + 1]; ++k) {
+      const index_t w = pattern.adj[static_cast<std::size_t>(k)];
+      if (local_of_global[static_cast<std::size_t>(w)] >= 0) ++sub.adj_ptr[l + 1];
+    }
+  }
+  for (std::size_t l = 0; l < verts.size(); ++l) sub.adj_ptr[l + 1] += sub.adj_ptr[l];
+  sub.adj.resize(static_cast<std::size_t>(sub.adj_ptr[verts.size()]));
+  std::vector<offset_t> cursor(sub.adj_ptr.begin(), sub.adj_ptr.end() - 1);
+  for (std::size_t l = 0; l < verts.size(); ++l) {
+    const index_t v = verts[l];
+    for (offset_t k = pattern.adj_ptr[static_cast<std::size_t>(v)];
+         k < pattern.adj_ptr[static_cast<std::size_t>(v) + 1]; ++k) {
+      const index_t w = pattern.adj[static_cast<std::size_t>(k)];
+      const index_t lw = local_of_global[static_cast<std::size_t>(w)];
+      if (lw >= 0) sub.adj[static_cast<std::size_t>(cursor[l]++)] = lw;
+    }
+  }
+  // Reset the scratch map for the caller.
+  for (index_t v : verts) local_of_global[static_cast<std::size_t>(v)] = -1;
+  return sub;
+}
+
+/// Recursive dissection of the sub-pattern; appends vertex *local* ids to
+/// `out` in elimination order.
+void dissect(const sparse::Pattern& pattern, std::vector<index_t>& out) {
+  const index_t n = pattern.n;
+  if (n <= kLeafSize) {
+    // Small piece: minimum degree, converted from perm to elimination order.
+    const auto perm = minimum_degree(pattern);
+    std::vector<index_t> order(static_cast<std::size_t>(n));
+    for (index_t v = 0; v < n; ++v)
+      order[static_cast<std::size_t>(perm[static_cast<std::size_t>(v)])] = v;
+    out.insert(out.end(), order.begin(), order.end());
+    return;
+  }
+
+  std::vector<char> active(static_cast<std::size_t>(n), 1);
+  std::vector<index_t> level;
+  // BFS component from a pseudo-peripheral vertex of the first unvisited
+  // component; disconnected remainders are handled by recursing on "rest".
+  const index_t start = detail::pseudo_peripheral(pattern, 0, active);
+  const auto comp = detail::bfs_levels(pattern, start, active, level);
+
+  // Disconnected graph: the reached component and the remainder can be
+  // ordered independently (no separator needed).
+  if (static_cast<index_t>(comp.size()) < n) {
+    std::vector<index_t> comp_verts(comp.begin(), comp.end());
+    std::vector<index_t> rest_verts;
+    for (index_t v = 0; v < n; ++v)
+      if (level[static_cast<std::size_t>(v)] < 0) rest_verts.push_back(v);
+    std::vector<index_t> scratch(static_cast<std::size_t>(n), -1);
+    for (const auto* part : {&comp_verts, &rest_verts}) {
+      auto sub = induced(pattern, *part, scratch);
+      std::vector<index_t> sub_order;
+      dissect(sub, sub_order);
+      for (index_t l : sub_order)
+        out.push_back((*part)[static_cast<std::size_t>(l)]);
+    }
+    return;
+  }
+
+  const index_t max_level = level[static_cast<std::size_t>(comp.back())];
+  if (max_level < 2) {
+    // Graph too dense/small to bisect by levels: minimum degree fallback.
+    const auto perm = minimum_degree(pattern);
+    std::vector<index_t> order(static_cast<std::size_t>(n));
+    for (index_t v = 0; v < n; ++v)
+      order[static_cast<std::size_t>(perm[static_cast<std::size_t>(v)])] = v;
+    out.insert(out.end(), order.begin(), order.end());
+    return;
+  }
+
+  // Choose the level whose removal best balances the halves: the median
+  // level by vertex count.
+  std::vector<index_t> level_count(static_cast<std::size_t>(max_level) + 1, 0);
+  for (index_t v = 0; v < n; ++v)
+    ++level_count[static_cast<std::size_t>(level[static_cast<std::size_t>(v)])];
+  index_t sep_level = 1;
+  index_t below = level_count[0];
+  for (index_t l = 1; l < max_level; ++l) {
+    if (below >= (n - level_count[static_cast<std::size_t>(l)]) / 2) {
+      sep_level = l;
+      break;
+    }
+    below += level_count[static_cast<std::size_t>(l)];
+    sep_level = l;
+  }
+
+  std::vector<index_t> left, right, sep;
+  for (index_t v = 0; v < n; ++v) {
+    const index_t l = level[static_cast<std::size_t>(v)];
+    if (l < sep_level)
+      left.push_back(v);
+    else if (l > sep_level)
+      right.push_back(v);
+    else
+      sep.push_back(v);
+  }
+
+  std::vector<index_t> scratch(static_cast<std::size_t>(n), -1);
+  for (const auto* part : {&left, &right}) {
+    if (part->empty()) continue;
+    auto sub = induced(pattern, *part, scratch);
+    std::vector<index_t> sub_order;
+    dissect(sub, sub_order);
+    for (index_t l : sub_order)
+      out.push_back((*part)[static_cast<std::size_t>(l)]);
+  }
+  // Separator last.
+  out.insert(out.end(), sep.begin(), sep.end());
+}
+
+}  // namespace
+
+std::vector<index_t> nested_dissection(const sparse::Pattern& pattern) {
+  std::vector<index_t> order;
+  order.reserve(static_cast<std::size_t>(pattern.n));
+  dissect(pattern, order);
+  std::vector<index_t> perm(static_cast<std::size_t>(pattern.n));
+  for (std::size_t k = 0; k < order.size(); ++k)
+    perm[static_cast<std::size_t>(order[k])] = static_cast<index_t>(k);
+  return perm;
+}
+
+}  // namespace cs::ordering

@@ -1,0 +1,156 @@
+#include "ordering/ordering.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <queue>
+
+namespace cs::ordering {
+
+std::vector<index_t> inverse_permutation(const std::vector<index_t>& perm) {
+  std::vector<index_t> iperm(perm.size());
+  for (std::size_t i = 0; i < perm.size(); ++i)
+    iperm[static_cast<std::size_t>(perm[i])] = static_cast<index_t>(i);
+  return iperm;
+}
+
+bool is_permutation(const std::vector<index_t>& perm) {
+  std::vector<char> seen(perm.size(), 0);
+  for (index_t p : perm) {
+    if (p < 0 || static_cast<std::size_t>(p) >= perm.size()) return false;
+    if (seen[static_cast<std::size_t>(p)]) return false;
+    seen[static_cast<std::size_t>(p)] = 1;
+  }
+  return true;
+}
+
+std::vector<index_t> compute(const sparse::Pattern& pattern, Method method) {
+  switch (method) {
+    case Method::kNatural: {
+      std::vector<index_t> perm(static_cast<std::size_t>(pattern.n));
+      std::iota(perm.begin(), perm.end(), 0);
+      return perm;
+    }
+    case Method::kRcm:
+      return rcm(pattern);
+    case Method::kMinimumDegree:
+      return minimum_degree(pattern);
+    case Method::kNestedDissection:
+      return nested_dissection(pattern);
+  }
+  return {};
+}
+
+std::vector<index_t> compute_constrained(const sparse::Pattern& pattern,
+                                         Method method,
+                                         const std::vector<bool>& order_last) {
+  assert(order_last.size() == static_cast<std::size_t>(pattern.n));
+  const index_t n = pattern.n;
+  // Collect the free (non-last) vertices and build their induced pattern.
+  std::vector<index_t> free_of_global(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> global_of_free;
+  for (index_t v = 0; v < n; ++v) {
+    if (!order_last[static_cast<std::size_t>(v)]) {
+      free_of_global[static_cast<std::size_t>(v)] =
+          static_cast<index_t>(global_of_free.size());
+      global_of_free.push_back(v);
+    }
+  }
+  const index_t nf = static_cast<index_t>(global_of_free.size());
+
+  sparse::Pattern sub;
+  sub.n = nf;
+  sub.adj_ptr.assign(static_cast<std::size_t>(nf) + 1, 0);
+  for (index_t f = 0; f < nf; ++f) {
+    const index_t v = global_of_free[static_cast<std::size_t>(f)];
+    for (offset_t k = pattern.adj_ptr[static_cast<std::size_t>(v)];
+         k < pattern.adj_ptr[static_cast<std::size_t>(v) + 1]; ++k) {
+      if (free_of_global[static_cast<std::size_t>(pattern.adj[
+              static_cast<std::size_t>(k)])] >= 0)
+        ++sub.adj_ptr[static_cast<std::size_t>(f) + 1];
+    }
+  }
+  for (index_t f = 0; f < nf; ++f)
+    sub.adj_ptr[static_cast<std::size_t>(f) + 1] +=
+        sub.adj_ptr[static_cast<std::size_t>(f)];
+  sub.adj.resize(static_cast<std::size_t>(sub.adj_ptr[static_cast<std::size_t>(nf)]));
+  {
+    std::vector<offset_t> cursor(sub.adj_ptr.begin(), sub.adj_ptr.end() - 1);
+    for (index_t f = 0; f < nf; ++f) {
+      const index_t v = global_of_free[static_cast<std::size_t>(f)];
+      for (offset_t k = pattern.adj_ptr[static_cast<std::size_t>(v)];
+           k < pattern.adj_ptr[static_cast<std::size_t>(v) + 1]; ++k) {
+        const index_t w = pattern.adj[static_cast<std::size_t>(k)];
+        const index_t fw = free_of_global[static_cast<std::size_t>(w)];
+        if (fw >= 0)
+          sub.adj[static_cast<std::size_t>(
+              cursor[static_cast<std::size_t>(f)]++)] = fw;
+      }
+    }
+  }
+
+  const std::vector<index_t> sub_perm = compute(sub, method);
+
+  std::vector<index_t> perm(static_cast<std::size_t>(n));
+  index_t next_last = nf;
+  for (index_t v = 0; v < n; ++v) {
+    if (order_last[static_cast<std::size_t>(v)]) {
+      perm[static_cast<std::size_t>(v)] = next_last++;
+    } else {
+      perm[static_cast<std::size_t>(v)] =
+          sub_perm[static_cast<std::size_t>(
+              free_of_global[static_cast<std::size_t>(v)])];
+    }
+  }
+  return perm;
+}
+
+namespace detail {
+
+std::vector<index_t> bfs_levels(const sparse::Pattern& pattern, index_t start,
+                                const std::vector<char>& active,
+                                std::vector<index_t>& level) {
+  level.assign(static_cast<std::size_t>(pattern.n), -1);
+  std::vector<index_t> order;
+  if (!active[static_cast<std::size_t>(start)]) return order;
+  std::queue<index_t> q;
+  q.push(start);
+  level[static_cast<std::size_t>(start)] = 0;
+  while (!q.empty()) {
+    const index_t v = q.front();
+    q.pop();
+    order.push_back(v);
+    for (offset_t k = pattern.adj_ptr[static_cast<std::size_t>(v)];
+         k < pattern.adj_ptr[static_cast<std::size_t>(v) + 1]; ++k) {
+      const index_t w = pattern.adj[static_cast<std::size_t>(k)];
+      if (active[static_cast<std::size_t>(w)] &&
+          level[static_cast<std::size_t>(w)] < 0) {
+        level[static_cast<std::size_t>(w)] =
+            level[static_cast<std::size_t>(v)] + 1;
+        q.push(w);
+      }
+    }
+  }
+  return order;
+}
+
+index_t pseudo_peripheral(const sparse::Pattern& pattern, index_t start,
+                          const std::vector<char>& active) {
+  std::vector<index_t> level;
+  index_t current = start;
+  index_t ecc = -1;
+  for (int iter = 0; iter < 8; ++iter) {
+    const auto order = bfs_levels(pattern, current, active, level);
+    if (order.empty()) return start;
+    const index_t far = order.back();
+    const index_t new_ecc = level[static_cast<std::size_t>(far)];
+    if (new_ecc <= ecc) break;
+    ecc = new_ecc;
+    current = far;
+  }
+  return current;
+}
+
+}  // namespace detail
+
+}  // namespace cs::ordering

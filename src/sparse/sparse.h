@@ -1,0 +1,293 @@
+// Sparse matrix containers and kernels.
+//
+// The coupled system's sparse blocks (A_vv FEM stiffness, A_sv coupling) are
+// stored in CSR. Symmetric matrices keep their *full* pattern (both
+// triangles): this doubles nnz storage but gives O(1) row and column access
+// to the analysis phase of the sparse direct solver and keeps every kernel
+// simple; the multifrontal factor itself stores only one triangle.
+//
+// All index/value arrays live in tracked Buffers so that sparse storage
+// counts against the experiment's virtual memory budget.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/types.h"
+#include "la/matrix.h"
+
+namespace cs::sparse {
+
+/// Triplet (COO) accumulation buffer used by the FEM/BEM assembly and by
+/// the multi-factorization algorithm when building the W submatrices.
+template <class T>
+struct Triplets {
+  index_t rows = 0;
+  index_t cols = 0;
+  std::vector<index_t> i;
+  std::vector<index_t> j;
+  std::vector<T> v;
+
+  Triplets(index_t r, index_t c) : rows(r), cols(c) {}
+
+  void add(index_t row, index_t col, T value) {
+    assert(row >= 0 && row < rows && col >= 0 && col < cols);
+    i.push_back(row);
+    j.push_back(col);
+    v.push_back(value);
+  }
+
+  std::size_t nnz() const { return v.size(); }
+};
+
+/// Compressed sparse row matrix. Duplicate entries are summed on build.
+template <class T>
+class Csr {
+ public:
+  Csr() = default;
+
+  /// Build from triplets, summing duplicates.
+  static Csr from_triplets(const Triplets<T>& t) {
+    Csr m;
+    m.rows_ = t.rows;
+    m.cols_ = t.cols;
+    const std::size_t nt = t.nnz();
+    // Sort entry ids by (row, col).
+    std::vector<std::size_t> order(nt);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return t.i[a] != t.i[b] ? t.i[a] < t.i[b] : t.j[a] < t.j[b];
+    });
+    // Count unique entries.
+    std::size_t unique = 0;
+    for (std::size_t k = 0; k < nt; ++k) {
+      if (k == 0 || t.i[order[k]] != t.i[order[k - 1]] ||
+          t.j[order[k]] != t.j[order[k - 1]])
+        ++unique;
+    }
+    m.row_ptr_.reset(static_cast<std::size_t>(m.rows_) + 1);
+    m.col_idx_.reset(unique);
+    m.values_.reset(unique);
+    std::size_t out = static_cast<std::size_t>(-1);
+    index_t prev_i = -1, prev_j = -1;
+    for (std::size_t k = 0; k < nt; ++k) {
+      const std::size_t e = order[k];
+      if (t.i[e] != prev_i || t.j[e] != prev_j) {
+        ++out;
+        m.col_idx_[out] = t.j[e];
+        m.values_[out] = t.v[e];
+        prev_i = t.i[e];
+        prev_j = t.j[e];
+        ++m.row_ptr_[static_cast<std::size_t>(t.i[e]) + 1];
+      } else {
+        m.values_[out] += t.v[e];
+      }
+    }
+    for (index_t r = 0; r < m.rows_; ++r)
+      m.row_ptr_[static_cast<std::size_t>(r) + 1] +=
+          m.row_ptr_[static_cast<std::size_t>(r)];
+    return m;
+  }
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  offset_t nnz() const {
+    return rows_ == 0 ? 0 : row_ptr_[static_cast<std::size_t>(rows_)];
+  }
+
+  offset_t row_begin(index_t r) const {
+    return row_ptr_[static_cast<std::size_t>(r)];
+  }
+  offset_t row_end(index_t r) const {
+    return row_ptr_[static_cast<std::size_t>(r) + 1];
+  }
+  index_t col(offset_t k) const {
+    return col_idx_[static_cast<std::size_t>(k)];
+  }
+  T value(offset_t k) const { return values_[static_cast<std::size_t>(k)]; }
+  T& value_ref(offset_t k) { return values_[static_cast<std::size_t>(k)]; }
+
+  std::size_t size_bytes() const {
+    return row_ptr_.size() * sizeof(offset_t) +
+           col_idx_.size() * sizeof(index_t) + values_.size() * sizeof(T);
+  }
+
+  /// y := beta*y + alpha*A*x.
+  void spmv(T alpha, const T* x, T beta, T* y) const {
+    for (index_t r = 0; r < rows_; ++r) {
+      T acc{};
+      for (offset_t k = row_begin(r); k < row_end(r); ++k)
+        acc += value(k) * x[col(k)];
+      y[r] = (beta == T{0} ? T{0} : beta * y[r]) + alpha * acc;
+    }
+  }
+
+  /// y := beta*y + alpha*A^T*x.
+  void spmv_trans(T alpha, const T* x, T beta, T* y) const {
+    for (index_t c = 0; c < cols_; ++c)
+      y[c] = (beta == T{0} ? T{0} : beta * y[c]);
+    for (index_t r = 0; r < rows_; ++r) {
+      const T xr = alpha * x[r];
+      if (xr == T{0}) continue;
+      for (offset_t k = row_begin(r); k < row_end(r); ++k)
+        y[col(k)] += value(k) * xr;
+    }
+  }
+
+  /// C := beta*C + alpha*A*B for dense B, C (SpMM). Parallel over rows.
+  void spmm(T alpha, la::ConstMatrixView<T> B, T beta,
+            la::MatrixView<T> C) const {
+    assert(B.rows() == cols_ && C.rows() == rows_ && B.cols() == C.cols());
+    const index_t nrhs = B.cols();
+#pragma omp parallel for schedule(dynamic, 64) if (rows_ > 256)
+    for (index_t r = 0; r < rows_; ++r) {
+      for (index_t j = 0; j < nrhs; ++j) {
+        T acc{};
+        for (offset_t k = row_begin(r); k < row_end(r); ++k)
+          acc += value(k) * B(col(k), j);
+        C(r, j) = (beta == T{0} ? T{0} : beta * C(r, j)) + alpha * acc;
+      }
+    }
+  }
+
+  /// C := beta*C + alpha*A^T*B for dense B, C.
+  void spmm_trans(T alpha, la::ConstMatrixView<T> B, T beta,
+                  la::MatrixView<T> C) const {
+    assert(B.rows() == rows_ && C.rows() == cols_ && B.cols() == C.cols());
+    const index_t nrhs = B.cols();
+    for (index_t c = 0; c < cols_; ++c)
+      for (index_t j = 0; j < nrhs; ++j)
+        C(c, j) = (beta == T{0}) ? T{0} : beta * C(c, j);
+    for (index_t r = 0; r < rows_; ++r) {
+      for (offset_t k = row_begin(r); k < row_end(r); ++k) {
+        const T av = alpha * value(k);
+        const index_t c = col(k);
+        for (index_t j = 0; j < nrhs; ++j) C(c, j) += av * B(r, j);
+      }
+    }
+  }
+
+  /// Dense copy of rows [r0, r0+nr) of A, i.e. of columns [r0, r0+nr) of
+  /// A^T. Multi-solve uses this to form the n_c-column right-hand-side
+  /// panels A_sv^T(:, block) without materializing the full transpose.
+  void rows_as_dense_transposed(index_t r0, index_t nr,
+                                la::MatrixView<T> out) const {
+    assert(out.rows() == cols_ && out.cols() == nr);
+    out.fill(T{0});
+    for (index_t r = r0; r < r0 + nr; ++r)
+      for (offset_t k = row_begin(r); k < row_end(r); ++k)
+        out(col(k), r - r0) = value(k);
+  }
+
+  /// Extract the sub-matrix of rows [r0, r0+nr) x cols [c0, c0+nc) as
+  /// triplets (used by multi-factorization to build W blocks).
+  void extract_block(index_t r0, index_t nr, index_t c0, index_t nc,
+                     Triplets<T>& out, index_t row_offset,
+                     index_t col_offset) const {
+    for (index_t r = r0; r < r0 + nr; ++r) {
+      for (offset_t k = row_begin(r); k < row_end(r); ++k) {
+        const index_t c = col(k);
+        if (c >= c0 && c < c0 + nc)
+          out.add(r - r0 + row_offset, c - c0 + col_offset, value(k));
+      }
+    }
+  }
+
+  /// Transposed matrix (CSR of A^T).
+  Csr transposed() const {
+    Triplets<T> t(cols_, rows_);
+    t.i.reserve(static_cast<std::size_t>(nnz()));
+    t.j.reserve(static_cast<std::size_t>(nnz()));
+    t.v.reserve(static_cast<std::size_t>(nnz()));
+    for (index_t r = 0; r < rows_; ++r)
+      for (offset_t k = row_begin(r); k < row_end(r); ++k)
+        t.add(col(k), r, value(k));
+    return from_triplets(t);
+  }
+
+  /// Symmetric permutation B = P A P^T where P maps old index i to new
+  /// index perm[i]. Requires a square matrix.
+  Csr permuted_symmetric(const std::vector<index_t>& perm) const {
+    assert(rows_ == cols_);
+    Triplets<T> t(rows_, cols_);
+    t.i.reserve(static_cast<std::size_t>(nnz()));
+    t.j.reserve(static_cast<std::size_t>(nnz()));
+    t.v.reserve(static_cast<std::size_t>(nnz()));
+    for (index_t r = 0; r < rows_; ++r)
+      for (offset_t k = row_begin(r); k < row_end(r); ++k)
+        t.add(perm[static_cast<std::size_t>(r)],
+              perm[static_cast<std::size_t>(col(k))], value(k));
+    return from_triplets(t);
+  }
+
+  /// Dense copy (tests and small reference computations only).
+  la::Matrix<T> to_dense() const {
+    la::Matrix<T> d(rows_, cols_);
+    for (index_t r = 0; r < rows_; ++r)
+      for (offset_t k = row_begin(r); k < row_end(r); ++k)
+        d(r, col(k)) += value(k);
+    return d;
+  }
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  Buffer<offset_t> row_ptr_;
+  Buffer<index_t> col_idx_;
+  Buffer<T> values_;
+};
+
+/// Structural-pattern view used by orderings and symbolic analysis:
+/// adjacency of a square symmetric matrix (diagonal ignored).
+struct Pattern {
+  index_t n = 0;
+  std::vector<offset_t> adj_ptr;
+  std::vector<index_t> adj;
+
+  template <class T>
+  static Pattern from_symmetric(const Csr<T>& A) {
+    assert(A.rows() == A.cols());
+    Pattern p;
+    p.n = A.rows();
+    p.adj_ptr.assign(static_cast<std::size_t>(p.n) + 1, 0);
+    for (index_t r = 0; r < p.n; ++r)
+      for (offset_t k = A.row_begin(r); k < A.row_end(r); ++k)
+        if (A.col(k) != r) ++p.adj_ptr[static_cast<std::size_t>(r) + 1];
+    for (index_t r = 0; r < p.n; ++r)
+      p.adj_ptr[static_cast<std::size_t>(r) + 1] +=
+          p.adj_ptr[static_cast<std::size_t>(r)];
+    p.adj.resize(static_cast<std::size_t>(p.adj_ptr[p.n]));
+    std::vector<offset_t> cursor(p.adj_ptr.begin(), p.adj_ptr.end() - 1);
+    for (index_t r = 0; r < p.n; ++r)
+      for (offset_t k = A.row_begin(r); k < A.row_end(r); ++k)
+        if (A.col(k) != r)
+          p.adj[static_cast<std::size_t>(cursor[static_cast<std::size_t>(r)]++)] =
+              A.col(k);
+    return p;
+  }
+
+  /// Adjacency of the symmetrized pattern |A| + |A^T| (diagonal ignored).
+  /// Required by the LU analysis of structurally unsymmetric matrices such
+  /// as the W submatrices of the multi-factorization algorithm.
+  template <class T>
+  static Pattern from_general_symmetrized(const Csr<T>& A) {
+    assert(A.rows() == A.cols());
+    Triplets<T> t(A.rows(), A.cols());
+    for (index_t r = 0; r < A.rows(); ++r)
+      for (offset_t k = A.row_begin(r); k < A.row_end(r); ++k) {
+        t.add(r, A.col(k), T{1});
+        t.add(A.col(k), r, T{1});
+      }
+    return from_symmetric(Csr<T>::from_triplets(t));
+  }
+
+  offset_t degree(index_t v) const {
+    return adj_ptr[static_cast<std::size_t>(v) + 1] -
+           adj_ptr[static_cast<std::size_t>(v)];
+  }
+};
+
+}  // namespace cs::sparse

@@ -1,0 +1,153 @@
+// Block low-rank (BLR) panel storage for multifrontal factor panels.
+//
+// MUMPS-style BLR does not compress a front's border panel as one block
+// (border-to-pivot coupling as a whole is near full rank); it tiles the
+// panel and compresses each tile independently, so that tiles pairing
+// geometrically distant row/column subsets become low-rank. This header
+// provides that tiled representation: a panel is split into row blocks of
+// `tile_rows` rows; each tile is stored dense or as rank-k U V^T factors,
+// whichever is smaller at the requested accuracy.
+#pragma once
+
+#include <vector>
+
+#include "la/blas.h"
+#include "la/qr_svd.h"
+
+namespace cs::sparsedirect {
+
+template <class T>
+struct PanelTile {
+  index_t row0 = 0;
+  index_t rows = 0;
+  bool compressed = false;
+  la::Matrix<T> dense;    // rows x cols when !compressed
+  la::RkFactors<T> rk;    // U (rows x k), V (cols x k) when compressed
+};
+
+/// A (rows x cols) matrix stored as a stack of row tiles.
+template <class T>
+class TiledPanel {
+ public:
+  TiledPanel() = default;
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  /// Build from a dense panel. When `compress` is set, tiles of
+  /// `tile_rows` rows are compressed at accuracy eps if both tile
+  /// dimensions reach min_dim and the factors are smaller than the tile.
+  static TiledPanel from_dense(la::ConstMatrixView<T> panel, bool compress,
+                               real_of_t<T> eps, index_t min_dim,
+                               index_t tile_rows, offset_t* compressed_tiles,
+                               offset_t* dense_tiles) {
+    TiledPanel p;
+    p.rows_ = panel.rows();
+    p.cols_ = panel.cols();
+    if (p.empty()) return p;
+    const index_t step = compress ? tile_rows : p.rows_;
+    for (index_t r0 = 0; r0 < p.rows_; r0 += step) {
+      const index_t nr = std::min(step, p.rows_ - r0);
+      PanelTile<T> tile;
+      tile.row0 = r0;
+      tile.rows = nr;
+      auto block = panel.block(r0, 0, nr, p.cols_);
+      if (compress && nr >= min_dim && p.cols_ >= min_dim) {
+        auto cand = la::rrqr_compress(block, eps);
+        const offset_t rk_entries =
+            static_cast<offset_t>(cand.rank()) * (nr + p.cols_);
+        if (rk_entries < static_cast<offset_t>(nr) * p.cols_) {
+          tile.compressed = true;
+          tile.rk = std::move(cand);
+          if (compressed_tiles != nullptr) ++(*compressed_tiles);
+          p.tiles_.push_back(std::move(tile));
+          continue;
+        }
+      }
+      tile.dense = la::Matrix<T>(nr, p.cols_);
+      tile.dense.view().copy_from(block);
+      if (dense_tiles != nullptr) ++(*dense_tiles);
+      p.tiles_.push_back(std::move(tile));
+    }
+    return p;
+  }
+
+  /// Rebuild a panel from externally restored tiles (used by the
+  /// out-of-core store).
+  static TiledPanel from_tiles(index_t rows, index_t cols,
+                               std::vector<PanelTile<T>> tiles) {
+    TiledPanel p;
+    p.rows_ = rows;
+    p.cols_ = cols;
+    p.tiles_ = std::move(tiles);
+    return p;
+  }
+
+  /// out := P * Y  (out: rows x nrhs, Y: cols x nrhs).
+  void mult(la::ConstMatrixView<T> Y, la::MatrixView<T> out) const {
+    for (const auto& tile : tiles_) {
+      auto o = out.block(tile.row0, 0, tile.rows, out.cols());
+      if (!tile.compressed) {
+        la::gemm(T{1}, tile.dense.view(), la::Op::kNoTrans, Y,
+                 la::Op::kNoTrans, T{0}, o);
+      } else {
+        la::Matrix<T> tmp(tile.rk.V.cols(), Y.cols());
+        la::gemm(T{1}, tile.rk.V.view(), la::Op::kTrans, Y, la::Op::kNoTrans,
+                 T{0}, tmp.view());
+        la::gemm(T{1}, tile.rk.U.view(), la::Op::kNoTrans, tmp.view(),
+                 la::Op::kNoTrans, T{0}, o);
+      }
+    }
+  }
+
+  /// out := P^T * Y  (out: cols x nrhs, Y: rows x nrhs). Accumulates over
+  /// tiles, so `out` is zeroed first.
+  void mult_trans(la::ConstMatrixView<T> Y, la::MatrixView<T> out) const {
+    out.fill(T{0});
+    for (const auto& tile : tiles_) {
+      auto y = Y.block(tile.row0, 0, tile.rows, Y.cols());
+      if (!tile.compressed) {
+        la::gemm(T{1}, tile.dense.view(), la::Op::kTrans, y, la::Op::kNoTrans,
+                 T{1}, out);
+      } else {
+        la::Matrix<T> tmp(tile.rk.U.cols(), Y.cols());
+        la::gemm(T{1}, tile.rk.U.view(), la::Op::kTrans, y, la::Op::kNoTrans,
+                 T{0}, tmp.view());
+        la::gemm(T{1}, tile.rk.V.view(), la::Op::kNoTrans, tmp.view(),
+                 la::Op::kNoTrans, T{1}, out);
+      }
+    }
+  }
+
+  /// Scalars actually stored.
+  offset_t stored_entries() const {
+    offset_t total = 0;
+    for (const auto& tile : tiles_) {
+      if (tile.compressed)
+        total += static_cast<offset_t>(tile.rk.U.rows()) * tile.rk.U.cols() +
+                 static_cast<offset_t>(tile.rk.V.rows()) * tile.rk.V.cols();
+      else
+        total += static_cast<offset_t>(tile.dense.rows()) * tile.dense.cols();
+    }
+    return total;
+  }
+
+  std::size_t size_bytes() const {
+    std::size_t bytes = 0;
+    for (const auto& tile : tiles_) {
+      bytes += tile.dense.size_bytes() + tile.rk.U.size_bytes() +
+               tile.rk.V.size_bytes();
+    }
+    return bytes;
+  }
+
+  const std::vector<PanelTile<T>>& tiles() const { return tiles_; }
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<PanelTile<T>> tiles_;
+};
+
+}  // namespace cs::sparsedirect

@@ -1,0 +1,71 @@
+#include "sparsedirect/etree.h"
+
+#include <cassert>
+
+namespace cs::sparsedirect {
+
+std::vector<index_t> elimination_tree(const sparse::Pattern& pattern) {
+  const index_t n = pattern.n;
+  std::vector<index_t> parent(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> ancestor(static_cast<std::size_t>(n), -1);
+  for (index_t j = 0; j < n; ++j) {
+    for (offset_t k = pattern.adj_ptr[static_cast<std::size_t>(j)];
+         k < pattern.adj_ptr[static_cast<std::size_t>(j) + 1]; ++k) {
+      index_t r = pattern.adj[static_cast<std::size_t>(k)];
+      if (r >= j) continue;  // lower-triangle entries of column j only
+      // Walk up from r to the current root, compressing to j.
+      while (true) {
+        const index_t next = ancestor[static_cast<std::size_t>(r)];
+        ancestor[static_cast<std::size_t>(r)] = j;
+        if (next == -1) {
+          parent[static_cast<std::size_t>(r)] = j;
+          break;
+        }
+        if (next == j) break;
+        r = next;
+      }
+    }
+  }
+  return parent;
+}
+
+std::vector<index_t> tree_postorder(const std::vector<index_t>& parent) {
+  const index_t n = static_cast<index_t>(parent.size());
+  // Build child lists (reversed insertion keeps natural order on traversal).
+  std::vector<index_t> first_child(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> next_sibling(static_cast<std::size_t>(n), -1);
+  for (index_t v = n - 1; v >= 0; --v) {
+    const index_t p = parent[static_cast<std::size_t>(v)];
+    if (p != -1) {
+      next_sibling[static_cast<std::size_t>(v)] =
+          first_child[static_cast<std::size_t>(p)];
+      first_child[static_cast<std::size_t>(p)] = v;
+    }
+  }
+  std::vector<index_t> post;
+  post.reserve(static_cast<std::size_t>(n));
+  std::vector<index_t> stack;
+  for (index_t root = 0; root < n; ++root) {
+    if (parent[static_cast<std::size_t>(root)] != -1) continue;
+    // Iterative DFS emitting vertices in postorder.
+    stack.push_back(root);
+    std::vector<index_t> child_cursor_stack;
+    while (!stack.empty()) {
+      const index_t v = stack.back();
+      const index_t c = first_child[static_cast<std::size_t>(v)];
+      if (c != -1) {
+        // Descend: detach the child so it is visited once.
+        first_child[static_cast<std::size_t>(v)] =
+            next_sibling[static_cast<std::size_t>(c)];
+        stack.push_back(c);
+      } else {
+        post.push_back(v);
+        stack.pop_back();
+      }
+    }
+  }
+  assert(static_cast<index_t>(post.size()) == n);
+  return post;
+}
+
+}  // namespace cs::sparsedirect

@@ -1,0 +1,19 @@
+// Elimination tree utilities (Liu's algorithm) for the multifrontal solver.
+#pragma once
+
+#include <vector>
+
+#include "sparse/sparse.h"
+
+namespace cs::sparsedirect {
+
+/// Elimination tree of a symmetric pattern (both triangles present in
+/// `pattern`): parent[j] = min { i > j : L(i,j) != 0 }, or -1 for roots.
+/// Uses path compression; O(nnz * alpha(n)).
+std::vector<index_t> elimination_tree(const sparse::Pattern& pattern);
+
+/// Postorder of the forest given parent pointers: returns `post` with
+/// post[k] = k-th vertex in postorder (children before parents).
+std::vector<index_t> tree_postorder(const std::vector<index_t>& parent);
+
+}  // namespace cs::sparsedirect

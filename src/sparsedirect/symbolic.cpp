@@ -1,0 +1,145 @@
+#include "sparsedirect/symbolic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "sparsedirect/etree.h"
+
+namespace cs::sparsedirect {
+
+offset_t Symbolic::estimate_factor_entries() const {
+  offset_t total = 0;
+  for (const auto& f : fronts) {
+    if (f.is_schur) continue;
+    const offset_t np = f.n_pivots();
+    const offset_t nb = static_cast<offset_t>(f.border.size());
+    total += np * (np + 1) / 2 + np * nb;
+  }
+  return total;
+}
+
+Symbolic analyze(const sparse::Pattern& pattern, const SymbolicOptions& opt) {
+  const index_t n = pattern.n;
+  const index_t n_elim = n - opt.schur_size;
+  if (n_elim < 0)
+    throw std::invalid_argument("schur_size exceeds matrix dimension");
+
+  Symbolic sym;
+  sym.n = n;
+  sym.n_eliminated = n_elim;
+
+  const auto parent = elimination_tree(pattern);
+
+  // Column structures of the factor, bottom-up over the eliminated
+  // variables (struct(j) = rows > j of column j of L). Entries in the Schur
+  // range are kept: they are the rows through which contributions reach the
+  // terminal Schur front.
+  std::vector<std::vector<index_t>> structs(static_cast<std::size_t>(n_elim));
+  std::vector<std::vector<index_t>> children(static_cast<std::size_t>(n_elim));
+  for (index_t j = 0; j < n_elim; ++j) {
+    const index_t p = parent[static_cast<std::size_t>(j)];
+    if (p >= 0 && p < n_elim)
+      children[static_cast<std::size_t>(p)].push_back(j);
+  }
+  std::vector<index_t> mark(static_cast<std::size_t>(n), -1);
+  for (index_t j = 0; j < n_elim; ++j) {
+    auto& s = structs[static_cast<std::size_t>(j)];
+    mark[static_cast<std::size_t>(j)] = j;
+    for (offset_t k = pattern.adj_ptr[static_cast<std::size_t>(j)];
+         k < pattern.adj_ptr[static_cast<std::size_t>(j) + 1]; ++k) {
+      const index_t i = pattern.adj[static_cast<std::size_t>(k)];
+      if (i > j && mark[static_cast<std::size_t>(i)] != j) {
+        mark[static_cast<std::size_t>(i)] = j;
+        s.push_back(i);
+      }
+    }
+    for (const index_t c : children[static_cast<std::size_t>(j)]) {
+      for (const index_t i : structs[static_cast<std::size_t>(c)]) {
+        if (i != j && mark[static_cast<std::size_t>(i)] != j) {
+          assert(i > j);
+          mark[static_cast<std::size_t>(i)] = j;
+          s.push_back(i);
+        }
+      }
+    }
+    std::sort(s.begin(), s.end());
+  }
+
+  // Supernode (front) formation: column j joins the supernode of column
+  // j-1 when the etree makes them a chain and the structure growth is
+  // within the amalgamation budget (growth 0 <=> fundamental supernode).
+  std::vector<index_t> front_starts;
+  if (n_elim > 0) front_starts.push_back(0);
+  for (index_t j = 1; j < n_elim; ++j) {
+    const bool chain = parent[static_cast<std::size_t>(j - 1)] == j;
+    const index_t width = j - front_starts.back();
+    bool merge = false;
+    if (chain && width < opt.max_supernode) {
+      const offset_t growth =
+          static_cast<offset_t>(structs[static_cast<std::size_t>(j)].size()) +
+          1 -
+          static_cast<offset_t>(
+              structs[static_cast<std::size_t>(j - 1)].size());
+      assert(growth >= 0);
+      merge = growth <= opt.relax_zeros;
+    }
+    if (!merge) front_starts.push_back(j);
+  }
+
+  sym.front_of_var.assign(static_cast<std::size_t>(n), -1);
+  for (std::size_t f = 0; f < front_starts.size(); ++f) {
+    Front front;
+    front.pivot_begin = front_starts[f];
+    front.pivot_end = (f + 1 < front_starts.size()) ? front_starts[f + 1]
+                                                    : n_elim;
+    // Border = structure of the last pivot column (see the chain-subset
+    // property of elimination trees: struct(j-1) \ {j} is contained in
+    // struct(j) whenever parent(j-1) = j).
+    front.border =
+        std::move(structs[static_cast<std::size_t>(front.pivot_end - 1)]);
+    sym.fronts.push_back(std::move(front));
+    for (index_t v = sym.fronts.back().pivot_begin;
+         v < sym.fronts.back().pivot_end; ++v)
+      sym.front_of_var[static_cast<std::size_t>(v)] =
+          static_cast<index_t>(sym.fronts.size() - 1);
+  }
+  structs.clear();
+  structs.shrink_to_fit();
+
+  // Terminal Schur front holding the never-eliminated trailing variables.
+  if (opt.schur_size > 0) {
+    Front schur;
+    schur.pivot_begin = n_elim;
+    schur.pivot_end = n;
+    schur.is_schur = true;
+    sym.schur_front = static_cast<index_t>(sym.fronts.size());
+    sym.fronts.push_back(std::move(schur));
+    for (index_t v = n_elim; v < n; ++v)
+      sym.front_of_var[static_cast<std::size_t>(v)] = sym.schur_front;
+  }
+
+  // Assembly tree: a front's parent is the front owning its first border
+  // row. A front whose border is empty is a root (its contribution block
+  // is empty).
+  for (std::size_t f = 0; f < sym.fronts.size(); ++f) {
+    auto& front = sym.fronts[f];
+    if (front.is_schur || front.border.empty()) {
+      front.parent = -1;
+      continue;
+    }
+    front.parent =
+        sym.front_of_var[static_cast<std::size_t>(front.border.front())];
+    assert(front.parent > static_cast<index_t>(f));
+    sym.fronts[static_cast<std::size_t>(front.parent)].children.push_back(
+        static_cast<index_t>(f));
+  }
+
+  sym.factor_entries = sym.estimate_factor_entries();
+  for (const auto& f : sym.fronts)
+    sym.peak_front_rows =
+        std::max(sym.peak_front_rows, static_cast<offset_t>(f.n_rows()));
+  return sym;
+}
+
+}  // namespace cs::sparsedirect

@@ -1,0 +1,60 @@
+// Symbolic analysis for the multifrontal solver: per-column factor
+// structures, supernode (front) formation with fundamental-supernode
+// detection and relaxed amalgamation, and the assembly tree.
+//
+// The analysis runs on an already-permuted, postordered pattern. An
+// optional trailing group of `schur_size` variables is forced into a single
+// terminal "Schur front" that is never eliminated: after the numeric phase
+// its assembled matrix *is* the Schur complement of the leading block,
+// which is how the solver exposes the paper's "sparse factorization+Schur"
+// building block.
+#pragma once
+
+#include <vector>
+
+#include "sparse/sparse.h"
+
+namespace cs::sparsedirect {
+
+/// One front (supernode) of the assembly tree.
+struct Front {
+  index_t pivot_begin = 0;  ///< first pivot variable (permuted index)
+  index_t pivot_end = 0;    ///< one-past-last pivot variable
+  std::vector<index_t> border;  ///< row indices below the pivot block, sorted
+  index_t parent = -1;          ///< parent front id (-1 for roots)
+  std::vector<index_t> children;
+  bool is_schur = false;  ///< terminal non-eliminated front
+
+  index_t n_pivots() const { return pivot_end - pivot_begin; }
+  index_t n_rows() const {
+    return n_pivots() + static_cast<index_t>(border.size());
+  }
+};
+
+struct SymbolicOptions {
+  index_t schur_size = 0;
+  /// Merge a child column into its parent supernode when at most this many
+  /// explicit-zero rows per column would be introduced.
+  index_t relax_zeros = 16;
+  /// Never grow a relaxed supernode beyond this many pivots.
+  index_t max_supernode = 256;
+};
+
+/// Result of the symbolic phase.
+struct Symbolic {
+  index_t n = 0;           ///< matrix dimension (including Schur variables)
+  index_t n_eliminated = 0;  ///< n - schur_size
+  std::vector<Front> fronts;  ///< in assembly (post)order: children first
+  index_t schur_front = -1;   ///< id of the terminal Schur front, or -1
+  std::vector<index_t> front_of_var;  ///< pivot variable -> front id
+  offset_t factor_entries = 0;  ///< scalar entries in all factor panels
+  offset_t peak_front_rows = 0;  ///< largest front dimension
+
+  /// Estimated scalar L storage (pivot block lower + border panels).
+  offset_t estimate_factor_entries() const;
+};
+
+/// Run the symbolic analysis on a postordered symmetric pattern.
+Symbolic analyze(const sparse::Pattern& pattern, const SymbolicOptions& opt);
+
+}  // namespace cs::sparsedirect

@@ -1,0 +1,177 @@
+// Unit tests for the tiled BLR panel storage used by the multifrontal
+// factor panels, and for the Rk truncation primitive.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "la/qr_svd.h"
+#include "sparsedirect/blr.h"
+
+namespace cs::sparsedirect {
+namespace {
+
+using la::ConstMatrixView;
+using la::Matrix;
+using la::rel_diff;
+
+template <class T>
+Matrix<T> random_matrix(index_t m, index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix<T> a(m, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i) a(i, j) = rng.scalar<T>();
+  return a;
+}
+
+/// Smooth displacement kernel: each row block vs columns is low-rank.
+Matrix<double> smooth_panel(index_t m, index_t n) {
+  Matrix<double> p(m, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i)
+      p(i, j) = 1.0 / (3.0 + 0.7 * i + 1.3 * j);
+  return p;
+}
+
+TEST(TiledPanel, UncompressedRoundTrip) {
+  auto P = random_matrix<double>(100, 40, 1);
+  offset_t ct = 0, dt = 0;
+  auto tiled = TiledPanel<double>::from_dense(
+      ConstMatrixView<double>(P.view()), /*compress=*/false, 1e-6, 16, 32,
+      &ct, &dt);
+  EXPECT_EQ(ct, 0);
+  EXPECT_EQ(dt, 1);  // one dense tile covering everything
+  EXPECT_EQ(tiled.rows(), 100);
+  EXPECT_EQ(tiled.cols(), 40);
+  EXPECT_EQ(tiled.stored_entries(), 4000);
+}
+
+TEST(TiledPanel, CompressedTilesApproximate) {
+  auto P = smooth_panel(200, 60);
+  offset_t ct = 0, dt = 0;
+  auto tiled = TiledPanel<double>::from_dense(
+      ConstMatrixView<double>(P.view()), /*compress=*/true, 1e-8, 16, 64,
+      &ct, &dt);
+  EXPECT_GT(ct, 0);
+  EXPECT_LT(tiled.stored_entries(), 200 * 60);
+
+  // mult agrees with the dense panel.
+  auto X = random_matrix<double>(60, 5, 2);
+  Matrix<double> Y(200, 5), Y_ref(200, 5);
+  tiled.mult(ConstMatrixView<double>(X.view()), Y.view());
+  la::gemm(1.0, P.view(), la::Op::kNoTrans, X.view(), la::Op::kNoTrans, 0.0,
+           Y_ref.view());
+  EXPECT_LT(rel_diff<double>(Y.view(), Y_ref.view()), 1e-6);
+
+  // mult_trans agrees too.
+  auto Z = random_matrix<double>(200, 3, 3);
+  Matrix<double> W(60, 3), W_ref(60, 3);
+  tiled.mult_trans(ConstMatrixView<double>(Z.view()), W.view());
+  la::gemm(1.0, P.view(), la::Op::kTrans, Z.view(), la::Op::kNoTrans, 0.0,
+           W_ref.view());
+  EXPECT_LT(rel_diff<double>(W.view(), W_ref.view()), 1e-6);
+}
+
+TEST(TiledPanel, IncompressibleTilesStayDense) {
+  auto P = random_matrix<double>(128, 64, 4);  // full rank noise
+  offset_t ct = 0, dt = 0;
+  auto tiled = TiledPanel<double>::from_dense(
+      ConstMatrixView<double>(P.view()), true, 1e-10, 16, 64, &ct, &dt);
+  EXPECT_EQ(ct, 0);
+  EXPECT_EQ(tiled.stored_entries(), 128 * 64);
+}
+
+TEST(TiledPanel, EmptyPanel) {
+  Matrix<double> P(0, 10);
+  auto tiled = TiledPanel<double>::from_dense(
+      ConstMatrixView<double>(P.view()), true, 1e-6, 16, 64, nullptr,
+      nullptr);
+  EXPECT_TRUE(tiled.empty());
+  EXPECT_EQ(tiled.stored_entries(), 0);
+}
+
+TEST(TiledPanel, MinDimGuardsTinyTiles) {
+  auto P = smooth_panel(100, 8);  // cols below min_dim
+  offset_t ct = 0, dt = 0;
+  auto tiled = TiledPanel<double>::from_dense(
+      ConstMatrixView<double>(P.view()), true, 1e-4, 16, 32, &ct, &dt);
+  EXPECT_EQ(ct, 0);  // nothing compressed: cols < min_dim
+  EXPECT_GT(dt, 0);
+}
+
+template <class T>
+class TruncateTypedTest : public ::testing::Test {};
+using Scalars = ::testing::Types<double, complexd>;
+TYPED_TEST_SUITE(TruncateTypedTest, Scalars);
+
+TYPED_TEST(TruncateTypedTest, RedundantFactorsCollapse) {
+  using T = TypeParam;
+  // Build factors with duplicated columns: true rank is k/2.
+  const index_t m = 60, n = 45, k = 10;
+  auto U = random_matrix<T>(m, k, 5);
+  auto V = random_matrix<T>(n, k, 6);
+  for (index_t c = k / 2; c < k; ++c)
+    for (index_t i = 0; i < m; ++i) U(i, c) = U(i, c - k / 2);
+  la::RkFactors<T> rk;
+  rk.U = U;
+  rk.V = V;
+  Matrix<T> ref(m, n);
+  la::gemm(T{1}, U.view(), la::Op::kNoTrans, V.view(), la::Op::kTrans, T{0},
+           ref.view());
+
+  la::truncate_rk(rk, 1e-12);
+  EXPECT_LE(rk.rank(), k / 2 + 1);
+  Matrix<T> rec(m, n);
+  la::gemm(T{1}, rk.U.view(), la::Op::kNoTrans, rk.V.view(), la::Op::kTrans,
+           T{0}, rec.view());
+  EXPECT_LT(rel_diff<T>(rec.view(), ref.view()), 1e-10);
+}
+
+TYPED_TEST(TruncateTypedTest, FatFactorsFallBackToDense) {
+  using T = TypeParam;
+  // rank parameter exceeds both dimensions: the materialize path.
+  const index_t m = 6, n = 5, k = 12;
+  la::RkFactors<T> rk;
+  rk.U = random_matrix<T>(m, k, 7);
+  rk.V = random_matrix<T>(n, k, 8);
+  Matrix<T> ref(m, n);
+  la::gemm(T{1}, rk.U.view(), la::Op::kNoTrans, rk.V.view(), la::Op::kTrans,
+           T{0}, ref.view());
+  la::truncate_rk(rk, 1e-12);
+  EXPECT_LE(rk.rank(), std::min(m, n));
+  Matrix<T> rec(m, n);
+  la::gemm(T{1}, rk.U.view(), la::Op::kNoTrans, rk.V.view(), la::Op::kTrans,
+           T{0}, rec.view());
+  EXPECT_LT(rel_diff<T>(rec.view(), ref.view()), 1e-10);
+}
+
+TEST(Truncate, EpsControlsRank) {
+  // Exponentially decaying singular values: looser eps -> smaller rank.
+  const index_t n = 40;
+  Matrix<double> U0(n, n), V0(n, n);
+  Rng rng(9);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) {
+      U0(i, j) = rng.uniform(-1, 1) * std::pow(0.5, j);
+      V0(i, j) = rng.uniform(-1, 1);
+    }
+  index_t prev_rank = -1;
+  for (double eps : {1e-12, 1e-6, 1e-2}) {  // loosening eps shrinks rank
+    la::RkFactors<double> rk;
+    rk.U = U0;
+    rk.V = V0;
+    la::truncate_rk(rk, eps);
+    if (prev_rank >= 0) EXPECT_LE(rk.rank(), prev_rank);
+    prev_rank = rk.rank();
+  }
+  EXPECT_LT(prev_rank, n / 2);  // 1e-2 on 0.5^j decay: genuinely truncated
+}
+
+TEST(Truncate, ZeroRankIsNoop) {
+  la::RkFactors<double> rk;
+  rk.U = Matrix<double>(10, 0);
+  rk.V = Matrix<double>(8, 0);
+  la::truncate_rk(rk, 1e-6);
+  EXPECT_EQ(rk.rank(), 0);
+}
+
+}  // namespace
+}  // namespace cs::sparsedirect

@@ -1,0 +1,191 @@
+// Unit tests for src/common: memory tracking with budget enforcement,
+// tracked buffers, timers, tables, CLI parsing.
+#include <gtest/gtest.h>
+
+#include "common/buffer.h"
+#include "common/cli.h"
+#include "common/memory.h"
+#include "common/random.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "common/types.h"
+
+namespace cs {
+namespace {
+
+TEST(MemoryTracker, AllocateReleaseBalance) {
+  auto& t = MemoryTracker::instance();
+  const std::size_t before = t.current();
+  t.allocate(1024);
+  EXPECT_EQ(t.current(), before + 1024);
+  t.release(1024);
+  EXPECT_EQ(t.current(), before);
+}
+
+TEST(MemoryTracker, PeakTracksHighWaterMark) {
+  auto& t = MemoryTracker::instance();
+  t.reset_peak();
+  const std::size_t base = t.peak();
+  t.allocate(4096);
+  t.allocate(4096);
+  EXPECT_GE(t.peak(), base + 8192);
+  t.release(8192);
+  EXPECT_GE(t.peak(), base + 8192);  // peak is sticky
+  t.reset_peak();
+  EXPECT_LT(t.peak(), base + 8192);
+}
+
+TEST(MemoryTracker, BudgetEnforced) {
+  auto& t = MemoryTracker::instance();
+  ScopedBudget budget(t.current() + 1000);
+  EXPECT_THROW(t.allocate(2000), BudgetExceeded);
+  // A failed allocation must not leave the counter inflated.
+  EXPECT_NO_THROW(t.allocate(500));
+  t.release(500);
+}
+
+TEST(MemoryTracker, BudgetExceptionCarriesSizes) {
+  auto& t = MemoryTracker::instance();
+  ScopedBudget budget(t.current() + 10);
+  try {
+    t.allocate(100);
+    FAIL() << "expected BudgetExceeded";
+  } catch (const BudgetExceeded& e) {
+    EXPECT_EQ(e.requested(), 100u);
+    EXPECT_EQ(e.budget(), t.current() + 10);
+  }
+}
+
+TEST(ScopedBudget, RestoresPreviousBudget) {
+  auto& t = MemoryTracker::instance();
+  const std::size_t before = t.budget();
+  {
+    ScopedBudget b(123456789);
+    EXPECT_EQ(t.budget(), 123456789u);
+  }
+  EXPECT_EQ(t.budget(), before);
+}
+
+TEST(Buffer, TracksBytes) {
+  auto& t = MemoryTracker::instance();
+  const std::size_t before = t.current();
+  {
+    Buffer<double> buf(100);
+    EXPECT_EQ(t.current(), before + 100 * sizeof(double));
+    EXPECT_EQ(buf.size(), 100u);
+    for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(buf[i], 0.0);
+  }
+  EXPECT_EQ(t.current(), before);
+}
+
+TEST(Buffer, MoveTransfersOwnership) {
+  auto& t = MemoryTracker::instance();
+  const std::size_t before = t.current();
+  Buffer<int> a(10);
+  a[3] = 7;
+  Buffer<int> b(std::move(a));
+  EXPECT_EQ(b[3], 7);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(t.current(), before + 10 * sizeof(int));
+  b.clear();
+  EXPECT_EQ(t.current(), before);
+}
+
+TEST(Buffer, CopyDuplicatesStorage) {
+  auto& t = MemoryTracker::instance();
+  const std::size_t before = t.current();
+  Buffer<int> a(8);
+  a[0] = 5;
+  Buffer<int> b(a);
+  EXPECT_EQ(b[0], 5);
+  b[0] = 9;
+  EXPECT_EQ(a[0], 5);
+  EXPECT_EQ(t.current(), before + 2 * 8 * sizeof(int));
+  a.clear();
+  b.clear();
+  EXPECT_EQ(t.current(), before);
+}
+
+TEST(Buffer, BudgetExceededLeavesBufferEmpty) {
+  auto& t = MemoryTracker::instance();
+  ScopedBudget budget(t.current() + 16);
+  Buffer<double> buf;
+  EXPECT_THROW(buf.reset(1000), BudgetExceeded);
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(FormatBytes, HumanReadable) {
+  EXPECT_EQ(format_bytes(512), "512.00 B");
+  EXPECT_EQ(format_bytes(1024), "1.00 KiB");
+  EXPECT_EQ(format_bytes(3u * 1024 * 1024), "3.00 MiB");
+  EXPECT_EQ(format_bytes(std::size_t{5} * 1024 * 1024 * 1024), "5.00 GiB");
+}
+
+TEST(Timer, MeasuresNonNegativeTime) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GE(t.seconds(), 0.0);
+}
+
+TEST(PhaseTimes, AccumulatesByPhase) {
+  PhaseTimes p;
+  p.add("factor", 1.5);
+  p.add("factor", 0.5);
+  p.add("solve", 2.0);
+  EXPECT_DOUBLE_EQ(p.get("factor"), 2.0);
+  EXPECT_DOUBLE_EQ(p.get("solve"), 2.0);
+  EXPECT_DOUBLE_EQ(p.get("missing"), 0.0);
+  EXPECT_DOUBLE_EQ(p.total(), 4.0);
+}
+
+TEST(ScopedPhase, AddsOnDestruction) {
+  PhaseTimes p;
+  { ScopedPhase s(p, "work"); }
+  EXPECT_GE(p.get("work"), 0.0);
+  EXPECT_EQ(p.all().count("work"), 1u);
+}
+
+TEST(Cli, ParsesFlagsInBothForms) {
+  const char* argv[] = {"prog", "--n=100", "--eps", "1e-3", "--verbose"};
+  CliArgs args(5, const_cast<char**>(argv));
+  EXPECT_EQ(args.get_int("n", 0), 100);
+  EXPECT_DOUBLE_EQ(args.get_double("eps", 0.0), 1e-3);
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+  EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(Cli, RejectsPositionalArguments) {
+  const char* argv[] = {"prog", "oops"};
+  EXPECT_THROW(CliArgs(2, const_cast<char**>(argv)), std::runtime_error);
+}
+
+TEST(Table, FormatsNumbers) {
+  EXPECT_EQ(TablePrinter::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::fmt_int(42), "42");
+}
+
+TEST(Rng, DeterministicForFixedSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, ComplexScalarInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const auto z = rng.scalar<complexd>();
+    EXPECT_LE(std::abs(z.real()), 1.0);
+    EXPECT_LE(std::abs(z.imag()), 1.0);
+  }
+}
+
+TEST(Types, Abs2AndConj) {
+  EXPECT_DOUBLE_EQ(abs2(3.0), 9.0);
+  EXPECT_DOUBLE_EQ(abs2(complexd(3.0, 4.0)), 25.0);
+  EXPECT_DOUBLE_EQ(conj_if(2.5), 2.5);
+  EXPECT_EQ(conj_if(complexd(1.0, 2.0)), complexd(1.0, -2.0));
+}
+
+}  // namespace
+}  // namespace cs

@@ -1,0 +1,297 @@
+// Integration tests of the paper's coupled solution strategies: every
+// strategy must recover the manufactured solution of the pipe FEM/BEM
+// system within the compression accuracy, on both the real symmetric
+// academic case and the complex non-symmetric industrial-like case, and
+// the memory/failure accounting must behave like the paper's experiments.
+#include <gtest/gtest.h>
+
+#include "coupled/coupled.h"
+
+namespace cs::coupled {
+namespace {
+
+using fembem::CoupledSystem;
+using fembem::SystemParams;
+
+SystemParams real_params(index_t n) {
+  SystemParams p;
+  p.total_unknowns = n;
+  return p;
+}
+
+SystemParams complex_params(index_t n) {
+  SystemParams p;
+  p.total_unknowns = n;
+  p.kappa = 1.0;
+  p.sigma_real = 2.0;
+  p.sigma_imag = 0.3;
+  p.symmetric_bem = false;
+  p.extra_surface_ratio = 0.5;
+  return p;
+}
+
+const CoupledSystem<double>& real_system() {
+  static auto sys = fembem::make_pipe_system<double>(real_params(3000));
+  return sys;
+}
+
+const CoupledSystem<complexd>& complex_system() {
+  static auto sys =
+      fembem::make_pipe_system<complexd>(complex_params(2200));
+  return sys;
+}
+
+class StrategySweep : public ::testing::TestWithParam<Strategy> {};
+
+TEST_P(StrategySweep, RealPipeRecoversSolutionWithinEps) {
+  Config cfg;
+  cfg.strategy = GetParam();
+  cfg.eps = 1e-4;
+  cfg.n_c = 64;
+  cfg.n_S = 160;
+  cfg.n_b = 2;
+  auto stats = solve_coupled(real_system(), cfg);
+  ASSERT_TRUE(stats.success) << stats.failure;
+  EXPECT_LT(stats.relative_error, 1e-3) << strategy_name(GetParam());
+  EXPECT_GT(stats.total_seconds, 0.0);
+  EXPECT_GT(stats.peak_bytes, 0u);
+  EXPECT_GT(stats.schur_bytes, 0u);
+  EXPECT_EQ(stats.n_total, real_system().total());
+}
+
+TEST_P(StrategySweep, ComplexIndustrialRecoversSolutionWithinEps) {
+  Config cfg;
+  cfg.strategy = GetParam();
+  cfg.eps = 1e-4;
+  cfg.n_c = 64;
+  cfg.n_S = 160;
+  cfg.n_b = 2;
+  auto stats = solve_coupled(complex_system(), cfg);
+  ASSERT_TRUE(stats.success) << stats.failure;
+  EXPECT_LT(stats.relative_error, 1e-3) << strategy_name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, StrategySweep,
+    ::testing::Values(Strategy::kBaselineCoupling, Strategy::kAdvancedCoupling,
+                      Strategy::kMultiSolve, Strategy::kMultiSolveCompressed,
+                      Strategy::kMultiFactorization,
+                      Strategy::kMultiFactorizationCompressed),
+    [](const ::testing::TestParamInfo<Strategy>& info) {
+      std::string name = strategy_name(info.param);
+      for (auto& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+TEST(Coupled, AllStrategiesAgreeWithEachOther) {
+  // Beyond matching the manufactured solution, the six strategies must
+  // agree pairwise (they compute the same Schur complement by different
+  // block schedules).
+  Config cfg;
+  cfg.eps = 1e-5;
+  cfg.n_c = 48;
+  cfg.n_S = 96;
+  cfg.n_b = 3;
+  double err_min = 1e9, err_max = -1e9;
+  for (Strategy s :
+       {Strategy::kBaselineCoupling, Strategy::kAdvancedCoupling,
+        Strategy::kMultiSolve, Strategy::kMultiSolveCompressed,
+        Strategy::kMultiFactorization,
+        Strategy::kMultiFactorizationCompressed}) {
+    cfg.strategy = s;
+    auto stats = solve_coupled(real_system(), cfg);
+    ASSERT_TRUE(stats.success) << strategy_name(s) << ": " << stats.failure;
+    err_min = std::min(err_min, stats.relative_error);
+    err_max = std::max(err_max, stats.relative_error);
+  }
+  // All errors within a band of the compression accuracy.
+  EXPECT_LT(err_max, 1e-4);
+  EXPECT_GE(err_min, 0.0);
+}
+
+TEST(Coupled, CompressedSchurUsesLessMemoryThanDense) {
+  Config dense_cfg;
+  dense_cfg.strategy = Strategy::kMultiSolve;
+  dense_cfg.n_c = 64;
+  Config comp_cfg = dense_cfg;
+  comp_cfg.strategy = Strategy::kMultiSolveCompressed;
+  comp_cfg.n_S = 256;
+
+  auto dense_stats = solve_coupled(real_system(), dense_cfg);
+  auto comp_stats = solve_coupled(real_system(), comp_cfg);
+  ASSERT_TRUE(dense_stats.success);
+  ASSERT_TRUE(comp_stats.success);
+  EXPECT_LT(comp_stats.schur_bytes, dense_stats.schur_bytes);
+  EXPECT_LT(comp_stats.schur_compression_ratio, 1.0);
+}
+
+TEST(Coupled, BudgetFailureIsReportedNotThrown) {
+  Config cfg;
+  cfg.strategy = Strategy::kAdvancedCoupling;  // the most memory-hungry
+  cfg.memory_budget = MemoryTracker::instance().current() + 4 * 1024 * 1024;
+  auto stats = solve_coupled(real_system(), cfg);
+  EXPECT_FALSE(stats.success);
+  EXPECT_NE(stats.failure.find("memory budget"), std::string::npos);
+  // No tracked leak after the failed run.
+  EXPECT_EQ(MemoryTracker::instance().budget(), 0u);
+}
+
+TEST(Coupled, MultiSolveWorksForExtremeBlockSizes) {
+  for (index_t nc : {1, 7, 100000}) {
+    Config cfg;
+    cfg.strategy = Strategy::kMultiSolve;
+    cfg.n_c = nc;
+    auto stats = solve_coupled(real_system(), cfg);
+    ASSERT_TRUE(stats.success) << "n_c=" << nc;
+    EXPECT_LT(stats.relative_error, 1e-2);
+  }
+}
+
+TEST(Coupled, MultiFactorizationBlockCountSweep) {
+  for (index_t nb : {1, 2, 4}) {
+    Config cfg;
+    cfg.strategy = Strategy::kMultiFactorization;
+    cfg.n_b = nb;
+    auto stats = solve_coupled(real_system(), cfg);
+    ASSERT_TRUE(stats.success) << "n_b=" << nb;
+    EXPECT_LT(stats.relative_error, 1e-2) << "n_b=" << nb;
+  }
+}
+
+TEST(Coupled, MoreFactorizationBlocksCostMoreSparseTime) {
+  // The defining trade-off of multi-factorization: n_b^2 re-factorizations.
+  Config cfg1, cfg4;
+  cfg1.strategy = cfg4.strategy = Strategy::kMultiFactorization;
+  cfg1.n_b = 1;
+  cfg4.n_b = 4;
+  auto s1 = solve_coupled(real_system(), cfg1);
+  auto s4 = solve_coupled(real_system(), cfg4);
+  ASSERT_TRUE(s1.success && s4.success);
+  EXPECT_GT(s4.phases.get("sparse_factorization"),
+            s1.phases.get("sparse_factorization"));
+}
+
+TEST(Coupled, SparseCompressionReducesFactorStorage) {
+  Config on, off;
+  on.strategy = off.strategy = Strategy::kMultiSolve;
+  on.sparse_compression = true;
+  on.eps = 1e-2;
+  off.sparse_compression = false;
+  auto stats_on = solve_coupled(real_system(), on);
+  auto stats_off = solve_coupled(real_system(), off);
+  ASSERT_TRUE(stats_on.success && stats_off.success);
+  EXPECT_LE(stats_on.sparse_factor_bytes, stats_off.sparse_factor_bytes);
+}
+
+TEST(Coupled, PhasesCoverTotalTime) {
+  Config cfg;
+  cfg.strategy = Strategy::kMultiSolveCompressed;
+  auto stats = solve_coupled(real_system(), cfg);
+  ASSERT_TRUE(stats.success);
+  EXPECT_GT(stats.phases.get("sparse_factorization"), 0.0);
+  EXPECT_GT(stats.phases.get("schur"), 0.0);
+  EXPECT_GT(stats.phases.get("dense_factorization"), 0.0);
+  EXPECT_GT(stats.phases.get("solution"), 0.0);
+  EXPECT_LE(stats.phases.total(), stats.total_seconds * 1.5 + 0.5);
+}
+
+TEST(Coupled, IterativeRefinementRecoversAccuracy) {
+  Config coarse;
+  coarse.strategy = Strategy::kMultiSolveCompressed;
+  coarse.eps = 1e-2;  // aggressive compression
+  auto no_refine = solve_coupled(real_system(), coarse);
+  ASSERT_TRUE(no_refine.success);
+
+  Config refined = coarse;
+  refined.refine_iterations = 2;
+  auto with_refine = solve_coupled(real_system(), refined);
+  ASSERT_TRUE(with_refine.success);
+
+  EXPECT_LT(with_refine.relative_error, no_refine.relative_error / 10);
+  EXPECT_LT(with_refine.relative_error, 1e-5);
+}
+
+TEST(Coupled, RefinementWorksForEveryStrategy) {
+  for (Strategy s :
+       {Strategy::kMultiSolve, Strategy::kMultiSolveCompressed,
+        Strategy::kMultiFactorizationCompressed}) {
+    Config cfg;
+    cfg.strategy = s;
+    cfg.eps = 1e-2;
+    cfg.refine_iterations = 1;
+    auto stats = solve_coupled(real_system(), cfg);
+    ASSERT_TRUE(stats.success) << strategy_name(s);
+    EXPECT_LT(stats.relative_error, 1e-3) << strategy_name(s);
+  }
+}
+
+TEST(Coupled, RandomizedSchurSolvesAtLooseAccuracy) {
+  Config cfg;
+  cfg.strategy = Strategy::kMultiSolveRandomized;
+  cfg.eps = 1e-2;
+  auto stats = solve_coupled(real_system(), cfg);
+  ASSERT_TRUE(stats.success) << stats.failure;
+  EXPECT_GT(stats.randomized_rank, 0);
+  EXPECT_LT(stats.relative_error, 5e-2);
+}
+
+TEST(Coupled, RandomizedSchurAdaptiveRankGrowsWithAccuracy) {
+  Config loose, tight;
+  loose.strategy = tight.strategy = Strategy::kMultiSolveRandomized;
+  loose.eps = 1e-1;
+  tight.eps = 1e-3;
+  auto s_loose = solve_coupled(real_system(), loose);
+  auto s_tight = solve_coupled(real_system(), tight);
+  ASSERT_TRUE(s_loose.success && s_tight.success);
+  EXPECT_LE(s_loose.randomized_rank, s_tight.randomized_rank);
+}
+
+TEST(Coupled, RandomizedSchurComplexSystem) {
+  Config cfg;
+  cfg.strategy = Strategy::kMultiSolveRandomized;
+  cfg.eps = 1e-2;
+  cfg.refine_iterations = 1;
+  auto stats = solve_coupled(complex_system(), cfg);
+  ASSERT_TRUE(stats.success) << stats.failure;
+  EXPECT_LT(stats.relative_error, 1e-3);
+}
+
+TEST(Coupled, SymmetricHLdltModeMatchesHLu) {
+  Config lu_cfg, ldlt_cfg;
+  lu_cfg.strategy = ldlt_cfg.strategy = Strategy::kMultiSolveCompressed;
+  lu_cfg.eps = ldlt_cfg.eps = 1e-4;
+  ldlt_cfg.hmat_symmetric_ldlt = true;
+  auto s_lu = solve_coupled(real_system(), lu_cfg);
+  auto s_ldlt = solve_coupled(real_system(), ldlt_cfg);
+  ASSERT_TRUE(s_lu.success && s_ldlt.success) << s_ldlt.failure;
+  EXPECT_LT(s_ldlt.relative_error, 1e-3);
+  // Both factorizations deliver the same accuracy class.
+  EXPECT_LT(s_ldlt.relative_error / std::max(s_lu.relative_error, 1e-16),
+            50.0);
+}
+
+TEST(Coupled, LdltToggleIsIgnoredForUnsymmetricSystems) {
+  Config cfg;
+  cfg.strategy = Strategy::kMultiSolveCompressed;
+  cfg.eps = 1e-4;
+  cfg.hmat_symmetric_ldlt = true;  // must silently fall back to H-LU
+  auto stats = solve_coupled(complex_system(), cfg);
+  ASSERT_TRUE(stats.success) << stats.failure;
+  EXPECT_LT(stats.relative_error, 1e-3);
+}
+
+TEST(Coupled, StrategyNamesAreUnique) {
+  std::set<std::string> names;
+  for (Strategy s :
+       {Strategy::kBaselineCoupling, Strategy::kAdvancedCoupling,
+        Strategy::kMultiSolve, Strategy::kMultiSolveCompressed,
+        Strategy::kMultiFactorization,
+        Strategy::kMultiFactorizationCompressed,
+        Strategy::kMultiSolveRandomized})
+    names.insert(strategy_name(s));
+  EXPECT_EQ(names.size(), 7u);
+}
+
+}  // namespace
+}  // namespace cs::coupled

@@ -1,0 +1,107 @@
+// Tests for the dense direct solver façade ("SPIDO" analogue).
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "dense/dense_solver.h"
+#include "la/blas.h"
+
+namespace cs::dense {
+namespace {
+
+using la::Matrix;
+using la::rel_diff;
+
+template <class T>
+Matrix<T> random_matrix(index_t m, index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix<T> a(m, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i) a(i, j) = rng.scalar<T>();
+  return a;
+}
+
+template <class T>
+class DenseSolverTypedTest : public ::testing::Test {};
+using Scalars = ::testing::Types<double, complexd>;
+TYPED_TEST_SUITE(DenseSolverTypedTest, Scalars);
+
+TYPED_TEST(DenseSolverTypedTest, SymmetricSolve) {
+  using T = TypeParam;
+  const index_t n = 50;
+  auto R = random_matrix<T>(n, n, 1);
+  Matrix<T> A(n, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) A(i, j) = R(i, j) + R(j, i);
+  for (index_t i = 0; i < n; ++i) A(i, i) += T{static_cast<double>(2 * n)};
+
+  const auto X = random_matrix<T>(n, 3, 2);
+  Matrix<T> B(n, 3);
+  la::gemm(T{1}, A.view(), la::Op::kNoTrans, X.view(), la::Op::kNoTrans,
+           T{0}, B.view());
+
+  DenseSolver<T> solver;
+  Matrix<T> A_copy = A;
+  solver.factorize(std::move(A_copy), /*symmetric=*/true);
+  EXPECT_TRUE(solver.factored());
+  EXPECT_EQ(solver.dim(), n);
+  solver.solve(B.view());
+  EXPECT_LT(rel_diff<T>(B.view(), X.view()), 1e-10);
+}
+
+TYPED_TEST(DenseSolverTypedTest, UnsymmetricSolve) {
+  using T = TypeParam;
+  const index_t n = 40;
+  auto A = random_matrix<T>(n, n, 3);
+  for (index_t i = 0; i < n; ++i) A(i, i) += T{static_cast<double>(n)};
+  const auto X = random_matrix<T>(n, 2, 4);
+  Matrix<T> B(n, 2);
+  la::gemm(T{1}, A.view(), la::Op::kNoTrans, X.view(), la::Op::kNoTrans,
+           T{0}, B.view());
+
+  DenseSolver<T> solver;
+  Matrix<T> A_copy = A;
+  solver.factorize(std::move(A_copy), /*symmetric=*/false);
+  solver.solve(B.view());
+  EXPECT_LT(rel_diff<T>(B.view(), X.view()), 1e-10);
+}
+
+TEST(DenseSolver, ErrorsOnMisuse) {
+  DenseSolver<double> solver;
+  Matrix<double> b(3, 1);
+  EXPECT_THROW(solver.solve(b.view()), std::logic_error);
+  Matrix<double> rect(3, 4);
+  EXPECT_THROW(solver.factorize(std::move(rect), true),
+               std::invalid_argument);
+
+  Matrix<double> A = Matrix<double>::identity(4);
+  solver.factorize(std::move(A), true);
+  Matrix<double> wrong(3, 1);
+  EXPECT_THROW(solver.solve(wrong.view()), std::invalid_argument);
+}
+
+TEST(DenseSolver, TakesOwnershipAndReportsBytes) {
+  auto& tracker = MemoryTracker::instance();
+  const std::size_t before = tracker.current();
+  {
+    DenseSolver<double> solver;
+    Matrix<double> A = Matrix<double>::identity(64);
+    solver.factorize(std::move(A), true);
+    EXPECT_EQ(solver.memory_bytes(), 64u * 64u * sizeof(double));
+    EXPECT_GE(tracker.current(), before + 64u * 64u * sizeof(double));
+    solver.clear();
+    EXPECT_FALSE(solver.factored());
+  }
+  EXPECT_EQ(tracker.current(), before);
+}
+
+TEST(DenseSolver, SolveAfterClearThrows) {
+  DenseSolver<double> solver;
+  Matrix<double> A = Matrix<double>::identity(4);
+  solver.factorize(std::move(A), true);
+  solver.clear();
+  Matrix<double> b(4, 1);
+  EXPECT_THROW(solver.solve(b.view()), std::logic_error);
+}
+
+}  // namespace
+}  // namespace cs::dense

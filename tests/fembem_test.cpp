@@ -1,0 +1,356 @@
+// Tests for the FEM/BEM problem generator: mesh topology invariants, P1
+// assembly identities, BEM generator properties, and end-to-end consistency
+// of the manufactured coupled system.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "fembem/system.h"
+#include "la/factor.h"
+
+namespace cs::fembem {
+namespace {
+
+using la::Matrix;
+
+TEST(PipeMesh, NodeCountAndVolume) {
+  PipeParams p;
+  p.n_radial = 3;
+  p.n_theta = 12;
+  p.n_axial = 8;
+  auto mesh = make_pipe_mesh(p);
+  EXPECT_EQ(mesh.n_nodes(), 3 * 12 * 8);
+  EXPECT_FALSE(mesh.tets.empty());
+
+  // Total tet volume approximates the shell volume pi (ro^2 - ri^2) L
+  // (under-estimates slightly because flat panels inscribe the cylinder).
+  double vol = 0;
+  for (const auto& t : mesh.tets)
+    vol += std::abs(tet_volume(mesh.nodes[static_cast<std::size_t>(t[0])],
+                               mesh.nodes[static_cast<std::size_t>(t[1])],
+                               mesh.nodes[static_cast<std::size_t>(t[2])],
+                               mesh.nodes[static_cast<std::size_t>(t[3])]));
+  const double exact =
+      M_PI * (p.outer_radius * p.outer_radius -
+              p.inner_radius * p.inner_radius) *
+      p.length;
+  EXPECT_NEAR(vol, exact, 0.05 * exact);
+}
+
+TEST(PipeMesh, BoundaryIsClosedSurface) {
+  PipeParams p;
+  p.n_radial = 3;
+  p.n_theta = 10;
+  p.n_axial = 6;
+  auto mesh = make_pipe_mesh(p);
+  // Every edge of the boundary triangulation is shared by exactly two
+  // boundary triangles (a watertight surface).
+  std::map<std::pair<index_t, index_t>, int> edge_count;
+  for (const auto& tri : mesh.boundary_tris) {
+    for (int e = 0; e < 3; ++e) {
+      index_t a = tri[static_cast<std::size_t>(e)];
+      index_t b = tri[static_cast<std::size_t>((e + 1) % 3)];
+      if (a > b) std::swap(a, b);
+      ++edge_count[{a, b}];
+    }
+  }
+  for (const auto& [edge, count] : edge_count) EXPECT_EQ(count, 2);
+}
+
+TEST(PipeMesh, SurfaceIndexingConsistent) {
+  auto mesh = make_pipe_mesh(PipeParams{});
+  EXPECT_GT(mesh.n_surface(), 0);
+  EXPECT_LT(mesh.n_surface(), mesh.n_nodes());
+  for (std::size_t v = 0; v < mesh.nodes.size(); ++v) {
+    const index_t s = mesh.surface_of_node[v];
+    if (s >= 0)
+      EXPECT_EQ(mesh.boundary_nodes[static_cast<std::size_t>(s)],
+                static_cast<index_t>(v));
+  }
+  // Boundary nodes sorted ascending, no duplicates.
+  for (std::size_t k = 1; k < mesh.boundary_nodes.size(); ++k)
+    EXPECT_LT(mesh.boundary_nodes[k - 1], mesh.boundary_nodes[k]);
+}
+
+TEST(PipeMesh, RejectsDegenerateParams) {
+  PipeParams p;
+  p.n_radial = 1;
+  EXPECT_THROW(make_pipe_mesh(p), std::invalid_argument);
+}
+
+TEST(PipeMesh, DimsForTotalApproximatesTarget) {
+  for (index_t target : {5000, 20000, 80000}) {
+    auto p = pipe_dims_for_total(target);
+    const index_t nv = p.n_radial * p.n_theta * p.n_axial;
+    EXPECT_GT(nv, target / 2);
+    EXPECT_LT(nv, 2 * target);
+  }
+}
+
+TEST(Fem, StiffnessAnnihilatesConstants) {
+  PipeParams p;
+  p.n_radial = 3;
+  p.n_theta = 8;
+  p.n_axial = 5;
+  auto mesh = make_pipe_mesh(p);
+  FemCoefficients coef;
+  coef.sigma_real = 0.0;  // pure stiffness
+  auto K = assemble_volume_operator<double>(mesh, coef);
+  std::vector<double> ones(static_cast<std::size_t>(K.rows()), 1.0);
+  std::vector<double> y(static_cast<std::size_t>(K.rows()), 0.0);
+  K.spmv(1.0, ones.data(), 0.0, y.data());
+  for (double v : y) EXPECT_NEAR(v, 0.0, 1e-10);
+}
+
+TEST(Fem, MassTotalEqualsVolume) {
+  PipeParams p;
+  p.n_radial = 3;
+  p.n_theta = 10;
+  p.n_axial = 6;
+  auto mesh = make_pipe_mesh(p);
+  FemCoefficients stiff_only;
+  stiff_only.sigma_real = 0.0;
+  FemCoefficients with_mass;
+  with_mass.sigma_real = 1.0;
+  auto K = assemble_volume_operator<double>(mesh, stiff_only);
+  auto A = assemble_volume_operator<double>(mesh, with_mass);
+  // sum_ij M_ij = total mesh volume (M = A - K).
+  double mass_sum = 0;
+  for (index_t r = 0; r < A.rows(); ++r) {
+    for (offset_t k = A.row_begin(r); k < A.row_end(r); ++k)
+      mass_sum += A.value(k);
+    for (offset_t k = K.row_begin(r); k < K.row_end(r); ++k)
+      mass_sum -= K.value(k);
+  }
+  double vol = 0;
+  for (const auto& t : mesh.tets)
+    vol += std::abs(tet_volume(mesh.nodes[static_cast<std::size_t>(t[0])],
+                               mesh.nodes[static_cast<std::size_t>(t[1])],
+                               mesh.nodes[static_cast<std::size_t>(t[2])],
+                               mesh.nodes[static_cast<std::size_t>(t[3])]));
+  EXPECT_NEAR(mass_sum, vol, 1e-8 * vol);
+}
+
+TEST(Fem, OperatorIsSymmetricPositiveDefinite) {
+  PipeParams p;
+  p.n_radial = 3;
+  p.n_theta = 8;
+  p.n_axial = 5;
+  auto mesh = make_pipe_mesh(p);
+  FemCoefficients coef;  // kappa = 0, sigma = 1 -> SPD
+  auto A = assemble_volume_operator<double>(mesh, coef);
+  auto D = A.to_dense();
+  for (index_t i = 0; i < D.rows(); ++i)
+    for (index_t j = 0; j < i; ++j)
+      EXPECT_NEAR(D(i, j), D(j, i), 1e-12);
+  // x^T A x > 0 for a few random x.
+  Rng rng(11);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<double> x(static_cast<std::size_t>(A.rows()));
+    for (auto& v : x) v = rng.uniform(-1, 1);
+    std::vector<double> y(x.size());
+    A.spmv(1.0, x.data(), 0.0, y.data());
+    double quad = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) quad += x[i] * y[i];
+    EXPECT_GT(quad, 0.0);
+  }
+}
+
+TEST(Coupling, RowSumsEqualVertexAreas) {
+  PipeParams p;
+  p.n_radial = 3;
+  p.n_theta = 10;
+  p.n_axial = 6;
+  auto mesh = make_pipe_mesh(p);
+  auto C = assemble_coupling<double>(mesh);
+  EXPECT_EQ(C.rows(), mesh.n_surface());
+  EXPECT_EQ(C.cols(), mesh.n_nodes());
+  // Sum of all entries = total boundary area (partition of unity of P1).
+  double total = 0;
+  for (index_t r = 0; r < C.rows(); ++r)
+    for (offset_t k = C.row_begin(r); k < C.row_end(r); ++k)
+      total += C.value(k);
+  double area = 0;
+  for (const auto& tri : mesh.boundary_tris)
+    area += tri_area(mesh.nodes[static_cast<std::size_t>(tri[0])],
+                     mesh.nodes[static_cast<std::size_t>(tri[1])],
+                     mesh.nodes[static_cast<std::size_t>(tri[2])]);
+  EXPECT_NEAR(total, area, 1e-10 * area);
+}
+
+TEST(Bem, SymmetricVariantIsSymmetric) {
+  auto mesh = make_pipe_mesh(PipeParams{});
+  BemGenerator<double> gen(make_bem_surface(mesh), 0.0, /*symmetric=*/true);
+  Rng rng(3);
+  for (int t = 0; t < 50; ++t) {
+    const index_t i = rng.uniform_index(0, gen.rows() - 1);
+    const index_t j = rng.uniform_index(0, gen.rows() - 1);
+    EXPECT_DOUBLE_EQ(gen.entry(i, j), gen.entry(j, i));
+  }
+}
+
+TEST(Bem, CollocationVariantIsNotSymmetric) {
+  auto mesh = make_pipe_mesh(PipeParams{});
+  BemGenerator<double> gen(make_bem_surface(mesh), 0.0, /*symmetric=*/false);
+  bool found_asym = false;
+  for (index_t i = 0; i < 20 && !found_asym; ++i)
+    for (index_t j = i + 1; j < 40 && !found_asym; ++j)
+      if (std::abs(gen.entry(i, j) - gen.entry(j, i)) > 1e-14)
+        found_asym = true;
+  EXPECT_TRUE(found_asym);
+}
+
+TEST(Bem, GeneratorMatvecMatchesDense) {
+  PipeParams p;
+  p.n_radial = 2;
+  p.n_theta = 8;
+  p.n_axial = 4;
+  auto mesh = make_pipe_mesh(p);
+  BemGenerator<complexd> gen(make_bem_surface(mesh), 1.5, true);
+  const index_t n = gen.rows();
+  Matrix<complexd> D(n, n);
+  generator_block(gen, 0, 0, D.view());
+  Rng rng(4);
+  la::Vector<complexd> x(n), y(n), y_ref(n);
+  for (index_t i = 0; i < n; ++i) x[i] = rng.scalar<complexd>();
+  generator_matvec(gen, x.data(), y.data());
+  la::gemv(complexd{1}, la::ConstMatrixView<complexd>(D.view()),
+           la::Op::kNoTrans, x.data(), complexd{0}, y_ref.data());
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_NEAR(std::abs(y[i] - y_ref[i]), 0.0, 1e-10);
+}
+
+TEST(Bem, ExtraSurfaceAddsUncoupledDofs) {
+  SystemParams params;
+  params.total_unknowns = 3000;
+  params.extra_surface_ratio = 0.5;
+  auto sys = make_pipe_system<double>(params);
+  SystemParams base = params;
+  base.extra_surface_ratio = 0.0;
+  auto sys0 = make_pipe_system<double>(base);
+  EXPECT_GT(sys.ns(), sys0.ns());
+  // The extra rows of A_sv are empty (no coupling).
+  for (index_t r = sys0.ns(); r < sys.ns(); ++r)
+    EXPECT_EQ(sys.A_sv.row_begin(r), sys.A_sv.row_end(r));
+}
+
+TEST(Bem, HelmholtzReducesToLaplaceAtZeroWavenumber) {
+  PipeParams p;
+  p.n_radial = 2;
+  p.n_theta = 8;
+  p.n_axial = 4;
+  auto mesh = make_pipe_mesh(p);
+  BemGenerator<double> lap(make_bem_surface(mesh), 0.0, true);
+  BemGenerator<complexd> helm(make_bem_surface(mesh), 0.0, true);
+  for (index_t i = 0; i < 10; ++i)
+    for (index_t j = 0; j < 10; ++j) {
+      if (i == j) continue;  // complex self term carries absorption
+      EXPECT_NEAR(helm.entry(i, j).real(), lap.entry(i, j), 1e-14);
+      EXPECT_NEAR(helm.entry(i, j).imag(), 0.0, 1e-14);
+    }
+}
+
+TEST(Bem, WeightsArePositiveAndSumToArea) {
+  auto mesh = make_pipe_mesh(PipeParams{});
+  auto surface = make_bem_surface(mesh);
+  double total = 0;
+  for (double w : surface.weights) {
+    EXPECT_GT(w, 0.0);
+    total += w;
+  }
+  double area = 0;
+  for (const auto& tri : mesh.boundary_tris)
+    area += tri_area(mesh.nodes[static_cast<std::size_t>(tri[0])],
+                     mesh.nodes[static_cast<std::size_t>(tri[1])],
+                     mesh.nodes[static_cast<std::size_t>(tri[2])]);
+  EXPECT_NEAR(total, area, 1e-10 * area);
+}
+
+TEST(Fem, ComplexOperatorIsComplexSymmetric) {
+  PipeParams p;
+  p.n_radial = 2;
+  p.n_theta = 8;
+  p.n_axial = 4;
+  auto mesh = make_pipe_mesh(p);
+  FemCoefficients coef;
+  coef.kappa = 1.5;
+  coef.sigma_real = 2.0;
+  coef.sigma_imag = 0.5;
+  auto A = assemble_volume_operator<complexd>(mesh, coef);
+  auto D = A.to_dense();
+  for (index_t i = 0; i < D.rows(); ++i)
+    for (index_t j = 0; j < i; ++j) {
+      EXPECT_NEAR(std::abs(D(i, j) - D(j, i)), 0.0, 1e-13);  // symmetric
+    }
+  // Off-diagonal mass contributions carry the imaginary shift: the matrix
+  // must genuinely be complex (not accidentally real).
+  double imag_mass = 0;
+  for (index_t i = 0; i < D.rows(); ++i) imag_mass += std::abs(D(i, i).imag());
+  EXPECT_GT(imag_mass, 0.0);
+}
+
+/// End-to-end consistency: a dense direct solve of the full coupled system
+/// must recover the manufactured solution to machine-level accuracy.
+template <class T>
+void check_full_system(const SystemParams& params, double tol) {
+  auto sys = make_pipe_system<T>(params);
+  const index_t nv = sys.nv(), ns = sys.ns(), n = nv + ns;
+  Matrix<T> A(n, n);
+  // [A_vv, A_sv^T; A_sv, A_ss] dense.
+  auto Dv = sys.A_vv.to_dense();
+  auto Dc = sys.A_sv.to_dense();
+  for (index_t j = 0; j < nv; ++j)
+    for (index_t i = 0; i < nv; ++i) A(i, j) = Dv(i, j);
+  for (index_t j = 0; j < nv; ++j)
+    for (index_t i = 0; i < ns; ++i) {
+      A(nv + i, j) = Dc(i, j);
+      A(j, nv + i) = Dc(i, j);
+    }
+  Matrix<T> Ds(ns, ns);
+  generator_block(*sys.A_ss, 0, 0, Ds.view());
+  for (index_t j = 0; j < ns; ++j)
+    for (index_t i = 0; i < ns; ++i) A(nv + i, nv + j) = Ds(i, j);
+
+  Matrix<T> b(n, 1);
+  for (index_t i = 0; i < nv; ++i) b(i, 0) = sys.b_v[i];
+  for (index_t i = 0; i < ns; ++i) b(nv + i, 0) = sys.b_s[i];
+  std::vector<index_t> piv;
+  la::lu_factor(A.view(), piv);
+  la::lu_solve<T>(A.view(), piv, b.view());
+
+  la::Vector<T> xv(nv), xs(ns);
+  for (index_t i = 0; i < nv; ++i) xv[i] = b(i, 0);
+  for (index_t i = 0; i < ns; ++i) xs[i] = b(nv + i, 0);
+  EXPECT_LT(sys.relative_error(xv, xs), tol);
+}
+
+TEST(CoupledSystem, DenseSolveRecoversManufacturedSolutionReal) {
+  SystemParams params;
+  params.total_unknowns = 1500;
+  check_full_system<double>(params, 1e-9);
+}
+
+TEST(CoupledSystem, DenseSolveRecoversManufacturedSolutionComplex) {
+  SystemParams params;
+  params.total_unknowns = 1200;
+  params.kappa = 1.2;
+  params.sigma_real = 2.5;  // keep A_vv strongly regular at this kappa
+  params.sigma_imag = 0.4;
+  params.symmetric_bem = false;
+  check_full_system<complexd>(params, 1e-9);
+}
+
+TEST(CoupledSystem, RelativeErrorMetric) {
+  SystemParams params;
+  params.total_unknowns = 1000;
+  auto sys = make_pipe_system<double>(params);
+  EXPECT_NEAR(sys.relative_error(sys.x_v_ref, sys.x_s_ref), 0.0, 1e-15);
+  la::Vector<double> xv(sys.nv()), xs(sys.ns());
+  for (index_t i = 0; i < sys.nv(); ++i) xv[i] = sys.x_v_ref[i] * 1.01;
+  for (index_t i = 0; i < sys.ns(); ++i) xs[i] = sys.x_s_ref[i] * 1.01;
+  EXPECT_NEAR(sys.relative_error(xv, xs), 0.01, 1e-6);
+}
+
+}  // namespace
+}  // namespace cs::fembem

@@ -1,0 +1,175 @@
+// Tests for the symmetric H-LDL^T factorization (the faithful analogue of
+// the paper's HMAT symmetric mode).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "fembem/bem.h"
+#include "hmat/hmatrix.h"
+#include "la/blas.h"
+
+namespace cs::hmat {
+namespace {
+
+using la::ConstMatrixView;
+using la::Matrix;
+using la::rel_diff;
+
+/// Symmetric kernel operator on a cylinder surface (real or complex
+/// symmetric), strongly regular.
+template <class T>
+std::pair<std::vector<Point3>, std::unique_ptr<fembem::BemGenerator<T>>>
+make_operator(index_t nt, index_t nz, double k) {
+  fembem::PipeParams pp;
+  pp.n_theta = nt;
+  pp.n_axial = nz;
+  pp.n_radial = 3;
+  auto mesh = fembem::make_pipe_mesh(pp);
+  auto surface = fembem::make_bem_surface(mesh);
+  auto pts = surface.points;
+  auto gen = std::make_unique<fembem::BemGenerator<T>>(std::move(surface), k,
+                                                       /*symmetric=*/true);
+  return {std::move(pts), std::move(gen)};
+}
+
+template <class T>
+Matrix<T> dense_tree_ordered(const MatrixGenerator<T>& gen,
+                             const ClusterTree& tree) {
+  Matrix<T> d(gen.rows(), gen.cols());
+  const auto& o = tree.original_of_tree();
+  for (index_t j = 0; j < gen.cols(); ++j)
+    for (index_t i = 0; i < gen.rows(); ++i)
+      d(i, j) = gen.entry(o[static_cast<std::size_t>(i)],
+                          o[static_cast<std::size_t>(j)]);
+  return d;
+}
+
+template <class T>
+class HLdltTypedTest : public ::testing::Test {};
+using Scalars = ::testing::Types<double, complexd>;
+TYPED_TEST_SUITE(HLdltTypedTest, Scalars);
+
+TYPED_TEST(HLdltTypedTest, SolveMatchesDenseReference) {
+  using T = TypeParam;
+  auto [pts, gen] = make_operator<T>(16, 22, is_complex_v<T> ? 1.5 : 0.0);
+  ClusterTree tree(pts, 24);
+  HOptions opt;
+  opt.eps = 1e-9;
+  auto H = HMatrix<T>::assemble(tree, tree, *gen, opt);
+  auto ref = dense_tree_ordered<T>(*gen, tree);
+
+  const index_t n = H.rows();
+  Rng rng(3);
+  Matrix<T> X(n, 2);
+  for (index_t j = 0; j < 2; ++j)
+    for (index_t i = 0; i < n; ++i) X(i, j) = rng.scalar<T>();
+  Matrix<T> B(n, 2);
+  la::gemm(T{1}, ConstMatrixView<T>(ref.view()), la::Op::kNoTrans,
+           ConstMatrixView<T>(X.view()), la::Op::kNoTrans, T{0}, B.view());
+
+  H.ldlt_factorize();
+  EXPECT_TRUE(H.factored());
+  H.solve(B.view());
+  EXPECT_LT(rel_diff<T>(B.view(), X.view()), 1e-5);
+}
+
+TEST(HLdlt, AgreesWithHLu) {
+  auto [pts, gen] = make_operator<double>(14, 18, 0.0);
+  ClusterTree tree(pts, 24);
+  HOptions opt;
+  opt.eps = 1e-8;
+
+  const index_t n = static_cast<index_t>(pts.size());
+  Rng rng(5);
+  Matrix<double> B0(n, 1);
+  for (index_t i = 0; i < n; ++i) B0(i, 0) = rng.uniform(-1, 1);
+
+  auto H1 = HMatrix<double>::assemble(tree, tree, *gen, opt);
+  H1.ldlt_factorize();
+  Matrix<double> x_ldlt = B0;
+  H1.solve(x_ldlt.view());
+
+  auto H2 = HMatrix<double>::assemble(tree, tree, *gen, opt);
+  H2.lu_factorize();
+  Matrix<double> x_lu = B0;
+  H2.solve(x_lu.view());
+
+  EXPECT_LT(rel_diff<double>(x_ldlt.view(), x_lu.view()), 1e-6);
+}
+
+TEST(HLdlt, AccuracyTracksEpsilon) {
+  auto [pts, gen] = make_operator<double>(16, 20, 0.0);
+  ClusterTree tree(pts, 24);
+  auto ref = dense_tree_ordered<double>(*gen, ClusterTree(pts, 24));
+
+  const index_t n = static_cast<index_t>(pts.size());
+  Rng rng(7);
+  Matrix<double> X(n, 1);
+  for (index_t i = 0; i < n; ++i) X(i, 0) = rng.uniform(-1, 1);
+  Matrix<double> B0(n, 1);
+  la::gemm(1.0, ConstMatrixView<double>(ref.view()), la::Op::kNoTrans,
+           ConstMatrixView<double>(X.view()), la::Op::kNoTrans, 0.0,
+           B0.view());
+
+  double prev = 1e9;
+  for (double eps : {1e-2, 1e-5, 1e-9}) {
+    HOptions opt;
+    opt.eps = eps;
+    auto H = HMatrix<double>::assemble(tree, tree, *gen, opt);
+    H.ldlt_factorize();
+    Matrix<double> B = B0;
+    H.solve(B.view());
+    const double err = rel_diff<double>(B.view(), X.view());
+    EXPECT_LT(err, 100 * eps);
+    EXPECT_LE(err, prev * 10);
+    prev = err;
+  }
+}
+
+TEST(HLdlt, RequiresSquareTree) {
+  auto [pts, gen] = make_operator<double>(10, 10, 0.0);
+  (void)gen;
+  ClusterTree rows(pts, 16);
+  ClusterTree cols(pts, 16);
+  auto H = HMatrix<double>::zero(rows, cols, HOptions{});
+  EXPECT_THROW(H.ldlt_factorize(), std::logic_error);
+}
+
+TEST(HLdlt, SingleLeafMatrix) {
+  // Tiny problem: the whole matrix is one dense leaf.
+  std::vector<Point3> pts;
+  for (int i = 0; i < 12; ++i)
+    pts.push_back({0.1 * i, std::sin(0.3 * i), std::cos(0.3 * i)});
+  ClusterTree tree(pts, 32);
+  class TinyGen final : public MatrixGenerator<double> {
+   public:
+    explicit TinyGen(const std::vector<Point3>& p) : p_(p) {}
+    index_t rows() const override { return static_cast<index_t>(p_.size()); }
+    index_t cols() const override { return static_cast<index_t>(p_.size()); }
+    double entry(index_t i, index_t j) const override {
+      if (i == j) return 3.0;
+      const double dx = p_[static_cast<std::size_t>(i)].x -
+                        p_[static_cast<std::size_t>(j)].x;
+      return 1.0 / (2.0 + dx * dx + std::abs(static_cast<double>(i - j)));
+    }
+
+   private:
+    const std::vector<Point3>& p_;
+  } gen(pts);
+  HOptions opt;
+  auto H = HMatrix<double>::assemble(tree, tree, gen, opt);
+  auto ref = dense_tree_ordered<double>(gen, tree);
+  Matrix<double> X(12, 1);
+  for (index_t i = 0; i < 12; ++i) X(i, 0) = 1.0 + 0.1 * i;
+  Matrix<double> B(12, 1);
+  la::gemm(1.0, ConstMatrixView<double>(ref.view()), la::Op::kNoTrans,
+           ConstMatrixView<double>(X.view()), la::Op::kNoTrans, 0.0,
+           B.view());
+  H.ldlt_factorize();
+  H.solve(B.view());
+  EXPECT_LT(rel_diff<double>(B.view(), X.view()), 1e-10);
+}
+
+}  // namespace
+}  // namespace cs::hmat

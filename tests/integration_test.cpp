@@ -1,0 +1,148 @@
+// Cross-module integration properties: the memory-feasibility ordering
+// that drives the paper's headline result, solver-coupling interactions,
+// and problem-generator parameter sweeps.
+#include <gtest/gtest.h>
+
+#include "coupled/coupled.h"
+
+namespace cs::coupled {
+namespace {
+
+using fembem::SystemParams;
+
+const fembem::CoupledSystem<double>& system_8k() {
+  static auto sys =
+      fembem::make_pipe_system<double>({.total_unknowns = 8000});
+  return sys;
+}
+
+/// The paper's central claim, as a property: under a budget sized from the
+/// compressed multi-solve's own peak, compressed multi-solve still runs
+/// while the baseline coupling (whose A_vv^{-1} A_sv^T panel is a dense
+/// nv x ns matrix) does not.
+TEST(FeasibilityOrdering, CompressedMultiSolveOutlivesBaselineCoupling) {
+  Config msc;
+  msc.strategy = Strategy::kMultiSolveCompressed;
+  msc.n_c = 64;
+  msc.n_S = 256;
+  auto unlimited = solve_coupled(system_8k(), msc);
+  ASSERT_TRUE(unlimited.success);
+
+  const std::size_t budget = unlimited.peak_bytes * 3 / 2;
+  Config msc_b = msc;
+  msc_b.memory_budget = budget;
+  auto msc_stats = solve_coupled(system_8k(), msc_b);
+  EXPECT_TRUE(msc_stats.success) << msc_stats.failure;
+
+  Config baseline;
+  baseline.strategy = Strategy::kBaselineCoupling;
+  baseline.memory_budget = budget;
+  auto base_stats = solve_coupled(system_8k(), baseline);
+  EXPECT_FALSE(base_stats.success)
+      << "baseline coupling unexpectedly fit in "
+      << format_bytes(budget);
+}
+
+TEST(FeasibilityOrdering, MultiFactoUsesMoreMemoryThanMultiSolve) {
+  // Duplicated unsymmetric storage: the reason multi-facto caps earlier.
+  Config ms, mf;
+  ms.strategy = Strategy::kMultiSolve;
+  mf.strategy = Strategy::kMultiFactorization;
+  mf.n_b = 2;
+  auto s_ms = solve_coupled(system_8k(), ms);
+  auto s_mf = solve_coupled(system_8k(), mf);
+  ASSERT_TRUE(s_ms.success && s_mf.success);
+  EXPECT_GT(s_mf.peak_bytes, s_ms.peak_bytes);
+}
+
+TEST(FeasibilityOrdering, SchurStorageDominatedByDenseVariant) {
+  Config dense_cfg, h_cfg;
+  dense_cfg.strategy = Strategy::kMultiFactorization;
+  h_cfg.strategy = Strategy::kMultiFactorizationCompressed;
+  dense_cfg.n_b = h_cfg.n_b = 2;
+  auto s_dense = solve_coupled(system_8k(), dense_cfg);
+  auto s_h = solve_coupled(system_8k(), h_cfg);
+  ASSERT_TRUE(s_dense.success && s_h.success);
+  EXPECT_LT(s_h.schur_bytes, s_dense.schur_bytes);
+}
+
+TEST(Integration, ComplexStrategiesAgreePairwise) {
+  SystemParams p;
+  p.total_unknowns = 2000;
+  p.kappa = 1.0;
+  p.sigma_real = 2.0;
+  p.sigma_imag = 0.3;
+  p.symmetric_bem = false;
+  auto sys = fembem::make_pipe_system<complexd>(p);
+
+  double min_err = 1e9, max_err = -1e9;
+  for (Strategy s : {Strategy::kAdvancedCoupling, Strategy::kMultiSolve,
+                     Strategy::kMultiFactorization}) {
+    Config cfg;
+    cfg.strategy = s;
+    cfg.eps = 1e-5;
+    auto stats = solve_coupled(sys, cfg);
+    ASSERT_TRUE(stats.success) << strategy_name(s);
+    min_err = std::min(min_err, stats.relative_error);
+    max_err = std::max(max_err, stats.relative_error);
+  }
+  EXPECT_LT(max_err, 1e-4);
+}
+
+TEST(Integration, OrderingChoiceDoesNotChangeTheAnswer) {
+  for (auto method :
+       {ordering::Method::kNestedDissection, ordering::Method::kMinimumDegree,
+        ordering::Method::kRcm}) {
+    Config cfg;
+    cfg.strategy = Strategy::kMultiSolve;
+    cfg.ordering = method;
+    auto stats = solve_coupled(system_8k(), cfg);
+    ASSERT_TRUE(stats.success);
+    EXPECT_LT(stats.relative_error, 1e-3);
+  }
+}
+
+TEST(Integration, EpsSweepErrorTracksCompression) {
+  double prev_err = 1e9;
+  for (double eps : {1e-2, 1e-3, 1e-5}) {
+    Config cfg;
+    cfg.strategy = Strategy::kMultiSolveCompressed;
+    cfg.eps = eps;
+    auto stats = solve_coupled(system_8k(), cfg);
+    ASSERT_TRUE(stats.success);
+    EXPECT_LT(stats.relative_error, 50 * eps);
+    EXPECT_LE(stats.relative_error, prev_err * 5);  // roughly monotone
+    prev_err = stats.relative_error;
+  }
+}
+
+class ProportionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProportionSweep, GeneratedSplitsTrackTableOneLaw) {
+  const index_t n = GetParam();
+  const index_t target_bem = fembem::paper_bem_count(n);
+  auto dims = fembem::pipe_dims_for_split(n - target_bem, target_bem);
+  auto mesh = fembem::make_pipe_mesh(dims);
+  // Within 25% of the target law on both counts.
+  EXPECT_NEAR(static_cast<double>(mesh.n_surface()), target_bem,
+              0.25 * target_bem);
+  EXPECT_NEAR(static_cast<double>(mesh.n_nodes()), n - target_bem,
+              0.25 * (n - target_bem));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ProportionSweep,
+                         ::testing::Values(3000, 8000, 20000, 60000));
+
+TEST(Integration, StatsBytesAreInternallyConsistent) {
+  Config cfg;
+  cfg.strategy = Strategy::kMultiSolveCompressed;
+  auto stats = solve_coupled(system_8k(), cfg);
+  ASSERT_TRUE(stats.success);
+  EXPECT_LE(stats.schur_bytes, stats.peak_bytes);
+  EXPECT_LE(stats.sparse_factor_bytes, stats.peak_bytes);
+  EXPECT_GT(stats.schur_compression_ratio, 0.0);
+  EXPECT_LE(stats.schur_compression_ratio, 1.0);
+}
+
+}  // namespace
+}  // namespace cs::coupled

@@ -1,0 +1,128 @@
+// Tests for the MatrixMarket / surface export used for cross-validation
+// with external solvers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "fembem/io.h"
+
+namespace cs::fembem {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string temp_path(const std::string& name) {
+  return std::string("/tmp/cs_io_test_") + name;
+}
+
+TEST(Io, SparseMatrixMarketRoundTripByParsing) {
+  sparse::Triplets<double> t(3, 4);
+  t.add(0, 1, 1.5);
+  t.add(2, 3, -2.25);
+  t.add(1, 0, 0.125);
+  auto A = sparse::Csr<double>::from_triplets(t);
+  const auto path = temp_path("A.mtx");
+  write_matrix_market(A, path);
+
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_NE(header.find("MatrixMarket"), std::string::npos);
+  EXPECT_NE(header.find("real"), std::string::npos);
+  int rows, cols;
+  long long nnz;
+  in >> rows >> cols >> nnz;
+  EXPECT_EQ(rows, 3);
+  EXPECT_EQ(cols, 4);
+  EXPECT_EQ(nnz, 3);
+  // Parse entries back and compare against the matrix.
+  auto D = A.to_dense();
+  for (long long k = 0; k < nnz; ++k) {
+    int i, j;
+    double v;
+    in >> i >> j >> v;
+    EXPECT_DOUBLE_EQ(D(i - 1, j - 1), v);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Io, ComplexMatrixMarketHasTwoValueColumns) {
+  sparse::Triplets<complexd> t(2, 2);
+  t.add(0, 0, complexd(1.0, -2.0));
+  auto A = sparse::Csr<complexd>::from_triplets(t);
+  const auto path = temp_path("Ac.mtx");
+  write_matrix_market(A, path);
+  const auto text = slurp(path);
+  EXPECT_NE(text.find("complex"), std::string::npos);
+  EXPECT_NE(text.find("1 1 1 -2"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Io, VectorArrayFormat) {
+  la::Vector<double> v(3);
+  v[0] = 1.0;
+  v[1] = -0.5;
+  v[2] = 2.5;
+  const auto path = temp_path("v.mtx");
+  write_vector(v, path);
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_NE(header.find("array"), std::string::npos);
+  int rows, cols;
+  in >> rows >> cols;
+  EXPECT_EQ(rows, 3);
+  EXPECT_EQ(cols, 1);
+  double a, b, c;
+  in >> a >> b >> c;
+  EXPECT_DOUBLE_EQ(a, 1.0);
+  EXPECT_DOUBLE_EQ(b, -0.5);
+  EXPECT_DOUBLE_EQ(c, 2.5);
+  std::remove(path.c_str());
+}
+
+TEST(Io, ExportSystemWritesAllFiles) {
+  SystemParams params;
+  params.total_unknowns = 800;
+  auto sys = make_pipe_system<double>(params);
+  const auto prefix = temp_path("sys");
+  export_system(sys, prefix);
+  for (const char* suffix : {"_Avv.mtx", "_Asv.mtx", "_bv.mtx", "_bs.mtx",
+                             "_xv_ref.mtx", "_xs_ref.mtx", "_surface.txt"}) {
+    const auto path = prefix + suffix;
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(Io, SurfaceFileHasOneLinePerDof) {
+  SystemParams params;
+  params.total_unknowns = 800;
+  auto sys = make_pipe_system<double>(params);
+  const auto path = temp_path("surf.txt");
+  write_surface(sys.A_ss->surface(), path);
+  std::ifstream in(path);
+  std::string line;
+  index_t count = 0;
+  while (std::getline(in, line))
+    if (!line.empty() && line[0] != '#') ++count;
+  EXPECT_EQ(count, sys.ns());
+  std::remove(path.c_str());
+}
+
+TEST(Io, UnwritablePathThrows) {
+  la::Vector<double> v(1);
+  EXPECT_THROW(write_vector(v, "/nonexistent_dir/x.mtx"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cs::fembem

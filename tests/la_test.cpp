@@ -1,0 +1,420 @@
+// Unit and property tests for the dense linear algebra kernels (matrix
+// containers, gemm/trsm, LDL^T, LU with partial pivoting, partial
+// factorizations used by the multifrontal fronts).
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "common/random.h"
+#include "la/blas.h"
+#include "la/factor.h"
+#include "la/matrix.h"
+
+namespace cs::la {
+namespace {
+
+template <class T>
+Matrix<T> random_matrix(index_t m, index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix<T> a(m, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i) a(i, j) = rng.scalar<T>();
+  return a;
+}
+
+/// Symmetric strongly-regular matrix: random symmetric + diagonal shift.
+template <class T>
+Matrix<T> random_sym(index_t n, std::uint64_t seed) {
+  auto a = random_matrix<T>(n, n, seed);
+  Matrix<T> s(n, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) s(i, j) = a(i, j) + a(j, i);
+  for (index_t i = 0; i < n; ++i) s(i, i) += T{static_cast<double>(2 * n)};
+  return s;
+}
+
+template <class T>
+Matrix<T> naive_mult(ConstMatrixView<T> A, ConstMatrixView<T> B) {
+  Matrix<T> c(A.rows(), B.cols());
+  for (index_t i = 0; i < A.rows(); ++i)
+    for (index_t j = 0; j < B.cols(); ++j) {
+      T acc{};
+      for (index_t k = 0; k < A.cols(); ++k) acc += A(i, k) * B(k, j);
+      c(i, j) = acc;
+    }
+  return c;
+}
+
+template <class T>
+Matrix<T> transpose(ConstMatrixView<T> A) {
+  Matrix<T> t(A.cols(), A.rows());
+  for (index_t j = 0; j < A.cols(); ++j)
+    for (index_t i = 0; i < A.rows(); ++i) t(j, i) = A(i, j);
+  return t;
+}
+
+template <class T>
+class LaTypedTest : public ::testing::Test {};
+
+using Scalars = ::testing::Types<double, complexd>;
+TYPED_TEST_SUITE(LaTypedTest, Scalars);
+
+TEST(Matrix, ViewsAndBlocks) {
+  Matrix<double> m(4, 3);
+  m(2, 1) = 5.0;
+  auto v = m.view();
+  EXPECT_EQ(v(2, 1), 5.0);
+  auto b = v.block(1, 1, 3, 2);
+  EXPECT_EQ(b(1, 0), 5.0);
+  b(0, 0) = 7.0;
+  EXPECT_EQ(m(1, 1), 7.0);
+  EXPECT_EQ(b.ld(), 4);
+}
+
+TEST(Matrix, IdentityAndClear) {
+  auto id = Matrix<double>::identity(3);
+  EXPECT_EQ(id(1, 1), 1.0);
+  EXPECT_EQ(id(0, 1), 0.0);
+  id.clear();
+  EXPECT_TRUE(id.empty());
+}
+
+TYPED_TEST(LaTypedTest, GemmMatchesNaive) {
+  using T = TypeParam;
+  const auto A = random_matrix<T>(17, 9, 1);
+  const auto B = random_matrix<T>(9, 13, 2);
+  auto C = random_matrix<T>(17, 13, 3);
+  Matrix<T> ref = naive_mult<T>(A.view(), B.view());
+  // beta = 0 path.
+  gemm(T{1}, A.view(), Op::kNoTrans, B.view(), Op::kNoTrans, T{0}, C.view());
+  EXPECT_LT(rel_diff<T>(C.view(), ref.view()), 1e-13);
+}
+
+TYPED_TEST(LaTypedTest, GemmAllTransposeCombos) {
+  using T = TypeParam;
+  const auto A = random_matrix<T>(8, 6, 4);
+  const auto B = random_matrix<T>(6, 5, 5);
+  const auto At = transpose<T>(A.view());
+  const auto Bt = transpose<T>(B.view());
+  Matrix<T> ref = naive_mult<T>(A.view(), B.view());
+
+  Matrix<T> c1(8, 5), c2(8, 5), c3(8, 5);
+  gemm(T{1}, A.view(), Op::kNoTrans, Bt.view(), Op::kTrans, T{0}, c1.view());
+  gemm(T{1}, At.view(), Op::kTrans, B.view(), Op::kNoTrans, T{0}, c2.view());
+  gemm(T{1}, At.view(), Op::kTrans, Bt.view(), Op::kTrans, T{0}, c3.view());
+  EXPECT_LT(rel_diff<T>(c1.view(), ref.view()), 1e-13);
+  EXPECT_LT(rel_diff<T>(c2.view(), ref.view()), 1e-13);
+  EXPECT_LT(rel_diff<T>(c3.view(), ref.view()), 1e-13);
+}
+
+TYPED_TEST(LaTypedTest, GemmAlphaBetaAccumulate) {
+  using T = TypeParam;
+  const auto A = random_matrix<T>(7, 4, 6);
+  const auto B = random_matrix<T>(4, 7, 7);
+  auto C = random_matrix<T>(7, 7, 8);
+  Matrix<T> expected(7, 7);
+  Matrix<T> ab = naive_mult<T>(A.view(), B.view());
+  for (index_t j = 0; j < 7; ++j)
+    for (index_t i = 0; i < 7; ++i)
+      expected(i, j) = T{2} * ab(i, j) + T{3} * C(i, j);
+  gemm(T{2}, A.view(), Op::kNoTrans, B.view(), Op::kNoTrans, T{3}, C.view());
+  EXPECT_LT(rel_diff<T>(C.view(), expected.view()), 1e-13);
+}
+
+TYPED_TEST(LaTypedTest, GemvMatchesGemm) {
+  using T = TypeParam;
+  const auto A = random_matrix<T>(11, 6, 9);
+  const auto x = random_matrix<T>(6, 1, 10);
+  Matrix<T> y_ref(11, 1);
+  gemm(T{1}, A.view(), Op::kNoTrans, x.view(), Op::kNoTrans, T{0},
+       y_ref.view());
+  Matrix<T> y(11, 1);
+  gemv(T{1}, A.view(), Op::kNoTrans, x.data(), T{0}, y.data());
+  EXPECT_LT(rel_diff<T>(y.view(), y_ref.view()), 1e-13);
+
+  const auto z = random_matrix<T>(11, 1, 11);
+  Matrix<T> w_ref(6, 1);
+  gemm(T{1}, A.view(), Op::kTrans, z.view(), Op::kNoTrans, T{0}, w_ref.view());
+  Matrix<T> w(6, 1);
+  gemv(T{1}, A.view(), Op::kTrans, z.data(), T{0}, w.data());
+  EXPECT_LT(rel_diff<T>(w.view(), w_ref.view()), 1e-13);
+}
+
+/// trsm checked by verifying op(A) * X == B for all side/uplo/op combos.
+TYPED_TEST(LaTypedTest, TrsmAllVariants) {
+  using T = TypeParam;
+  const index_t n = 9, nrhs = 4;
+  auto A = random_matrix<T>(n, n, 12);
+  for (index_t i = 0; i < n; ++i) A(i, i) += T{static_cast<double>(n)};
+
+  for (Uplo uplo : {Uplo::kLower, Uplo::kUpper}) {
+    // Zero out the other triangle so A is really triangular.
+    Matrix<T> Tr = A;
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = 0; i < n; ++i) {
+        if (uplo == Uplo::kLower && i < j) Tr(i, j) = T{0};
+        if (uplo == Uplo::kUpper && i > j) Tr(i, j) = T{0};
+      }
+    for (Op op : {Op::kNoTrans, Op::kTrans}) {
+      for (Diag diag : {Diag::kNonUnit, Diag::kUnit}) {
+        Matrix<T> Teff = Tr;
+        if (diag == Diag::kUnit)
+          for (index_t i = 0; i < n; ++i) Teff(i, i) = T{1};
+        const Matrix<T> Topped =
+            (op == Op::kTrans) ? transpose<T>(Teff.view()) : Teff;
+
+        // Left: solve op(T) X = B.
+        {
+          const auto B = random_matrix<T>(n, nrhs, 13);
+          Matrix<T> X = B;
+          trsm(Side::kLeft, uplo, op, diag, Tr.view(), X.view());
+          Matrix<T> back = naive_mult<T>(Topped.view(), X.view());
+          EXPECT_LT(rel_diff<T>(back.view(), B.view()), 1e-11)
+              << "left uplo=" << int(uplo) << " op=" << int(op)
+              << " diag=" << int(diag);
+        }
+        // Right: solve X op(T) = B.
+        {
+          const auto B = random_matrix<T>(nrhs, n, 14);
+          Matrix<T> X = B;
+          trsm(Side::kRight, uplo, op, diag, Tr.view(), X.view());
+          Matrix<T> back = naive_mult<T>(X.view(), Topped.view());
+          EXPECT_LT(rel_diff<T>(back.view(), B.view()), 1e-11)
+              << "right uplo=" << int(uplo) << " op=" << int(op)
+              << " diag=" << int(diag);
+        }
+      }
+    }
+  }
+}
+
+TYPED_TEST(LaTypedTest, LdltFactorReconstructs) {
+  using T = TypeParam;
+  const index_t n = 33;
+  auto A = random_sym<T>(n, 20);
+  Matrix<T> F = A;
+  ldlt_factor(F.view(), /*nb=*/8);
+  // Rebuild L D L^T from the factor.
+  Matrix<T> L = Matrix<T>::identity(n);
+  Matrix<T> D(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    D(j, j) = F(j, j);
+    for (index_t i = j + 1; i < n; ++i) L(i, j) = F(i, j);
+  }
+  Matrix<T> LD = naive_mult<T>(L.view(), D.view());
+  Matrix<T> rec = naive_mult<T>(LD.view(), transpose<T>(L.view()).view());
+  // Only the lower triangle of A is meaningful for the comparison.
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = j; i < n; ++i)
+      EXPECT_NEAR(std::abs(rec(i, j) - A(i, j)), 0.0, 1e-9);
+}
+
+TYPED_TEST(LaTypedTest, LdltSolve) {
+  using T = TypeParam;
+  const index_t n = 40, nrhs = 3;
+  auto A = random_sym<T>(n, 21);
+  symmetrize_from_lower(A.view());
+  const auto X = random_matrix<T>(n, nrhs, 22);
+  Matrix<T> B = naive_mult<T>(A.view(), X.view());
+  Matrix<T> F = A;
+  ldlt_factor(F.view());
+  ldlt_solve<T>(F.view(), B.view());
+  EXPECT_LT(rel_diff<T>(B.view(), X.view()), 1e-10);
+}
+
+/// Partial LDL^T must leave the exact dense Schur complement in the
+/// trailing block (this is the primitive behind the sparse solver's Schur
+/// feature).
+TYPED_TEST(LaTypedTest, LdltPartialLeavesSchur) {
+  using T = TypeParam;
+  const index_t n = 30, ns = 18;
+  auto A = random_sym<T>(n, 23);
+  symmetrize_from_lower(A.view());
+
+  // Reference Schur: A22 - A21 * A11^{-1} * A12.
+  Matrix<T> A11(ns, ns), A21(n - ns, ns), A22(n - ns, n - ns);
+  A11.view().copy_from(A.block(0, 0, ns, ns));
+  A21.view().copy_from(A.block(ns, 0, n - ns, ns));
+  A22.view().copy_from(A.block(ns, ns, n - ns, n - ns));
+  Matrix<T> F11 = A11;
+  ldlt_factor(F11.view());
+  Matrix<T> Y = transpose<T>(A21.view());  // A12 = A21^T by symmetry
+  ldlt_solve<T>(F11.view(), Y.view());     // Y = A11^{-1} A12
+  Matrix<T> ref = A22;
+  gemm(T{-1}, A21.view(), Op::kNoTrans, Y.view(), Op::kNoTrans, T{1},
+       ref.view());
+
+  Matrix<T> F = A;
+  ldlt_factor_partial(F.view(), ns, /*nb=*/7);
+  symmetrize_from_lower(F.block(ns, ns, n - ns, n - ns));
+  EXPECT_LT(rel_diff<T>(F.block(ns, ns, n - ns, n - ns), ref.view()), 1e-9);
+}
+
+TYPED_TEST(LaTypedTest, LuFactorSolve) {
+  using T = TypeParam;
+  const index_t n = 37, nrhs = 2;
+  auto A = random_matrix<T>(n, n, 24);
+  for (index_t i = 0; i < n; ++i) A(i, i) += T{1.5};
+  const auto X = random_matrix<T>(n, nrhs, 25);
+  Matrix<T> B = naive_mult<T>(A.view(), X.view());
+  Matrix<T> F = A;
+  std::vector<index_t> piv;
+  lu_factor(F.view(), piv, /*nb=*/8);
+  lu_solve<T>(F.view(), piv, B.view());
+  EXPECT_LT(rel_diff<T>(B.view(), X.view()), 1e-10);
+}
+
+TEST(Lu, PivotingHandlesZeroDiagonal) {
+  // Matrix with a zero in the (0,0) position requires a row swap.
+  Matrix<double> A(3, 3);
+  A(0, 0) = 0.0; A(0, 1) = 2.0; A(0, 2) = 1.0;
+  A(1, 0) = 1.0; A(1, 1) = 1.0; A(1, 2) = 1.0;
+  A(2, 0) = 4.0; A(2, 1) = 0.0; A(2, 2) = 3.0;
+  Matrix<double> X(3, 1);
+  X(0, 0) = 1.0; X(1, 0) = -2.0; X(2, 0) = 0.5;
+  Matrix<double> B = naive_mult<double>(A.view(), X.view());
+  std::vector<index_t> piv;
+  lu_factor(A.view(), piv);
+  lu_solve<double>(A.view(), piv, B.view());
+  EXPECT_LT(rel_diff<double>(B.view(), X.view()), 1e-12);
+}
+
+TYPED_TEST(LaTypedTest, LuPartialLeavesSchur) {
+  using T = TypeParam;
+  const index_t n = 26, ns = 15;
+  auto A = random_matrix<T>(n, n, 26);
+  for (index_t i = 0; i < n; ++i) A(i, i) += T{static_cast<double>(n)};
+
+  Matrix<T> A11(ns, ns), A12(ns, n - ns), A21(n - ns, ns), A22(n - ns, n - ns);
+  A11.view().copy_from(A.block(0, 0, ns, ns));
+  A12.view().copy_from(A.block(0, ns, ns, n - ns));
+  A21.view().copy_from(A.block(ns, 0, n - ns, ns));
+  A22.view().copy_from(A.block(ns, ns, n - ns, n - ns));
+  Matrix<T> F11 = A11;
+  std::vector<index_t> piv11;
+  lu_factor(F11.view(), piv11);
+  Matrix<T> Y = A12;
+  lu_solve<T>(F11.view(), piv11, Y.view());
+  Matrix<T> ref = A22;
+  gemm(T{-1}, A21.view(), Op::kNoTrans, Y.view(), Op::kNoTrans, T{1},
+       ref.view());
+
+  Matrix<T> F = A;
+  std::vector<index_t> piv;
+  lu_factor_partial(F.view(), ns, piv, /*nb=*/6);
+  EXPECT_LT(rel_diff<T>(F.block(ns, ns, n - ns, n - ns), ref.view()), 1e-9);
+}
+
+TEST(Factor, SingularMatrixThrows) {
+  Matrix<double> A(2, 2);  // all zeros
+  EXPECT_THROW(ldlt_factor(A.view()), SingularMatrix);
+  std::vector<index_t> piv;
+  Matrix<double> B(2, 2);
+  EXPECT_THROW(lu_factor(B.view(), piv), SingularMatrix);
+}
+
+TEST(Blas, NormsAndAxpy) {
+  Matrix<double> A(2, 2);
+  A(0, 0) = 3.0; A(1, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(norm_fro<double>(A.view()), 5.0);
+  EXPECT_DOUBLE_EQ(max_abs<double>(A.view()), 4.0);
+  Matrix<double> B(2, 2);
+  axpy(2.0, A.view(), B.view());
+  EXPECT_DOUBLE_EQ(B(0, 0), 6.0);
+  scale(0.5, B.view());
+  EXPECT_DOUBLE_EQ(B(0, 0), 3.0);
+}
+
+TEST(Blas, RelDiffZeroDenominator) {
+  Matrix<double> A(2, 2), B(2, 2);
+  EXPECT_DOUBLE_EQ(rel_diff<double>(A.view(), B.view()), 0.0);
+  A(0, 0) = 1e-3;
+  EXPECT_GT(rel_diff<double>(A.view(), B.view()), 0.0);
+}
+
+TEST(Factor, SymmetrizeFromLower) {
+  Matrix<double> A(3, 3);
+  A(1, 0) = 2.0;
+  A(2, 1) = 3.0;
+  symmetrize_from_lower(A.view());
+  EXPECT_DOUBLE_EQ(A(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(A(1, 2), 3.0);
+}
+
+TEST(Vector, BasicOperations) {
+  Vector<double> v(5);
+  EXPECT_EQ(v.size(), 5);
+  for (index_t i = 0; i < 5; ++i) EXPECT_EQ(v[i], 0.0);
+  v.fill(2.5);
+  EXPECT_EQ(v[4], 2.5);
+  v[2] = -1.0;
+  auto m = v.as_matrix();
+  EXPECT_EQ(m.rows(), 5);
+  EXPECT_EQ(m.cols(), 1);
+  EXPECT_EQ(m(2, 0), -1.0);
+}
+
+TEST(MatrixView, FillAndCopyThroughBlocks) {
+  Matrix<double> m(5, 5);
+  m.view().block(1, 1, 3, 3).fill(7.0);
+  EXPECT_EQ(m(0, 0), 0.0);
+  EXPECT_EQ(m(2, 2), 7.0);
+  EXPECT_EQ(m(4, 4), 0.0);
+  Matrix<double> dst(3, 3);
+  dst.view().copy_from(ConstMatrixView<double>(m.view().block(1, 1, 3, 3)));
+  EXPECT_EQ(dst(0, 0), 7.0);
+}
+
+TYPED_TEST(LaTypedTest, GemmLargeParallelPathMatchesNaive) {
+  using T = TypeParam;
+  // Sizes above the OpenMP threshold exercise the parallel kernels.
+  const index_t m = 96, k = 48, n = 80;
+  const auto A = random_matrix<T>(m, k, 40);
+  const auto B = random_matrix<T>(k, n, 41);
+  Matrix<T> C(m, n);
+  gemm(T{1}, A.view(), Op::kNoTrans, B.view(), Op::kNoTrans, T{0}, C.view());
+  Matrix<T> ref = naive_mult<T>(A.view(), B.view());
+  EXPECT_LT(rel_diff<T>(C.view(), ref.view()), 1e-12);
+
+  // Odd remainder columns (n not a multiple of the column block).
+  Matrix<T> C2(m, 3);
+  gemm(T{1}, A.view(), Op::kNoTrans,
+       ConstMatrixView<T>(B.view().block(0, 0, k, 3)), Op::kNoTrans, T{0},
+       C2.view());
+  for (index_t j = 0; j < 3; ++j)
+    for (index_t i = 0; i < m; ++i)
+      EXPECT_NEAR(std::abs(C2(i, j) - ref(i, j)), 0.0, 1e-12);
+}
+
+// Parameterized sweep: LDLT and LU across sizes and block sizes (property:
+// solve recovers a known solution for every configuration).
+class FactorSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(FactorSweep, LdltAndLuRecoverSolution) {
+  const auto [n, nb] = GetParam();
+  auto A = random_sym<double>(n, 100 + n);
+  symmetrize_from_lower(A.view());
+  const auto X = random_matrix<double>(n, 2, 200 + n);
+  Matrix<double> B = naive_mult<double>(A.view(), X.view());
+  Matrix<double> F = A;
+  ldlt_factor(F.view(), nb);
+  ldlt_solve<double>(F.view(), B.view());
+  EXPECT_LT(rel_diff<double>(B.view(), X.view()), 1e-9) << "ldlt n=" << n;
+
+  auto G = random_matrix<double>(n, n, 300 + n);
+  for (index_t i = 0; i < n; ++i) G(i, i) += n;
+  Matrix<double> B2 = naive_mult<double>(G.view(), X.view());
+  std::vector<index_t> piv;
+  Matrix<double> GF = G;
+  lu_factor(GF.view(), piv, nb);
+  lu_solve<double>(GF.view(), piv, B2.view());
+  EXPECT_LT(rel_diff<double>(B2.view(), X.view()), 1e-9) << "lu n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndBlocks, FactorSweep,
+    ::testing::Combine(::testing::Values(1, 2, 5, 16, 33, 64, 97),
+                       ::testing::Values(4, 8, 96)));
+
+}  // namespace
+}  // namespace cs::la

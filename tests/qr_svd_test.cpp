@@ -1,0 +1,170 @@
+// Tests for the orthogonal factorization / low-rank compression kernels:
+// Householder QR, one-sided Jacobi SVD, and rank-revealing QR compression.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "la/blas.h"
+#include "la/qr_svd.h"
+
+namespace cs::la {
+namespace {
+
+template <class T>
+Matrix<T> random_matrix(index_t m, index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix<T> a(m, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i) a(i, j) = rng.scalar<T>();
+  return a;
+}
+
+/// Exact-rank-k matrix: product of random factors.
+template <class T>
+Matrix<T> rank_k_matrix(index_t m, index_t n, index_t k, std::uint64_t seed) {
+  const auto U = random_matrix<T>(m, k, seed);
+  const auto V = random_matrix<T>(n, k, seed + 1);
+  Matrix<T> A(m, n);
+  gemm(T{1}, U.view(), Op::kNoTrans, V.view(), Op::kTrans, T{0}, A.view());
+  return A;
+}
+
+template <class T>
+class QrSvdTypedTest : public ::testing::Test {};
+using Scalars = ::testing::Types<double, complexd>;
+TYPED_TEST_SUITE(QrSvdTypedTest, Scalars);
+
+TYPED_TEST(QrSvdTypedTest, QrReconstructsAndQIsUnitary) {
+  using T = TypeParam;
+  const index_t m = 20, k = 7;
+  const auto A = random_matrix<T>(m, k, 1);
+  Matrix<T> QR = A;
+  std::vector<T> tau;
+  householder_qr(QR.view(), tau);
+  Matrix<T> Q = form_q_thin<T>(QR.view(), tau);
+
+  // Q^H Q == I.
+  for (index_t a = 0; a < k; ++a)
+    for (index_t b = 0; b < k; ++b) {
+      T acc{};
+      for (index_t i = 0; i < m; ++i) acc += conj_if(Q(i, a)) * Q(i, b);
+      EXPECT_NEAR(std::abs(acc - (a == b ? T{1} : T{0})), 0.0, 1e-12);
+    }
+
+  // Q R == A.
+  Matrix<T> R(k, k);
+  for (index_t j = 0; j < k; ++j)
+    for (index_t i = 0; i <= j; ++i) R(i, j) = QR(i, j);
+  Matrix<T> rec(m, k);
+  gemm(T{1}, Q.view(), Op::kNoTrans, R.view(), Op::kNoTrans, T{0}, rec.view());
+  EXPECT_LT(rel_diff<T>(rec.view(), A.view()), 1e-12);
+}
+
+TYPED_TEST(QrSvdTypedTest, QrHandlesTriangularInput) {
+  using T = TypeParam;
+  // Already upper triangular input: reflectors should be trivial.
+  Matrix<T> A(5, 3);
+  A(0, 0) = T{2}; A(0, 1) = T{1}; A(1, 1) = T{3}; A(0, 2) = T{4};
+  A(2, 2) = T{5};
+  Matrix<T> QR = A;
+  std::vector<T> tau;
+  householder_qr(QR.view(), tau);
+  Matrix<T> Q = form_q_thin<T>(QR.view(), tau);
+  Matrix<T> R(3, 3);
+  for (index_t j = 0; j < 3; ++j)
+    for (index_t i = 0; i <= j; ++i) R(i, j) = QR(i, j);
+  Matrix<T> rec(5, 3);
+  gemm(T{1}, Q.view(), Op::kNoTrans, R.view(), Op::kNoTrans, T{0}, rec.view());
+  EXPECT_LT(rel_diff<T>(rec.view(), A.view()), 1e-12);
+}
+
+TYPED_TEST(QrSvdTypedTest, JacobiSvdReconstructs) {
+  using T = TypeParam;
+  const index_t m = 12, n = 8;
+  const auto A = random_matrix<T>(m, n, 2);
+  Matrix<T> U, V;
+  std::vector<double> sigma;
+  jacobi_svd<T>(A.view(), U, sigma, V);
+
+  // Descending singular values.
+  for (std::size_t i = 1; i < sigma.size(); ++i)
+    EXPECT_GE(sigma[i - 1], sigma[i] - 1e-12);
+
+  // A == U S V^H.
+  Matrix<T> US(m, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i)
+      US(i, j) = U(i, j) * T{sigma[static_cast<std::size_t>(j)]};
+  Matrix<T> rec(m, n);
+  // rec = US * V^H: conjugate V then plain transpose.
+  Matrix<T> Vc(n, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) Vc(i, j) = conj_if(V(i, j));
+  gemm(T{1}, US.view(), Op::kNoTrans, Vc.view(), Op::kTrans, T{0}, rec.view());
+  EXPECT_LT(rel_diff<T>(rec.view(), A.view()), 1e-10);
+}
+
+TEST(JacobiSvd, KnownSingularValues) {
+  // diag(3, 2, 1) has singular values 3, 2, 1.
+  Matrix<double> A(3, 3);
+  A(0, 0) = 1.0; A(1, 1) = 3.0; A(2, 2) = 2.0;
+  Matrix<double> U, V;
+  std::vector<double> sigma;
+  jacobi_svd<double>(A.view(), U, sigma, V);
+  ASSERT_EQ(sigma.size(), 3u);
+  EXPECT_NEAR(sigma[0], 3.0, 1e-12);
+  EXPECT_NEAR(sigma[1], 2.0, 1e-12);
+  EXPECT_NEAR(sigma[2], 1.0, 1e-12);
+}
+
+TYPED_TEST(QrSvdTypedTest, RrqrRecoversExactRank) {
+  using T = TypeParam;
+  const index_t m = 30, n = 24, k = 5;
+  const auto A = rank_k_matrix<T>(m, n, k, 3);
+  auto rk = rrqr_compress<T>(A.view(), 1e-12);
+  EXPECT_LE(rk.rank(), k + 1);
+  EXPECT_GE(rk.rank(), k);
+  Matrix<T> rec(m, n);
+  gemm(T{1}, rk.U.view(), Op::kNoTrans, rk.V.view(), Op::kTrans, T{0},
+       rec.view());
+  EXPECT_LT(rel_diff<T>(rec.view(), A.view()), 1e-10);
+}
+
+TYPED_TEST(QrSvdTypedTest, RrqrZeroMatrixGivesRankZero) {
+  using T = TypeParam;
+  Matrix<T> A(10, 8);
+  auto rk = rrqr_compress<T>(A.view(), 1e-6);
+  EXPECT_EQ(rk.rank(), 0);
+}
+
+TYPED_TEST(QrSvdTypedTest, RrqrRespectsMaxRank) {
+  using T = TypeParam;
+  const auto A = random_matrix<T>(16, 16, 5);
+  auto rk = rrqr_compress<T>(A.view(), 1e-15, /*max_rank=*/3);
+  EXPECT_LE(rk.rank(), 3);
+}
+
+// Property sweep: rrqr at accuracy eps must deliver relative Frobenius
+// error below ~eps for smooth kernels of rapidly decaying rank.
+class RrqrEpsSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RrqrEpsSweep, ErrorBelowEps) {
+  const double eps = GetParam();
+  const index_t m = 40, n = 35;
+  // Smooth displacement kernel 1/(2 + i - j/2): numerically low rank.
+  Matrix<double> A(m, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i)
+      A(i, j) = 1.0 / (2.0 + static_cast<double>(i) + static_cast<double>(j) / 2.0);
+  auto rk = rrqr_compress<double>(A.view(), eps);
+  Matrix<double> rec(m, n);
+  gemm(1.0, rk.U.view(), Op::kNoTrans, rk.V.view(), Op::kTrans, 0.0,
+       rec.view());
+  EXPECT_LT(rel_diff<double>(rec.view(), A.view()), 4 * eps);
+  EXPECT_LT(rk.rank(), std::min(m, n));  // genuinely compressed
+}
+
+INSTANTIATE_TEST_SUITE_P(Accuracies, RrqrEpsSweep,
+                         ::testing::Values(1e-2, 1e-4, 1e-6, 1e-8, 1e-10));
+
+}  // namespace
+}  // namespace cs::la

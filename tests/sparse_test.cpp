@@ -1,0 +1,243 @@
+// Tests for the sparse matrix containers and kernels (CSR build, SpMV,
+// SpMM, transpose, symmetric permutation, block extraction, patterns).
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "la/blas.h"
+#include "sparse/sparse.h"
+
+namespace cs::sparse {
+namespace {
+
+using la::ConstMatrixView;
+using la::Matrix;
+using la::rel_diff;
+
+/// Random sparse matrix with a fixed number of entries per row.
+template <class T>
+Csr<T> random_csr(index_t rows, index_t cols, index_t per_row,
+                  std::uint64_t seed) {
+  Rng rng(seed);
+  Triplets<T> t(rows, cols);
+  for (index_t r = 0; r < rows; ++r)
+    for (index_t k = 0; k < per_row; ++k)
+      t.add(r, rng.uniform_index(0, cols - 1), rng.scalar<T>());
+  return Csr<T>::from_triplets(t);
+}
+
+TEST(Csr, FromTripletsSumsDuplicates) {
+  Triplets<double> t(2, 2);
+  t.add(0, 1, 1.5);
+  t.add(0, 1, 2.5);
+  t.add(1, 0, -1.0);
+  auto m = Csr<double>::from_triplets(t);
+  EXPECT_EQ(m.nnz(), 2);
+  auto d = m.to_dense();
+  EXPECT_DOUBLE_EQ(d(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(d(1, 0), -1.0);
+  EXPECT_DOUBLE_EQ(d(0, 0), 0.0);
+}
+
+TEST(Csr, EmptyMatrix) {
+  Triplets<double> t(3, 3);
+  auto m = Csr<double>::from_triplets(t);
+  EXPECT_EQ(m.nnz(), 0);
+  std::vector<double> x(3, 1.0), y(3, 5.0);
+  m.spmv(1.0, x.data(), 0.0, y.data());
+  for (double v : y) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+template <class T>
+class SparseTypedTest : public ::testing::Test {};
+using Scalars = ::testing::Types<double, complexd>;
+TYPED_TEST_SUITE(SparseTypedTest, Scalars);
+
+TYPED_TEST(SparseTypedTest, SpmvMatchesDense) {
+  using T = TypeParam;
+  auto A = random_csr<T>(15, 11, 4, 1);
+  auto D = A.to_dense();
+  Rng rng(2);
+  std::vector<T> x(11), y(15, T{3}), y_ref(15);
+  for (auto& v : x) v = rng.scalar<T>();
+  // y := 2*A*x + 0.5*y
+  for (index_t i = 0; i < 15; ++i) {
+    T acc{};
+    for (index_t j = 0; j < 11; ++j) acc += D(i, j) * x[j];
+    y_ref[i] = T{2} * acc + T{0.5} * y[i];
+  }
+  A.spmv(T{2}, x.data(), T{0.5}, y.data());
+  for (index_t i = 0; i < 15; ++i)
+    EXPECT_NEAR(std::abs(y[i] - y_ref[i]), 0.0, 1e-12);
+}
+
+TYPED_TEST(SparseTypedTest, SpmvTransMatchesDense) {
+  using T = TypeParam;
+  auto A = random_csr<T>(9, 14, 3, 3);
+  auto D = A.to_dense();
+  Rng rng(4);
+  std::vector<T> x(9), y(14);
+  for (auto& v : x) v = rng.scalar<T>();
+  A.spmv_trans(T{1}, x.data(), T{0}, y.data());
+  for (index_t j = 0; j < 14; ++j) {
+    T acc{};
+    for (index_t i = 0; i < 9; ++i) acc += D(i, j) * x[i];
+    EXPECT_NEAR(std::abs(y[j] - acc), 0.0, 1e-12);
+  }
+}
+
+TYPED_TEST(SparseTypedTest, SpmmMatchesDense) {
+  using T = TypeParam;
+  auto A = random_csr<T>(20, 13, 5, 5);
+  auto D = A.to_dense();
+  Rng rng(6);
+  Matrix<T> B(13, 4);
+  for (index_t j = 0; j < 4; ++j)
+    for (index_t i = 0; i < 13; ++i) B(i, j) = rng.scalar<T>();
+  Matrix<T> C(20, 4), C_ref(20, 4);
+  la::gemm(T{1}, ConstMatrixView<T>(D.view()), la::Op::kNoTrans,
+           ConstMatrixView<T>(B.view()), la::Op::kNoTrans, T{0}, C_ref.view());
+  A.spmm(T{1}, B.view(), T{0}, C.view());
+  EXPECT_LT(rel_diff<T>(C.view(), C_ref.view()), 1e-12);
+}
+
+TYPED_TEST(SparseTypedTest, SpmmTransMatchesDense) {
+  using T = TypeParam;
+  auto A = random_csr<T>(14, 9, 4, 21);
+  auto D = A.to_dense();
+  Rng rng(22);
+  Matrix<T> B(14, 3);
+  for (index_t j = 0; j < 3; ++j)
+    for (index_t i = 0; i < 14; ++i) B(i, j) = rng.scalar<T>();
+  Matrix<T> C(9, 3), C_ref(9, 3);
+  la::gemm(T{2}, ConstMatrixView<T>(D.view()), la::Op::kTrans,
+           ConstMatrixView<T>(B.view()), la::Op::kNoTrans, T{0}, C_ref.view());
+  A.spmm_trans(T{2}, B.view(), T{0}, C.view());
+  EXPECT_LT(rel_diff<T>(C.view(), C_ref.view()), 1e-12);
+
+  // Accumulating variant.
+  Matrix<T> C2(9, 3);
+  for (index_t j = 0; j < 3; ++j)
+    for (index_t i = 0; i < 9; ++i) C2(i, j) = T{1};
+  A.spmm_trans(T{1}, B.view(), T{2}, C2.view());
+  for (index_t j = 0; j < 3; ++j)
+    for (index_t i = 0; i < 9; ++i)
+      EXPECT_NEAR(std::abs(C2(i, j) - (C_ref(i, j) / T{2} + T{2})), 0.0,
+                  1e-12);
+}
+
+TYPED_TEST(SparseTypedTest, TransposeRoundTrip) {
+  using T = TypeParam;
+  auto A = random_csr<T>(10, 7, 3, 7);
+  auto At = A.transposed();
+  EXPECT_EQ(At.rows(), 7);
+  EXPECT_EQ(At.cols(), 10);
+  auto D = A.to_dense();
+  auto Dt = At.to_dense();
+  for (index_t i = 0; i < 10; ++i)
+    for (index_t j = 0; j < 7; ++j)
+      EXPECT_EQ(D(i, j), Dt(j, i));
+}
+
+TEST(Csr, PermutedSymmetric) {
+  // 3x3 symmetric matrix, permutation (0,1,2) -> (2,0,1).
+  Triplets<double> t(3, 3);
+  t.add(0, 0, 1.0);
+  t.add(1, 1, 2.0);
+  t.add(2, 2, 3.0);
+  t.add(0, 1, 4.0);
+  t.add(1, 0, 4.0);
+  auto A = Csr<double>::from_triplets(t);
+  std::vector<index_t> perm = {2, 0, 1};
+  auto B = A.permuted_symmetric(perm);
+  auto D = B.to_dense();
+  EXPECT_DOUBLE_EQ(D(2, 2), 1.0);  // old (0,0)
+  EXPECT_DOUBLE_EQ(D(0, 0), 2.0);  // old (1,1)
+  EXPECT_DOUBLE_EQ(D(1, 1), 3.0);  // old (2,2)
+  EXPECT_DOUBLE_EQ(D(2, 0), 4.0);  // old (0,1)
+  EXPECT_DOUBLE_EQ(D(0, 2), 4.0);
+}
+
+TEST(Csr, RowsAsDenseTransposed) {
+  // Rows [1,3) of A as dense columns of A^T.
+  Triplets<double> t(4, 3);
+  t.add(1, 0, 5.0);
+  t.add(1, 2, 6.0);
+  t.add(2, 1, 7.0);
+  auto A = Csr<double>::from_triplets(t);
+  Matrix<double> out(3, 2);
+  A.rows_as_dense_transposed(1, 2, out.view());
+  EXPECT_DOUBLE_EQ(out(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(out(2, 0), 6.0);
+  EXPECT_DOUBLE_EQ(out(1, 1), 7.0);
+  EXPECT_DOUBLE_EQ(out(0, 1), 0.0);
+}
+
+TEST(Csr, ExtractBlockWithOffsets) {
+  Triplets<double> t(4, 4);
+  t.add(1, 1, 1.0);
+  t.add(2, 3, 2.0);
+  t.add(0, 0, 9.0);  // outside the block
+  auto A = Csr<double>::from_triplets(t);
+  Triplets<double> out(10, 10);
+  A.extract_block(/*r0=*/1, /*nr=*/2, /*c0=*/1, /*nc=*/3, out,
+                  /*row_offset=*/5, /*col_offset=*/6);
+  ASSERT_EQ(out.nnz(), 2u);
+  auto B = Csr<double>::from_triplets(out);
+  auto D = B.to_dense();
+  EXPECT_DOUBLE_EQ(D(5, 6), 1.0);   // (1,1) -> (5,6)
+  EXPECT_DOUBLE_EQ(D(6, 8), 2.0);   // (2,3) -> (6,8)
+}
+
+TEST(Pattern, FromSymmetricSkipsDiagonal) {
+  Triplets<double> t(3, 3);
+  t.add(0, 0, 1.0);
+  t.add(0, 1, 1.0);
+  t.add(1, 0, 1.0);
+  t.add(1, 2, 1.0);
+  t.add(2, 1, 1.0);
+  auto A = Csr<double>::from_triplets(t);
+  auto p = Pattern::from_symmetric(A);
+  EXPECT_EQ(p.n, 3);
+  EXPECT_EQ(p.degree(0), 1);
+  EXPECT_EQ(p.degree(1), 2);
+  EXPECT_EQ(p.degree(2), 1);
+  EXPECT_EQ(p.adj[static_cast<std::size_t>(p.adj_ptr[0])], 1);
+}
+
+TEST(Csr, SizeBytesIsPositive) {
+  auto A = random_csr<double>(10, 10, 2, 11);
+  EXPECT_GT(A.size_bytes(), 0u);
+}
+
+// Parameterized property: for random matrices of several shapes,
+// (A^T)^T == A and spmv_trans(A) == spmv(A^T).
+class SparseShapeSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(SparseShapeSweep, TransposeConsistency) {
+  const auto [rows, cols, per_row] = GetParam();
+  auto A = random_csr<double>(rows, cols, per_row, 100 + rows);
+  auto At = A.transposed();
+  auto Att = At.transposed();
+  auto D = A.to_dense();
+  auto Dtt = Att.to_dense();
+  EXPECT_LT(rel_diff<double>(Dtt.view(), D.view()), 1e-15);
+
+  Rng rng(7);
+  std::vector<double> x(static_cast<std::size_t>(rows));
+  for (auto& v : x) v = rng.uniform();
+  std::vector<double> y1(static_cast<std::size_t>(cols)),
+      y2(static_cast<std::size_t>(cols));
+  A.spmv_trans(1.0, x.data(), 0.0, y1.data());
+  At.spmv(1.0, x.data(), 0.0, y2.data());
+  for (index_t j = 0; j < cols; ++j) EXPECT_NEAR(y1[j], y2[j], 1e-13);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SparseShapeSweep,
+    ::testing::Values(std::tuple{1, 1, 1}, std::tuple{5, 9, 2},
+                      std::tuple{20, 20, 4}, std::tuple{50, 3, 2},
+                      std::tuple{3, 50, 2}));
+
+}  // namespace
+}  // namespace cs::sparse

@@ -1,0 +1,560 @@
+// Tests for the multifrontal sparse direct solver: elimination tree,
+// symbolic analysis, numeric LDL^T / LU factorization, multi-RHS solves,
+// the Schur complement feature, BLR compression and sparse-RHS pruning.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "la/factor.h"
+#include "sparsedirect/etree.h"
+#include "sparsedirect/multifrontal.h"
+#include "sparsedirect/symbolic.h"
+
+namespace cs::sparsedirect {
+namespace {
+
+using la::Matrix;
+using la::rel_diff;
+using sparse::Csr;
+using sparse::Pattern;
+using sparse::Triplets;
+
+/// 2D 5-point Laplacian with a diagonal shift (SPD).
+Csr<double> laplacian2d(index_t nx, index_t ny, double shift = 1.0) {
+  Triplets<double> t(nx * ny, nx * ny);
+  auto id = [nx](index_t i, index_t j) { return i + j * nx; };
+  for (index_t j = 0; j < ny; ++j)
+    for (index_t i = 0; i < nx; ++i) {
+      t.add(id(i, j), id(i, j), 4.0 + shift);
+      if (i + 1 < nx) {
+        t.add(id(i, j), id(i + 1, j), -1.0);
+        t.add(id(i + 1, j), id(i, j), -1.0);
+      }
+      if (j + 1 < ny) {
+        t.add(id(i, j), id(i, j + 1), -1.0);
+        t.add(id(i, j + 1), id(i, j), -1.0);
+      }
+    }
+  return Csr<double>::from_triplets(t);
+}
+
+/// Complex symmetric analogue (off-diagonals get an imaginary part).
+Csr<complexd> laplacian2d_complex(index_t nx, index_t ny) {
+  Triplets<complexd> t(nx * ny, nx * ny);
+  auto id = [nx](index_t i, index_t j) { return i + j * nx; };
+  const complexd off(-1.0, 0.3);
+  for (index_t j = 0; j < ny; ++j)
+    for (index_t i = 0; i < nx; ++i) {
+      t.add(id(i, j), id(i, j), complexd(5.0, 1.0));
+      if (i + 1 < nx) {
+        t.add(id(i, j), id(i + 1, j), off);
+        t.add(id(i + 1, j), id(i, j), off);
+      }
+      if (j + 1 < ny) {
+        t.add(id(i, j), id(i, j + 1), off);
+        t.add(id(i, j + 1), id(i, j), off);
+      }
+    }
+  return Csr<complexd>::from_triplets(t);
+}
+
+/// Structurally symmetric but numerically unsymmetric diagonally dominant
+/// matrix on a 2D grid stencil.
+Csr<double> unsym_grid(index_t nx, index_t ny, std::uint64_t seed) {
+  Rng rng(seed);
+  Triplets<double> t(nx * ny, nx * ny);
+  auto id = [nx](index_t i, index_t j) { return i + j * nx; };
+  for (index_t j = 0; j < ny; ++j)
+    for (index_t i = 0; i < nx; ++i) {
+      t.add(id(i, j), id(i, j), 8.0 + rng.uniform());
+      if (i + 1 < nx) {
+        t.add(id(i, j), id(i + 1, j), rng.uniform(-1.0, 1.0));
+        t.add(id(i + 1, j), id(i, j), rng.uniform(-1.0, 1.0));
+      }
+      if (j + 1 < ny) {
+        t.add(id(i, j), id(i, j + 1), rng.uniform(-1.0, 1.0));
+        t.add(id(i, j + 1), id(i, j), rng.uniform(-1.0, 1.0));
+      }
+    }
+  return Csr<double>::from_triplets(t);
+}
+
+template <class T>
+Matrix<T> random_rhs(index_t n, index_t nrhs, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix<T> b(n, nrhs);
+  for (index_t j = 0; j < nrhs; ++j)
+    for (index_t i = 0; i < n; ++i) b(i, j) = rng.scalar<T>();
+  return b;
+}
+
+TEST(Etree, KnownSmallMatrix) {
+  // Arrow matrix: every column connects to the last; etree is a chain
+  // through vertex n-1? No: parent[j] = min{i>j: L(i,j)!=0} = n-1 for all.
+  const index_t n = 5;
+  Triplets<double> t(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    t.add(i, i, 2.0);
+    if (i + 1 < n) {
+      t.add(i, n - 1, 1.0);
+      t.add(n - 1, i, 1.0);
+    }
+  }
+  auto p = Pattern::from_symmetric(Csr<double>::from_triplets(t));
+  auto parent = elimination_tree(p);
+  for (index_t j = 0; j + 1 < n; ++j) EXPECT_EQ(parent[static_cast<std::size_t>(j)], n - 1);
+  EXPECT_EQ(parent[static_cast<std::size_t>(n - 1)], -1);
+}
+
+TEST(Etree, TridiagonalIsChain) {
+  const index_t n = 6;
+  Triplets<double> t(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    t.add(i, i, 2.0);
+    if (i + 1 < n) {
+      t.add(i, i + 1, -1.0);
+      t.add(i + 1, i, -1.0);
+    }
+  }
+  auto p = Pattern::from_symmetric(Csr<double>::from_triplets(t));
+  auto parent = elimination_tree(p);
+  for (index_t j = 0; j + 1 < n; ++j) EXPECT_EQ(parent[static_cast<std::size_t>(j)], j + 1);
+}
+
+TEST(Etree, PostorderVisitsChildrenFirst) {
+  std::vector<index_t> parent = {2, 2, 4, 4, -1, 6, -1};
+  auto post = tree_postorder(parent);
+  ASSERT_EQ(post.size(), parent.size());
+  std::vector<index_t> position(parent.size());
+  for (std::size_t k = 0; k < post.size(); ++k)
+    position[static_cast<std::size_t>(post[k])] = static_cast<index_t>(k);
+  for (std::size_t v = 0; v < parent.size(); ++v)
+    if (parent[v] != -1)
+      EXPECT_LT(position[v], position[static_cast<std::size_t>(parent[v])]);
+}
+
+TEST(Symbolic, FrontsPartitionVariables) {
+  auto A = laplacian2d(8, 8);
+  auto p = Pattern::from_symmetric(A);
+  SymbolicOptions opt;
+  auto sym = analyze(p, opt);
+  std::vector<char> seen(64, 0);
+  for (const auto& f : sym.fronts) {
+    EXPECT_LE(f.pivot_begin, f.pivot_end);
+    for (index_t v = f.pivot_begin; v < f.pivot_end; ++v) {
+      EXPECT_FALSE(seen[static_cast<std::size_t>(v)]);
+      seen[static_cast<std::size_t>(v)] = 1;
+    }
+    // Border sorted ascending and beyond the pivots.
+    for (std::size_t k = 0; k < f.border.size(); ++k) {
+      EXPECT_GE(f.border[k], f.pivot_end);
+      if (k > 0) EXPECT_LT(f.border[k - 1], f.border[k]);
+    }
+  }
+  for (char s : seen) EXPECT_TRUE(s);
+  EXPECT_GT(sym.factor_entries, 0);
+}
+
+TEST(Symbolic, SchurFrontIsTerminalAndCollectsTrailingVars) {
+  auto A = laplacian2d(6, 6);
+  auto p = Pattern::from_symmetric(A);
+  SymbolicOptions opt;
+  opt.schur_size = 7;
+  auto sym = analyze(p, opt);
+  ASSERT_GE(sym.schur_front, 0);
+  const auto& sf = sym.fronts[static_cast<std::size_t>(sym.schur_front)];
+  EXPECT_TRUE(sf.is_schur);
+  EXPECT_EQ(sf.pivot_begin, 36 - 7);
+  EXPECT_EQ(sf.pivot_end, 36);
+  EXPECT_TRUE(sf.border.empty());
+  EXPECT_EQ(static_cast<std::size_t>(sym.schur_front),
+            sym.fronts.size() - 1);
+}
+
+TEST(Symbolic, ParentsComeAfterChildren) {
+  auto A = laplacian2d(10, 10);
+  auto p = Pattern::from_symmetric(A);
+  auto sym = analyze(p, SymbolicOptions{});
+  for (std::size_t f = 0; f < sym.fronts.size(); ++f) {
+    const auto parent = sym.fronts[f].parent;
+    if (parent != -1) EXPECT_GT(parent, static_cast<index_t>(f));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Numeric factorization + solve
+// ---------------------------------------------------------------------------
+
+class OrderingSweep : public ::testing::TestWithParam<ordering::Method> {};
+
+TEST_P(OrderingSweep, LdltSolveRecoversSolution) {
+  auto A = laplacian2d(12, 9);
+  const index_t n = A.rows();
+  auto X = random_rhs<double>(n, 3, 1);
+  Matrix<double> B(n, 3);
+  A.spmm(1.0, X.view(), 0.0, B.view());
+
+  MultifrontalSolver<double> mf;
+  SolverOptions opt;
+  opt.ordering = GetParam();
+  mf.factorize(A, opt);
+  mf.solve(B.view());
+  EXPECT_LT(rel_diff<double>(B.view(), X.view()), 1e-10);
+}
+
+TEST_P(OrderingSweep, LuSolveRecoversSolution) {
+  auto A = unsym_grid(9, 8, 3);
+  const index_t n = A.rows();
+  auto X = random_rhs<double>(n, 2, 2);
+  Matrix<double> B(n, 2);
+  A.spmm(1.0, X.view(), 0.0, B.view());
+
+  MultifrontalSolver<double> mf;
+  SolverOptions opt;
+  opt.ordering = GetParam();
+  opt.symmetric = false;
+  mf.factorize(A, opt);
+  mf.solve(B.view());
+  EXPECT_LT(rel_diff<double>(B.view(), X.view()), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOrderings, OrderingSweep,
+                         ::testing::Values(ordering::Method::kNatural,
+                                           ordering::Method::kRcm,
+                                           ordering::Method::kMinimumDegree,
+                                           ordering::Method::kNestedDissection));
+
+TEST(Multifrontal, ComplexSymmetricSolve) {
+  auto A = laplacian2d_complex(7, 11);
+  const index_t n = A.rows();
+  auto X = random_rhs<complexd>(n, 2, 4);
+  Matrix<complexd> B(n, 2);
+  A.spmm(complexd{1}, X.view(), complexd{0}, B.view());
+
+  MultifrontalSolver<complexd> mf;
+  mf.factorize(A, SolverOptions{});
+  mf.solve(B.view());
+  EXPECT_LT(rel_diff<complexd>(B.view(), X.view()), 1e-10);
+}
+
+TEST(Multifrontal, SingleVariableMatrix) {
+  Triplets<double> t(1, 1);
+  t.add(0, 0, 4.0);
+  auto A = Csr<double>::from_triplets(t);
+  MultifrontalSolver<double> mf;
+  mf.factorize(A, SolverOptions{});
+  Matrix<double> b(1, 1);
+  b(0, 0) = 8.0;
+  mf.solve(b.view());
+  EXPECT_DOUBLE_EQ(b(0, 0), 2.0);
+}
+
+TEST(Multifrontal, SolveBeforeFactorizeThrows) {
+  MultifrontalSolver<double> mf;
+  Matrix<double> b(3, 1);
+  EXPECT_THROW(mf.solve(b.view()), std::logic_error);
+}
+
+TEST(Multifrontal, NonSquareThrows) {
+  Triplets<double> t(2, 3);
+  auto A = Csr<double>::from_triplets(t);
+  MultifrontalSolver<double> mf;
+  EXPECT_THROW(mf.factorize(A, SolverOptions{}), std::invalid_argument);
+}
+
+/// The dense Schur complement from the solver must match a dense
+/// reference: S = A22 - A21 A11^{-1} A12.
+template <class T>
+void check_schur_against_dense(const Csr<T>& A, index_t schur_size,
+                               bool symmetric, double tol) {
+  const index_t n = A.rows();
+  const index_t ne = n - schur_size;
+  MultifrontalSolver<T> mf;
+  SolverOptions opt;
+  opt.symmetric = symmetric;
+  opt.schur_size = schur_size;
+  mf.factorize(A, opt);
+  auto S = mf.take_schur();
+
+  auto D = A.to_dense();
+  Matrix<T> A11(ne, ne), A12(ne, schur_size), A21(schur_size, ne),
+      A22(schur_size, schur_size);
+  A11.view().copy_from(D.block(0, 0, ne, ne));
+  A12.view().copy_from(D.block(0, ne, ne, schur_size));
+  A21.view().copy_from(D.block(ne, 0, schur_size, ne));
+  A22.view().copy_from(D.block(ne, ne, schur_size, schur_size));
+  std::vector<index_t> piv;
+  la::lu_factor(A11.view(), piv);
+  la::lu_solve<T>(A11.view(), piv, A12.view());
+  Matrix<T> ref = A22;
+  la::gemm(T{-1}, A21.view(), la::Op::kNoTrans, A12.view(), la::Op::kNoTrans,
+           T{1}, ref.view());
+  EXPECT_LT(rel_diff<T>(S.view(), ref.view()), tol);
+}
+
+TEST(SchurFeature, SymmetricMatchesDenseReference) {
+  auto A = laplacian2d(8, 7);
+  check_schur_against_dense<double>(A, 11, /*symmetric=*/true, 1e-10);
+}
+
+TEST(SchurFeature, UnsymmetricMatchesDenseReference) {
+  auto A = unsym_grid(7, 7, 5);
+  check_schur_against_dense<double>(A, 9, /*symmetric=*/false, 1e-10);
+}
+
+TEST(SchurFeature, ComplexSymmetric) {
+  auto A = laplacian2d_complex(6, 6);
+  check_schur_against_dense<complexd>(A, 8, /*symmetric=*/true, 1e-10);
+}
+
+TEST(SchurFeature, WShapedMatrixWithZeroTrailingBlock) {
+  // The exact substrate of the multi-factorization algorithm: the
+  // unsymmetric W = [[A, B^T],[C, 0]] whose trailing diagonal is entirely
+  // zero — those variables are never pivoted (they live in the Schur
+  // front), so the factorization must not fail.
+  auto A = laplacian2d(7, 6);
+  const index_t nv = A.rows();
+  const index_t p = 9;
+  Rng rng(31);
+  Triplets<double> t(nv + p, nv + p);
+  for (index_t r = 0; r < nv; ++r)
+    for (offset_t k = A.row_begin(r); k < A.row_end(r); ++k)
+      t.add(r, A.col(k), A.value(k));
+  // Random sparse B (coupling cols) and C (coupling rows), C != B^T.
+  for (index_t q = 0; q < p; ++q)
+    for (int e = 0; e < 5; ++e) {
+      t.add(nv + q, rng.uniform_index(0, nv - 1), rng.uniform(-1, 1));
+      t.add(rng.uniform_index(0, nv - 1), nv + q, rng.uniform(-1, 1));
+    }
+  auto W = Csr<double>::from_triplets(t);
+  check_schur_against_dense<double>(W, p, /*symmetric=*/false, 1e-9);
+}
+
+TEST(SchurFeature, ComplexUnsymmetricWMatrix) {
+  auto A = laplacian2d_complex(6, 5);
+  const index_t nv = A.rows();
+  const index_t p = 7;
+  Rng rng(33);
+  Triplets<complexd> t(nv + p, nv + p);
+  for (index_t r = 0; r < nv; ++r)
+    for (offset_t k = A.row_begin(r); k < A.row_end(r); ++k)
+      t.add(r, A.col(k), A.value(k));
+  for (index_t q = 0; q < p; ++q)
+    for (int e = 0; e < 4; ++e) {
+      t.add(nv + q, rng.uniform_index(0, nv - 1), rng.scalar<complexd>());
+      t.add(rng.uniform_index(0, nv - 1), nv + q, rng.scalar<complexd>());
+    }
+  auto W = Csr<complexd>::from_triplets(t);
+  check_schur_against_dense<complexd>(W, p, /*symmetric=*/false, 1e-9);
+}
+
+TEST(SchurFeature, SolveStillWorksOnInteriorAfterSchur) {
+  // With a Schur factorization in hand, solve() addresses the leading
+  // (eliminated) block only — used by the advanced coupling for b_v.
+  auto A = laplacian2d(9, 9);
+  const index_t n = A.rows();
+  const index_t ns = 13, ne = n - ns;
+
+  MultifrontalSolver<double> mf;
+  SolverOptions opt;
+  opt.schur_size = ns;
+  mf.factorize(A, opt);
+
+  // Dense reference on A11.
+  auto D = A.to_dense();
+  Matrix<double> A11(ne, ne);
+  A11.view().copy_from(D.block(0, 0, ne, ne));
+  auto X = random_rhs<double>(ne, 2, 6);
+  Matrix<double> B(ne, 2);
+  la::gemm(1.0, A11.view(), la::Op::kNoTrans, X.view(), la::Op::kNoTrans, 0.0,
+           B.view());
+  mf.solve(B.view());
+  EXPECT_LT(rel_diff<double>(B.view(), X.view()), 1e-10);
+}
+
+TEST(SchurFeature, TakeSchurWithoutRequestThrows) {
+  auto A = laplacian2d(4, 4);
+  MultifrontalSolver<double> mf;
+  mf.factorize(A, SolverOptions{});
+  EXPECT_THROW(mf.take_schur(), std::logic_error);
+}
+
+TEST(SchurFeature, WholeMatrixAsSchur) {
+  // schur_size == n: nothing is eliminated, S == A dense.
+  auto A = laplacian2d(4, 3);
+  MultifrontalSolver<double> mf;
+  SolverOptions opt;
+  opt.schur_size = A.rows();
+  mf.factorize(A, opt);
+  auto S = mf.take_schur();
+  auto D = A.to_dense();
+  EXPECT_LT(rel_diff<double>(S.view(), D.view()), 1e-14);
+}
+
+/// 3D 7-point Laplacian (the regime where BLR panels are genuinely
+/// low-rank, matching the paper's volume FEM matrices).
+Csr<double> laplacian3d(index_t g, double shift = 0.1) {
+  Triplets<double> t(g * g * g, g * g * g);
+  auto id = [g](index_t i, index_t j, index_t k) {
+    return i + g * (j + g * k);
+  };
+  for (index_t k = 0; k < g; ++k)
+    for (index_t j = 0; j < g; ++j)
+      for (index_t i = 0; i < g; ++i) {
+        t.add(id(i, j, k), id(i, j, k), 6.0 + shift);
+        if (i + 1 < g) {
+          t.add(id(i, j, k), id(i + 1, j, k), -1.0);
+          t.add(id(i + 1, j, k), id(i, j, k), -1.0);
+        }
+        if (j + 1 < g) {
+          t.add(id(i, j, k), id(i, j + 1, k), -1.0);
+          t.add(id(i, j + 1, k), id(i, j, k), -1.0);
+        }
+        if (k + 1 < g) {
+          t.add(id(i, j, k), id(i, j, k + 1), -1.0);
+          t.add(id(i, j, k + 1), id(i, j, k), -1.0);
+        }
+      }
+  return Csr<double>::from_triplets(t);
+}
+
+/// BLR options in the regime where 3D fronts are large enough for tiles to
+/// be genuinely low-rank (larger supernodes, looser tiles).
+SolverOptions blr_options(double eps) {
+  SolverOptions opt;
+  opt.compress = true;
+  opt.blr_eps = eps;
+  opt.blr_min_dim = 24;
+  opt.blr_tile_rows = 96;
+  opt.relax_zeros = 48;
+  opt.max_supernode = 512;
+  return opt;
+}
+
+TEST(Blr, CompressionReducesStorageAndKeepsAccuracy) {
+  auto A = laplacian3d(16);
+  const index_t n = A.rows();
+  auto X = random_rhs<double>(n, 1, 7);
+  Matrix<double> B(n, 1);
+  A.spmm(1.0, X.view(), 0.0, B.view());
+
+  SolverOptions dense_opt = blr_options(1e-2);
+  dense_opt.compress = false;
+  MultifrontalSolver<double> dense_mf;
+  dense_mf.factorize(A, dense_opt);
+
+  MultifrontalSolver<double> blr_mf;
+  blr_mf.factorize(A, blr_options(1e-2));
+
+  EXPECT_GT(blr_mf.stats().compressed_panels, 0);
+  EXPECT_LT(blr_mf.stats().factor_entries_stored,
+            dense_mf.stats().factor_entries_stored);
+
+  Matrix<double> B2 = B;
+  blr_mf.solve(B2.view());
+  EXPECT_LT(rel_diff<double>(B2.view(), X.view()), 5e-2);
+}
+
+TEST(Blr, TighterEpsilonIsMoreAccurate) {
+  auto A = laplacian3d(16);
+  const index_t n = A.rows();
+  auto X = random_rhs<double>(n, 1, 9);
+  Matrix<double> B(n, 1);
+  A.spmm(1.0, X.view(), 0.0, B.view());
+
+  double prev_err = 1e9;
+  for (double eps : {1e-1, 1e-4, 1e-10}) {
+    MultifrontalSolver<double> mf;
+    mf.factorize(A, blr_options(eps));
+    Matrix<double> B2 = B;
+    mf.solve(B2.view());
+    const double err = rel_diff<double>(B2.view(), X.view());
+    EXPECT_LT(err, 10 * eps + 1e-12);
+    EXPECT_LE(err, prev_err + 1e-12);
+    prev_err = err;
+  }
+}
+
+TEST(Blr, LooserEpsilonCompressesMore) {
+  auto A = laplacian3d(16);
+  MultifrontalSolver<double> mf_tight, mf_loose;
+  mf_tight.factorize(A, blr_options(1e-10));
+  mf_loose.factorize(A, blr_options(1e-2));
+  EXPECT_LE(mf_loose.stats().factor_entries_stored,
+            mf_tight.stats().factor_entries_stored);
+  EXPECT_GT(mf_loose.stats().compressed_panels,
+            mf_tight.stats().compressed_panels);
+}
+
+TEST(SparseRhs, PrunedSolveMatchesDenseSolve) {
+  auto A = laplacian2d(13, 13);
+  const index_t n = A.rows();
+  // RHS with only a handful of nonzero rows.
+  Matrix<double> B(n, 2);
+  B(3, 0) = 1.0;
+  B(50, 0) = -2.0;
+  B(120, 1) = 0.5;
+
+  MultifrontalSolver<double> pruned, full;
+  SolverOptions popt;
+  popt.exploit_sparse_rhs = true;
+  SolverOptions fopt;
+  fopt.exploit_sparse_rhs = false;
+  pruned.factorize(A, popt);
+  full.factorize(A, fopt);
+
+  Matrix<double> Bp = B, Bf = B;
+  pruned.solve(Bp.view());
+  full.solve(Bf.view());
+  EXPECT_LT(rel_diff<double>(Bp.view(), Bf.view()), 1e-13);
+}
+
+TEST(Multifrontal, StatsAreConsistent) {
+  auto A = laplacian2d(10, 10);
+  MultifrontalSolver<double> mf;
+  mf.factorize(A, SolverOptions{});
+  const auto& s = mf.stats();
+  EXPECT_EQ(s.n, 100);
+  EXPECT_EQ(s.n_eliminated, 100);
+  EXPECT_GT(s.n_fronts, 0);
+  EXPECT_GT(s.factor_entries_stored, 0);
+  EXPECT_GE(s.factor_entries_dense, 100);  // at least the diagonal
+  EXPECT_GT(mf.factor_bytes(), 0u);
+  EXPECT_GE(s.factor_seconds, 0.0);
+}
+
+TEST(Multifrontal, BudgetExceededPropagatesCleanly) {
+  auto A = laplacian2d(20, 20);
+  auto& tracker = MemoryTracker::instance();
+  const std::size_t before = tracker.current();
+  {
+    MultifrontalSolver<double> mf;
+    ScopedBudget budget(tracker.current() + 20 * 1024);  // far too small
+    EXPECT_THROW(mf.factorize(A, SolverOptions{}), BudgetExceeded);
+  }
+  // No tracked bytes may leak after the failed factorization unwinds.
+  EXPECT_EQ(tracker.current(), before);
+}
+
+TEST(Multifrontal, AmalgamationSweepStaysCorrect) {
+  auto A = laplacian2d(11, 11);
+  const index_t n = A.rows();
+  auto X = random_rhs<double>(n, 1, 8);
+  Matrix<double> B0(n, 1);
+  A.spmm(1.0, X.view(), 0.0, B0.view());
+  for (index_t relax : {0, 4, 64}) {
+    for (index_t max_sn : {1, 8, 256}) {
+      MultifrontalSolver<double> mf;
+      SolverOptions opt;
+      opt.relax_zeros = relax;
+      opt.max_supernode = max_sn;
+      mf.factorize(A, opt);
+      Matrix<double> B = B0;
+      mf.solve(B.view());
+      EXPECT_LT(rel_diff<double>(B.view(), X.view()), 1e-10)
+          << "relax=" << relax << " max_sn=" << max_sn;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cs::sparsedirect
