@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ooc.dir/bench_ooc.cpp.o"
+  "CMakeFiles/bench_ooc.dir/bench_ooc.cpp.o.d"
+  "bench_ooc"
+  "bench_ooc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ooc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aircraft_noise.dir/aircraft_noise.cpp.o"
+  "CMakeFiles/aircraft_noise.dir/aircraft_noise.cpp.o.d"
+  "aircraft_noise"
+  "aircraft_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aircraft_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_system.dir/export_system.cpp.o"
+  "CMakeFiles/export_system.dir/export_system.cpp.o.d"
+  "export_system"
+  "export_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmatrix_tour.dir/hmatrix_tour.cpp.o"
+  "CMakeFiles/hmatrix_tour.dir/hmatrix_tour.cpp.o.d"
+  "hmatrix_tour"
+  "hmatrix_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmatrix_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipe_acoustics.dir/pipe_acoustics.cpp.o"
+  "CMakeFiles/pipe_acoustics.dir/pipe_acoustics.cpp.o.d"
+  "pipe_acoustics"
+  "pipe_acoustics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipe_acoustics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

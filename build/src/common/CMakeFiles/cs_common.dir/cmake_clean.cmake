@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_common.dir/cli.cpp.o"
+  "CMakeFiles/cs_common.dir/cli.cpp.o.d"
+  "CMakeFiles/cs_common.dir/log.cpp.o"
+  "CMakeFiles/cs_common.dir/log.cpp.o.d"
+  "CMakeFiles/cs_common.dir/memory.cpp.o"
+  "CMakeFiles/cs_common.dir/memory.cpp.o.d"
+  "CMakeFiles/cs_common.dir/table.cpp.o"
+  "CMakeFiles/cs_common.dir/table.cpp.o.d"
+  "libcs_common.a"
+  "libcs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_coupled.dir/coupled.cpp.o"
+  "CMakeFiles/cs_coupled.dir/coupled.cpp.o.d"
+  "libcs_coupled.a"
+  "libcs_coupled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_coupled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

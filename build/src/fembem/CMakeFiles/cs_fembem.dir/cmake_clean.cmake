@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_fembem.dir/mesh.cpp.o"
+  "CMakeFiles/cs_fembem.dir/mesh.cpp.o.d"
+  "libcs_fembem.a"
+  "libcs_fembem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_fembem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

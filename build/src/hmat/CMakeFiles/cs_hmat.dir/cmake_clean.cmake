@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_hmat.dir/cluster.cpp.o"
+  "CMakeFiles/cs_hmat.dir/cluster.cpp.o.d"
+  "libcs_hmat.a"
+  "libcs_hmat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_hmat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ordering/mindeg.cpp" "src/ordering/CMakeFiles/cs_ordering.dir/mindeg.cpp.o" "gcc" "src/ordering/CMakeFiles/cs_ordering.dir/mindeg.cpp.o.d"
+  "/root/repo/src/ordering/nested_dissection.cpp" "src/ordering/CMakeFiles/cs_ordering.dir/nested_dissection.cpp.o" "gcc" "src/ordering/CMakeFiles/cs_ordering.dir/nested_dissection.cpp.o.d"
+  "/root/repo/src/ordering/ordering.cpp" "src/ordering/CMakeFiles/cs_ordering.dir/ordering.cpp.o" "gcc" "src/ordering/CMakeFiles/cs_ordering.dir/ordering.cpp.o.d"
+  "/root/repo/src/ordering/rcm.cpp" "src/ordering/CMakeFiles/cs_ordering.dir/rcm.cpp.o" "gcc" "src/ordering/CMakeFiles/cs_ordering.dir/rcm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

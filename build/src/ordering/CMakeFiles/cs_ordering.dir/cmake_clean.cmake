@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_ordering.dir/mindeg.cpp.o"
+  "CMakeFiles/cs_ordering.dir/mindeg.cpp.o.d"
+  "CMakeFiles/cs_ordering.dir/nested_dissection.cpp.o"
+  "CMakeFiles/cs_ordering.dir/nested_dissection.cpp.o.d"
+  "CMakeFiles/cs_ordering.dir/ordering.cpp.o"
+  "CMakeFiles/cs_ordering.dir/ordering.cpp.o.d"
+  "CMakeFiles/cs_ordering.dir/rcm.cpp.o"
+  "CMakeFiles/cs_ordering.dir/rcm.cpp.o.d"
+  "libcs_ordering.a"
+  "libcs_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

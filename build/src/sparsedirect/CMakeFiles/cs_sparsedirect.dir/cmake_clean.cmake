@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_sparsedirect.dir/etree.cpp.o"
+  "CMakeFiles/cs_sparsedirect.dir/etree.cpp.o.d"
+  "CMakeFiles/cs_sparsedirect.dir/symbolic.cpp.o"
+  "CMakeFiles/cs_sparsedirect.dir/symbolic.cpp.o.d"
+  "libcs_sparsedirect.a"
+  "libcs_sparsedirect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_sparsedirect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

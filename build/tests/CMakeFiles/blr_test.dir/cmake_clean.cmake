@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blr_test.dir/blr_test.cpp.o"
+  "CMakeFiles/blr_test.dir/blr_test.cpp.o.d"
+  "blr_test"
+  "blr_test.pdb"
+  "blr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fembem_test.dir/fembem_test.cpp.o"
+  "CMakeFiles/fembem_test.dir/fembem_test.cpp.o.d"
+  "fembem_test"
+  "fembem_test.pdb"
+  "fembem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fembem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

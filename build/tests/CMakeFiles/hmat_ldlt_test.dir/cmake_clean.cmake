@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmat_ldlt_test.dir/hmat_ldlt_test.cpp.o"
+  "CMakeFiles/hmat_ldlt_test.dir/hmat_ldlt_test.cpp.o.d"
+  "hmat_ldlt_test"
+  "hmat_ldlt_test.pdb"
+  "hmat_ldlt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmat_ldlt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmat_test.dir/hmat_test.cpp.o"
+  "CMakeFiles/hmat_test.dir/hmat_test.cpp.o.d"
+  "hmat_test"
+  "hmat_test.pdb"
+  "hmat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

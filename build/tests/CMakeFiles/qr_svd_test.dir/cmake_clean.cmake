@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qr_svd_test.dir/qr_svd_test.cpp.o"
+  "CMakeFiles/qr_svd_test.dir/qr_svd_test.cpp.o.d"
+  "qr_svd_test"
+  "qr_svd_test.pdb"
+  "qr_svd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qr_svd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparsedirect_test.dir/sparsedirect_test.cpp.o"
+  "CMakeFiles/sparsedirect_test.dir/sparsedirect_test.cpp.o.d"
+  "sparsedirect_test"
+  "sparsedirect_test.pdb"
+  "sparsedirect_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparsedirect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

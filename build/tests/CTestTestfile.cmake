@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/la_test[1]_include.cmake")
+include("/root/repo/build/tests/qr_svd_test[1]_include.cmake")
+include("/root/repo/build/tests/sparse_test[1]_include.cmake")
+include("/root/repo/build/tests/ordering_test[1]_include.cmake")
+include("/root/repo/build/tests/sparsedirect_test[1]_include.cmake")
+include("/root/repo/build/tests/hmat_test[1]_include.cmake")
+include("/root/repo/build/tests/fembem_test[1]_include.cmake")
+include("/root/repo/build/tests/coupled_test[1]_include.cmake")
+include("/root/repo/build/tests/dense_test[1]_include.cmake")
+include("/root/repo/build/tests/blr_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/planner_test[1]_include.cmake")
+include("/root/repo/build/tests/hmat_ldlt_test[1]_include.cmake")
+include("/root/repo/build/tests/ooc_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_test[1]_include.cmake")
