@@ -16,6 +16,7 @@ using coupled::Strategy;
 int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   args.describe("n", "total unknowns (default 6000)");
+  bench::describe_threads(args);
   args.check("Ablation studies: randomized Schur, orderings, BLR, "
              "iterative refinement.");
   const index_t n = static_cast<index_t>(args.get_int("n", 6000));
@@ -35,6 +36,7 @@ int main(int argc, char** argv) {
       Config cfg;
       cfg.strategy = s;
       cfg.eps = eps;
+      bench::apply_threads(args, cfg);
       auto st = coupled::solve_coupled(sys, cfg);
       ta2.add_row({coupled::strategy_name(s), bench::sci(eps),
                    st.success ? TablePrinter::fmt(st.total_seconds, 1) : "-",
@@ -61,6 +63,7 @@ int main(int argc, char** argv) {
     Config cfg;
     cfg.strategy = Strategy::kMultiSolve;
     cfg.ordering = method;
+    bench::apply_threads(args, cfg);
     auto st = coupled::solve_coupled(sys, cfg);
     tb.add_row({name,
                 TablePrinter::fmt(st.phases.get("sparse_factorization"), 2),
@@ -79,6 +82,7 @@ int main(int argc, char** argv) {
     cfg.strategy = Strategy::kMultiSolve;
     cfg.sparse_compression = on;
     if (on) cfg.eps = eps;
+    bench::apply_threads(args, cfg);
     auto st = coupled::solve_coupled(sys, cfg);
     tc.add_row({on ? "on" : "off", on ? bench::sci(eps) : "-",
                 bench::mib(st.sparse_factor_bytes),
@@ -98,6 +102,7 @@ int main(int argc, char** argv) {
     cfg.strategy = Strategy::kMultiSolveCompressed;
     cfg.eps = 1e-2;
     cfg.refine_iterations = sweeps;
+    bench::apply_threads(args, cfg);
     auto st = coupled::solve_coupled(sys, cfg);
     td.add_row({TablePrinter::fmt_int(sweeps),
                 TablePrinter::fmt(st.total_seconds, 2),

@@ -16,6 +16,19 @@
 
 namespace cs::bench {
 
+/// Shared --threads flag (worker threads of the task-parallel layer; 0 =
+/// hardware default). Every driver registers it so sweeps can pin the
+/// thread count, and applies it with `apply_threads`.
+inline void describe_threads(CliArgs& args) {
+  args.describe("threads",
+                "worker threads for the task-parallel layer "
+                "(0 = hardware default)");
+}
+
+inline void apply_threads(const CliArgs& args, coupled::Config& cfg) {
+  cfg.num_threads = static_cast<int>(args.get_int("threads", 0));
+}
+
 inline std::string mib(std::size_t bytes) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.1f", bytes / (1024.0 * 1024.0));

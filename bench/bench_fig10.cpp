@@ -66,6 +66,7 @@ int main(int argc, char** argv) {
   args.describe("budget-mib", "virtual memory budget in MiB (default 300)");
   args.describe("quick", "restrict the sweep to N <= 12000");
   args.describe("max-n", "largest total unknown count (default 48000)");
+  bench::describe_threads(args);
   args.check(
       "Reproduces Fig. 10: best times vs N per algorithm under a memory "
       "budget, plus the largest N each algorithm can process.");
@@ -97,6 +98,7 @@ int main(int argc, char** argv) {
       if (dead.count(cand.strategy)) continue;
       Config cfg = cand.config;
       cfg.memory_budget = budget;
+      bench::apply_threads(args, cfg);
       auto stats = bench::run_and_row(sys, cfg, table,
                                       coupled::strategy_name(cand.strategy),
                                       cand.desc);

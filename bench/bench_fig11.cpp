@@ -18,6 +18,7 @@ using coupled::Strategy;
 int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   args.describe("quick", "restrict to N <= 12000");
+  bench::describe_threads(args);
   args.check("Reproduces Fig. 11: relative error of the best runs, "
              "eps = 1e-3.");
   const bool quick = args.get_bool("quick", false);
@@ -51,6 +52,7 @@ int main(int argc, char** argv) {
       cfg.n_c = 128;
       cfg.n_S = 512;
       cfg.n_b = 2;
+      bench::apply_threads(args, cfg);
       auto stats = coupled::solve_coupled(sys, cfg);
       if (!stats.success) {
         table.add_row({coupled::strategy_name(e.strategy), e.coupling,

@@ -18,6 +18,7 @@ using coupled::Strategy;
 int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   args.describe("n", "total unknowns (default 12000; paper used 2,000,000)");
+  bench::describe_threads(args);
   args.check("Reproduces Fig. 12: multi-solve time/memory vs n_c and n_S.");
   const index_t n = static_cast<index_t>(args.get_int("n", 12000));
 
@@ -33,6 +34,7 @@ int main(int argc, char** argv) {
     Config cfg;
     cfg.strategy = Strategy::kMultiSolve;
     cfg.n_c = nc;
+    bench::apply_threads(args, cfg);
     bench::run_and_row(sys, cfg, table, "MUMPS/SPIDO-like",
                        "n_c=" + std::to_string(nc));
   }
@@ -42,6 +44,7 @@ int main(int argc, char** argv) {
     cfg.strategy = Strategy::kMultiSolveCompressed;
     cfg.n_c = nc;
     cfg.n_S = nc;
+    bench::apply_threads(args, cfg);
     bench::run_and_row(sys, cfg, table, "MUMPS/HMAT-like",
                        "n_c=n_S=" + std::to_string(nc));
   }
@@ -51,6 +54,7 @@ int main(int argc, char** argv) {
     cfg.strategy = Strategy::kMultiSolveCompressed;
     cfg.n_c = 128;
     cfg.n_S = nS;
+    bench::apply_threads(args, cfg);
     bench::run_and_row(sys, cfg, table, "MUMPS/HMAT-like",
                        "n_c=128 n_S=" + std::to_string(nS));
   }

@@ -14,6 +14,7 @@ using coupled::Strategy;
 int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   args.describe("n", "total unknowns (default 6000; paper used 1,000,000)");
+  bench::describe_threads(args);
   args.check(
       "Reproduces Fig. 13: multi-factorization time/memory vs n_b.");
   const index_t n = static_cast<index_t>(args.get_int("n", 6000));
@@ -31,6 +32,7 @@ int main(int argc, char** argv) {
     Config cfg;
     cfg.strategy = Strategy::kMultiFactorization;
     cfg.n_b = nb;
+    bench::apply_threads(args, cfg);
     auto stats = bench::run_and_row(sys, cfg, table, "MUMPS/SPIDO-like",
                                     "n_b=" + std::to_string(nb));
     if (nb == 1) { t1 = stats.total_seconds; m1 = stats.peak_bytes; }
@@ -40,6 +42,7 @@ int main(int argc, char** argv) {
     Config cfg;
     cfg.strategy = Strategy::kMultiFactorizationCompressed;
     cfg.n_b = nb;
+    bench::apply_threads(args, cfg);
     bench::run_and_row(sys, cfg, table, "MUMPS/HMAT-like",
                        "n_b=" + std::to_string(nb));
   }

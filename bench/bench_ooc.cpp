@@ -4,6 +4,7 @@
 // footprint at the cost of I/O-bound solves. This driver measures the
 // trade on the pipe volume operator.
 #include "bench_common.h"
+#include "common/parallel.h"
 #include "common/random.h"
 #include "sparsedirect/multifrontal.h"
 
@@ -12,8 +13,13 @@ using namespace cs;
 int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   args.describe("n", "total unknowns (default 24000)");
+  bench::describe_threads(args);
   args.check("Extension: out-of-core factor storage trade-off.");
   const index_t n = static_cast<index_t>(args.get_int("n", 24000));
+  // No coupled::Config here (the driver talks to the sparse solver
+  // directly), so the shared --threads flag installs the OpenMP override
+  // for the whole run instead.
+  ScopedNumThreads threads(static_cast<int>(args.get_int("threads", 0)));
 
   auto sys = fembem::make_pipe_system<double>({.total_unknowns = n});
   std::printf("== Out-of-core factors (extension) on A_vv, %d unknowns ==\n",

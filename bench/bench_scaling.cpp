@@ -1,0 +1,107 @@
+// Thread-scaling experiment for the task-parallel Schur layer: sweeps the
+// worker-thread count 1..N per strategy on one fixed problem and emits one
+// JSON object per run (per-phase seconds, peak bytes, relative error), so
+// the speedup of the schur + dense_factorization phases can be tracked in
+// the perf trajectory. Results must be identical across thread counts --
+// the parallel schedules commit in the serial order by construction -- so
+// the sweep also doubles as a determinism check.
+#include <omp.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace cs;
+using coupled::Config;
+using coupled::Strategy;
+
+namespace {
+
+std::string json_phases(const coupled::SolveStats& stats) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, seconds] : stats.phases.all()) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + name + "\": " + bench::sci(seconds);
+  }
+  return out + "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  args.describe("n", "total unknowns of the bench problem (default 9000)");
+  args.describe("max-threads",
+                "largest worker-thread count of the sweep "
+                "(default = hardware)");
+  args.describe("budget-mib", "virtual memory budget in MiB (0 = unlimited)");
+  args.describe("n-b", "multi-factorization blocks per dimension (default 4)");
+  args.check(
+      "Sweeps 1..N worker threads per strategy and emits per-phase JSON "
+      "(one object per line) for the scaling trajectory.");
+
+  const index_t n = static_cast<index_t>(args.get_int("n", 9000));
+  const int hw = omp_get_max_threads();
+  const int max_threads =
+      static_cast<int>(args.get_int("max-threads", hw > 1 ? hw : 4));
+  const std::size_t budget =
+      static_cast<std::size_t>(args.get_int("budget-mib", 0)) * 1024 * 1024;
+  const index_t nb = static_cast<index_t>(args.get_int("n-b", 4));
+
+  std::fprintf(stderr, "[scaling] building N=%lld system...\n",
+               static_cast<long long>(n));
+  auto sys = fembem::make_pipe_system<double>({.total_unknowns = n});
+
+  std::vector<int> threads = {1};
+  for (int t = 2; t < max_threads; t *= 2) threads.push_back(t);
+  if (max_threads > 1) threads.push_back(max_threads);
+
+  const std::vector<Strategy> strategies = {
+      Strategy::kMultiSolve, Strategy::kMultiSolveCompressed,
+      Strategy::kMultiFactorization,
+      Strategy::kMultiFactorizationCompressed};
+
+  TablePrinter summary({"strategy", "threads", "schur+dense s", "total s",
+                        "speedup", "rel err", "peak MiB"});
+  for (Strategy s : strategies) {
+    double serial_hot = 0;  // schur + dense_factorization at 1 thread
+    for (int t : threads) {
+      Config cfg;
+      cfg.strategy = s;
+      cfg.num_threads = t;
+      cfg.memory_budget = budget;
+      cfg.n_b = nb;
+      std::fprintf(stderr, "[scaling] %s threads=%d...\n",
+                   coupled::strategy_name(s), t);
+      auto stats = coupled::solve_coupled(sys, cfg);
+      const double hot = stats.phases.get("schur") +
+                         stats.phases.get("dense_factorization");
+      if (t == 1) serial_hot = hot;
+      // One JSON object per line on stdout: the machine-readable record.
+      std::printf(
+          "{\"strategy\": \"%s\", \"threads\": %d, \"n\": %lld, "
+          "\"success\": %s, \"total_seconds\": %s, \"phases\": %s, "
+          "\"schur_plus_dense_seconds\": %s, \"speedup_vs_1\": %s, "
+          "\"relative_error\": %s, \"peak_bytes\": %zu}\n",
+          coupled::strategy_name(s), t, static_cast<long long>(stats.n_total),
+          stats.success ? "true" : "false",
+          bench::sci(stats.total_seconds).c_str(),
+          json_phases(stats).c_str(), bench::sci(hot).c_str(),
+          bench::sci(hot > 0 ? serial_hot / hot : 0.0).c_str(),
+          bench::sci(stats.relative_error).c_str(), stats.peak_bytes);
+      std::fflush(stdout);
+      summary.add_row(
+          {coupled::strategy_name(s), TablePrinter::fmt_int(t),
+           TablePrinter::fmt(hot, 2), TablePrinter::fmt(stats.total_seconds, 2),
+           TablePrinter::fmt(hot > 0 ? serial_hot / hot : 0.0, 2),
+           stats.success ? bench::sci(stats.relative_error) : "-",
+           bench::mib(stats.peak_bytes)});
+    }
+  }
+  std::fprintf(stderr, "\n");
+  summary.print();
+  return 0;
+}

@@ -45,6 +45,7 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   args.describe("n", "total unknowns (default 9000; paper used 2,259,468)");
   args.describe("budget-mib", "memory budget in MiB (default 340)");
+  bench::describe_threads(args);
   args.check("Reproduces Table II: the industrial aero-acoustic case.");
   const index_t n = static_cast<index_t>(args.get_int("n", 9000));
   const std::size_t budget =
@@ -78,6 +79,7 @@ int main(int argc, char** argv) {
     cfg.n_S = 512;
     cfg.n_b = nb;
     cfg.memory_budget = budget;
+    bench::apply_threads(args, cfg);
     return cfg;
   };
 

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_scaling.cpp" "bench/CMakeFiles/bench_scaling.dir/bench_scaling.cpp.o" "gcc" "bench/CMakeFiles/bench_scaling.dir/bench_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/coupled/CMakeFiles/cs_coupled.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparsedirect/CMakeFiles/cs_sparsedirect.dir/DependInfo.cmake"
+  "/root/repo/build/src/ordering/CMakeFiles/cs_ordering.dir/DependInfo.cmake"
+  "/root/repo/build/src/fembem/CMakeFiles/cs_fembem.dir/DependInfo.cmake"
+  "/root/repo/build/src/hmat/CMakeFiles/cs_hmat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -327,4 +327,15 @@ tests/CMakeFiles/hmat_test.dir/hmat_test.cpp.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /root/repo/src/la/blas.h \
  /root/repo/src/la/matrix.h /root/repo/src/common/buffer.h \
  /root/repo/src/common/memory.h /root/repo/src/hmat/cluster.h \
- /root/repo/src/hmat/hmatrix.h /root/repo/src/la/factor.h
+ /root/repo/src/hmat/hmatrix.h /root/repo/src/common/parallel.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/omp.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /root/repo/src/la/factor.h

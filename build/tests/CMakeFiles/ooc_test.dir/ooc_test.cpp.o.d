@@ -326,6 +326,7 @@ tests/CMakeFiles/ooc_test.dir/ooc_test.cpp.o: \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/omp.h \
  /root/repo/src/common/timer.h /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/la/factor.h /root/repo/src/la/blas.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \

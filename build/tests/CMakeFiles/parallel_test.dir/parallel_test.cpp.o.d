@@ -293,8 +293,21 @@ tests/CMakeFiles/parallel_test.dir/parallel_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/common/random.h /usr/include/c++/12/random \
- /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/common/parallel.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/omp.h \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /root/repo/src/common/random.h \
+ /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -332,9 +345,7 @@ tests/CMakeFiles/parallel_test.dir/parallel_test.cpp.o: \
  /root/repo/src/common/memory.h /root/repo/src/fembem/fem.h \
  /root/repo/src/sparse/sparse.h /root/repo/src/hmat/hmatrix.h \
  /root/repo/src/la/factor.h /root/repo/src/sparsedirect/multifrontal.h \
- /usr/lib/gcc/x86_64-linux-gnu/12/include/omp.h \
  /root/repo/src/common/timer.h /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /root/repo/src/ordering/ordering.h /root/repo/src/sparsedirect/blr.h \
  /root/repo/src/sparsedirect/etree.h /root/repo/src/sparsedirect/ooc.h \
  /root/repo/src/sparsedirect/symbolic.h

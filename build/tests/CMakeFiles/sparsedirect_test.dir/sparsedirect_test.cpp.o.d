@@ -333,6 +333,7 @@ tests/CMakeFiles/sparsedirect_test.dir/sparsedirect_test.cpp.o: \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/omp.h \
  /root/repo/src/common/timer.h /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/la/qr_svd.h /root/repo/src/ordering/ordering.h \
  /root/repo/src/sparsedirect/blr.h /root/repo/src/sparsedirect/ooc.h \
  /root/repo/src/sparsedirect/symbolic.h

@@ -1,0 +1,196 @@
+// Shared threading utilities for the task-parallel execution layer.
+//
+// Every parallel path in the library (H-matrix leaf loops, the multifrontal
+// task tree, the coupled driver's Schur pipeline and block-parallel
+// multi-factorization) follows the same two rules, which these helpers
+// encode once:
+//  * exceptions (BudgetExceeded, SingularMatrix) raised inside a worker
+//    must never escape an OpenMP region or a std::thread -- they are
+//    captured and rethrown on the calling thread, so a parallel run fails
+//    exactly like the serial run;
+//  * the thread count is a per-solve knob (coupled::Config::num_threads),
+//    installed with ScopedNumThreads and read back with resolve_threads,
+//    never a process-wide hardcode.
+#pragma once
+
+#include <omp.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace cs {
+
+/// Effective worker count for a requested value (0 = hardware default, i.e.
+/// whatever the enclosing OpenMP environment provides).
+inline int resolve_threads(int requested) {
+  return requested > 0 ? requested : omp_get_max_threads();
+}
+
+/// RAII OpenMP thread-count override: installs `n` (if > 0) for the scope
+/// and restores the previous value on exit. Affects the calling thread's
+/// subsequent parallel regions only.
+class ScopedNumThreads {
+ public:
+  explicit ScopedNumThreads(int n) : previous_(omp_get_max_threads()) {
+    if (n > 0) omp_set_num_threads(n);
+  }
+  ~ScopedNumThreads() { omp_set_num_threads(previous_); }
+
+  ScopedNumThreads(const ScopedNumThreads&) = delete;
+  ScopedNumThreads& operator=(const ScopedNumThreads&) = delete;
+
+ private:
+  int previous_;
+};
+
+/// Run f(i) for i in [0, n) on an OpenMP team. The first exception thrown
+/// by any iteration is captured and rethrown on the calling thread after
+/// the loop; remaining iterations are skipped once a failure is seen.
+/// Inside an active parallel region (where a nested `parallel for` would
+/// serialize anyway) the loop runs inline and exceptions propagate
+/// directly.
+template <class F>
+void parallel_for_capture(std::size_t n, F&& f) {
+  if (n == 0) return;
+  if (n == 1 || omp_in_parallel() || omp_get_max_threads() <= 1) {
+    for (std::size_t i = 0; i < n; ++i) f(i);
+    return;
+  }
+  std::exception_ptr error = nullptr;
+  std::atomic<bool> failed{false};
+#pragma omp parallel for schedule(dynamic)
+  for (std::size_t i = 0; i < n; ++i) {
+    if (failed.load(std::memory_order_relaxed)) continue;
+    try {
+      f(i);
+    } catch (...) {
+#pragma omp critical(cs_parallel_for_capture)
+      {
+        if (!failed.exchange(true)) error = std::current_exception();
+      }
+    }
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+/// Recursion depth down to which divide-and-conquer algorithms should keep
+/// spawning OpenMP tasks: deep enough to feed every thread with a few tasks
+/// of slack for load balancing, shallow enough that task overhead stays
+/// negligible against the block arithmetic.
+inline int task_depth() {
+  const int threads = omp_get_max_threads();
+  int d = 0;
+  while ((1 << d) < 4 * threads) ++d;
+  return d;
+}
+
+/// Run the given thunks concurrently as OpenMP tasks (the last one inline on
+/// the encountering thread) when inside a parallel region with task budget
+/// (`depth > 0`); sequentially, in order, otherwise. All thunks complete
+/// before returning; the first exception (by thunk order) is rethrown on the
+/// calling thread.
+inline void run_task_group(int depth, std::vector<std::function<void()>> fs) {
+  if (fs.empty()) return;
+  if (depth <= 0 || fs.size() == 1 || !omp_in_parallel()) {
+    for (auto& f : fs) f();
+    return;
+  }
+  std::vector<std::exception_ptr> errors(fs.size());
+#pragma omp taskgroup
+  {
+    for (std::size_t t = 0; t + 1 < fs.size(); ++t) {
+#pragma omp task default(shared) firstprivate(t)
+      {
+        try {
+          fs[t]();
+        } catch (...) {
+          errors[t] = std::current_exception();
+        }
+      }
+    }
+    try {
+      fs.back()();
+    } catch (...) {
+      errors.back() = std::current_exception();
+    }
+  }
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+/// Bounded single-producer / single-consumer queue backing the coupled
+/// driver's Schur pipeline: the producer blocks when `capacity` items are
+/// in flight (that is how the memory cap on in-flight panels is enforced),
+/// the consumer blocks when the queue is empty. close() signals the end of
+/// the stream; cancel() aborts from the consumer side, dropping queued
+/// items and unblocking the producer.
+template <class T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity > 0 ? capacity : 1) {}
+
+  /// Blocks until there is space; returns false if the queue was cancelled
+  /// (the item is dropped and the producer should stop).
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    space_.wait(lock,
+                [&] { return cancelled_ || items_.size() < capacity_; });
+    if (cancelled_) return false;
+    items_.push_back(std::move(item));
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available; returns nullopt once the queue is
+  /// closed and drained (or cancelled).
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock,
+                [&] { return cancelled_ || closed_ || !items_.empty(); });
+    if (cancelled_ || items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    space_.notify_one();
+    return item;
+  }
+
+  /// Producer side: no more items will be pushed.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  /// Consumer side: abort the stream, dropping anything queued.
+  void cancel() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      cancelled_ = true;
+      items_.clear();
+    }
+    ready_.notify_all();
+    space_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  std::condition_variable space_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+  bool cancelled_ = false;
+};
+
+}  // namespace cs

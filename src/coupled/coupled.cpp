@@ -1,8 +1,13 @@
 #include "coupled/coupled.h"
 
+#include <atomic>
 #include <functional>
+#include <optional>
+#include <thread>
 
+#include "common/parallel.h"
 #include "common/random.h"
+#include "coupled/planner.h"
 #include "dense/dense_solver.h"
 #include "hmat/hmatrix.h"
 #include "sparsedirect/multifrontal.h"
@@ -235,13 +240,15 @@ void run_multisolve(Run<T>& run, bool blocked, bool compressed) {
   } else {
     // Compressed Schur (MUMPS/HMAT-style): A_ss assembled directly in
     // compressed form; dense Z panels folded in with compressed AXPYs.
-    HMatrix<T> S = HMatrix<T>::zero(run.tree, run.tree, run.h_options());
+    std::optional<HMatrix<T>> S_store;
     {
       ScopedPhase phase(stats.phases, "schur");
-      S = HMatrix<T>::assemble(run.tree, run.tree, *run.sys.A_ss,
-                               run.h_options());
+      S_store = HMatrix<T>::assemble(run.tree, run.tree, *run.sys.A_ss,
+                                     run.h_options());
+      HMatrix<T>& S = *S_store;
       const index_t panel = std::max(cfg.n_S, cfg.n_c);
-      for (index_t c0 = 0; c0 < ns; c0 += panel) {
+
+      auto produce_panel = [&](index_t c0) {
         const index_t np = std::min(panel, ns - c0);
         Matrix<T> Z(ns, np);
         for (index_t cc = 0; cc < np; cc += cfg.n_c) {
@@ -249,12 +256,61 @@ void run_multisolve(Run<T>& run, bool blocked, bool compressed) {
           Matrix<T> Y(nv, nc);
           run.A_sv_tree.rows_as_dense_transposed(c0 + cc, nc, Y.view());
           mf.solve(Y.view());
-          run.A_sv_tree.spmm(T{1}, Y.view(), T{0},
-                             Z.block(0, cc, ns, nc));
+          run.A_sv_tree.spmm(T{1}, Y.view(), T{0}, Z.block(0, cc, ns, nc));
         }
-        S.add_dense_block(T{-1}, Z.view(), 0, c0);  // compressed AXPY
+        return Z;
+      };
+
+      // Pipeline: the sparse solves + SpMM of panel i+1 (producer thread)
+      // overlap the compressed AXPY of panel i (this thread). The number
+      // of panels concurrently alive is capped by the planner's per-panel
+      // footprint estimate against the budget headroom, so the virtual
+      // budget holds; near the budget the cap degrades to 1 and the loop
+      // below runs exactly like the serial algorithm. Panels are folded in
+      // ascending c0 order either way, so the recompression sequence --
+      // and hence the result -- is identical to a serial run.
+      const int inflight = admissible_inflight(
+          multisolve_panel_bytes(nv, ns, cfg, sizeof(T)), cfg.memory_budget,
+          MemoryTracker::instance().current(), 3);
+      if (resolve_threads(cfg.num_threads) <= 1 || inflight <= 1 ||
+          ns <= panel) {
+        for (index_t c0 = 0; c0 < ns; c0 += panel) {
+          Matrix<T> Z = produce_panel(c0);
+          S.add_dense_block(T{-1}, Z.view(), 0, c0);  // compressed AXPY
+        }
+      } else {
+        struct Panel {
+          index_t c0;
+          Matrix<T> Z;
+        };
+        // Live panels = queued + one in production + one being folded.
+        BoundedQueue<Panel> queue(
+            static_cast<std::size_t>(std::max(1, inflight - 2)));
+        std::exception_ptr producer_error = nullptr;
+        std::thread producer([&] {
+          try {
+            for (index_t c0 = 0; c0 < ns; c0 += panel) {
+              Panel p{c0, produce_panel(c0)};
+              if (!queue.push(std::move(p))) return;  // consumer cancelled
+            }
+          } catch (...) {
+            producer_error = std::current_exception();
+          }
+          queue.close();
+        });
+        try {
+          while (auto p = queue.pop())
+            S.add_dense_block(T{-1}, p->Z.view(), 0, p->c0);
+        } catch (...) {
+          queue.cancel();
+          producer.join();
+          throw;
+        }
+        producer.join();
+        if (producer_error) std::rethrow_exception(producer_error);
       }
     }
+    HMatrix<T>& S = *S_store;
     stats.schur_bytes = S.memory_bytes();
     stats.schur_compression_ratio = S.compression_ratio();
     {
@@ -297,11 +353,12 @@ void run_multisolve_randomized(Run<T>& run) {
     run.A_sv_tree.spmm(T{1}, la::ConstMatrixView<T>(Y.view()), T{0}, out);
   };
 
-  HMatrix<T> S = HMatrix<T>::zero(run.tree, run.tree, run.h_options());
+  std::optional<HMatrix<T>> S_store;
   {
     ScopedPhase phase(stats.phases, "schur");
-    S = HMatrix<T>::assemble(run.tree, run.tree, *run.sys.A_ss,
-                             run.h_options());
+    S_store = HMatrix<T>::assemble(run.tree, run.tree, *run.sys.A_ss,
+                                   run.h_options());
+    HMatrix<T>& S = *S_store;
 
     Rng rng(20220512);
     auto gaussian = [&](index_t rows, index_t cols) {
@@ -376,6 +433,7 @@ void run_multisolve_randomized(Run<T>& run) {
     // S -= M (compressed, directly from factors).
     S.add_low_rank(T{-1}, correction);
   }
+  HMatrix<T>& S = *S_store;
   stats.schur_bytes = S.memory_bytes();
   stats.schur_compression_ratio = S.compression_ratio();
   {
@@ -391,6 +449,7 @@ void run_multisolve_randomized(Run<T>& run) {
 
 template <class T>
 void run_advanced(Run<T>& run) {
+  const auto& cfg = run.cfg;
   auto& stats = run.stats;
   const index_t nv = run.sys.nv();
   const index_t ns = run.sys.ns();
@@ -419,11 +478,16 @@ void run_advanced(Run<T>& run) {
   Matrix<T> S = mf.take_schur();  // = -A_sv A_vv^{-1} A_sv^T (tree order)
   {
     ScopedPhase phase(stats.phases, "schur");
-    // S += A_ss.
-#pragma omp parallel for schedule(dynamic, 8)
-    for (index_t j = 0; j < ns; ++j)
-      for (index_t i = 0; i < ns; ++i)
-        S(i, j) += run.gen_tree.entry(i, j);
+    // S += A_ss, materialized in column slabs through generator_block
+    // (amortizes kernel evaluation the same way the baseline branch does).
+    const index_t slab = std::max<index_t>(1, cfg.n_c);
+    Matrix<T> G(ns, std::min(slab, ns));
+    for (index_t c0 = 0; c0 < ns; c0 += slab) {
+      const index_t nc = std::min(slab, ns - c0);
+      auto Gb = G.block(0, 0, ns, nc);
+      fembem::generator_block(run.gen_tree, 0, c0, Gb);
+      la::axpy(T{1}, Gb, S.block(0, c0, ns, nc));
+    }
   }
   stats.schur_bytes = S.size_bytes();
   dense::DenseSolver<T> ds;
@@ -454,7 +518,7 @@ void run_multifacto(Run<T>& run, bool compressed) {
 
   // Schur accumulator: dense, or the compressed A_ss H-matrix.
   Matrix<T> S_dense;
-  HMatrix<T> S_h = HMatrix<T>::zero(run.tree, run.tree, run.h_options());
+  std::optional<HMatrix<T>> S_h;
   if (compressed) {
     ScopedPhase phase(stats.phases, "schur");
     S_h = HMatrix<T>::assemble(run.tree, run.tree, *run.sys.A_ss,
@@ -463,65 +527,148 @@ void run_multifacto(Run<T>& run, bool compressed) {
     S_dense = Matrix<T>(ns, ns);
   }
 
+  struct Job {
+    index_t bi, bj;
+  };
+  std::vector<Job> jobs;
+  for (index_t bi = 0; bi < nb; ++bi)
+    for (index_t bj = 0; bj < nb; ++bj) jobs.push_back(Job{bi, bj});
+
+  // One (bi, bj) W-factorization; `mf` receives the factors.
+  auto factor_job = [&](const Job& job, MultifrontalSolver<T>& mf) {
+    const index_t r0 = start[static_cast<std::size_t>(job.bi)];
+    const index_t nri = start[static_cast<std::size_t>(job.bi) + 1] - r0;
+    const index_t c0 = start[static_cast<std::size_t>(job.bj)];
+    const index_t ncj = start[static_cast<std::size_t>(job.bj) + 1] - c0;
+    // W = [[A_vv, A_sv(j)^T],[A_sv(i), 0]]; unsymmetric (duplicated
+    // storage + LU), padded square when the edge blocks differ in size.
+    const index_t p = std::max(nri, ncj);
+    ScopedPhase phase(stats.phases, "sparse_factorization");
+    sparse::Triplets<T> trip(nv + p, nv + p);
+    const auto& A = run.sys.A_vv;
+    for (index_t r = 0; r < nv; ++r)
+      for (offset_t k = A.row_begin(r); k < A.row_end(r); ++k)
+        trip.add(r, A.col(k), A.value(k));
+    const auto& C = run.A_sv_tree;
+    for (index_t r = 0; r < nri; ++r)
+      for (offset_t k = C.row_begin(r0 + r); k < C.row_end(r0 + r); ++k)
+        trip.add(nv + r, C.col(k), C.value(k));
+    for (index_t q = 0; q < ncj; ++q)
+      for (offset_t k = C.row_begin(c0 + q); k < C.row_end(c0 + q); ++k)
+        trip.add(C.col(k), nv + q, C.value(k));
+    auto W = sparse::Csr<T>::from_triplets(trip);
+    // Superfluous re-factorization of A_vv on every call: the API
+    // limitation that gives the algorithm its name.
+    mf.factorize(W, run.sparse_options(false, p));
+  };
+
   MultifrontalSolver<T> mf_last;  // the last diagonal factorization serves
                                   // the interior solves of the finish phase
-  for (index_t bi = 0; bi < nb; ++bi) {
-    const index_t r0 = start[static_cast<std::size_t>(bi)];
-    const index_t nri = start[static_cast<std::size_t>(bi) + 1] - r0;
-    for (index_t bj = 0; bj < nb; ++bj) {
-      const index_t c0 = start[static_cast<std::size_t>(bj)];
-      const index_t ncj = start[static_cast<std::size_t>(bj) + 1] - c0;
-      // W = [[A_vv, A_sv(j)^T],[A_sv(i), 0]]; unsymmetric (duplicated
-      // storage + LU), padded square when the edge blocks differ in size.
-      const index_t p = std::max(nri, ncj);
-      MultifrontalSolver<T> mf;
-      {
-        ScopedPhase phase(stats.phases, "sparse_factorization");
-        sparse::Triplets<T> trip(nv + p, nv + p);
-        const auto& A = run.sys.A_vv;
-        for (index_t r = 0; r < nv; ++r)
-          for (offset_t k = A.row_begin(r); k < A.row_end(r); ++k)
-            trip.add(r, A.col(k), A.value(k));
-        const auto& C = run.A_sv_tree;
-        for (index_t r = 0; r < nri; ++r)
-          for (offset_t k = C.row_begin(r0 + r); k < C.row_end(r0 + r); ++k)
-            trip.add(nv + r, C.col(k), C.value(k));
-        for (index_t q = 0; q < ncj; ++q)
-          for (offset_t k = C.row_begin(c0 + q); k < C.row_end(c0 + q); ++k)
-            trip.add(C.col(k), nv + q, C.value(k));
-        auto W = sparse::Csr<T>::from_triplets(trip);
-        // Superfluous re-factorization of A_vv on every call: the API
-        // limitation that gives the algorithm its name.
-        mf.factorize(W, run.sparse_options(false, p));
-      }
-      Matrix<T> X = mf.take_schur();  // p x p, = -A_sv(i) A_vv^{-1} A_sv(j)^T
-      {
-        ScopedPhase phase(stats.phases, "schur");
-        if (compressed) {
-          S_h.add_dense_block(T{1}, X.block(0, 0, nri, ncj), r0, c0);
-        } else {
-          auto slab = S_dense.block(r0, c0, nri, ncj);
-          fembem::generator_block(run.gen_tree, r0, c0, slab);
-          la::axpy(T{1}, X.block(0, 0, nri, ncj), slab);
-        }
-      }
-      X.clear();
-      if (bi == nb - 1 && bj == nb - 1) {
-        mf_last = std::move(mf);
-        stats.sparse_factor_bytes = mf_last.factor_bytes();
+
+  // Fold one retrieved Schur block into the accumulator. Commits happen
+  // strictly in the serial (bi, bj) order, so the recompression sequence
+  // of the compressed accumulator -- and hence the result -- is identical
+  // to a serial run.
+  auto commit_job = [&](const Job& job, Matrix<T>& X,
+                        MultifrontalSolver<T>& mf) {
+    const index_t r0 = start[static_cast<std::size_t>(job.bi)];
+    const index_t nri = start[static_cast<std::size_t>(job.bi) + 1] - r0;
+    const index_t c0 = start[static_cast<std::size_t>(job.bj)];
+    const index_t ncj = start[static_cast<std::size_t>(job.bj) + 1] - c0;
+    {
+      ScopedPhase phase(stats.phases, "schur");
+      if (compressed) {
+        S_h->add_dense_block(T{1}, X.block(0, 0, nri, ncj), r0, c0);
+      } else {
+        auto slab = S_dense.block(r0, c0, nri, ncj);
+        fembem::generator_block(run.gen_tree, r0, c0, slab);
+        la::axpy(T{1}, X.block(0, 0, nri, ncj), slab);
       }
     }
+    X.clear();
+    if (job.bi == nb - 1 && job.bj == nb - 1) {
+      mf_last = std::move(mf);
+      stats.sparse_factor_bytes = mf_last.factor_bytes();
+    }
+  };
+
+  // Admission-controlled concurrency: the independent (bi, bj) jobs run in
+  // parallel, each acquiring a slot sized by the planner's per-job
+  // footprint before it allocates. Near the budget the worker count (and
+  // the runtime admission) degrade to one job in flight -- the serial
+  // algorithm -- instead of throwing.
+  int workers = 1;
+  std::size_t job_bytes = 0;
+  if (resolve_threads(cfg.num_threads) > 1 && jobs.size() > 1) {
+    const PlannerInputs in = planner_inputs(run.sys, cfg);
+    job_bytes = multifacto_job_bytes(in, cfg);
+    workers = admissible_inflight(
+        job_bytes, cfg.memory_budget, MemoryTracker::instance().current(),
+        std::min(resolve_threads(cfg.num_threads),
+                 static_cast<int>(jobs.size())));
+  }
+
+  if (workers <= 1) {
+    for (const Job& job : jobs) {
+      MultifrontalSolver<T> mf;
+      factor_job(job, mf);
+      Matrix<T> X = mf.take_schur();  // p x p
+      commit_job(job, X, mf);
+    }
+  } else {
+    AdmissionController admission(job_bytes, cfg.memory_budget);
+    std::exception_ptr error = nullptr;
+    std::atomic<bool> failed{false};
+    const auto n_jobs = static_cast<std::ptrdiff_t>(jobs.size());
+#pragma omp parallel for ordered schedule(dynamic, 1) num_threads(workers)
+    for (std::ptrdiff_t k = 0; k < n_jobs; ++k) {
+      bool admitted = false;
+      {
+        MultifrontalSolver<T> mf;
+        Matrix<T> X;
+        bool ok = false;
+        if (!failed.load(std::memory_order_relaxed)) {
+          admission.acquire();
+          admitted = true;
+          try {
+            factor_job(jobs[static_cast<std::size_t>(k)], mf);
+            X = mf.take_schur();
+            ok = true;
+          } catch (...) {
+#pragma omp critical(cs_multifacto_error)
+            {
+              if (!failed.exchange(true)) error = std::current_exception();
+            }
+          }
+        }
+#pragma omp ordered
+        {
+          if (ok && !failed.load(std::memory_order_relaxed)) {
+            try {
+              commit_job(jobs[static_cast<std::size_t>(k)], X, mf);
+            } catch (...) {
+#pragma omp critical(cs_multifacto_error)
+              {
+                if (!failed.exchange(true)) error = std::current_exception();
+              }
+            }
+          }
+        }
+      }  // job transients (factors, X) released before the slot
+      if (admitted) admission.release();
+    }
+    if (error) std::rethrow_exception(error);
   }
 
   if (compressed) {
-    stats.schur_bytes = S_h.memory_bytes();
-    stats.schur_compression_ratio = S_h.compression_ratio();
+    stats.schur_bytes = S_h->memory_bytes();
+    stats.schur_compression_ratio = S_h->compression_ratio();
     {
       ScopedPhase phase(stats.phases, "dense_factorization");
-      factor_schur_h(S_h, run);
+      factor_schur_h(*S_h, run);
     }
-    stats.schur_bytes = std::max(stats.schur_bytes, S_h.memory_bytes());
-    run.finish(mf_last, [&](MatrixView<T> B) { S_h.solve(B); });
+    stats.schur_bytes = std::max(stats.schur_bytes, S_h->memory_bytes());
+    run.finish(mf_last, [&](MatrixView<T> B) { S_h->solve(B); });
   } else {
     stats.schur_bytes = S_dense.size_bytes();
     dense::DenseSolver<T> ds;
@@ -546,6 +693,7 @@ SolveStats solve_coupled(const CoupledSystem<T>& system,
   auto& tracker = MemoryTracker::instance();
   tracker.reset_peak();
   ScopedBudget budget(config.memory_budget);
+  ScopedNumThreads threads(config.num_threads);
   Timer total;
   try {
     Run<T> run(system, config, stats);

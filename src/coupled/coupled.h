@@ -77,9 +77,16 @@ struct Config {
   /// solve (recovers accuracy lost to aggressive compression; 0 = off).
   int refine_iterations = 0;
 
+  /// Worker threads for the task-parallel execution layer (H-matrix leaf
+  /// loops, H-LU tasks, the Schur pipeline, block-parallel
+  /// multi-factorization and the multifrontal tree walk). 0 = hardware
+  /// default (omp_get_max_threads()). Results are identical to a serial
+  /// run for every value.
+  int num_threads = 0;
+
   /// Task-parallel multifrontal tree walk in the sparse solver (results
   /// identical to the serial walk).
-  bool parallel_fronts = false;
+  bool parallel_fronts = true;
 
   /// Factor the compressed Schur H-matrix with the symmetric H-LDL^T
   /// (the paper's HMAT mode) instead of H-LU when the system is

@@ -15,6 +15,9 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -55,6 +58,94 @@ PlannerInputs planner_inputs(const fembem::CoupledSystem<T>& sys,
   return in;
 }
 
+/// Transient footprint of one in-flight multi-solve panel: the nv x n_c
+/// sparse-solve panel Y plus the ns x max(n_S, n_c) Schur panel Z. This is
+/// the unit the pipelined multi-solve multiplies by its number of
+/// concurrently live panels.
+inline std::size_t multisolve_panel_bytes(index_t nv, index_t ns,
+                                          const Config& cfg,
+                                          std::size_t scalar_bytes) {
+  const double b = static_cast<double>(scalar_bytes);
+  const double panel = static_cast<double>(std::max(cfg.n_S, cfg.n_c));
+  return static_cast<std::size_t>(static_cast<double>(nv) * cfg.n_c * b +
+                                  static_cast<double>(ns) * panel * b);
+}
+
+/// Transient footprint of one multi-factorization (bi, bj) job: the
+/// duplicated (unsymmetric LU) factors of W plus the retrieved p x p Schur
+/// block and its internal copy.
+inline std::size_t multifacto_job_bytes(const PlannerInputs& in,
+                                        const Config& cfg) {
+  const double b = static_cast<double>(in.scalar_bytes);
+  const double f = static_cast<double>(in.factor_entries) * b;
+  const double f_work = 1.6 * f;  // factors + multifrontal transient
+  const double f_blr = cfg.sparse_compression ? 0.8 * f_work : f_work;
+  const double p =
+      static_cast<double>(in.ns) / std::max<index_t>(1, cfg.n_b);
+  return static_cast<std::size_t>(2.1 * f_blr + 2.0 * p * p * b);
+}
+
+/// How many units of `unit_bytes` transient footprint may be in flight at
+/// once: always at least 1 (serial progress must stay admissible --
+/// genuine exhaustion is detected by the tracked allocations inside the
+/// unit and reported as BudgetExceeded, exactly as in a serial run), at
+/// most `want`, and with one unit of slack kept below the budget so
+/// concurrency degrades to 1 near the limit instead of tipping a run that
+/// would have fit serially.
+inline int admissible_inflight(std::size_t unit_bytes,
+                               std::size_t budget_bytes,
+                               std::size_t current_bytes, int want) {
+  want = std::max(want, 1);
+  if (budget_bytes == 0 || unit_bytes == 0) return want;
+  if (current_bytes >= budget_bytes) return 1;
+  const std::size_t units = (budget_bytes - current_bytes) / unit_bytes;
+  if (units <= 2) return 1;
+  return static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(want), units - 1));
+}
+
+/// Runtime admission for block-parallel multi-factorization: a worker
+/// acquires a slot before allocating its job's transients. A job is
+/// admitted when it is the only active one (serial progress is always
+/// allowed) or when the tracked usage plus the predicted per-job footprint
+/// stays under the budget; otherwise the worker waits for headroom, so
+/// concurrency degrades gracefully instead of throwing.
+class AdmissionController {
+ public:
+  AdmissionController(std::size_t unit_bytes, std::size_t budget_bytes)
+      : unit_(unit_bytes), budget_(budget_bytes) {}
+
+  void acquire() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (active_ > 0 && !fits()) {
+      // Woken by release(); the timeout re-checks the tracker, whose usage
+      // also drops while concurrent jobs free transients mid-flight.
+      cv_.wait_for(lock, std::chrono::milliseconds(20));
+    }
+    ++active_;
+  }
+
+  void release() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  bool fits() const {
+    if (budget_ == 0) return true;
+    return MemoryTracker::instance().current() + unit_ <= budget_;
+  }
+
+  std::size_t unit_;
+  std::size_t budget_;
+  int active_ = 0;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
 /// Predict the peak tracked bytes of one strategy. Empirical constants:
 /// BLR keeps ~70% of the factor entries at eps=1e-3 on 3D meshes; an
 /// H-compressed Schur keeps ~25-40% of the dense block at this scale; the
@@ -85,7 +176,9 @@ inline std::size_t predict_peak(Strategy s, const PlannerInputs& in,
       peak = base + f_blr + S_dense + nv * cfg.n_c * b;
       break;
     case Strategy::kMultiSolveCompressed:
-      peak = base + f_blr + S_h + nv * cfg.n_c * b + ns * cfg.n_S * b;
+      peak = base + f_blr + S_h +
+             static_cast<double>(
+                 multisolve_panel_bytes(in.nv, in.ns, cfg, in.scalar_bytes));
       break;
     case Strategy::kMultiSolveRandomized:
       peak = base + f_blr + S_h +
@@ -93,12 +186,11 @@ inline std::size_t predict_peak(Strategy s, const PlannerInputs& in,
                                          cfg.rand_max_rank_ratio * ns) * b;
       break;
     case Strategy::kMultiFactorization:
-      peak = base + 2.1 * f_blr + S_dense +
-             2.0 * (ns / cfg.n_b) * (ns / cfg.n_b) * b;
+      peak = base + S_dense +
+             static_cast<double>(multifacto_job_bytes(in, cfg));
       break;
     case Strategy::kMultiFactorizationCompressed:
-      peak = base + 2.1 * f_blr + S_h +
-             2.0 * (ns / cfg.n_b) * (ns / cfg.n_b) * b;
+      peak = base + S_h + static_cast<double>(multifacto_job_bytes(in, cfg));
       break;
   }
   return static_cast<std::size_t>(peak);

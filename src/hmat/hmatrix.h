@@ -27,11 +27,12 @@
 #pragma once
 
 #include <array>
-#include <atomic>
+#include <functional>
 #include <memory>
 #include <stdexcept>
 #include <vector>
 
+#include "common/parallel.h"
 #include "hmat/aca.h"
 #include "hmat/cluster.h"
 #include "la/factor.h"
@@ -103,7 +104,15 @@ class HMatrix {
     if (row0 < row_->begin || row0 + D.rows() > row_->end ||
         col0 < col_->begin || col0 + D.cols() > col_->end)
       throw std::out_of_range("add_dense_block outside matrix");
-    add_dense_block_rec(alpha, D, row0, col0);
+    // The update rectangle intersects each leaf in at most one sub-block,
+    // so the per-leaf jobs write disjoint storage: collect them first, then
+    // recompress in parallel (the dominant cost of the compressed AXPY).
+    std::vector<AxpyJob> jobs;
+    collect_axpy_jobs(D, row0, col0, jobs);
+    parallel_for_capture(jobs.size(), [&](std::size_t l) {
+      jobs[l].leaf->apply_axpy_leaf(alpha, jobs[l].D, jobs[l].row0,
+                                    jobs[l].col0);
+    });
   }
 
   /// Global low-rank update: this += alpha * U V^T over the whole matrix
@@ -122,11 +131,14 @@ class HMatrix {
     return out;
   }
 
-  /// In-place H-LU factorization (square blocks on one cluster tree).
+  /// In-place H-LU factorization (square blocks on one cluster tree). The
+  /// recursion runs as an OpenMP task graph: the two off-diagonal panel
+  /// solves of each level are independent tasks and the trailing-block
+  /// Schur-update GEMMs fan out per target quadrant.
   void lu_factorize() {
     if (row_ != col_)
       throw std::logic_error("H-LU requires a square H-matrix on one tree");
-    lu_rec();
+    run_factor_entry([&](int depth) { lu_rec(depth); });
     factored_ = true;
     ldlt_ = false;
   }
@@ -139,7 +151,7 @@ class HMatrix {
   void ldlt_factorize() {
     if (row_ != col_)
       throw std::logic_error("H-LDLT requires a square H-matrix on one tree");
-    ldlt_rec();
+    run_factor_entry([&](int depth) { ldlt_rec(depth); });
     factored_ = true;
     ldlt_ = true;
   }
@@ -263,25 +275,13 @@ class HMatrix {
     switch (kind_) {
       case Kind::kNode: {
         // Leaves are independent: assemble them in parallel (the paper's
-        // multi-threaded H assembly). Exceptions (e.g. BudgetExceeded)
-        // must not escape the parallel region.
+        // multi-threaded H assembly). parallel_for_capture keeps exceptions
+        // (e.g. BudgetExceeded) from escaping the parallel region.
         std::vector<HMatrix*> leaves;
         collect_leaves(leaves);
-        std::exception_ptr error = nullptr;
-        std::atomic<bool> failed{false};
-#pragma omp parallel for schedule(dynamic)
-        for (std::size_t l = 0; l < leaves.size(); ++l) {
-          if (failed.load(std::memory_order_relaxed)) continue;
-          try {
-            leaves[l]->fill_from_generator(gen, row_orig, col_orig);
-          } catch (...) {
-#pragma omp critical(cs_hmat_fill_error)
-            {
-              if (!failed.exchange(true)) error = std::current_exception();
-            }
-          }
-        }
-        if (error) std::rethrow_exception(error);
+        parallel_for_capture(leaves.size(), [&](std::size_t l) {
+          leaves[l]->fill_from_generator(gen, row_orig, col_orig);
+        });
         break;
       }
       case Kind::kRk: {
@@ -423,23 +423,38 @@ class HMatrix {
 
   // -- compressed AXPY ------------------------------------------------------
 
-  void add_dense_block_rec(T alpha, la::ConstMatrixView<T> D, index_t row0,
-                           index_t col0) {
+  /// One leaf-local piece of a compressed AXPY: `leaf` accumulates `D`
+  /// placed at absolute tree coordinates (row0, col0).
+  struct AxpyJob {
+    HMatrix* leaf;
+    la::ConstMatrixView<T> D;
+    index_t row0, col0;
+  };
+
+  void collect_axpy_jobs(la::ConstMatrixView<T> D, index_t row0, index_t col0,
+                         std::vector<AxpyJob>& out) {
+    if (kind_ != Kind::kNode) {
+      out.push_back(AxpyJob{this, D, row0, col0});
+      return;
+    }
+    for (const auto& c : child_) {
+      // Intersect [row0, row0+m) x [col0, col0+n) with the child.
+      const index_t r_lo = std::max(row0, c->row_->begin);
+      const index_t r_hi = std::min(row0 + D.rows(), c->row_->end);
+      const index_t c_lo = std::max(col0, c->col_->begin);
+      const index_t c_hi = std::min(col0 + D.cols(), c->col_->end);
+      if (r_lo >= r_hi || c_lo >= c_hi) continue;
+      c->collect_axpy_jobs(
+          D.block(r_lo - row0, c_lo - col0, r_hi - r_lo, c_hi - c_lo), r_lo,
+          c_lo, out);
+    }
+  }
+
+  void apply_axpy_leaf(T alpha, la::ConstMatrixView<T> D, index_t row0,
+                       index_t col0) {
     switch (kind_) {
       case Kind::kNode:
-        for (const auto& c : child_) {
-          // Intersect [row0, row0+m) x [col0, col0+n) with the child.
-          const index_t r_lo = std::max(row0, c->row_->begin);
-          const index_t r_hi = std::min(row0 + D.rows(), c->row_->end);
-          const index_t c_lo = std::max(col0, c->col_->begin);
-          const index_t c_hi = std::min(col0 + D.cols(), c->col_->end);
-          if (r_lo >= r_hi || c_lo >= c_hi) continue;
-          c->add_dense_block_rec(
-              alpha, D.block(r_lo - row0, c_lo - col0, r_hi - r_lo,
-                             c_hi - c_lo),
-              r_lo, c_lo);
-        }
-        break;
+        throw std::logic_error("apply_axpy_leaf on a node");
       case Kind::kFull:
         la::axpy(alpha, D,
                  full_.view().block(row0 - row_->begin, col0 - col_->begin,
@@ -483,22 +498,30 @@ class HMatrix {
     rk_ = std::move(merged);
   }
 
-  /// Generic accumulation this += alpha * (rk over the whole block).
+  /// Generic accumulation this += alpha * (rk over the whole block). For a
+  /// node the update restricted to each leaf is independent of the others
+  /// (disjoint row/column ranges of the factors, disjoint targets), so the
+  /// per-leaf recompressions run in parallel.
   void add_rk(T alpha, const la::RkFactors<T>& rk) {
     if (rk.rank() == 0) return;
     switch (kind_) {
-      case Kind::kNode:
-        for (const auto& c : child_) {
+      case Kind::kNode: {
+        std::vector<HMatrix*> leaves;
+        collect_leaves(leaves);
+        const index_t r0 = row_->begin, c0 = col_->begin;
+        parallel_for_capture(leaves.size(), [&](std::size_t l) {
+          HMatrix* h = leaves[l];
           la::RkFactors<T> sub;
-          sub.U = la::Matrix<T>(c->rows(), rk.rank());
-          sub.V = la::Matrix<T>(c->cols(), rk.rank());
-          sub.U.view().copy_from(rk.U.view().block(
-              c->row_->begin - row_->begin, 0, c->rows(), rk.rank()));
-          sub.V.view().copy_from(rk.V.view().block(
-              c->col_->begin - col_->begin, 0, c->cols(), rk.rank()));
-          c->add_rk(alpha, sub);
-        }
+          sub.U = la::Matrix<T>(h->rows(), rk.rank());
+          sub.V = la::Matrix<T>(h->cols(), rk.rank());
+          sub.U.view().copy_from(rk.U.view().block(h->row_->begin - r0, 0,
+                                                   h->rows(), rk.rank()));
+          sub.V.view().copy_from(rk.V.view().block(h->col_->begin - c0, 0,
+                                                   h->cols(), rk.rank()));
+          h->add_rk(alpha, sub);
+        });
         break;
+      }
       case Kind::kFull:
         la::gemm(alpha, rk.U.view(), la::Op::kNoTrans, rk.V.view(),
                  la::Op::kTrans, T{1}, full_.view());
@@ -535,7 +558,33 @@ class HMatrix {
 
   // -- H-LU -----------------------------------------------------------------
 
-  void lu_rec() {
+  /// Runs `f(depth)` with an OpenMP task pool underneath: a parallel region
+  /// whose single initial task is the recursion, with the remaining threads
+  /// executing the tasks it spawns. Inside an existing parallel region (or
+  /// with one thread) the recursion runs serially with depth 0.
+  template <class F>
+  static void run_factor_entry(F&& f) {
+    if (omp_in_parallel() || omp_get_max_threads() <= 1) {
+      f(0);
+      return;
+    }
+    const int depth = task_depth();
+    std::exception_ptr error = nullptr;
+#pragma omp parallel default(shared)
+    {
+#pragma omp single
+      {
+        try {
+          f(depth);
+        } catch (...) {
+          error = std::current_exception();
+        }
+      }
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
+  void lu_rec(int depth = 0) {
     switch (kind_) {
       case Kind::kFull:
         la::lu_factor(full_.view(), piv_);
@@ -543,11 +592,16 @@ class HMatrix {
       case Kind::kRk:
         throw std::logic_error("diagonal H block cannot be low-rank");
       case Kind::kNode: {
-        child(0, 0).lu_rec();
-        solve_lower_h(child(0, 0), child(0, 1));   // A01 := L00^{-1} A01
-        solve_upper_right_h(child(0, 0), child(1, 0));  // A10 := A10 U00^{-1}
-        gemm_h(T{-1}, child(1, 0), child(0, 1), child(1, 1));
-        child(1, 1).lu_rec();
+        child(0, 0).lu_rec(depth);
+        // The two off-diagonal panel solves touch disjoint blocks.
+        run_task_group(
+            depth,
+            {[&] { solve_lower_h(child(0, 0), child(0, 1), depth - 1); },
+             [&] {
+               solve_upper_right_h(child(0, 0), child(1, 0), depth - 1);
+             }});
+        gemm_h(T{-1}, child(1, 0), child(0, 1), child(1, 1), depth);
+        child(1, 1).lu_rec(depth);
         break;
       }
     }
@@ -555,7 +609,7 @@ class HMatrix {
 
   // -- H-LDLT ---------------------------------------------------------------
 
-  void ldlt_rec() {
+  void ldlt_rec(int depth = 0) {
     switch (kind_) {
       case Kind::kFull:
         la::ldlt_factor(full_.view());
@@ -563,15 +617,15 @@ class HMatrix {
       case Kind::kRk:
         throw std::logic_error("diagonal H block cannot be low-rank");
       case Kind::kNode: {
-        child(0, 0).ldlt_rec();
+        child(0, 0).ldlt_rec(depth);
         // A10 := A10 L00^{-T} D00^{-1}.
-        solve_ldlt_right_h(child(0, 0), child(1, 0));
+        solve_ldlt_right_h(child(0, 0), child(1, 0), depth);
         // A11 -= A10 D00 A10^T. (The update also refreshes A11's upper
         // blocks; only diagonal/lower are read afterwards.)
         std::vector<T> d(static_cast<std::size_t>(child(0, 0).rows()));
         gather_diag(child(0, 0), d.data());
-        gemm_d(T{-1}, child(1, 0), d.data(), child(1, 0), child(1, 1));
-        child(1, 1).ldlt_rec();
+        gemm_d(T{-1}, child(1, 0), d.data(), child(1, 0), child(1, 1), depth);
+        child(1, 1).ldlt_rec(depth);
         break;
       }
     }
@@ -649,7 +703,8 @@ class HMatrix {
   }
 
   /// B := B L_A^{-T} D_A^{-1} for an H operand (the LDLT panel transform).
-  static void solve_ldlt_right_h(const HMatrix& A, HMatrix& B) {
+  static void solve_ldlt_right_h(const HMatrix& A, HMatrix& B,
+                                 int depth = 0) {
     switch (B.kind_) {
       case Kind::kRk:
         // (U V^T) L^{-T} D^{-1} = U (D^{-1} L^{-1} V)^T.
@@ -661,44 +716,65 @@ class HMatrix {
       case Kind::kFull: {
         // B := B L^{-T} D^{-1}  <=>  B^T := D^{-1} L^{-1} B^T.
         la::Matrix<T> Bt(B.full_.cols(), B.full_.rows());
-        for (index_t j = 0; j < B.full_.cols(); ++j)
-          for (index_t i = 0; i < B.full_.rows(); ++i)
-            Bt(j, i) = B.full_(i, j);
+        la::transpose_into(la::ConstMatrixView<T>(B.full_.view()), Bt.view());
         forward_unit_lower(A, Bt.view());
         scale_by_diag_inv(A, Bt.view());
-        for (index_t j = 0; j < B.full_.cols(); ++j)
-          for (index_t i = 0; i < B.full_.rows(); ++i)
-            B.full_(i, j) = Bt(j, i);
+        la::transpose_into(la::ConstMatrixView<T>(Bt.view()), B.full_.view());
         return;
       }
       case Kind::kNode: {
         assert(A.kind_ == Kind::kNode);
-        solve_ldlt_right_h(A.child(0, 0), B.child(0, 0));
-        solve_ldlt_right_h(A.child(0, 0), B.child(1, 0));
+        run_task_group(
+            depth,
+            {[&] {
+               solve_ldlt_right_h(A.child(0, 0), B.child(0, 0), depth - 1);
+             },
+             [&] {
+               solve_ldlt_right_h(A.child(0, 0), B.child(1, 0), depth - 1);
+             }});
         // B*1 := (B*1 - B*0 D00 L10^T) L11^{-T} D1^{-1}.
         std::vector<T> d(static_cast<std::size_t>(A.child(0, 0).rows()));
         gather_diag(A.child(0, 0), d.data());
-        gemm_d(T{-1}, B.child(0, 0), d.data(), A.child(1, 0), B.child(0, 1));
-        gemm_d(T{-1}, B.child(1, 0), d.data(), A.child(1, 0), B.child(1, 1));
-        solve_ldlt_right_h(A.child(1, 1), B.child(0, 1));
-        solve_ldlt_right_h(A.child(1, 1), B.child(1, 1));
+        run_task_group(depth,
+                       {[&] {
+                          gemm_d(T{-1}, B.child(0, 0), d.data(),
+                                 A.child(1, 0), B.child(0, 1), depth - 1);
+                        },
+                        [&] {
+                          gemm_d(T{-1}, B.child(1, 0), d.data(),
+                                 A.child(1, 0), B.child(1, 1), depth - 1);
+                        }});
+        run_task_group(
+            depth,
+            {[&] {
+               solve_ldlt_right_h(A.child(1, 1), B.child(0, 1), depth - 1);
+             },
+             [&] {
+               solve_ldlt_right_h(A.child(1, 1), B.child(1, 1), depth - 1);
+             }});
         return;
       }
     }
   }
 
   /// C += alpha * X diag(d) Y^T (d spans the shared column cluster of X
-  /// and Y; Y is used transposed, so its *rows* match C's columns).
+  /// and Y; Y is used transposed, so its *rows* match C's columns). The
+  /// four target quadrants are disjoint: they fan out as tasks, each
+  /// accumulating its own l-contributions in the serial order.
   static void gemm_d(T alpha, const HMatrix& X, const T* d, const HMatrix& Y,
-                     HMatrix& C) {
+                     HMatrix& C, int depth = 0) {
     if (X.kind_ == Kind::kNode && Y.kind_ == Kind::kNode &&
         C.kind_ == Kind::kNode) {
       const index_t k0 = X.child(0, 0).cols();
+      std::vector<std::function<void()>> quads;
       for (int i = 0; i < 2; ++i)
         for (int j = 0; j < 2; ++j)
-          for (int l = 0; l < 2; ++l)
-            gemm_d(alpha, X.child(i, l), l == 0 ? d : d + k0, Y.child(j, l),
-                   C.child(i, j));
+          quads.push_back([&, i, j] {
+            for (int l = 0; l < 2; ++l)
+              gemm_d(alpha, X.child(i, l), l == 0 ? d : d + k0,
+                     Y.child(j, l), C.child(i, j), depth - 1);
+          });
+      run_task_group(depth, std::move(quads));
       return;
     }
     la::RkFactors<T> rk = multiply_to_rk_d(X, d, Y);
@@ -873,8 +949,10 @@ class HMatrix {
     solve_upper_trans_dense(A.child(1, 1), M1);
   }
 
-  /// B := L_A^{-1} B (H-operand forward solve).
-  static void solve_lower_h(const HMatrix& A, HMatrix& B) {
+  /// B := L_A^{-1} B (H-operand forward solve). The two column panels of a
+  /// node B are independent throughout; each of the three stages (top
+  /// solves, Schur updates, bottom solves) runs its pair as tasks.
+  static void solve_lower_h(const HMatrix& A, HMatrix& B, int depth = 0) {
     switch (B.kind_) {
       case Kind::kRk:
         if (B.rk_.rank() > 0) solve_lower_dense(A, B.rk_.U.view());
@@ -884,19 +962,36 @@ class HMatrix {
         return;
       case Kind::kNode: {
         assert(A.kind_ == Kind::kNode);
-        solve_lower_h(A.child(0, 0), B.child(0, 0));
-        solve_lower_h(A.child(0, 0), B.child(0, 1));
-        gemm_h(T{-1}, A.child(1, 0), B.child(0, 0), B.child(1, 0));
-        gemm_h(T{-1}, A.child(1, 0), B.child(0, 1), B.child(1, 1));
-        solve_lower_h(A.child(1, 1), B.child(1, 0));
-        solve_lower_h(A.child(1, 1), B.child(1, 1));
+        run_task_group(
+            depth,
+            {[&] { solve_lower_h(A.child(0, 0), B.child(0, 0), depth - 1); },
+             [&] {
+               solve_lower_h(A.child(0, 0), B.child(0, 1), depth - 1);
+             }});
+        run_task_group(depth,
+                       {[&] {
+                          gemm_h(T{-1}, A.child(1, 0), B.child(0, 0),
+                                 B.child(1, 0), depth - 1);
+                        },
+                        [&] {
+                          gemm_h(T{-1}, A.child(1, 0), B.child(0, 1),
+                                 B.child(1, 1), depth - 1);
+                        }});
+        run_task_group(
+            depth,
+            {[&] { solve_lower_h(A.child(1, 1), B.child(1, 0), depth - 1); },
+             [&] {
+               solve_lower_h(A.child(1, 1), B.child(1, 1), depth - 1);
+             }});
         return;
       }
     }
   }
 
-  /// B := B * U_A^{-1} (H-operand right upper solve).
-  static void solve_upper_right_h(const HMatrix& A, HMatrix& B) {
+  /// B := B * U_A^{-1} (H-operand right upper solve); the two row panels of
+  /// a node B are the independent units.
+  static void solve_upper_right_h(const HMatrix& A, HMatrix& B,
+                                  int depth = 0) {
     switch (B.kind_) {
       case Kind::kRk:
         // (U V^T) U_A^{-1} = U (U_A^{-T} V)^T.
@@ -905,37 +1000,63 @@ class HMatrix {
       case Kind::kFull: {
         // B := B U_A^{-1}  <=>  B^T := U_A^{-T} B^T.
         la::Matrix<T> Bt(B.full_.cols(), B.full_.rows());
-        for (index_t j = 0; j < B.full_.cols(); ++j)
-          for (index_t i = 0; i < B.full_.rows(); ++i)
-            Bt(j, i) = B.full_(i, j);
+        la::transpose_into(la::ConstMatrixView<T>(B.full_.view()), Bt.view());
         solve_upper_trans_dense(A, Bt.view());
-        for (index_t j = 0; j < B.full_.cols(); ++j)
-          for (index_t i = 0; i < B.full_.rows(); ++i)
-            B.full_(i, j) = Bt(j, i);
+        la::transpose_into(la::ConstMatrixView<T>(Bt.view()), B.full_.view());
         return;
       }
       case Kind::kNode: {
         assert(A.kind_ == Kind::kNode);
-        solve_upper_right_h(A.child(0, 0), B.child(0, 0));
-        solve_upper_right_h(A.child(0, 0), B.child(1, 0));
-        gemm_h(T{-1}, B.child(0, 0), A.child(0, 1), B.child(0, 1));
-        gemm_h(T{-1}, B.child(1, 0), A.child(0, 1), B.child(1, 1));
-        solve_upper_right_h(A.child(1, 1), B.child(0, 1));
-        solve_upper_right_h(A.child(1, 1), B.child(1, 1));
+        run_task_group(depth,
+                       {[&] {
+                          solve_upper_right_h(A.child(0, 0), B.child(0, 0),
+                                              depth - 1);
+                        },
+                        [&] {
+                          solve_upper_right_h(A.child(0, 0), B.child(1, 0),
+                                              depth - 1);
+                        }});
+        run_task_group(depth,
+                       {[&] {
+                          gemm_h(T{-1}, B.child(0, 0), A.child(0, 1),
+                                 B.child(0, 1), depth - 1);
+                        },
+                        [&] {
+                          gemm_h(T{-1}, B.child(1, 0), A.child(0, 1),
+                                 B.child(1, 1), depth - 1);
+                        }});
+        run_task_group(depth,
+                       {[&] {
+                          solve_upper_right_h(A.child(1, 1), B.child(0, 1),
+                                              depth - 1);
+                        },
+                        [&] {
+                          solve_upper_right_h(A.child(1, 1), B.child(1, 1),
+                                              depth - 1);
+                        }});
         return;
       }
     }
   }
 
-  /// C += alpha * A * B with truncation at C's eps.
-  static void gemm_h(T alpha, const HMatrix& A, const HMatrix& B,
-                     HMatrix& C) {
+  /// C += alpha * A * B with truncation at C's eps. Node x node x node
+  /// fans out over the four disjoint target quadrants; within a quadrant
+  /// the two l-contributions accumulate in the serial order, keeping the
+  /// recompression sequence (and hence the result) identical to a serial
+  /// run.
+  static void gemm_h(T alpha, const HMatrix& A, const HMatrix& B, HMatrix& C,
+                     int depth = 0) {
     if (A.kind_ == Kind::kNode && B.kind_ == Kind::kNode &&
         C.kind_ == Kind::kNode) {
+      std::vector<std::function<void()>> quads;
       for (int i = 0; i < 2; ++i)
         for (int j = 0; j < 2; ++j)
-          for (int l = 0; l < 2; ++l)
-            gemm_h(alpha, A.child(i, l), B.child(l, j), C.child(i, j));
+          quads.push_back([&, i, j] {
+            for (int l = 0; l < 2; ++l)
+              gemm_h(alpha, A.child(i, l), B.child(l, j), C.child(i, j),
+                     depth - 1);
+          });
+      run_task_group(depth, std::move(quads));
       return;
     }
     // Leaf-involving product: compute as rank-k and accumulate.
@@ -969,9 +1090,8 @@ class HMatrix {
       // Rank bounded by the small shared dimension: factors (A, B^T).
       out.U = A.full_;
       out.V = la::Matrix<T>(B.full_.cols(), B.full_.rows());
-      for (index_t j = 0; j < B.full_.cols(); ++j)
-        for (index_t i = 0; i < B.full_.rows(); ++i)
-          out.V(j, i) = B.full_(i, j);
+      la::transpose_into(la::ConstMatrixView<T>(B.full_.view()),
+                         out.V.view());
       la::truncate_rk(out, eps);
       return out;
     }

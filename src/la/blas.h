@@ -258,6 +258,14 @@ void scale(T alpha, MatrixView<T> A) {
     for (index_t i = 0; i < A.rows(); ++i) A(i, j) *= alpha;
 }
 
+/// B := A^T (plain, non-conjugated transpose; B must be A.cols x A.rows).
+template <class T>
+void transpose_into(ConstMatrixView<T> A, MatrixView<T> B) {
+  assert(B.rows() == A.cols() && B.cols() == A.rows());
+  for (index_t j = 0; j < A.cols(); ++j)
+    for (index_t i = 0; i < A.rows(); ++i) B(j, i) = A(i, j);
+}
+
 /// Frobenius norm.
 template <class T>
 real_of_t<T> norm_fro(ConstMatrixView<T> A) {

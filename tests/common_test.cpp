@@ -2,6 +2,9 @@
 // tracked buffers, timers, tables, CLI parsing.
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "common/buffer.h"
 #include "common/cli.h"
 #include "common/memory.h"
@@ -144,6 +147,60 @@ TEST(ScopedPhase, AddsOnDestruction) {
   { ScopedPhase s(p, "work"); }
   EXPECT_GE(p.get("work"), 0.0);
   EXPECT_EQ(p.all().count("work"), 1u);
+}
+
+TEST(PhaseTimes, ConcurrentAddsFromManyThreadsSumExactly) {
+  // The coupled driver's workers all report into one PhaseTimes; adds of
+  // the same value commute exactly, so the hammered total is deterministic.
+  PhaseTimes p;
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 2000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([&p] {
+      for (int i = 0; i < kAdds; ++i) {
+        p.add("hammer", 0.001);
+        p.add("other", 0.002);
+      }
+    });
+  for (auto& w : workers) w.join();
+
+  double expect_hammer = 0, expect_other = 0;
+  for (int i = 0; i < kThreads * kAdds; ++i) {
+    expect_hammer += 0.001;
+    expect_other += 0.002;
+  }
+  EXPECT_DOUBLE_EQ(p.get("hammer"), expect_hammer);
+  EXPECT_DOUBLE_EQ(p.get("other"), expect_other);
+  EXPECT_EQ(p.all().size(), 2u);
+}
+
+TEST(PhaseTimes, OverlappingScopesMergeIntoWallTime) {
+  // Concurrent ScopedPhase scopes of the same phase must merge into one
+  // wall-clock interval (first begin -> last end), not sum per-thread: the
+  // per-phase breakdown would otherwise exceed total_seconds when several
+  // workers run the same phase at once.
+  PhaseTimes p;
+  constexpr int kThreads = 4;
+  Timer wall;
+  {
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t)
+      workers.emplace_back([&p] {
+        for (int i = 0; i < 50; ++i) {
+          ScopedPhase s(p, "overlap");
+          volatile double sink = 0;
+          for (int k = 0; k < 20000; ++k) sink += k;
+        }
+      });
+    for (auto& w : workers) w.join();
+  }
+  const double elapsed = wall.seconds();
+  // Merged time can never exceed the wall time spanned by the scopes
+  // (small slack for clock granularity) -- a per-thread sum would be
+  // ~kThreads x larger on a multi-core machine.
+  EXPECT_GT(p.get("overlap"), 0.0);
+  EXPECT_LE(p.get("overlap"), elapsed + 0.05);
 }
 
 TEST(Cli, ParsesFlagsInBothForms) {

@@ -196,6 +196,72 @@ TEST(Coupled, PhasesCoverTotalTime) {
   EXPECT_LE(stats.phases.total(), stats.total_seconds * 1.5 + 0.5);
 }
 
+class ThreadSweep : public ::testing::TestWithParam<Strategy> {};
+
+TEST_P(ThreadSweep, ParallelRunIdenticalToSerial) {
+  // The task-parallel layer (pipelined multi-solve, leaf-parallel AXPYs,
+  // task-parallel H-LU, block-parallel multi-factorization) commits every
+  // contribution in the serial order, so a 4-thread run must reproduce the
+  // 1-thread result exactly -- not merely within tolerance.
+  Config serial, parallel;
+  serial.strategy = parallel.strategy = GetParam();
+  serial.eps = parallel.eps = 1e-4;
+  serial.n_c = parallel.n_c = 64;
+  serial.n_S = parallel.n_S = 160;
+  serial.n_b = parallel.n_b = 3;
+  serial.num_threads = 1;
+  parallel.num_threads = 4;
+  auto ss = solve_coupled(real_system(), serial);
+  auto sp = solve_coupled(real_system(), parallel);
+  ASSERT_TRUE(ss.success) << ss.failure;
+  ASSERT_TRUE(sp.success) << sp.failure;
+  EXPECT_EQ(ss.relative_error, sp.relative_error)
+      << strategy_name(GetParam());
+  EXPECT_EQ(ss.schur_bytes, sp.schur_bytes);
+  // Without a budget every worker may hold its own job transients, so the
+  // parallel peak is bounded by the worker count times the serial peak;
+  // budgeted runs are covered by the admission/failure tests below.
+  EXPECT_LT(static_cast<double>(sp.peak_bytes),
+            4.0 * static_cast<double>(ss.peak_bytes) + (1 << 20));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, ThreadSweep,
+    ::testing::Values(Strategy::kBaselineCoupling, Strategy::kAdvancedCoupling,
+                      Strategy::kMultiSolve, Strategy::kMultiSolveCompressed,
+                      Strategy::kMultiFactorization,
+                      Strategy::kMultiFactorizationCompressed,
+                      Strategy::kMultiSolveRandomized),
+    [](const ::testing::TestParamInfo<Strategy>& info) {
+      std::string name = strategy_name(info.param);
+      for (auto& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+TEST(Coupled, BudgetFailureInParallelWorkersIsReportedNotThrown) {
+  // BudgetExceeded raised inside pipeline / task workers must surface as
+  // the same clean stats.failure a serial run produces -- never escape an
+  // OpenMP region or leak tracked memory.
+  const auto& sys = real_system();  // materialize the lazy static first
+  const std::size_t before = MemoryTracker::instance().current();
+  for (Strategy s : {Strategy::kMultiSolveCompressed,
+                     Strategy::kMultiFactorizationCompressed}) {
+    Config cfg;
+    cfg.strategy = s;
+    cfg.num_threads = 4;
+    cfg.n_b = 3;
+    cfg.memory_budget =
+        MemoryTracker::instance().current() + 2 * 1024 * 1024;
+    auto stats = solve_coupled(sys, cfg);
+    EXPECT_FALSE(stats.success) << strategy_name(s);
+    EXPECT_NE(stats.failure.find("memory budget"), std::string::npos)
+        << strategy_name(s) << ": " << stats.failure;
+    EXPECT_EQ(MemoryTracker::instance().budget(), 0u);
+  }
+  EXPECT_EQ(MemoryTracker::instance().current(), before);
+}
+
 TEST(Coupled, IterativeRefinementRecoversAccuracy) {
   Config coarse;
   coarse.strategy = Strategy::kMultiSolveCompressed;

@@ -3,6 +3,9 @@
 // and error paths (budget) must propagate out of the parallel regions.
 #include <gtest/gtest.h>
 
+#include <thread>
+
+#include "common/parallel.h"
 #include "common/random.h"
 #include "fembem/system.h"
 #include "hmat/hmatrix.h"
@@ -125,6 +128,88 @@ TEST(ParallelFronts, OutOfCoreForcesSerialPathAndStillWorks) {
   b(3, 0) = 1.0;
   mf.solve(b.view());
   EXPECT_TRUE(std::isfinite(b(0, 0)));
+}
+
+TEST(TaskHelpers, RunTaskGroupRunsEveryThunkAndRethrowsFirstError) {
+  // Outside a parallel region the group runs serially in order; either
+  // way every thunk must run and the first exception (by thunk order)
+  // must reach the caller.
+  std::vector<int> ran(4, 0);
+  run_task_group(2, {[&] { ran[0] = 1; },
+                     [&] { ran[1] = 1; },
+                     [&] { ran[2] = 1; },
+                     [&] { ran[3] = 1; }});
+  for (int r : ran) EXPECT_EQ(r, 1);
+
+  auto throwing = [&]() {
+    run_task_group(
+        2, {[] {}, [] { throw std::runtime_error("first"); },
+            [] { throw std::runtime_error("second"); }});
+  };
+  try {
+    throwing();
+    FAIL() << "expected the task group to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+}
+
+TEST(TaskHelpers, BoundedQueueDeliversInOrder) {
+  BoundedQueue<int> q(2);
+  std::thread producer([&] {
+    for (int i = 0; i < 100; ++i) ASSERT_TRUE(q.push(i));
+    q.close();
+  });
+  int expected = 0;
+  while (auto item = q.pop()) EXPECT_EQ(*item, expected++);
+  producer.join();
+  EXPECT_EQ(expected, 100);
+}
+
+TEST(TaskHelpers, BoundedQueueCancelUnblocksProducer) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(0));
+  std::thread producer([&] {
+    // This push blocks on the full queue until cancel().
+    EXPECT_FALSE(q.push(1));
+  });
+  // Consumer aborts: the producer must observe the cancel and stop.
+  q.cancel();
+  producer.join();
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(ParallelHlu, FactorizationIdenticalAcrossThreadCounts) {
+  // The task-parallel H-LU spawns independent off-diagonal solves and
+  // GEMM quadrants, but each block keeps its serial accumulation order:
+  // the factors -- and therefore the solves -- are bitwise identical.
+  auto sys = fembem::make_pipe_system<double>({.total_unknowns = 3000});
+  hmat::ClusterTree tree(sys.surface_points(), 48);
+  hmat::HOptions opt;
+  opt.eps = 1e-6;
+
+  const index_t n = tree.size();
+  Matrix<double> b(n, 1);
+  Rng rng(7);
+  for (index_t i = 0; i < n; ++i) b(i, 0) = rng.uniform(-1, 1);
+
+  Matrix<double> x_serial, x_parallel;
+  {
+    ScopedNumThreads threads(1);
+    auto H = hmat::HMatrix<double>::assemble(tree, tree, *sys.A_ss, opt);
+    H.lu_factorize();
+    x_serial = b;
+    H.solve(x_serial.view());
+  }
+  {
+    ScopedNumThreads threads(4);
+    auto H = hmat::HMatrix<double>::assemble(tree, tree, *sys.A_ss, opt);
+    H.lu_factorize();
+    x_parallel = b;
+    H.solve(x_parallel.view());
+  }
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_EQ(x_serial(i, 0), x_parallel(i, 0)) << "row " << i;
 }
 
 TEST(ParallelAssembly, BudgetFailurePropagatesFromLeafLoop) {
