@@ -17,8 +17,10 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   args.describe("n", "total unknowns (default 6000)");
   bench::describe_threads(args);
+  bench::Observability::describe(args);
   args.check("Ablation studies: randomized Schur, orderings, BLR, "
              "iterative refinement.");
+  bench::Observability obs(args, "bench_ablation");
   const index_t n = static_cast<index_t>(args.get_int("n", 6000));
 
   auto sys = fembem::make_pipe_system<double>({.total_unknowns = n});
@@ -38,6 +40,7 @@ int main(int argc, char** argv) {
       cfg.eps = eps;
       bench::apply_threads(args, cfg);
       auto st = coupled::solve_coupled(sys, cfg);
+      obs.add(coupled::strategy_name(s), "eps=" + bench::sci(eps), cfg, st);
       ta2.add_row({coupled::strategy_name(s), bench::sci(eps),
                    st.success ? TablePrinter::fmt(st.total_seconds, 1) : "-",
                    st.success ? bench::mib(st.peak_bytes) : "-",
@@ -65,6 +68,7 @@ int main(int argc, char** argv) {
     cfg.ordering = method;
     bench::apply_threads(args, cfg);
     auto st = coupled::solve_coupled(sys, cfg);
+    obs.add("ordering", name, cfg, st);
     tb.add_row({name,
                 TablePrinter::fmt(st.phases.get("sparse_factorization"), 2),
                 bench::mib(st.sparse_factor_bytes),
@@ -84,6 +88,7 @@ int main(int argc, char** argv) {
     if (on) cfg.eps = eps;
     bench::apply_threads(args, cfg);
     auto st = coupled::solve_coupled(sys, cfg);
+    obs.add("blr", on ? "eps=" + bench::sci(eps) : "off", cfg, st);
     tc.add_row({on ? "on" : "off", on ? bench::sci(eps) : "-",
                 bench::mib(st.sparse_factor_bytes),
                 TablePrinter::fmt(st.phases.get("sparse_factorization"), 2),
@@ -104,6 +109,7 @@ int main(int argc, char** argv) {
     cfg.refine_iterations = sweeps;
     bench::apply_threads(args, cfg);
     auto st = coupled::solve_coupled(sys, cfg);
+    obs.add("refine", "sweeps=" + std::to_string(sweeps), cfg, st);
     td.add_row({TablePrinter::fmt_int(sweeps),
                 TablePrinter::fmt(st.total_seconds, 2),
                 bench::sci(st.relative_error)});

@@ -6,12 +6,16 @@
 #pragma once
 
 #include <cstdio>
+#include <optional>
 #include <string>
 
 #include "common/cli.h"
+#include "common/log.h"
 #include "common/memory.h"
 #include "common/table.h"
+#include "common/trace.h"
 #include "coupled/coupled.h"
+#include "coupled/report.h"
 #include "fembem/system.h"
 
 namespace cs::bench {
@@ -41,24 +45,93 @@ inline std::string sci(double v) {
   return buf;
 }
 
-/// One experiment run: solve, emit a live progress line (stderr) and add a
-/// row to the final table. Returns the stats.
+/// Shared observability surface of every bench driver: --report collects
+/// each run's Config + SolveStats into one JSON file, --trace records all
+/// runs of the invocation into one Chrome-trace file (open in Perfetto /
+/// chrome://tracing), --trace-sample-us sets the memory-timeline sampling
+/// period. Construct one per driver after CliArgs::check() and call
+/// finish() (or rely on the destructor) before exiting.
+class Observability {
+ public:
+  static void describe(CliArgs& args) {
+    args.describe("report", "write per-run Config+SolveStats JSON here");
+    args.describe("trace",
+                  "write a Chrome trace (Perfetto-loadable) of all runs "
+                  "here");
+    args.describe("trace-sample-us",
+                  "memory/counter sampling period in microseconds "
+                  "(default 1000)");
+  }
+
+  Observability(const CliArgs& args, const std::string& binary_name)
+      : report_path_(args.get("report", "")),
+        trace_path_(args.get("trace", "")),
+        report_(binary_name) {
+    // The [run] progress lines go through the logger now; keep them
+    // visible by default, as they were when they were raw fprintf calls.
+    if (log_level() > LogLevel::kInfo) set_log_level(LogLevel::kInfo);
+    if (!trace_path_.empty()) {
+      Tracer::instance().set_enabled(true);
+      const auto period = args.get_int("trace-sample-us", 1000);
+      if (period > 0) sampler_.emplace(period);
+    }
+  }
+
+  ~Observability() { finish(); }
+
+  Observability(const Observability&) = delete;
+  Observability& operator=(const Observability&) = delete;
+
+  void add(const std::string& label, const std::string& config_desc,
+           const coupled::Config& cfg, const coupled::SolveStats& stats) {
+    report_.add(label, config_desc, cfg, stats);
+  }
+
+  /// Flush the report and trace files (idempotent).
+  void finish() {
+    if (done_) return;
+    done_ = true;
+    sampler_.reset();  // one last memory sample before export
+    if (!trace_path_.empty()) {
+      auto& tracer = Tracer::instance();
+      if (tracer.write_json(trace_path_))
+        log_info("trace: wrote ", tracer.event_count(), " events to ",
+                 trace_path_);
+      tracer.set_enabled(false);
+    }
+    if (!report_path_.empty()) {
+      if (report_.write(report_path_))
+        log_info("report: wrote ", report_.size(), " runs to ",
+                 report_path_);
+    }
+  }
+
+ private:
+  std::string report_path_;
+  std::string trace_path_;
+  coupled::RunReport report_;
+  std::optional<TraceSampler> sampler_;
+  bool done_ = false;
+};
+
+/// One experiment run: solve, emit a live progress line, add a row to the
+/// final table and (when given) a run to the report. Returns the stats.
 inline coupled::SolveStats run_and_row(
     const fembem::CoupledSystem<double>& sys, const coupled::Config& cfg,
     TablePrinter& table, const std::string& label,
-    const std::string& config_desc) {
-  std::fprintf(stderr, "[run] %s %s N=%lld ...\n", label.c_str(),
-               config_desc.c_str(), static_cast<long long>(sys.total()));
+    const std::string& config_desc, Observability* obs = nullptr) {
+  log_info("[run] ", label, " ", config_desc, " N=", sys.total(), " ...");
   auto stats = coupled::solve_coupled(sys, cfg);
-  std::fprintf(stderr, "[run]   -> %s, %.1f s, peak %s MiB\n",
-               stats.success ? "ok" : "OUT OF MEMORY", stats.total_seconds,
-               mib(stats.peak_bytes).c_str());
+  log_info("[run]   -> ", stats.success ? "ok" : "OUT OF MEMORY", ", ",
+           TablePrinter::fmt(stats.total_seconds, 1), " s, peak ",
+           mib(stats.peak_bytes), " MiB");
   table.add_row({label, config_desc, TablePrinter::fmt_int(stats.n_total),
                  stats.success ? TablePrinter::fmt(stats.total_seconds, 1)
                                : "-",
                  stats.success ? mib(stats.peak_bytes) : "-",
                  stats.success ? sci(stats.relative_error) : "-",
                  stats.success ? "ok" : "OUT OF MEMORY"});
+  if (obs != nullptr) obs->add(label, config_desc, cfg, stats);
   std::fflush(stdout);
   return stats;
 }

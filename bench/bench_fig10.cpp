@@ -67,9 +67,11 @@ int main(int argc, char** argv) {
   args.describe("quick", "restrict the sweep to N <= 12000");
   args.describe("max-n", "largest total unknown count (default 48000)");
   bench::describe_threads(args);
+  bench::Observability::describe(args);
   args.check(
       "Reproduces Fig. 10: best times vs N per algorithm under a memory "
       "budget, plus the largest N each algorithm can process.");
+  bench::Observability obs(args, "bench_fig10");
 
   const std::size_t budget =
       static_cast<std::size_t>(args.get_int("budget-mib", 300)) * 1024 * 1024;
@@ -101,7 +103,7 @@ int main(int argc, char** argv) {
       bench::apply_threads(args, cfg);
       auto stats = bench::run_and_row(sys, cfg, table,
                                       coupled::strategy_name(cand.strategy),
-                                      cand.desc);
+                                      cand.desc, &obs);
       if (stats.success) {
         any_ok[cand.strategy] = true;
         auto key = std::make_pair(cand.strategy, n);

@@ -19,8 +19,10 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   args.describe("quick", "restrict to N <= 12000");
   bench::describe_threads(args);
+  bench::Observability::describe(args);
   args.check("Reproduces Fig. 11: relative error of the best runs, "
              "eps = 1e-3.");
+  bench::Observability obs(args, "bench_fig11");
   const bool quick = args.get_bool("quick", false);
 
   std::vector<index_t> sizes = {6000, 12000, 24000};
@@ -54,6 +56,7 @@ int main(int argc, char** argv) {
       cfg.n_b = 2;
       bench::apply_threads(args, cfg);
       auto stats = coupled::solve_coupled(sys, cfg);
+      obs.add(coupled::strategy_name(e.strategy), e.coupling, cfg, stats);
       if (!stats.success) {
         table.add_row({coupled::strategy_name(e.strategy), e.coupling,
                        TablePrinter::fmt_int(n), "-", "OOM"});

@@ -19,7 +19,9 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   args.describe("n", "total unknowns (default 12000; paper used 2,000,000)");
   bench::describe_threads(args);
+  bench::Observability::describe(args);
   args.check("Reproduces Fig. 12: multi-solve time/memory vs n_c and n_S.");
+  bench::Observability obs(args, "bench_fig12");
   const index_t n = static_cast<index_t>(args.get_int("n", 12000));
 
   std::printf("== Figure 12: multi-solve trade-off at N = %d ==\n", n);
@@ -36,7 +38,7 @@ int main(int argc, char** argv) {
     cfg.n_c = nc;
     bench::apply_threads(args, cfg);
     bench::run_and_row(sys, cfg, table, "MUMPS/SPIDO-like",
-                       "n_c=" + std::to_string(nc));
+                       "n_c=" + std::to_string(nc), &obs);
   }
   // Compressed multi-solve, phase 1: n_S == n_c (frequent recompression).
   for (index_t nc : {32, 64, 128}) {
@@ -46,7 +48,7 @@ int main(int argc, char** argv) {
     cfg.n_S = nc;
     bench::apply_threads(args, cfg);
     bench::run_and_row(sys, cfg, table, "MUMPS/HMAT-like",
-                       "n_c=n_S=" + std::to_string(nc));
+                       "n_c=n_S=" + std::to_string(nc), &obs);
   }
   // Phase 2: n_c at its plateau, n_S grown.
   for (index_t nS : {256, 512, 1024, 2048}) {
@@ -56,7 +58,7 @@ int main(int argc, char** argv) {
     cfg.n_S = nS;
     bench::apply_threads(args, cfg);
     bench::run_and_row(sys, cfg, table, "MUMPS/HMAT-like",
-                       "n_c=128 n_S=" + std::to_string(nS));
+                       "n_c=128 n_S=" + std::to_string(nS), &obs);
   }
   table.print();
   std::printf(

@@ -15,8 +15,10 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   args.describe("n", "total unknowns (default 6000; paper used 1,000,000)");
   bench::describe_threads(args);
+  bench::Observability::describe(args);
   args.check(
       "Reproduces Fig. 13: multi-factorization time/memory vs n_b.");
+  bench::Observability obs(args, "bench_fig13");
   const index_t n = static_cast<index_t>(args.get_int("n", 6000));
 
   std::printf("== Figure 13: multi-factorization trade-off at N = %d ==\n",
@@ -34,7 +36,7 @@ int main(int argc, char** argv) {
     cfg.n_b = nb;
     bench::apply_threads(args, cfg);
     auto stats = bench::run_and_row(sys, cfg, table, "MUMPS/SPIDO-like",
-                                    "n_b=" + std::to_string(nb));
+                                    "n_b=" + std::to_string(nb), &obs);
     if (nb == 1) { t1 = stats.total_seconds; m1 = stats.peak_bytes; }
     if (nb == 4) { t4 = stats.total_seconds; m4 = stats.peak_bytes; }
   }
@@ -44,7 +46,7 @@ int main(int argc, char** argv) {
     cfg.n_b = nb;
     bench::apply_threads(args, cfg);
     bench::run_and_row(sys, cfg, table, "MUMPS/HMAT-like",
-                       "n_b=" + std::to_string(nb));
+                       "n_b=" + std::to_string(nb), &obs);
   }
   table.print();
   std::printf(

@@ -6,8 +6,13 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "common/random.h"
+#include "common/trace.h"
 #include "fembem/system.h"
 #include "hmat/hmatrix.h"
 #include "la/factor.h"
@@ -173,4 +178,43 @@ BENCHMARK(BM_HMatrixAssemble)->Arg(16)->Arg(24)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): peel off the shared
+// observability flags (--trace=..., --trace-sample-us=...) before
+// google-benchmark sees them (it aborts on unknown flags), so kernel
+// microbenchmarks can be traced like the solver drivers.
+int main(int argc, char** argv) {
+  std::string trace_path;
+  int sample_us = 1000;
+  std::vector<char*> pass;
+  pass.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value_of = [&](const std::string& prefix) {
+      return arg.substr(prefix.size());
+    };
+    if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = value_of("--trace=");
+    } else if (arg.rfind("--trace-sample-us=", 0) == 0) {
+      sample_us = std::atoi(value_of("--trace-sample-us=").c_str());
+    } else {
+      pass.push_back(argv[i]);
+    }
+  }
+  int pass_argc = static_cast<int>(pass.size());
+  std::optional<cs::TraceSampler> sampler;
+  if (!trace_path.empty()) {
+    cs::Tracer::instance().set_enabled(true);
+    if (sample_us > 0) sampler.emplace(sample_us);
+  }
+  benchmark::Initialize(&pass_argc, pass.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, pass.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!trace_path.empty()) {
+    sampler.reset();
+    cs::Tracer::instance().write_json(trace_path);
+    cs::Tracer::instance().set_enabled(false);
+  }
+  return 0;
+}

@@ -14,7 +14,11 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   args.describe("n", "total unknowns (default 24000)");
   bench::describe_threads(args);
+  bench::Observability::describe(args);
   args.check("Extension: out-of-core factor storage trade-off.");
+  // No coupled solves here, so the report stays empty, but --trace still
+  // captures the multifrontal factor/solve spans.
+  bench::Observability obs(args, "bench_ooc");
   const index_t n = static_cast<index_t>(args.get_int("n", 24000));
   // No coupled::Config here (the driver talks to the sparse solver
   // directly), so the shared --threads flag installs the OpenMP override

@@ -39,9 +39,11 @@ int main(int argc, char** argv) {
                 "(default = hardware)");
   args.describe("budget-mib", "virtual memory budget in MiB (0 = unlimited)");
   args.describe("n-b", "multi-factorization blocks per dimension (default 4)");
+  bench::Observability::describe(args);
   args.check(
       "Sweeps 1..N worker threads per strategy and emits per-phase JSON "
       "(one object per line) for the scaling trajectory.");
+  bench::Observability obs(args, "bench_scaling");
 
   const index_t n = static_cast<index_t>(args.get_int("n", 9000));
   const int hw = omp_get_max_threads();
@@ -51,8 +53,7 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.get_int("budget-mib", 0)) * 1024 * 1024;
   const index_t nb = static_cast<index_t>(args.get_int("n-b", 4));
 
-  std::fprintf(stderr, "[scaling] building N=%lld system...\n",
-               static_cast<long long>(n));
+  log_info("[scaling] building N=", static_cast<long long>(n), " system...");
   auto sys = fembem::make_pipe_system<double>({.total_unknowns = n});
 
   std::vector<int> threads = {1};
@@ -74,9 +75,11 @@ int main(int argc, char** argv) {
       cfg.num_threads = t;
       cfg.memory_budget = budget;
       cfg.n_b = nb;
-      std::fprintf(stderr, "[scaling] %s threads=%d...\n",
-                   coupled::strategy_name(s), t);
+      log_info("[scaling] ", coupled::strategy_name(s), " threads=", t,
+               "...");
       auto stats = coupled::solve_coupled(sys, cfg);
+      obs.add(coupled::strategy_name(s), "threads=" + std::to_string(t), cfg,
+              stats);
       const double hot = stats.phases.get("schur") +
                          stats.phases.get("dense_factorization");
       if (t == 1) serial_hot = hot;
@@ -85,13 +88,16 @@ int main(int argc, char** argv) {
           "{\"strategy\": \"%s\", \"threads\": %d, \"n\": %lld, "
           "\"success\": %s, \"total_seconds\": %s, \"phases\": %s, "
           "\"schur_plus_dense_seconds\": %s, \"speedup_vs_1\": %s, "
-          "\"relative_error\": %s, \"peak_bytes\": %zu}\n",
+          "\"relative_error\": %s, \"peak_bytes\": %zu, "
+          "\"schur_bytes\": %zu, \"schur_compression_ratio\": %s}\n",
           coupled::strategy_name(s), t, static_cast<long long>(stats.n_total),
           stats.success ? "true" : "false",
           bench::sci(stats.total_seconds).c_str(),
           json_phases(stats).c_str(), bench::sci(hot).c_str(),
           bench::sci(hot > 0 ? serial_hot / hot : 0.0).c_str(),
-          bench::sci(stats.relative_error).c_str(), stats.peak_bytes);
+          bench::sci(stats.relative_error).c_str(), stats.peak_bytes,
+          stats.schur_bytes,
+          bench::sci(stats.schur_compression_ratio).c_str());
       std::fflush(stdout);
       summary.add_row(
           {coupled::strategy_name(s), TablePrinter::fmt_int(t),

@@ -1,0 +1,129 @@
+// Observability smoke test: runs one small traced solve per strategy,
+// self-validates the exported Chrome trace (schema, thread tracks,
+// pipeline-stage spans, memory timeline) and the run report, and exits
+// non-zero on any problem. CI runs this binary and archives the --trace /
+// --report artifacts; it doubles as a quick end-to-end check that the
+// tracing layer stays wired through every solve path.
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "bench_common.h"
+#include "common/json.h"
+
+using namespace cs;
+using coupled::Config;
+using coupled::Strategy;
+
+namespace {
+
+int g_failures = 0;
+
+void expect(bool ok, const std::string& what) {
+  if (ok) {
+    std::printf("  ok: %s\n", what.c_str());
+  } else {
+    std::printf("  FAIL: %s\n", what.c_str());
+    ++g_failures;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  args.describe("n", "total unknowns per solve (default 3500)");
+  bench::describe_threads(args);
+  bench::Observability::describe(args);
+  args.check(
+      "Observability smoke test: one traced solve per strategy, "
+      "self-validating the trace and report.");
+  bench::Observability obs(args, "bench_smoke");
+  const index_t n = static_cast<index_t>(args.get_int("n", 3500));
+  const int threads = static_cast<int>(args.get_int("threads", 4));
+
+  // Tracing is the subject under test: always on here, regardless of
+  // --trace (which only decides whether the file is also written).
+  auto& tracer = Tracer::instance();
+  const bool already_tracing = tracer.enabled();
+  if (!already_tracing) tracer.set_enabled(true);
+
+  auto sys = fembem::make_pipe_system<double>({.total_unknowns = n});
+  std::printf("== observability smoke: N = %d (%d FEM + %d BEM), "
+              "%d threads ==\n",
+              sys.total(), sys.nv(), sys.ns(), threads);
+
+  const Strategy strategies[] = {
+      Strategy::kBaselineCoupling,
+      Strategy::kAdvancedCoupling,
+      Strategy::kMultiSolve,
+      Strategy::kMultiSolveCompressed,
+      Strategy::kMultiFactorization,
+      Strategy::kMultiFactorizationCompressed,
+      Strategy::kMultiSolveRandomized,
+  };
+  for (Strategy s : strategies) {
+    Config cfg;
+    cfg.strategy = s;
+    cfg.num_threads = threads;
+    // Small panels/blocks so even this toy size exercises the pipeline and
+    // the multi-factorization job graph with real parallelism.
+    cfg.n_c = 32;
+    cfg.n_S = 64;
+    cfg.n_b = 2;
+    std::printf("[smoke] %s...\n", coupled::strategy_name(s));
+    std::fflush(stdout);
+    auto stats = coupled::solve_coupled(sys, cfg);
+    obs.add(coupled::strategy_name(s), "smoke", cfg, stats);
+    expect(stats.success,
+           std::string(coupled::strategy_name(s)) + " solve succeeded");
+    expect(stats.relative_error < 1e-1,
+           std::string(coupled::strategy_name(s)) + " rel err " +
+               bench::sci(stats.relative_error) + " < 1e-1");
+  }
+
+  // -- validate the recorded trace -----------------------------------------
+  const std::string text = tracer.to_json();
+  const std::string problem = validate_chrome_trace(text);
+  expect(problem.empty(), "trace validates (" +
+                              (problem.empty() ? std::string("clean")
+                                               : problem) +
+                              ")");
+
+  json::Value doc;
+  std::string err;
+  expect(json::parse(text, &doc, &err), "trace parses as JSON " + err);
+  const json::Value* events = doc.find("traceEvents");
+  std::set<double> tids;
+  std::set<std::string> names;
+  if (events != nullptr && events->is_array()) {
+    for (const auto& e : events->array) {
+      if (const json::Value* tid = e.find("tid")) tids.insert(tid->number);
+      if (const json::Value* name = e.find("name"))
+        names.insert(name->string);
+    }
+  }
+  expect(tids.size() >= 4, "trace has >= 4 thread tracks (got " +
+                               std::to_string(tids.size()) + ")");
+  for (const char* required :
+       {"schur.panel_solve", "schur.axpy", "multifacto.factor",
+        "solution.schur_solve", "mf.factor", "hmat.assemble",
+        "memory.current", "memory.peak", "panels.inflight"}) {
+    expect(names.count(required) > 0,
+           std::string("trace contains '") + required + "'");
+  }
+  expect(names.count("hlu.factor") + names.count("hldlt.factor") > 0,
+         "trace contains an H-matrix factorization span");
+
+  if (g_failures == 0)
+    std::printf("\nsmoke: all checks passed (%zu events, %zu threads)\n",
+                tracer.event_count(), tracer.thread_count());
+  else
+    std::printf("\nsmoke: %d check(s) FAILED\n", g_failures);
+
+  // Let Observability write the --trace / --report files (the report also
+  // carries the per-strategy stage timings and counters).
+  obs.finish();
+  if (!already_tracing) tracer.set_enabled(false);
+  return g_failures == 0 ? 0 : 1;
+}

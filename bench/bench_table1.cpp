@@ -10,7 +10,9 @@ int main(int argc, char** argv) {
   using namespace cs;
   CliArgs args(argc, argv);
   args.describe("scale", "down-scaling factor vs the paper (default 200)");
+  bench::Observability::describe(args);
   args.check("Reproduces Table I: FEM/BEM unknown counts per system size.");
+  bench::Observability obs(args, "bench_table1");
   const double scale = args.get_double("scale", 200.0);
 
   std::printf("== Table I: counts of BEM and FEM unknowns ==\n");

@@ -22,13 +22,14 @@ namespace {
 coupled::SolveStats run_row(const fembem::CoupledSystem<complexd>& sys,
                             const Config& cfg, TablePrinter& table,
                             const std::string& solver,
-                            const std::string& compression) {
-  std::fprintf(stderr, "[run] %s / %s ...\n", solver.c_str(),
-               compression.c_str());
+                            const std::string& compression,
+                            bench::Observability& obs) {
+  log_info("[run] ", solver, " / ", compression, " ...");
   auto stats = coupled::solve_coupled(sys, cfg);
-  std::fprintf(stderr, "[run]   -> %s, %.1f s, peak %s MiB\n",
-               stats.success ? "ok" : "OOM", stats.total_seconds,
-               bench::mib(stats.peak_bytes).c_str());
+  log_info("[run]   -> ", stats.success ? "ok" : "OOM", ", ",
+           TablePrinter::fmt(stats.total_seconds, 1), " s, peak ",
+           bench::mib(stats.peak_bytes), " MiB");
+  obs.add(solver, compression, cfg, stats);
   table.add_row(
       {solver, compression,
        stats.success ? TablePrinter::fmt(stats.total_seconds, 1) : "-",
@@ -46,7 +47,9 @@ int main(int argc, char** argv) {
   args.describe("n", "total unknowns (default 9000; paper used 2,259,468)");
   args.describe("budget-mib", "memory budget in MiB (default 340)");
   bench::describe_threads(args);
+  bench::Observability::describe(args);
   args.check("Reproduces Table II: the industrial aero-acoustic case.");
+  bench::Observability obs(args, "bench_table2");
   const index_t n = static_cast<index_t>(args.get_int("n", 9000));
   const std::size_t budget =
       static_cast<std::size_t>(args.get_int("budget-mib", 340)) * 1024 * 1024;
@@ -85,29 +88,29 @@ int main(int argc, char** argv) {
 
   // Rows 1-3: no compression anywhere.
   run_row(sys, make(Strategy::kAdvancedCoupling, false, 2), table,
-          "advanced coupling", "none");
+          "advanced coupling", "none", obs);
   run_row(sys, make(Strategy::kMultiFactorization, false, 2), table,
-          "multi-facto (n_b=2)", "none");
+          "multi-facto (n_b=2)", "none", obs);
   run_row(sys, make(Strategy::kMultiSolve, false, 2), table, "multi-solve",
-          "none");
+          "none", obs);
   // Rows 4-5: compression in the sparse solver only.
   run_row(sys, make(Strategy::kMultiSolve, true, 2), table, "multi-solve",
-          "sparse");
+          "sparse", obs);
   run_row(sys, make(Strategy::kMultiFactorization, true, 4), table,
-          "multi-facto (n_b=4)", "sparse");
+          "multi-facto (n_b=4)", "sparse", obs);
   // Rows 6-7: compression in sparse and dense solvers.
   run_row(sys, make(Strategy::kMultiSolveCompressed, true, 2), table,
-          "multi-solve", "sparse+dense");
+          "multi-solve", "sparse+dense", obs);
   run_row(sys, make(Strategy::kMultiFactorizationCompressed, true, 8), table,
-          "multi-facto (n_b=8)", "sparse+dense");
+          "multi-facto (n_b=8)", "sparse+dense", obs);
   // Rows 8-9: growing the Schur block size (smaller n_b trades the saved
   // memory back for speed; n_b = 1 would need the whole dense Schur in one
   // block and no longer fits the budget -- the same cliff the paper's
   // 212 GiB single-block Schur illustrates).
   run_row(sys, make(Strategy::kMultiFactorizationCompressed, true, 4), table,
-          "multi-facto (n_b=4)", "sparse+dense");
+          "multi-facto (n_b=4)", "sparse+dense", obs);
   run_row(sys, make(Strategy::kMultiFactorizationCompressed, true, 2), table,
-          "multi-facto (n_b=2)", "sparse+dense");
+          "multi-facto (n_b=2)", "sparse+dense", obs);
 
   table.print();
   std::printf(

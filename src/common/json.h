@@ -1,0 +1,49 @@
+// Minimal JSON support: a recursive-descent parser into a small value tree
+// plus string escaping for writers. Used by the tracing layer to validate
+// exported Chrome-trace files and by the run-report machinery; it is not a
+// general-purpose JSON library (no streaming, no unicode normalization).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cs::json {
+
+/// Parsed JSON value. Objects keep their key order (insertion order of the
+/// source document), which the tests rely on for stable diagnostics.
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* find(const std::string& key) const {
+    if (kind != Kind::kObject) return nullptr;
+    for (const auto& [k, v] : object)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+/// Parse `text` into `out`. Returns false and fills `error` (with a byte
+/// offset) on malformed input.
+bool parse(const std::string& text, Value* out, std::string* error);
+
+/// Escape a string for embedding between double quotes in JSON output.
+std::string escape(const std::string& s);
+
+}  // namespace cs::json

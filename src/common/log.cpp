@@ -1,6 +1,7 @@
 #include "common/log.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <mutex>
 
@@ -19,6 +20,22 @@ const char* level_tag(LogLevel level) {
     default: return "?    ";
   }
 }
+
+/// Monotonic seconds since the first log call: correlates log lines with
+/// each other and with the trace timeline regardless of wall-clock jumps.
+double uptime_seconds() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return std::chrono::duration<double>(clock::now() - epoch).count();
+}
+
+/// Small dense per-thread id (registration order), stable for the life of
+/// the thread; easier to scan in interleaved output than native handles.
+int thread_log_id() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
@@ -26,8 +43,11 @@ void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
 LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
 
 void log_message(LogLevel level, const std::string& msg) {
+  const double t = uptime_seconds();
+  const int tid = thread_log_id();
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[cs %s] %s\n", level_tag(level), msg.c_str());
+  std::fprintf(stderr, "[cs %10.3f %s t%02d] %s\n", t, level_tag(level), tid,
+               msg.c_str());
 }
 
 }  // namespace cs

@@ -7,6 +7,7 @@
 
 #include "common/parallel.h"
 #include "common/random.h"
+#include "common/trace.h"
 #include "coupled/planner.h"
 #include "dense/dense_solver.h"
 #include "hmat/hmatrix.h"
@@ -39,6 +40,21 @@ using la::Matrix;
 using la::MatrixView;
 using sparsedirect::MultifrontalSolver;
 using sparsedirect::SolverOptions;
+
+/// One pipeline/algorithm stage: a dotted entry in SolveStats::stages plus
+/// a trace span of the same name, so the structured report and the visual
+/// timeline always agree on the stage taxonomy.
+class StageScope {
+ public:
+  StageScope(PhaseTimes& stages, const char* name)
+      : phase_(stages, name), span_("stage", name) {}
+
+  TraceSpan& span() { return span_; }
+
+ private:
+  ScopedPhase phase_;
+  TraceSpan span_;
+};
 
 /// Kernel generator re-indexed to surface cluster-tree coordinates.
 template <class T>
@@ -115,13 +131,17 @@ struct Run {
   void finish(const MultifrontalSolver<T>& interior,
               const std::function<void(MatrixView<T>)>& schur_solve) {
     ScopedPhase phase(stats.phases, "solution");
+    TraceSpan span("phase", "solution");
     const index_t nv = sys.nv();
     const index_t ns = sys.ns();
 
     // y_v = A_vv^{-1} b_v.
     Matrix<T> yv(nv, 1);
-    for (index_t i = 0; i < nv; ++i) yv(i, 0) = sys.b_v[i];
-    interior.solve(yv.view());
+    {
+      StageScope stage(stats.stages, "solution.interior_solve");
+      for (index_t i = 0; i < nv; ++i) yv(i, 0) = sys.b_v[i];
+      interior.solve(yv.view());
+    }
 
     // t = b_s - A_sv y_v (tree order).
     Matrix<T> t(ns, 1);
@@ -129,13 +149,19 @@ struct Run {
     A_sv_tree.spmv(T{-1}, &yv(0, 0), T{1}, &t(0, 0));
 
     // x_s = S^{-1} t.
-    schur_solve(t.view());
+    {
+      StageScope stage(stats.stages, "solution.schur_solve");
+      schur_solve(t.view());
+    }
 
     // x_v = A_vv^{-1} (b_v - A_sv^T x_s).
     Matrix<T> rv(nv, 1);
-    for (index_t i = 0; i < nv; ++i) rv(i, 0) = sys.b_v[i];
-    A_sv_tree.spmv_trans(T{-1}, &t(0, 0), T{1}, &rv(0, 0));
-    interior.solve(rv.view());
+    {
+      StageScope stage(stats.stages, "solution.interior_solve");
+      for (index_t i = 0; i < nv; ++i) rv(i, 0) = sys.b_v[i];
+      A_sv_tree.spmv_trans(T{-1}, &t(0, 0), T{1}, &rv(0, 0));
+      interior.solve(rv.view());
+    }
 
     // Scatter x_s back to the caller's surface ordering.
     la::Vector<T> xs(ns), xv(nv);
@@ -148,6 +174,9 @@ struct Run {
     // (the dense block applied through its kernel generator): recovers the
     // accuracy lost to aggressive compression.
     for (int it = 0; it < cfg.refine_iterations; ++it) {
+      StageScope stage(stats.stages, "solution.refine");
+      stage.span().arg("sweep", static_cast<long long>(it));
+      Metrics::instance().add(Metric::kRefineSweeps, 1);
       // Residuals in caller coordinates.
       la::Vector<T> r_v(nv), r_s(ns);
       for (index_t i = 0; i < nv; ++i) r_v[i] = sys.b_v[i];
@@ -208,6 +237,7 @@ void run_multisolve(Run<T>& run, bool blocked, bool compressed) {
   MultifrontalSolver<T> mf;
   {
     ScopedPhase phase(stats.phases, "sparse_factorization");
+    TraceSpan span("phase", "sparse_factorization");
     mf.factorize(run.sys.A_vv, run.sparse_options(true, 0));
   }
   stats.sparse_factor_bytes = mf.factor_bytes();
@@ -217,13 +247,21 @@ void run_multisolve(Run<T>& run, bool blocked, bool compressed) {
     Matrix<T> S(ns, ns);
     {
       ScopedPhase phase(stats.phases, "schur");
+      TraceSpan span("phase", "schur");
       const index_t step = blocked ? cfg.n_c : ns;
       for (index_t c0 = 0; c0 < ns; c0 += step) {
         const index_t nc = std::min(step, ns - c0);
         // Y_i = A_vv^{-1} A_sv(i)^T, retrieved dense (the API limitation).
         Matrix<T> Y(nv, nc);
-        run.A_sv_tree.rows_as_dense_transposed(c0, nc, Y.view());
-        mf.solve(Y.view());
+        {
+          StageScope stage(stats.stages, "schur.panel_solve");
+          stage.span()
+              .arg("c0", static_cast<long long>(c0))
+              .arg("ncols", static_cast<long long>(nc));
+          run.A_sv_tree.rows_as_dense_transposed(c0, nc, Y.view());
+          mf.solve(Y.view());
+        }
+        StageScope stage(stats.stages, "schur.assemble");
         auto slab = S.block(0, c0, ns, nc);
         fembem::generator_block(run.gen_tree, 0, c0, slab);  // A_ss block
         run.A_sv_tree.spmm(T{-1}, Y.view(), T{1}, slab);     // - A_sv Y_i
@@ -234,6 +272,7 @@ void run_multisolve(Run<T>& run, bool blocked, bool compressed) {
     dense::DenseSolver<T> ds;
     {
       ScopedPhase phase(stats.phases, "dense_factorization");
+      TraceSpan span("phase", "dense_factorization");
       ds.factorize(std::move(S), run.sys.symmetric);
     }
     run.finish(mf, [&](MatrixView<T> B) { ds.solve(B); });
@@ -243,8 +282,12 @@ void run_multisolve(Run<T>& run, bool blocked, bool compressed) {
     std::optional<HMatrix<T>> S_store;
     {
       ScopedPhase phase(stats.phases, "schur");
-      S_store = HMatrix<T>::assemble(run.tree, run.tree, *run.sys.A_ss,
-                                     run.h_options());
+      TraceSpan span("phase", "schur");
+      {
+        StageScope stage(stats.stages, "schur.assemble");
+        S_store = HMatrix<T>::assemble(run.tree, run.tree, *run.sys.A_ss,
+                                       run.h_options());
+      }
       HMatrix<T>& S = *S_store;
       const index_t panel = std::max(cfg.n_S, cfg.n_c);
 
@@ -254,11 +297,28 @@ void run_multisolve(Run<T>& run, bool blocked, bool compressed) {
         for (index_t cc = 0; cc < np; cc += cfg.n_c) {
           const index_t nc = std::min(cfg.n_c, np - cc);
           Matrix<T> Y(nv, nc);
-          run.A_sv_tree.rows_as_dense_transposed(c0 + cc, nc, Y.view());
-          mf.solve(Y.view());
+          {
+            StageScope stage(stats.stages, "schur.panel_solve");
+            stage.span()
+                .arg("c0", static_cast<long long>(c0 + cc))
+                .arg("ncols", static_cast<long long>(nc));
+            run.A_sv_tree.rows_as_dense_transposed(c0 + cc, nc, Y.view());
+            mf.solve(Y.view());
+          }
+          StageScope stage(stats.stages, "schur.spmm");
           run.A_sv_tree.spmm(T{1}, Y.view(), T{0}, Z.block(0, cc, ns, nc));
         }
+        Metrics::instance().add(Metric::kPanelsProduced, 1);
         return Z;
+      };
+
+      auto fold_panel = [&](index_t c0, Matrix<T>& Z) {
+        StageScope stage(stats.stages, "schur.axpy");
+        stage.span()
+            .arg("c0", static_cast<long long>(c0))
+            .arg("ncols", static_cast<long long>(Z.cols()));
+        S.add_dense_block(T{-1}, Z.view(), 0, c0);  // compressed AXPY
+        Metrics::instance().add(Metric::kPanelsFolded, 1);
       };
 
       // Pipeline: the sparse solves + SpMM of panel i+1 (producer thread)
@@ -274,9 +334,15 @@ void run_multisolve(Run<T>& run, bool blocked, bool compressed) {
           MemoryTracker::instance().current(), 3);
       if (resolve_threads(cfg.num_threads) <= 1 || inflight <= 1 ||
           ns <= panel) {
+        if (inflight <= 1 && resolve_threads(cfg.num_threads) > 1 &&
+            ns > panel) {
+          // The planner degraded the pipeline to the serial algorithm.
+          Metrics::instance().add(Metric::kAdmissionDegraded, 1);
+          trace_instant("admission", "pipeline.degraded_serial");
+        }
         for (index_t c0 = 0; c0 < ns; c0 += panel) {
           Matrix<T> Z = produce_panel(c0);
-          S.add_dense_block(T{-1}, Z.view(), 0, c0);  // compressed AXPY
+          fold_panel(c0, Z);
         }
       } else {
         struct Panel {
@@ -288,10 +354,20 @@ void run_multisolve(Run<T>& run, bool blocked, bool compressed) {
             static_cast<std::size_t>(std::max(1, inflight - 2)));
         std::exception_ptr producer_error = nullptr;
         std::thread producer([&] {
+          trace_thread_name("schur.producer");
           try {
             for (index_t c0 = 0; c0 < ns; c0 += panel) {
               Panel p{c0, produce_panel(c0)};
-              if (!queue.push(std::move(p))) return;  // consumer cancelled
+              trace_gauge_add("panels.inflight", 1);
+              Timer stall;
+              bool pushed;
+              {
+                StageScope stage(stats.stages, "schur.stall_producer");
+                pushed = queue.push(std::move(p));
+              }
+              Metrics::instance().add(Metric::kPipelineProducerStallSec,
+                                      stall.seconds());
+              if (!pushed) return;  // consumer cancelled
             }
           } catch (...) {
             producer_error = std::current_exception();
@@ -299,8 +375,19 @@ void run_multisolve(Run<T>& run, bool blocked, bool compressed) {
           queue.close();
         });
         try {
-          while (auto p = queue.pop())
-            S.add_dense_block(T{-1}, p->Z.view(), 0, p->c0);
+          while (true) {
+            Timer stall;
+            std::optional<Panel> p;
+            {
+              StageScope stage(stats.stages, "schur.stall_consumer");
+              p = queue.pop();
+            }
+            Metrics::instance().add(Metric::kPipelineConsumerStallSec,
+                                    stall.seconds());
+            if (!p) break;
+            trace_gauge_add("panels.inflight", -1);
+            fold_panel(p->c0, p->Z);
+          }
         } catch (...) {
           queue.cancel();
           producer.join();
@@ -315,6 +402,7 @@ void run_multisolve(Run<T>& run, bool blocked, bool compressed) {
     stats.schur_compression_ratio = S.compression_ratio();
     {
       ScopedPhase phase(stats.phases, "dense_factorization");
+      TraceSpan span("phase", "dense_factorization");
       factor_schur_h(S, run);
     }
     stats.schur_bytes = std::max(stats.schur_bytes, S.memory_bytes());
@@ -341,6 +429,7 @@ void run_multisolve_randomized(Run<T>& run) {
   MultifrontalSolver<T> mf;
   {
     ScopedPhase phase(stats.phases, "sparse_factorization");
+    TraceSpan span("phase", "sparse_factorization");
     mf.factorize(run.sys.A_vv, run.sparse_options(true, 0));
   }
   stats.sparse_factor_bytes = mf.factor_bytes();
@@ -356,8 +445,12 @@ void run_multisolve_randomized(Run<T>& run) {
   std::optional<HMatrix<T>> S_store;
   {
     ScopedPhase phase(stats.phases, "schur");
-    S_store = HMatrix<T>::assemble(run.tree, run.tree, *run.sys.A_ss,
-                                   run.h_options());
+    TraceSpan span("phase", "schur");
+    {
+      StageScope stage(stats.stages, "schur.assemble");
+      S_store = HMatrix<T>::assemble(run.tree, run.tree, *run.sys.A_ss,
+                                     run.h_options());
+    }
     HMatrix<T>& S = *S_store;
 
     Rng rng(20220512);
@@ -438,6 +531,7 @@ void run_multisolve_randomized(Run<T>& run) {
   stats.schur_compression_ratio = S.compression_ratio();
   {
     ScopedPhase phase(stats.phases, "dense_factorization");
+    TraceSpan span("phase", "dense_factorization");
     factor_schur_h(S, run);
   }
   run.finish(mf, [&](MatrixView<T> B) { S.solve(B); });
@@ -458,6 +552,7 @@ void run_advanced(Run<T>& run) {
   MultifrontalSolver<T> mf;
   {
     ScopedPhase phase(stats.phases, "sparse_factorization");
+    TraceSpan span("phase", "sparse_factorization");
     sparse::Triplets<T> trip(nv + ns, nv + ns);
     const auto& A = run.sys.A_vv;
     for (index_t r = 0; r < nv; ++r)
@@ -478,6 +573,8 @@ void run_advanced(Run<T>& run) {
   Matrix<T> S = mf.take_schur();  // = -A_sv A_vv^{-1} A_sv^T (tree order)
   {
     ScopedPhase phase(stats.phases, "schur");
+    TraceSpan span("phase", "schur");
+    StageScope stage(stats.stages, "schur.assemble");
     // S += A_ss, materialized in column slabs through generator_block
     // (amortizes kernel evaluation the same way the baseline branch does).
     const index_t slab = std::max<index_t>(1, cfg.n_c);
@@ -493,6 +590,7 @@ void run_advanced(Run<T>& run) {
   dense::DenseSolver<T> ds;
   {
     ScopedPhase phase(stats.phases, "dense_factorization");
+    TraceSpan span("phase", "dense_factorization");
     ds.factorize(std::move(S), run.sys.symmetric);
   }
   run.finish(mf, [&](MatrixView<T> B) { ds.solve(B); });
@@ -521,6 +619,7 @@ void run_multifacto(Run<T>& run, bool compressed) {
   std::optional<HMatrix<T>> S_h;
   if (compressed) {
     ScopedPhase phase(stats.phases, "schur");
+    StageScope stage(stats.stages, "schur.assemble");
     S_h = HMatrix<T>::assemble(run.tree, run.tree, *run.sys.A_ss,
                                run.h_options());
   } else {
@@ -544,6 +643,12 @@ void run_multifacto(Run<T>& run, bool compressed) {
     // storage + LU), padded square when the edge blocks differ in size.
     const index_t p = std::max(nri, ncj);
     ScopedPhase phase(stats.phases, "sparse_factorization");
+    StageScope stage(stats.stages, "multifacto.factor");
+    stage.span()
+        .arg("bi", static_cast<long long>(job.bi))
+        .arg("bj", static_cast<long long>(job.bj))
+        .arg("schur_size", static_cast<long long>(p));
+    Metrics::instance().add(Metric::kMultifactoJobs, 1);
     sparse::Triplets<T> trip(nv + p, nv + p);
     const auto& A = run.sys.A_vv;
     for (index_t r = 0; r < nv; ++r)
@@ -577,6 +682,10 @@ void run_multifacto(Run<T>& run, bool compressed) {
     const index_t ncj = start[static_cast<std::size_t>(job.bj) + 1] - c0;
     {
       ScopedPhase phase(stats.phases, "schur");
+      StageScope stage(stats.stages, "multifacto.commit");
+      stage.span()
+          .arg("bi", static_cast<long long>(job.bi))
+          .arg("bj", static_cast<long long>(job.bj));
       if (compressed) {
         S_h->add_dense_block(T{1}, X.block(0, 0, nri, ncj), r0, c0);
       } else {
@@ -609,6 +718,11 @@ void run_multifacto(Run<T>& run, bool compressed) {
   }
 
   if (workers <= 1) {
+    if (resolve_threads(cfg.num_threads) > 1 && jobs.size() > 1) {
+      // The planner degraded the concurrent jobs to the serial algorithm.
+      Metrics::instance().add(Metric::kAdmissionDegraded, 1);
+      trace_instant("admission", "multifacto.degraded_serial");
+    }
     for (const Job& job : jobs) {
       MultifrontalSolver<T> mf;
       factor_job(job, mf);
@@ -630,6 +744,7 @@ void run_multifacto(Run<T>& run, bool compressed) {
         if (!failed.load(std::memory_order_relaxed)) {
           admission.acquire();
           admitted = true;
+          trace_gauge_add("jobs.inflight", 1);
           try {
             factor_job(jobs[static_cast<std::size_t>(k)], mf);
             X = mf.take_schur();
@@ -655,7 +770,10 @@ void run_multifacto(Run<T>& run, bool compressed) {
           }
         }
       }  // job transients (factors, X) released before the slot
-      if (admitted) admission.release();
+      if (admitted) {
+        trace_gauge_add("jobs.inflight", -1);
+        admission.release();
+      }
     }
     if (error) std::rethrow_exception(error);
   }
@@ -665,6 +783,7 @@ void run_multifacto(Run<T>& run, bool compressed) {
     stats.schur_compression_ratio = S_h->compression_ratio();
     {
       ScopedPhase phase(stats.phases, "dense_factorization");
+      TraceSpan span("phase", "dense_factorization");
       factor_schur_h(*S_h, run);
     }
     stats.schur_bytes = std::max(stats.schur_bytes, S_h->memory_bytes());
@@ -674,6 +793,7 @@ void run_multifacto(Run<T>& run, bool compressed) {
     dense::DenseSolver<T> ds;
     {
       ScopedPhase phase(stats.phases, "dense_factorization");
+      TraceSpan span("phase", "dense_factorization");
       ds.factorize(std::move(S_dense), run.sys.symmetric);
     }
     run.finish(mf_last, [&](MatrixView<T> B) { ds.solve(B); });
@@ -694,7 +814,26 @@ SolveStats solve_coupled(const CoupledSystem<T>& system,
   tracker.reset_peak();
   ScopedBudget budget(config.memory_budget);
   ScopedNumThreads threads(config.num_threads);
+
+  // Tracing session: if the caller did not already enable the global
+  // tracer (bench drivers tracing several runs into one file do), a
+  // per-solve Config request turns it on for the duration of this call
+  // and exports to config.trace_path on the way out.
+  auto& tracer = Tracer::instance();
+  const bool was_tracing = tracer.enabled();
+  const bool own_session = config.trace_enabled && !was_tracing;
+  if (own_session) tracer.set_enabled(true);
+  Metrics::instance().reset();
+  std::optional<TraceSampler> sampler;
+  if (tracer.enabled() && config.trace_sample_us > 0)
+    sampler.emplace(config.trace_sample_us);
+
   Timer total;
+  {
+    TraceSpan span("solve", strategy_name(config.strategy));
+    span.arg("n_total", static_cast<long long>(stats.n_total))
+        .arg("n_fem", static_cast<long long>(stats.n_fem))
+        .arg("n_bem", static_cast<long long>(stats.n_bem));
   try {
     Run<T> run(system, config, stats);
     switch (config.strategy) {
@@ -723,11 +862,21 @@ SolveStats solve_coupled(const CoupledSystem<T>& system,
     stats.success = true;
   } catch (const BudgetExceeded& e) {
     stats.failure = std::string("out of memory budget: ") + e.what();
+    trace_instant("error", "budget_exceeded");
   } catch (const la::SingularMatrix& e) {
     stats.failure = std::string("numerical failure: ") + e.what();
+    trace_instant("error", "singular_matrix");
   }
+  }  // close the "solve" span before exporting
   stats.total_seconds = total.seconds();
   stats.peak_bytes = tracker.peak();
+  stats.counters = Metrics::instance().snapshot();
+
+  sampler.reset();  // final memory sample, then stop the sampler thread
+  if (own_session) {
+    if (!config.trace_path.empty()) tracer.write_json(config.trace_path);
+    tracer.set_enabled(false);
+  }
   return stats;
 }
 

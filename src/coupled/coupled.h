@@ -27,6 +27,7 @@
 // figures 10-13 and Table II.
 #pragma once
 
+#include <map>
 #include <string>
 
 #include "common/memory.h"
@@ -97,6 +98,24 @@ struct Config {
   /// n_BEM) of the adaptive randomized range finder.
   index_t rand_initial_rank = 64;
   double rand_max_rank_ratio = 0.5;
+
+  // -- observability (see common/trace.h) ----------------------------------
+
+  /// Record a task-level trace of this solve (spans, counters, memory
+  /// timeline). When the process-wide Tracer is already enabled (e.g. a
+  /// bench driver tracing all its runs into one file) this flag is
+  /// redundant: the solve is traced either way and trace_path is ignored
+  /// in favor of the driver's export.
+  bool trace_enabled = false;
+
+  /// When trace_enabled turned tracing on for this solve, export the
+  /// Chrome-trace JSON here at the end (empty = caller exports manually).
+  std::string trace_path;
+
+  /// Period of the background sampler recording memory.current /
+  /// memory.peak and the in-flight panel/job gauges as counter tracks.
+  /// <= 0 disables the sampler. Only active while tracing is enabled.
+  int trace_sample_us = 1000;
 };
 
 struct SolveStats {
@@ -106,6 +125,14 @@ struct SolveStats {
   double total_seconds = 0;
   PhaseTimes phases;  ///< sparse_factorization / schur / dense_factorization
                       ///< / solution
+  /// Finer, dotted per-stage breakdown inside the phases (e.g.
+  /// schur.panel_solve, schur.spmm, schur.axpy, schur.stall_producer,
+  /// multifacto.factor, solution.refine). Stages of one phase may overlap
+  /// in a pipelined run, so their sum can exceed the phase time.
+  PhaseTimes stages;
+  /// Run counter summary (common/trace.h Metrics): admission decisions,
+  /// pipeline stall seconds, recompression counts and max achieved rank...
+  std::map<std::string, double> counters;
 
   std::size_t peak_bytes = 0;          ///< tracked peak over the whole run
   std::size_t schur_bytes = 0;         ///< storage of S (dense or H)

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/trace.h"
 #include "coupled/coupled.h"
 #include "sparsedirect/multifrontal.h"
 
@@ -117,10 +118,19 @@ class AdmissionController {
 
   void acquire() {
     std::unique_lock<std::mutex> lock(mutex_);
-    while (active_ > 0 && !fits()) {
-      // Woken by release(); the timeout re-checks the tracker, whose usage
-      // also drops while concurrent jobs free transients mid-flight.
-      cv_.wait_for(lock, std::chrono::milliseconds(20));
+    if (active_ > 0 && !fits()) {
+      // Contended path: record how long this worker sat waiting for
+      // budget headroom (span on the timeline, totals in the counters).
+      TraceSpan span("admission", "admission.wait");
+      Metrics::instance().add(Metric::kAdmissionWaits, 1);
+      Timer waited;
+      while (active_ > 0 && !fits()) {
+        // Woken by release(); the timeout re-checks the tracker, whose
+        // usage also drops while concurrent jobs free transients
+        // mid-flight.
+        cv_.wait_for(lock, std::chrono::milliseconds(20));
+      }
+      Metrics::instance().add(Metric::kAdmissionWaitSec, waited.seconds());
     }
     ++active_;
   }

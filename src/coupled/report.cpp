@@ -1,0 +1,116 @@
+#include "coupled/report.h"
+
+#include <cstdio>
+
+#include "common/json.h"
+#include "common/log.h"
+
+namespace cs::coupled {
+
+namespace {
+
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string str(const std::string& s) { return "\"" + json::escape(s) + "\""; }
+
+std::string times_json(const PhaseTimes& times) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, seconds] : times.all()) {
+    if (!first) out += ",";
+    first = false;
+    out += str(name) + ":" + num(seconds);
+  }
+  return out + "}";
+}
+
+}  // namespace
+
+std::string stats_json(const SolveStats& stats) {
+  std::string out = "{";
+  out += "\"success\":" + std::string(stats.success ? "true" : "false");
+  if (!stats.failure.empty()) out += ",\"failure\":" + str(stats.failure);
+  out += ",\"n_total\":" + std::to_string(stats.n_total);
+  out += ",\"n_fem\":" + std::to_string(stats.n_fem);
+  out += ",\"n_bem\":" + std::to_string(stats.n_bem);
+  out += ",\"total_seconds\":" + num(stats.total_seconds);
+  out += ",\"phases\":" + times_json(stats.phases);
+  out += ",\"stages\":" + times_json(stats.stages);
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : stats.counters) {
+    if (!first) out += ",";
+    first = false;
+    out += str(name) + ":" + num(value);
+  }
+  out += "}";
+  out += ",\"peak_bytes\":" + std::to_string(stats.peak_bytes);
+  out += ",\"schur_bytes\":" + std::to_string(stats.schur_bytes);
+  out += ",\"sparse_factor_bytes\":" +
+         std::to_string(stats.sparse_factor_bytes);
+  out += ",\"schur_compression_ratio\":" +
+         num(stats.schur_compression_ratio);
+  out += ",\"relative_error\":" + num(stats.relative_error);
+  if (stats.randomized_rank > 0)
+    out += ",\"randomized_rank\":" + std::to_string(stats.randomized_rank);
+  return out + "}";
+}
+
+std::string config_json(const Config& config) {
+  std::string out = "{";
+  out += "\"strategy\":" + str(strategy_name(config.strategy));
+  out += ",\"n_c\":" + std::to_string(config.n_c);
+  out += ",\"n_S\":" + std::to_string(config.n_S);
+  out += ",\"n_b\":" + std::to_string(config.n_b);
+  out += ",\"eps\":" + num(config.eps);
+  out += ",\"eta\":" + num(config.eta);
+  out += ",\"sparse_compression\":" +
+         std::string(config.sparse_compression ? "true" : "false");
+  out += ",\"memory_budget\":" + std::to_string(config.memory_budget);
+  out += ",\"num_threads\":" + std::to_string(config.num_threads);
+  out += ",\"parallel_fronts\":" +
+         std::string(config.parallel_fronts ? "true" : "false");
+  out += ",\"refine_iterations\":" +
+         std::to_string(config.refine_iterations);
+  return out + "}";
+}
+
+void RunReport::add(const std::string& label, const std::string& config_desc,
+                    const Config& config, const SolveStats& stats) {
+  entries_.push_back(Entry{label, config_desc, coupled::config_json(config),
+                           coupled::stats_json(stats)});
+}
+
+std::string RunReport::json() const {
+  std::string out = "{\"binary\":" + str(binary_) + ",\"runs\":[\n";
+  bool first = true;
+  for (const Entry& e : entries_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"label\":" + str(e.label) +
+           ",\"config_desc\":" + str(e.config_desc) +
+           ",\"config\":" + e.config_json + ",\"stats\":" + e.stats_json +
+           "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool RunReport::write(const std::string& path) const {
+  const std::string text = json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    log_warn("report: cannot open ", path, " for writing");
+    return false;
+  }
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  if (!ok) log_warn("report: short write to ", path);
+  return ok;
+}
+
+}  // namespace cs::coupled

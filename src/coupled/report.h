@@ -1,0 +1,54 @@
+// Machine-readable run reports: SolveStats -> JSON.
+//
+// Every bench driver accepts --report=out.json and funnels its runs through
+// a RunReport, so the numbers behind each printed table (per-phase and
+// per-stage seconds, tracked peak/Schur bytes, compression ratios, counter
+// summaries) are available to plotting/trend tooling without scraping
+// stdout. The schema is one top-level object:
+//
+//   { "binary": "...", "runs": [ { "label": ..., "config": {...},
+//                                  "stats": {...} }, ... ] }
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "coupled/coupled.h"
+
+namespace cs::coupled {
+
+/// One SolveStats as a JSON object (phases, stages and counters included).
+std::string stats_json(const SolveStats& stats);
+
+/// The solver-relevant Config fields as a JSON object.
+std::string config_json(const Config& config);
+
+/// Accumulates labelled runs and writes the report file.
+class RunReport {
+ public:
+  explicit RunReport(std::string binary_name)
+      : binary_(std::move(binary_name)) {}
+
+  void add(const std::string& label, const std::string& config_desc,
+           const Config& config, const SolveStats& stats);
+
+  std::size_t size() const { return entries_.size(); }
+
+  std::string json() const;
+
+  /// Write json() to `path`; false (with a log_warn) on I/O failure.
+  bool write(const std::string& path) const;
+
+ private:
+  struct Entry {
+    std::string label;
+    std::string config_desc;
+    std::string config_json;
+    std::string stats_json;
+  };
+
+  std::string binary_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace cs::coupled

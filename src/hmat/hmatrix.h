@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "common/trace.h"
 #include "hmat/aca.h"
 #include "hmat/cluster.h"
 #include "la/factor.h"
@@ -57,6 +58,9 @@ class HMatrix {
   static HMatrix assemble(const ClusterTree& rows, const ClusterTree& cols,
                           const MatrixGenerator<T>& gen,
                           const HOptions& opt) {
+    TraceSpan span("hmat", "hmat.assemble");
+    span.arg("rows", static_cast<long long>(rows.root().size()))
+        .arg("cols", static_cast<long long>(cols.root().size()));
     HMatrix h = build_structure(rows.root(), cols.root(), opt);
     h.fill_from_generator(gen, rows.original_of_tree(),
                           cols.original_of_tree());
@@ -104,6 +108,9 @@ class HMatrix {
     if (row0 < row_->begin || row0 + D.rows() > row_->end ||
         col0 < col_->begin || col0 + D.cols() > col_->end)
       throw std::out_of_range("add_dense_block outside matrix");
+    TraceSpan span("hmat", "hmat.axpy");
+    span.arg("rows", static_cast<long long>(D.rows()))
+        .arg("cols", static_cast<long long>(D.cols()));
     // The update rectangle intersects each leaf in at most one sub-block,
     // so the per-leaf jobs write disjoint storage: collect them first, then
     // recompress in parallel (the dominant cost of the compressed AXPY).
@@ -138,6 +145,8 @@ class HMatrix {
   void lu_factorize() {
     if (row_ != col_)
       throw std::logic_error("H-LU requires a square H-matrix on one tree");
+    TraceSpan span("hmat", "hlu.factor");
+    span.arg("n", static_cast<long long>(rows()));
     run_factor_entry([&](int depth) { lu_rec(depth); });
     factored_ = true;
     ldlt_ = false;
@@ -151,6 +160,8 @@ class HMatrix {
   void ldlt_factorize() {
     if (row_ != col_)
       throw std::logic_error("H-LDLT requires a square H-matrix on one tree");
+    TraceSpan span("hmat", "hldlt.factor");
+    span.arg("n", static_cast<long long>(rows()));
     run_factor_entry([&](int depth) { ldlt_rec(depth); });
     factored_ = true;
     ldlt_ = true;
@@ -296,6 +307,8 @@ class HMatrix {
         if (rk_.rank() >= cap && cap < std::min(rows(), cols())) {
           // ACA did not converge within the rank cap: fall back to dense
           // evaluation + deterministic compression.
+          Metrics::instance().add(Metric::kAcaFallbacks, 1);
+          trace_instant("hmat", "aca.fallback");
           la::Matrix<T> dense(rows(), cols());
           for (index_t j = 0; j < cols(); ++j)
             gen.col(cids[static_cast<std::size_t>(j)], rids.data(), rows(),
@@ -495,6 +508,9 @@ class HMatrix {
     merged.U.block(0, k0, rows(), k1).copy_from(U);
     merged.V.block(0, k0, cols(), k1).copy_from(V);
     la::truncate_rk(merged, real_of_t<T>(opt_.eps));
+    Metrics::instance().add(Metric::kRecompressions, 1);
+    Metrics::instance().observe_max(Metric::kRecompressRankMax,
+                                    static_cast<double>(merged.rank()));
     rk_ = std::move(merged);
   }
 

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/timer.h"
+#include "common/trace.h"
 #include "la/factor.h"
 #include "la/qr_svd.h"
 #include "ordering/ordering.h"
@@ -110,11 +111,20 @@ class MultifrontalSolver {
     stats_.nnz_input = A.nnz();
 
     Timer timer;
-    analyze(A);
+    {
+      TraceSpan span("sparse", "mf.analyze");
+      span.arg("n", static_cast<long long>(stats_.n));
+      analyze(A);
+    }
     stats_.analyze_seconds = timer.seconds();
 
     timer.reset();
-    numeric();
+    {
+      TraceSpan span("sparse", "mf.factor");
+      span.arg("n", static_cast<long long>(stats_.n))
+          .arg("fronts", static_cast<long long>(stats_.n_fronts));
+      numeric();
+    }
     stats_.factor_seconds = timer.seconds();
     permuted_.reset();  // the permuted copies are only needed for assembly
     permuted_t_.reset();
@@ -153,6 +163,8 @@ class MultifrontalSolver {
     assert(B.rows() == ne);
     const index_t nrhs = B.cols();
     if (ne == 0 || nrhs == 0) return;
+    TraceSpan span("sparse", "mf.solve");
+    span.arg("nrhs", static_cast<long long>(nrhs));
 
     // Gather into permuted ordering.
     la::Matrix<T> X(ne, nrhs);
@@ -393,6 +405,11 @@ class MultifrontalSolver {
     const index_t nb = static_cast<index_t>(front.border.size());
     const index_t nf = npiv + nb;
     offset_t local_compressed = 0, local_dense = 0;
+
+    TraceSpan front_span("sparse", "front.factor");
+    front_span.arg("front", static_cast<long long>(fi))
+        .arg("npiv", static_cast<long long>(npiv))
+        .arg("nb", static_cast<long long>(nb));
 
     if (front.is_schur) {
       // Terminal front: assemble but never eliminate; this is the Schur
