@@ -40,6 +40,7 @@ int main(int argc, char** argv) {
       cfg.eps = eps;
       bench::apply_threads(args, cfg);
       auto st = coupled::solve_coupled(sys, cfg);
+      if (!st.success) ++bench::unexpected_failures();
       obs.add(coupled::strategy_name(s), "eps=" + bench::sci(eps), cfg, st);
       ta2.add_row({coupled::strategy_name(s), bench::sci(eps),
                    st.success ? TablePrinter::fmt(st.total_seconds, 1) : "-",
@@ -68,6 +69,7 @@ int main(int argc, char** argv) {
     cfg.ordering = method;
     bench::apply_threads(args, cfg);
     auto st = coupled::solve_coupled(sys, cfg);
+    if (!st.success) ++bench::unexpected_failures();
     obs.add("ordering", name, cfg, st);
     tb.add_row({name,
                 TablePrinter::fmt(st.phases.get("sparse_factorization"), 2),
@@ -88,6 +90,7 @@ int main(int argc, char** argv) {
     if (on) cfg.eps = eps;
     bench::apply_threads(args, cfg);
     auto st = coupled::solve_coupled(sys, cfg);
+    if (!st.success) ++bench::unexpected_failures();
     obs.add("blr", on ? "eps=" + bench::sci(eps) : "off", cfg, st);
     tc.add_row({on ? "on" : "off", on ? bench::sci(eps) : "-",
                 bench::mib(st.sparse_factor_bytes),
@@ -109,6 +112,7 @@ int main(int argc, char** argv) {
     cfg.refine_iterations = sweeps;
     bench::apply_threads(args, cfg);
     auto st = coupled::solve_coupled(sys, cfg);
+    if (!st.success) ++bench::unexpected_failures();
     obs.add("refine", "sweeps=" + std::to_string(sweeps), cfg, st);
     td.add_row({TablePrinter::fmt_int(sweeps),
                 TablePrinter::fmt(st.total_seconds, 2),
@@ -116,5 +120,5 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
   }
   td.print();
-  return 0;
+  return bench::exit_status();
 }

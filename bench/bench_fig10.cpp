@@ -66,6 +66,9 @@ int main(int argc, char** argv) {
   args.describe("budget-mib", "virtual memory budget in MiB (default 300)");
   args.describe("quick", "restrict the sweep to N <= 12000");
   args.describe("max-n", "largest total unknown count (default 48000)");
+  args.describe("auto-recover",
+                "degrade-and-retry instead of treating a budget hit as the "
+                "feasibility cap (shows the recovery trail in --report)");
   bench::describe_threads(args);
   bench::Observability::describe(args);
   args.check(
@@ -75,6 +78,10 @@ int main(int argc, char** argv) {
 
   const std::size_t budget =
       static_cast<std::size_t>(args.get_int("budget-mib", 300)) * 1024 * 1024;
+  // This is a feasibility probe: a run that exceeds the budget is the
+  // datum the figure reports, so recovery is off unless explicitly asked
+  // for (in which case the recovery trail becomes part of the report).
+  const bool auto_recover = args.get_bool("auto-recover", false);
   const bool quick = args.get_bool("quick", false);
   const index_t max_n = static_cast<index_t>(args.get_int("max-n", 48000));
 
@@ -100,10 +107,11 @@ int main(int argc, char** argv) {
       if (dead.count(cand.strategy)) continue;
       Config cfg = cand.config;
       cfg.memory_budget = budget;
+      cfg.auto_recover = auto_recover;
       bench::apply_threads(args, cfg);
-      auto stats = bench::run_and_row(sys, cfg, table,
-                                      coupled::strategy_name(cand.strategy),
-                                      cand.desc, &obs);
+      auto stats = bench::run_and_row(
+          sys, cfg, table, coupled::strategy_name(cand.strategy), cand.desc,
+          &obs, /*failure_expected=*/true);
       if (stats.success) {
         any_ok[cand.strategy] = true;
         auto key = std::make_pair(cand.strategy, n);
@@ -141,5 +149,5 @@ int main(int argc, char** argv) {
     feas.add_row({coupled::strategy_name(strat), TablePrinter::fmt_int(n),
                   paper.at(strat)});
   feas.print();
-  return 0;
+  return bench::exit_status();
 }

@@ -58,8 +58,10 @@ int main(int argc, char** argv) {
       auto stats = coupled::solve_coupled(sys, cfg);
       obs.add(coupled::strategy_name(e.strategy), e.coupling, cfg, stats);
       if (!stats.success) {
+        ++bench::unexpected_failures();  // no budget here: must complete
         table.add_row({coupled::strategy_name(e.strategy), e.coupling,
-                       TablePrinter::fmt_int(n), "-", "OOM"});
+                       TablePrinter::fmt_int(n), "-",
+                       bench::run_status(stats)});
         continue;
       }
       table.add_row({coupled::strategy_name(e.strategy), e.coupling,
@@ -82,5 +84,5 @@ int main(int argc, char** argv) {
       "%s\n",
       bench::sci(worst_dense).c_str(), bench::sci(worst_compressed).c_str(),
       worst_dense <= worst_compressed ? "reproduced" : "NOT reproduced");
-  return 0;
+  return bench::exit_status();
 }

@@ -65,5 +65,5 @@ int main(int argc, char** argv) {
       "\nexpected shapes (paper): time falls as n_c grows then plateaus; "
       "tiny n_S is slow (recompression); compressed coupling uses much "
       "less memory than the dense one.\n");
-  return 0;
+  return bench::exit_status();
 }

@@ -56,5 +56,5 @@ int main(int argc, char** argv) {
       "memory n_b=4 / n_b=1 = %.2fx\n",
       t1 > 0 ? t4 / t1 : 0.0,
       m1 > 0 ? static_cast<double>(m4) / static_cast<double>(m1) : 0.0);
-  return 0;
+  return bench::exit_status();
 }

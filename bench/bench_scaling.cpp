@@ -78,6 +78,7 @@ int main(int argc, char** argv) {
       log_info("[scaling] ", coupled::strategy_name(s), " threads=", t,
                "...");
       auto stats = coupled::solve_coupled(sys, cfg);
+      if (!stats.success) ++bench::unexpected_failures();
       obs.add(coupled::strategy_name(s), "threads=" + std::to_string(t), cfg,
               stats);
       const double hot = stats.phases.get("schur") +
@@ -109,5 +110,5 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr, "\n");
   summary.print();
-  return 0;
+  return bench::exit_status();
 }

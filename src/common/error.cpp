@@ -1,0 +1,17 @@
+#include "common/error.h"
+
+namespace cs {
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kNone: return "none";
+    case ErrorCode::kBudget: return "budget";
+    case ErrorCode::kSingular: return "singular";
+    case ErrorCode::kNumericalBreakdown: return "numerical_breakdown";
+    case ErrorCode::kIo: return "io";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "?";
+}
+
+}  // namespace cs

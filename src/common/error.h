@@ -1,0 +1,85 @@
+// Structured error taxonomy of the solve engine.
+//
+// The paper's experiments treat a run that exceeds the memory ceiling the
+// same way they treat one that completes: as a data point. A production
+// variant of the solver must go further and *classify* failures, because
+// the right reaction differs per class — a budget hit wants smaller
+// blocking parameters or out-of-core spilling, an unpivoted-LDLT breakdown
+// wants the LU code path, a transient I/O error wants a retry. Every
+// failure that escapes a solve is mapped onto one of the ErrorCode values
+// below and carried to the caller as a SolveError{code, site, detail};
+// coupled::solve_coupled's degrade-and-retry loop keys its recovery policy
+// off this classification (see DESIGN.md §9).
+#pragma once
+
+#include <cerrno>
+#include <stdexcept>
+#include <string>
+
+namespace cs {
+
+enum class ErrorCode : int {
+  kNone = 0,            ///< no failure
+  kBudget,              ///< virtual memory budget exceeded
+  kSingular,            ///< matrix is singular (LU met a zero pivot)
+  kNumericalBreakdown,  ///< method-specific breakdown with a known fallback
+                        ///< (unpivoted LDLT zero pivot, ACA non-convergence)
+  kIo,                  ///< out-of-core I/O failure (read/write/open)
+  kInternal,            ///< invalid configuration or unexpected exception
+};
+
+const char* error_code_name(ErrorCode code);
+
+/// The structured failure record reported in SolveStats: what class of
+/// error (`code`), where it was raised (`site`, a dotted failpoint-style
+/// name such as "hldlt.pivot" or "ooc.read"), and the original message.
+struct SolveError {
+  ErrorCode code = ErrorCode::kNone;
+  std::string site;
+  std::string detail;
+
+  bool ok() const { return code == ErrorCode::kNone; }
+};
+
+/// Out-of-core I/O failure. Carries the errno so ENOSPC (disk full — no
+/// point retrying) is distinguishable from transient errors (EIO, EINTR,
+/// ...), and the site it was raised at ("ooc.write", "ooc.read", ...).
+class IoError : public std::runtime_error {
+ public:
+  IoError(std::string site, const std::string& what, int errno_value)
+      : std::runtime_error(what + (errno_value != 0
+                                       ? " (errno " +
+                                             std::to_string(errno_value) + ")"
+                                       : std::string())),
+        site_(std::move(site)),
+        errno_(errno_value) {}
+
+  const std::string& site() const { return site_; }
+  int errno_value() const { return errno_; }
+  /// Worth retrying? Disk-full conditions are not; everything else
+  /// (spurious short write, EINTR, EIO) may be.
+  bool transient() const { return errno_ != ENOSPC && errno_ != EDQUOT; }
+
+ private:
+  std::string site_;
+  int errno_;
+};
+
+/// An exception already mapped onto the taxonomy at the site that
+/// understands it (e.g. the H-LDLT driver knows a zero pivot there is a
+/// recoverable kNumericalBreakdown, not a kSingular). The top-level
+/// catch in solve_coupled copies the classification into SolveStats.
+class ClassifiedError : public std::runtime_error {
+ public:
+  ClassifiedError(ErrorCode code, std::string site, std::string detail)
+      : std::runtime_error(std::string(error_code_name(code)) + " at " +
+                           site + ": " + detail),
+        error_{code, std::move(site), std::move(detail)} {}
+
+  const SolveError& error() const { return error_; }
+
+ private:
+  SolveError error_;
+};
+
+}  // namespace cs

@@ -1,0 +1,228 @@
+#include "common/failpoint.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <random>
+#include <stdexcept>
+
+namespace cs {
+
+namespace {
+
+enum class Mode { kOnce, kNth, kProb, kAlways, kOff };
+
+struct Arm {
+  Mode mode = Mode::kOnce;
+  long nth = 1;          // kNth: fire on this hit
+  double prob = 0;       // kProb
+  std::mt19937_64 rng;   // kProb
+  bool spent = false;    // kOnce/kNth after firing
+  long hits = 0;
+  long fires = 0;
+};
+
+struct State {
+  std::mutex mutex;
+  std::map<std::string, Arm> arms;
+};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+/// Parse one "site=mode" entry. Returns "" and fills (site, arm) on
+/// success, else the error description.
+std::string parse_entry(const std::string& entry, std::string& site,
+                        Arm& arm) {
+  const auto eq = entry.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 >= entry.size())
+    return "failpoint entry '" + entry + "' is not site=mode";
+  site = entry.substr(0, eq);
+  const std::string mode = entry.substr(eq + 1);
+
+  const auto& known = FailpointRegistry::known_sites();
+  bool found = false;
+  for (const auto& s : known)
+    if (s == site) found = true;
+  if (!found) return "unknown failpoint site '" + site + "'";
+
+  arm = Arm{};
+  if (mode == "once") {
+    arm.mode = Mode::kOnce;
+  } else if (mode == "always") {
+    arm.mode = Mode::kAlways;
+  } else if (mode == "off") {
+    arm.mode = Mode::kOff;
+  } else if (mode.rfind("hit:", 0) == 0) {
+    arm.mode = Mode::kNth;
+    char* end = nullptr;
+    arm.nth = std::strtol(mode.c_str() + 4, &end, 10);
+    if (end == nullptr || *end != '\0' || arm.nth < 1)
+      return "failpoint '" + site + "': hit:N needs an integer N >= 1";
+  } else if (mode.rfind("prob:", 0) == 0) {
+    arm.mode = Mode::kProb;
+    const std::string rest = mode.substr(5);
+    const auto colon = rest.find(':');
+    char* end = nullptr;
+    arm.prob = std::strtod(rest.substr(0, colon).c_str(), &end);
+    if (end == nullptr || *end != '\0' || !(arm.prob > 0) || arm.prob > 1)
+      return "failpoint '" + site + "': prob:P needs P in (0, 1]";
+    std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+    if (colon != std::string::npos) {
+      const std::string seed_text = rest.substr(colon + 1);
+      seed = std::strtoull(seed_text.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || seed_text.empty())
+        return "failpoint '" + site + "': prob:P:SEED needs an integer seed";
+    }
+    arm.rng.seed(seed);
+  } else {
+    return "failpoint '" + site + "': unknown mode '" + mode +
+           "' (once | hit:N | prob:P[:SEED] | always | off)";
+  }
+  return {};
+}
+
+/// Split on ',' and ';', skipping empty entries.
+std::vector<std::string> split_spec(const std::string& spec) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : spec) {
+    if (c == ',' || c == ';') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else if (c != ' ') {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+}  // namespace
+
+FailpointRegistry& FailpointRegistry::instance() {
+  static FailpointRegistry reg;
+  return reg;
+}
+
+const std::vector<std::string>& FailpointRegistry::known_sites() {
+  // One entry per guard wired through the solver; keep in sync with the
+  // taxonomy table in DESIGN.md §9.
+  static const std::vector<std::string> sites = {
+      "alloc.panel",      // coupled multi-solve panel production
+      "alloc.front",      // multifrontal front allocation
+      "mf.front_factor",  // multifrontal pivot-block factorization
+      "mf.job",           // multi-factorization (bi, bj) block job
+      "ooc.write",        // OOC spill (transient I/O error)
+      "ooc.enospc",       // OOC spill (disk full, non-transient)
+      "ooc.read",         // OOC load during solves
+      "aca.converge",     // ACA rank-cap non-convergence (dense fallback)
+      "hlu.pivot",        // H-LU dense-leaf factorization
+      "hldlt.pivot",      // H-LDLT dense-leaf factorization
+      "dense.factor",     // dense Schur factorization
+  };
+  return sites;
+}
+
+std::string FailpointRegistry::check(const std::string& spec) {
+  for (const auto& entry : split_spec(spec)) {
+    std::string site;
+    Arm arm;
+    const std::string err = parse_entry(entry, site, arm);
+    if (!err.empty()) return err;
+  }
+  return {};
+}
+
+void FailpointRegistry::arm(const std::string& spec) {
+  auto& st = state();
+  for (const auto& entry : split_spec(spec)) {
+    std::string site;
+    Arm arm;
+    const std::string err = parse_entry(entry, site, arm);
+    if (!err.empty()) throw std::invalid_argument(err);
+    std::lock_guard<std::mutex> lock(st.mutex);
+    const bool existed = st.arms.count(site) > 0;
+    st.arms[site] = std::move(arm);
+    if (!existed) armed_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void FailpointRegistry::disarm_all() {
+  auto& st = state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  st.arms.clear();
+  armed_count_.store(0, std::memory_order_relaxed);
+}
+
+bool FailpointRegistry::should_fire(const char* site) {
+  auto& st = state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  const auto it = st.arms.find(site);
+  if (it == st.arms.end()) return false;
+  Arm& arm = it->second;
+  ++arm.hits;
+  bool fire = false;
+  switch (arm.mode) {
+    case Mode::kOnce:
+      fire = !arm.spent;
+      arm.spent = true;
+      break;
+    case Mode::kNth:
+      fire = !arm.spent && arm.hits == arm.nth;
+      if (fire) arm.spent = true;
+      break;
+    case Mode::kProb: {
+      std::uniform_real_distribution<double> dist(0.0, 1.0);
+      fire = dist(arm.rng) < arm.prob;
+      break;
+    }
+    case Mode::kAlways:
+      fire = true;
+      break;
+    case Mode::kOff:
+      break;
+  }
+  if (fire) ++arm.fires;
+  return fire;
+}
+
+long FailpointRegistry::hit_count(const std::string& site) const {
+  auto& st = state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  const auto it = st.arms.find(site);
+  return it == st.arms.end() ? 0 : it->second.hits;
+}
+
+long FailpointRegistry::fire_count(const std::string& site) const {
+  auto& st = state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  const auto it = st.arms.find(site);
+  return it == st.arms.end() ? 0 : it->second.fires;
+}
+
+std::string failpoints_env() {
+  const char* env = std::getenv("CS_FAILPOINTS");
+  return env != nullptr ? std::string(env) : std::string();
+}
+
+ScopedFailpoints::ScopedFailpoints(const std::string& spec) {
+  auto& reg = FailpointRegistry::instance();
+  if (!spec.empty()) {
+    reg.arm(spec);
+    armed_any_ = true;
+  }
+  const std::string env = failpoints_env();
+  if (!env.empty()) {
+    reg.arm(env);
+    armed_any_ = true;
+  }
+}
+
+ScopedFailpoints::~ScopedFailpoints() {
+  if (armed_any_) FailpointRegistry::instance().disarm_all();
+}
+
+}  // namespace cs

@@ -1,0 +1,111 @@
+// Deterministic failpoint injection.
+//
+// The resilience of the solve engine (degrade-and-retry on budget hits,
+// LDLT->LU fallbacks, OOC retry with backoff) is only trustworthy if every
+// failure path can be exercised on demand. A failpoint is a named site in
+// a hot path — "ooc.write", "hldlt.pivot", "mf.front_factor", ... — whose
+// guard
+//
+//   if (failpoint("ooc.write")) throw IoError("ooc.write", ...);
+//
+// fires when the site is armed. The call site decides what to throw, so an
+// injected failure travels through exactly the code path a real one would
+// (the same exception type, the same parallel-region capture, the same
+// classification in the driver).
+//
+// Arming uses a spec string, via coupled::Config::failpoints or the
+// CS_FAILPOINTS environment variable (comma/semicolon-separated list):
+//
+//   site=once          fire on the first hit, then never again
+//   site=hit:N         fire on the Nth hit only (N >= 1; once == hit:1)
+//   site=always        fire on every hit
+//   site=prob:P[:SEED] fire each hit with probability P in (0, 1],
+//                      from a deterministic per-site RNG seeded with SEED
+//   site=off           registered but never fires (count hits only)
+//
+// Disarmed cost: one relaxed atomic load per guard. Sites must come from
+// known_sites() — a typo in a spec is a config error, not a silent no-op.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "common/trace.h"
+
+namespace cs {
+
+class FailpointRegistry {
+ public:
+  static FailpointRegistry& instance();
+
+  /// The fixed list of sites wired through the solver (tests iterate it).
+  static const std::vector<std::string>& known_sites();
+
+  /// Validate a spec without arming anything. Empty string when valid,
+  /// else a description of the first problem.
+  static std::string check(const std::string& spec);
+
+  /// Arm every entry of `spec` (adds to whatever is already armed).
+  /// Throws std::invalid_argument on a malformed spec or unknown site.
+  void arm(const std::string& spec);
+
+  void disarm_all();
+
+  bool any_armed() const {
+    return armed_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Count a hit on `site` and report whether its trigger fires.
+  /// Thread-safe; never fires for unarmed sites.
+  bool should_fire(const char* site);
+
+  /// Introspection for tests: hits/fires observed since arming (0 for
+  /// sites that are not armed).
+  long hit_count(const std::string& site) const;
+  long fire_count(const std::string& site) const;
+
+ private:
+  FailpointRegistry() = default;
+
+  // The armed-site map lives in failpoint.cpp (file-static behind a
+  // mutex); only the fast-path counter is here.
+  std::atomic<int> armed_count_{0};
+};
+
+/// Guard for one failpoint site. Returns true when the armed trigger
+/// fires; the caller throws its natural exception. `site` must be a
+/// string literal from known_sites().
+inline bool failpoint(const char* site) {
+  auto& reg = FailpointRegistry::instance();
+  if (!reg.any_armed()) return false;
+  if (!reg.should_fire(site)) return false;
+  Metrics::instance().add(Metric::kFailpointFires, 1);
+  trace_instant("failpoint", site);
+  return true;
+}
+
+/// Arms `spec` plus the CS_FAILPOINTS environment variable for the
+/// lifetime of the scope; disarms everything on destruction iff it armed
+/// anything (so callers that arm the registry directly are unaffected).
+/// solve_coupled owns one per call — across its internal retry attempts
+/// the armed state persists, which is what makes "once"-mode injections
+/// recoverable.
+class ScopedFailpoints {
+ public:
+  explicit ScopedFailpoints(const std::string& spec);
+  ~ScopedFailpoints();
+
+  ScopedFailpoints(const ScopedFailpoints&) = delete;
+  ScopedFailpoints& operator=(const ScopedFailpoints&) = delete;
+
+  bool armed_any() const { return armed_any_; }
+
+ private:
+  bool armed_any_ = false;
+};
+
+/// The CS_FAILPOINTS environment value ("" when unset).
+std::string failpoints_env();
+
+}  // namespace cs

@@ -414,6 +414,10 @@ const char* metric_name(Metric m) {
     case Metric::kRecompressRankMax: return "recompress.rank_max";
     case Metric::kAcaFallbacks: return "aca.fallbacks";
     case Metric::kRefineSweeps: return "refine.sweeps";
+    case Metric::kFailpointFires: return "failpoint.fires";
+    case Metric::kRecoveries: return "recovery.actions";
+    case Metric::kOocRetries: return "ooc.retries";
+    case Metric::kOocInCoreFallbacks: return "ooc.incore_fallbacks";
     case Metric::kCount: break;
   }
   return "?";

@@ -260,6 +260,10 @@ enum class Metric : int {
   kRecompressRankMax,        ///< largest rank after a recompression
   kAcaFallbacks,             ///< ACA rank-cap hits -> dense compression
   kRefineSweeps,             ///< iterative-refinement sweeps run
+  kFailpointFires,           ///< injected failures (common/failpoint.h)
+  kRecoveries,               ///< degrade-and-retry recovery actions taken
+  kOocRetries,               ///< OOC I/O operations retried after a failure
+  kOocInCoreFallbacks,       ///< OOC spills abandoned; panel kept in core
   kCount
 };
 

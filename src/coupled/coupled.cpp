@@ -5,6 +5,8 @@
 #include <optional>
 #include <thread>
 
+#include "common/failpoint.h"
+#include "common/log.h"
 #include "common/parallel.h"
 #include "common/random.h"
 #include "common/trace.h"
@@ -28,6 +30,28 @@ const char* strategy_name(Strategy s) {
       return "multi-solve-randomized";
   }
   return "?";
+}
+
+std::string validate_config(const Config& c) {
+  if (c.n_c < 1) return "n_c must be >= 1";
+  if (c.n_b < 1) return "n_b must be >= 1";
+  // n_S is only meaningful for the compressed multi-solve; the other
+  // strategies ignore it (and kMultiSolve with a huge n_c is legal).
+  if (c.strategy == Strategy::kMultiSolveCompressed && c.n_S < c.n_c)
+    return "n_S must be >= n_c for the compressed multi-solve";
+  if (!(c.eps > 0)) return "eps must be > 0";
+  if (!(c.eta > 0)) return "eta must be > 0";
+  if (c.hmat_leaf < 2) return "hmat_leaf must be >= 2";
+  if (c.rand_initial_rank < 1) return "rand_initial_rank must be >= 1";
+  if (!(c.rand_max_rank_ratio > 0) || c.rand_max_rank_ratio > 1)
+    return "rand_max_rank_ratio must be in (0, 1]";
+  if (c.refine_iterations < 0) return "refine_iterations must be >= 0";
+  if (c.num_threads < 0) return "num_threads must be >= 0";
+  if (c.max_recovery_attempts < 0)
+    return "max_recovery_attempts must be >= 0";
+  if (c.out_of_core && c.ooc_dir.empty())
+    return "ooc_dir must be non-empty when out_of_core is on";
+  return FailpointRegistry::check(c.failpoints);
 }
 
 namespace {
@@ -75,20 +99,31 @@ class PermutedGenerator final : public hmat::MatrixGenerator<T> {
   const std::vector<index_t>& orig_;
 };
 
+/// Numerical-method fallbacks applied by the degrade-and-retry driver
+/// that have no Config field of their own: once a method breaks down the
+/// retry runs with the corresponding flag cleared.
+struct Degrade {
+  bool sparse_ldlt_ok = true;  ///< false: factor sparse blocks with LU
+  bool dense_ldlt_ok = true;   ///< false: factor the dense Schur with LU
+};
+
 /// Shared context of one coupled solve.
 template <class T>
 struct Run {
   const CoupledSystem<T>& sys;
   const Config& cfg;
+  const Degrade& deg;
   SolveStats& stats;
   ClusterTree tree;            // surface dof clustering
   sparse::Csr<T> A_sv_tree;    // coupling rows in tree order
   la::Vector<T> b_s_tree;
   PermutedGenerator<T> gen_tree;
 
-  Run(const CoupledSystem<T>& s, const Config& c, SolveStats& st)
+  Run(const CoupledSystem<T>& s, const Config& c, const Degrade& d,
+      SolveStats& st)
       : sys(s),
         cfg(c),
+        deg(d),
         stats(st),
         tree(s.surface_points(), c.hmat_leaf),
         gen_tree(*s.A_ss, tree.original_of_tree()) {
@@ -107,13 +142,31 @@ struct Run {
 
   SolverOptions sparse_options(bool symmetric, index_t schur_size) const {
     SolverOptions so;
-    so.symmetric = symmetric;
+    so.symmetric = symmetric && deg.sparse_ldlt_ok;
     so.schur_size = schur_size;
     so.compress = cfg.sparse_compression;
     so.blr_eps = cfg.eps;
     so.ordering = cfg.ordering;
     so.parallel_fronts = cfg.parallel_fronts;
+    so.out_of_core = cfg.out_of_core;
+    so.ooc_dir = cfg.ooc_dir;
     return so;
+  }
+
+  /// Sparse factorization with the failure classified at the site: an
+  /// unpivoted-LDLT zero pivot is a recoverable kNumericalBreakdown (the
+  /// driver retries with LU); an LU zero pivot means the matrix really is
+  /// singular.
+  void factorize_sparse(MultifrontalSolver<T>& mf, const sparse::Csr<T>& A,
+                        bool symmetric, index_t schur_size) const {
+    const SolverOptions so = sparse_options(symmetric, schur_size);
+    try {
+      mf.factorize(A, so);
+    } catch (const la::SingularMatrix& e) {
+      throw ClassifiedError(so.symmetric ? ErrorCode::kNumericalBreakdown
+                                         : ErrorCode::kSingular,
+                            "mf.front_factor", e.what());
+    }
   }
 
   HOptions h_options() const {
@@ -211,13 +264,37 @@ struct Run {
 };
 
 /// Factor the compressed Schur H-matrix: H-LU by default, symmetric
-/// H-LDL^T (the paper's HMAT mode) when requested and applicable.
+/// H-LDL^T (the paper's HMAT mode) when requested and applicable. A pivot
+/// breakdown in the unpivoted H-LDL^T is recoverable (the driver clears
+/// hmat_symmetric_ldlt and retries with H-LU); one in H-LU is not.
 template <class T>
 void factor_schur_h(HMatrix<T>& S, const Run<T>& run) {
-  if (run.cfg.hmat_symmetric_ldlt && run.sys.symmetric) {
-    S.ldlt_factorize();
-  } else {
-    S.lu_factorize();
+  const bool ldlt = run.cfg.hmat_symmetric_ldlt && run.sys.symmetric;
+  try {
+    if (ldlt) {
+      S.ldlt_factorize();
+    } else {
+      S.lu_factorize();
+    }
+  } catch (const la::SingularMatrix& e) {
+    throw ClassifiedError(
+        ldlt ? ErrorCode::kNumericalBreakdown : ErrorCode::kSingular,
+        ldlt ? "hldlt.pivot" : "hlu.pivot", e.what());
+  }
+}
+
+/// Factor the dense Schur accumulator, classifying a zero pivot: blocked
+/// LDL^T breakdown falls back to LU on retry; an LU breakdown is final.
+template <class T>
+void factor_schur_dense(dense::DenseSolver<T>& ds, Matrix<T>&& S,
+                        const Run<T>& run) {
+  const bool ldlt = run.sys.symmetric && run.deg.dense_ldlt_ok;
+  try {
+    ds.factorize(std::move(S), ldlt);
+  } catch (const la::SingularMatrix& e) {
+    throw ClassifiedError(
+        ldlt ? ErrorCode::kNumericalBreakdown : ErrorCode::kSingular,
+        "dense.factor", e.what());
   }
 }
 
@@ -238,7 +315,7 @@ void run_multisolve(Run<T>& run, bool blocked, bool compressed) {
   {
     ScopedPhase phase(stats.phases, "sparse_factorization");
     TraceSpan span("phase", "sparse_factorization");
-    mf.factorize(run.sys.A_vv, run.sparse_options(true, 0));
+    run.factorize_sparse(mf, run.sys.A_vv, true, 0);
   }
   stats.sparse_factor_bytes = mf.factor_bytes();
 
@@ -251,6 +328,12 @@ void run_multisolve(Run<T>& run, bool blocked, bool compressed) {
       const index_t step = blocked ? cfg.n_c : ns;
       for (index_t c0 = 0; c0 < ns; c0 += step) {
         const index_t nc = std::min(step, ns - c0);
+        if (failpoint("alloc.panel"))
+          throw BudgetExceeded(
+              static_cast<std::size_t>(nv) * static_cast<std::size_t>(nc) *
+                  sizeof(T),
+              MemoryTracker::instance().current(),
+              MemoryTracker::instance().budget());
         // Y_i = A_vv^{-1} A_sv(i)^T, retrieved dense (the API limitation).
         Matrix<T> Y(nv, nc);
         {
@@ -273,7 +356,7 @@ void run_multisolve(Run<T>& run, bool blocked, bool compressed) {
     {
       ScopedPhase phase(stats.phases, "dense_factorization");
       TraceSpan span("phase", "dense_factorization");
-      ds.factorize(std::move(S), run.sys.symmetric);
+      factor_schur_dense(ds, std::move(S), run);
     }
     run.finish(mf, [&](MatrixView<T> B) { ds.solve(B); });
   } else {
@@ -293,6 +376,12 @@ void run_multisolve(Run<T>& run, bool blocked, bool compressed) {
 
       auto produce_panel = [&](index_t c0) {
         const index_t np = std::min(panel, ns - c0);
+        if (failpoint("alloc.panel"))
+          throw BudgetExceeded(
+              static_cast<std::size_t>(ns) * static_cast<std::size_t>(np) *
+                  sizeof(T),
+              MemoryTracker::instance().current(),
+              MemoryTracker::instance().budget());
         Matrix<T> Z(ns, np);
         for (index_t cc = 0; cc < np; cc += cfg.n_c) {
           const index_t nc = std::min(cfg.n_c, np - cc);
@@ -430,7 +519,7 @@ void run_multisolve_randomized(Run<T>& run) {
   {
     ScopedPhase phase(stats.phases, "sparse_factorization");
     TraceSpan span("phase", "sparse_factorization");
-    mf.factorize(run.sys.A_vv, run.sparse_options(true, 0));
+    run.factorize_sparse(mf, run.sys.A_vv, true, 0);
   }
   stats.sparse_factor_bytes = mf.factor_bytes();
 
@@ -565,7 +654,7 @@ void run_advanced(Run<T>& run) {
         trip.add(C.col(k), nv + r, C.value(k));
       }
     auto K = sparse::Csr<T>::from_triplets(trip);
-    mf.factorize(K, run.sparse_options(true, ns));
+    run.factorize_sparse(mf, K, true, ns);
   }
   stats.sparse_factor_bytes = mf.factor_bytes();
 
@@ -591,7 +680,7 @@ void run_advanced(Run<T>& run) {
   {
     ScopedPhase phase(stats.phases, "dense_factorization");
     TraceSpan span("phase", "dense_factorization");
-    ds.factorize(std::move(S), run.sys.symmetric);
+    factor_schur_dense(ds, std::move(S), run);
   }
   run.finish(mf, [&](MatrixView<T> B) { ds.solve(B); });
 }
@@ -649,6 +738,12 @@ void run_multifacto(Run<T>& run, bool compressed) {
         .arg("bj", static_cast<long long>(job.bj))
         .arg("schur_size", static_cast<long long>(p));
     Metrics::instance().add(Metric::kMultifactoJobs, 1);
+    if (failpoint("mf.job"))
+      throw BudgetExceeded(
+          static_cast<std::size_t>(p) * static_cast<std::size_t>(p) *
+              sizeof(T),
+          MemoryTracker::instance().current(),
+          MemoryTracker::instance().budget());
     sparse::Triplets<T> trip(nv + p, nv + p);
     const auto& A = run.sys.A_vv;
     for (index_t r = 0; r < nv; ++r)
@@ -664,7 +759,7 @@ void run_multifacto(Run<T>& run, bool compressed) {
     auto W = sparse::Csr<T>::from_triplets(trip);
     // Superfluous re-factorization of A_vv on every call: the API
     // limitation that gives the algorithm its name.
-    mf.factorize(W, run.sparse_options(false, p));
+    run.factorize_sparse(mf, W, false, p);
   };
 
   MultifrontalSolver<T> mf_last;  // the last diagonal factorization serves
@@ -794,10 +889,143 @@ void run_multifacto(Run<T>& run, bool compressed) {
     {
       ScopedPhase phase(stats.phases, "dense_factorization");
       TraceSpan span("phase", "dense_factorization");
-      ds.factorize(std::move(S_dense), run.sys.symmetric);
+      factor_schur_dense(ds, std::move(S_dense), run);
     }
     run.finish(mf_last, [&](MatrixView<T> B) { ds.solve(B); });
   }
+}
+
+/// One solve attempt with the effective (possibly degraded) config.
+template <class T>
+void run_strategy(const CoupledSystem<T>& system, const Config& cfg,
+                  const Degrade& deg, SolveStats& stats) {
+  Run<T> run(system, cfg, deg, stats);
+  switch (cfg.strategy) {
+    case Strategy::kBaselineCoupling:
+      run_multisolve(run, /*blocked=*/false, /*compressed=*/false);
+      break;
+    case Strategy::kMultiSolve:
+      run_multisolve(run, /*blocked=*/true, /*compressed=*/false);
+      break;
+    case Strategy::kMultiSolveCompressed:
+      run_multisolve(run, /*blocked=*/true, /*compressed=*/true);
+      break;
+    case Strategy::kAdvancedCoupling:
+      run_advanced(run);
+      break;
+    case Strategy::kMultiFactorization:
+      run_multifacto(run, /*compressed=*/false);
+      break;
+    case Strategy::kMultiFactorizationCompressed:
+      run_multifacto(run, /*compressed=*/true);
+      break;
+    case Strategy::kMultiSolveRandomized:
+      run_multisolve_randomized(run);
+      break;
+  }
+}
+
+/// Map the in-flight exception onto the structured taxonomy. Call from a
+/// catch block only.
+SolveError classify_current_exception() {
+  try {
+    throw;
+  } catch (const ClassifiedError& e) {
+    return e.error();
+  } catch (const BudgetExceeded& e) {
+    return SolveError{ErrorCode::kBudget, "memory", e.what()};
+  } catch (const la::SingularMatrix& e) {
+    return SolveError{ErrorCode::kSingular, "factor", e.what()};
+  } catch (const IoError& e) {
+    return SolveError{ErrorCode::kIo, e.site(), e.what()};
+  } catch (const std::exception& e) {
+    return SolveError{ErrorCode::kInternal, "unexpected", e.what()};
+  } catch (...) {
+    return SolveError{ErrorCode::kInternal, "unexpected",
+                      "unknown exception"};
+  }
+}
+
+/// Human-readable failure line; keeps the historical "out of memory
+/// budget" / "numerical failure" phrasing callers grep for.
+std::string failure_text(const SolveError& err) {
+  switch (err.code) {
+    case ErrorCode::kBudget:
+      return "out of memory budget: " + err.detail;
+    case ErrorCode::kSingular:
+      return "numerical failure: " + err.detail;
+    case ErrorCode::kNumericalBreakdown:
+      return "numerical breakdown (" + err.site + "): " + err.detail;
+    case ErrorCode::kIo:
+      return "I/O failure (" + err.site + "): " + err.detail;
+    case ErrorCode::kInternal:
+      return "internal error (" + err.site + "): " + err.detail;
+    case ErrorCode::kNone:
+      break;
+  }
+  return err.detail;
+}
+
+/// Pick one degradation for the failed attempt, mutating the effective
+/// config / method flags in place. Returns a static action label, or
+/// nullptr when no further degradation applies (the failure is final).
+const char* plan_recovery(const SolveError& err, Config& cfg, Degrade& deg,
+                          index_t ns) {
+  switch (err.code) {
+    case ErrorCode::kBudget: {
+      // Budget ladder: shrink the transient footprint first (panel widths
+      // down / block count up), then trade memory for disk.
+      const bool panelled = cfg.strategy == Strategy::kMultiSolve ||
+                            cfg.strategy == Strategy::kMultiSolveCompressed;
+      if (panelled && cfg.n_c > 8) {
+        cfg.n_c = std::max<index_t>(8, cfg.n_c / 2);
+        cfg.n_S = std::max<index_t>(cfg.n_c, cfg.n_S / 2);
+        return "halve_panels";
+      }
+      const bool blocked =
+          cfg.strategy == Strategy::kMultiFactorization ||
+          cfg.strategy == Strategy::kMultiFactorizationCompressed;
+      if (blocked && cfg.n_b < ns) {
+        cfg.n_b = std::min<index_t>(ns, cfg.n_b * 2);
+        return "double_blocks";
+      }
+      if (!cfg.out_of_core) {
+        cfg.out_of_core = true;
+        return "enable_ooc";
+      }
+      return nullptr;
+    }
+    case ErrorCode::kNumericalBreakdown: {
+      // An unpivoted LDL^T hit a zero pivot; the pivoted LU of the same
+      // block may still succeed.
+      if (err.site == "hldlt.pivot" && cfg.hmat_symmetric_ldlt) {
+        cfg.hmat_symmetric_ldlt = false;
+        return "hldlt_to_hlu";
+      }
+      if (err.site == "mf.front_factor" && deg.sparse_ldlt_ok) {
+        deg.sparse_ldlt_ok = false;
+        return "sparse_ldlt_to_lu";
+      }
+      if (err.site == "dense.factor" && deg.dense_ldlt_ok) {
+        deg.dense_ldlt_ok = false;
+        return "dense_ldlt_to_lu";
+      }
+      return nullptr;
+    }
+    case ErrorCode::kIo:
+      // A persistent spill-store failure escaped the in-place retries:
+      // run in core.
+      if (cfg.out_of_core) {
+        cfg.out_of_core = false;
+        return "disable_ooc";
+      }
+      return nullptr;
+    case ErrorCode::kSingular:
+    case ErrorCode::kInternal:
+    case ErrorCode::kNone:
+      return nullptr;  // genuinely singular / unexpected: final
+  }
+  return nullptr;
 }
 
 }  // namespace
@@ -809,6 +1037,15 @@ SolveStats solve_coupled(const CoupledSystem<T>& system,
   stats.n_fem = system.nv();
   stats.n_bem = system.ns();
   stats.n_total = system.total();
+
+  {
+    const std::string problem = validate_config(config);
+    if (!problem.empty()) {
+      stats.error = SolveError{ErrorCode::kInternal, "config", problem};
+      stats.failure = failure_text(stats.error);
+      return stats;
+    }
+  }
 
   auto& tracker = MemoryTracker::instance();
   tracker.reset_peak();
@@ -828,45 +1065,47 @@ SolveStats solve_coupled(const CoupledSystem<T>& system,
   if (tracer.enabled() && config.trace_sample_us > 0)
     sampler.emplace(config.trace_sample_us);
 
+  // Failpoints are armed once for the whole call, not per attempt: a
+  // "once" injection stays spent across retries, so recovery from an
+  // injected failure can succeed just like recovery from a real one.
+  ScopedFailpoints failpoints(config.failpoints);
+
   Timer total;
   {
     TraceSpan span("solve", strategy_name(config.strategy));
     span.arg("n_total", static_cast<long long>(stats.n_total))
         .arg("n_fem", static_cast<long long>(stats.n_fem))
         .arg("n_bem", static_cast<long long>(stats.n_bem));
-  try {
-    Run<T> run(system, config, stats);
-    switch (config.strategy) {
-      case Strategy::kBaselineCoupling:
-        run_multisolve(run, /*blocked=*/false, /*compressed=*/false);
+
+    Config eff = config;
+    Degrade deg;
+    const int max_attempts =
+        1 + (config.auto_recover ? std::max(0, config.max_recovery_attempts)
+                                 : 0);
+    for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+      stats.attempts = attempt;
+      try {
+        run_strategy(system, eff, deg, stats);
+        stats.success = true;
+        stats.error = SolveError{};
+        stats.failure.clear();
         break;
-      case Strategy::kMultiSolve:
-        run_multisolve(run, /*blocked=*/true, /*compressed=*/false);
-        break;
-      case Strategy::kMultiSolveCompressed:
-        run_multisolve(run, /*blocked=*/true, /*compressed=*/true);
-        break;
-      case Strategy::kAdvancedCoupling:
-        run_advanced(run);
-        break;
-      case Strategy::kMultiFactorization:
-        run_multifacto(run, /*compressed=*/false);
-        break;
-      case Strategy::kMultiFactorizationCompressed:
-        run_multifacto(run, /*compressed=*/true);
-        break;
-      case Strategy::kMultiSolveRandomized:
-        run_multisolve_randomized(run);
-        break;
+      } catch (...) {
+        stats.error = classify_current_exception();
+        stats.failure = failure_text(stats.error);
+        trace_instant("error", error_code_name(stats.error.code));
+      }
+      if (attempt == max_attempts) break;
+      const char* action = plan_recovery(stats.error, eff, deg, system.ns());
+      if (!action) break;
+      stats.recoveries.push_back(
+          RecoveryAction{action, error_code_name(stats.error.code),
+                         stats.error.site + ": " + stats.error.detail});
+      Metrics::instance().add(Metric::kRecoveries, 1);
+      trace_instant("recovery", action);
+      log_info("recovery: ", action, " after ",
+               error_code_name(stats.error.code), " at ", stats.error.site);
     }
-    stats.success = true;
-  } catch (const BudgetExceeded& e) {
-    stats.failure = std::string("out of memory budget: ") + e.what();
-    trace_instant("error", "budget_exceeded");
-  } catch (const la::SingularMatrix& e) {
-    stats.failure = std::string("numerical failure: ") + e.what();
-    trace_instant("error", "singular_matrix");
-  }
   }  // close the "solve" span before exporting
   stats.total_seconds = total.seconds();
   stats.peak_bytes = tracker.peak();

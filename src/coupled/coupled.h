@@ -29,7 +29,9 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
+#include "common/error.h"
 #include "common/memory.h"
 #include "common/timer.h"
 #include "fembem/system.h"
@@ -116,11 +118,57 @@ struct Config {
   /// memory.peak and the in-flight panel/job gauges as counter tracks.
   /// <= 0 disables the sampler. Only active while tracing is enabled.
   int trace_sample_us = 1000;
+
+  // -- resilience (see DESIGN.md §9) ---------------------------------------
+
+  /// Degrade-and-retry: when a solve attempt fails with a recoverable
+  /// error, apply a recovery action (halve n_c/n_S, double n_b, enable
+  /// out-of-core factors, fall back from LDL^T to LU, disable OOC after
+  /// I/O failures) and retry, up to max_recovery_attempts extra attempts.
+  /// Every action taken is recorded in SolveStats::recoveries. Off: the
+  /// first failure is final (the paper's feasibility-probe behavior).
+  bool auto_recover = true;
+  int max_recovery_attempts = 8;
+
+  /// Start with out-of-core sparse factors (border panels spilled to
+  /// ooc_dir; see sparsedirect::SolverOptions). auto_recover may also
+  /// enable this mid-run as a budget-recovery action.
+  bool out_of_core = false;
+  std::string ooc_dir = "/tmp";
+
+  /// Failpoint spec armed for the duration of the solve, e.g.
+  /// "ooc.write=hit:2,aca.converge=once" (see common/failpoint.h; the
+  /// CS_FAILPOINTS environment variable is honored in addition).
+  std::string failpoints;
+};
+
+/// Returns "" when `config` is usable, else a description of the first
+/// invalid field. solve_coupled runs this up front and reports a
+/// structured kInternal error instead of hitting undefined behavior.
+std::string validate_config(const Config& config);
+
+/// One degrade-and-retry action taken by the resilient driver.
+struct RecoveryAction {
+  std::string action;  ///< "halve_panels", "enable_ooc", "hldlt_to_hlu"...
+  std::string error;   ///< error code name that triggered it
+  std::string detail;  ///< site + message of the failure recovered from
 };
 
 struct SolveStats {
   bool success = false;
-  std::string failure;  ///< budget/numerical failure description
+  std::string failure;  ///< human-readable failure description ("" on
+                        ///< success, even after recoveries)
+
+  /// Structured failure classification (code == kNone on success). After
+  /// a successful recovery the error of the failed attempt is cleared;
+  /// the recovery trail below keeps what happened.
+  SolveError error;
+  /// Degrade-and-retry actions taken, in order (empty when the first
+  /// attempt succeeded).
+  std::vector<RecoveryAction> recoveries;
+  /// Solve attempts run (1 = no retry). Phase/stage times accumulate
+  /// across attempts: they report the work actually done.
+  int attempts = 1;
 
   double total_seconds = 0;
   PhaseTimes phases;  ///< sparse_factorization / schur / dense_factorization
@@ -146,9 +194,12 @@ struct SolveStats {
   index_t randomized_rank = 0;
 };
 
-/// Run one strategy on a coupled system. Never throws for budget or
-/// singularity failures: those are reported in the stats (like the paper
-/// reports runs that did not fit in RAM).
+/// Run one strategy on a coupled system. Never throws: every failure
+/// (budget, singularity, numerical breakdown, OOC I/O, invalid config) is
+/// classified into SolveStats::error, and — with Config::auto_recover —
+/// recoverable failures trigger a bounded degrade-and-retry loop whose
+/// actions are recorded in SolveStats::recoveries. Tracked memory returns
+/// to its pre-call level on every failure path.
 template <class T>
 SolveStats solve_coupled(const fembem::CoupledSystem<T>& system,
                          const Config& config);

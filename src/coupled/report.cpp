@@ -34,6 +34,24 @@ std::string stats_json(const SolveStats& stats) {
   std::string out = "{";
   out += "\"success\":" + std::string(stats.success ? "true" : "false");
   if (!stats.failure.empty()) out += ",\"failure\":" + str(stats.failure);
+  if (stats.error.code != ErrorCode::kNone) {
+    out += ",\"error\":{\"code\":" +
+           str(error_code_name(stats.error.code)) +
+           ",\"site\":" + str(stats.error.site) +
+           ",\"detail\":" + str(stats.error.detail) + "}";
+  }
+  out += ",\"attempts\":" + std::to_string(stats.attempts);
+  if (!stats.recoveries.empty()) {
+    out += ",\"recoveries\":[";
+    bool first_rec = true;
+    for (const RecoveryAction& r : stats.recoveries) {
+      if (!first_rec) out += ",";
+      first_rec = false;
+      out += "{\"action\":" + str(r.action) + ",\"error\":" + str(r.error) +
+             ",\"detail\":" + str(r.detail) + "}";
+    }
+    out += "]";
+  }
   out += ",\"n_total\":" + std::to_string(stats.n_total);
   out += ",\"n_fem\":" + std::to_string(stats.n_fem);
   out += ",\"n_bem\":" + std::to_string(stats.n_bem);
@@ -76,6 +94,14 @@ std::string config_json(const Config& config) {
          std::string(config.parallel_fronts ? "true" : "false");
   out += ",\"refine_iterations\":" +
          std::to_string(config.refine_iterations);
+  out += ",\"auto_recover\":" +
+         std::string(config.auto_recover ? "true" : "false");
+  out += ",\"max_recovery_attempts\":" +
+         std::to_string(config.max_recovery_attempts);
+  out += ",\"out_of_core\":" +
+         std::string(config.out_of_core ? "true" : "false");
+  if (!config.failpoints.empty())
+    out += ",\"failpoints\":" + str(config.failpoints);
   return out + "}";
 }
 

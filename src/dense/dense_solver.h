@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "la/factor.h"
 #include "la/matrix.h"
 
@@ -24,6 +25,7 @@ class DenseSolver {
       throw std::invalid_argument("dense solver needs a square matrix");
     a_ = std::move(A);
     symmetric_ = symmetric;
+    if (failpoint("dense.factor")) throw la::SingularMatrix(0);
     if (symmetric_) {
       la::ldlt_factor(a_.view());
     } else {

@@ -32,6 +32,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/parallel.h"
 #include "common/trace.h"
 #include "hmat/aca.h"
@@ -303,8 +304,13 @@ class HMatrix {
         const index_t cap = std::max<index_t>(
             1, std::min(rows(), cols()) /
                    std::max<index_t>(1, opt_.aca_max_rank_ratio));
+        // The failpoint simulates ACA stagnating on this block (rank cap
+        // reached without meeting eps): the recovery is the same in-place
+        // dense fallback a real non-convergence takes.
+        const bool forced_fallback = failpoint("aca.converge");
         rk_ = aca_assemble(gen, rids, cids, real_of_t<T>(opt_.eps), cap);
-        if (rk_.rank() >= cap && cap < std::min(rows(), cols())) {
+        if (forced_fallback ||
+            (rk_.rank() >= cap && cap < std::min(rows(), cols()))) {
           // ACA did not converge within the rank cap: fall back to dense
           // evaluation + deterministic compression.
           Metrics::instance().add(Metric::kAcaFallbacks, 1);
@@ -603,6 +609,7 @@ class HMatrix {
   void lu_rec(int depth = 0) {
     switch (kind_) {
       case Kind::kFull:
+        if (failpoint("hlu.pivot")) throw la::SingularMatrix(row_->begin);
         la::lu_factor(full_.view(), piv_);
         break;
       case Kind::kRk:
@@ -628,6 +635,7 @@ class HMatrix {
   void ldlt_rec(int depth = 0) {
     switch (kind_) {
       case Kind::kFull:
+        if (failpoint("hldlt.pivot")) throw la::SingularMatrix(row_->begin);
         la::ldlt_factor(full_.view());
         break;
       case Kind::kRk:

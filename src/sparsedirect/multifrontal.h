@@ -26,11 +26,17 @@
 
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
+#include "common/error.h"
+#include "common/failpoint.h"
+#include "common/log.h"
+#include "common/memory.h"
 #include "common/timer.h"
 #include "common/trace.h"
 #include "la/factor.h"
@@ -72,6 +78,8 @@ struct SolverOptions {
   /// feature the paper's solvers offer; trades solve I/O for memory).
   bool out_of_core = false;
   std::string ooc_dir = "/tmp";
+  /// fsync the spill file after every spilled panel (see OocPanelStore).
+  bool ooc_sync_on_spill = false;
 };
 
 struct SolverStats {
@@ -445,6 +453,12 @@ class MultifrontalSolver {
       pos[static_cast<std::size_t>(front.border[static_cast<std::size_t>(
           k)])] = npiv + k;
 
+    if (failpoint("alloc.front"))
+      throw BudgetExceeded(
+          static_cast<std::size_t>(nf) * static_cast<std::size_t>(nf) *
+              sizeof(T),
+          MemoryTracker::instance().current(),
+          MemoryTracker::instance().budget());
     la::Matrix<T> F(nf, nf);
     assemble_original(A2, front, pos, F.view());
     for (const index_t c : front.children)
@@ -455,6 +469,8 @@ class MultifrontalSolver {
     ff.pivot_begin = front.pivot_begin;
     ff.pivot_end = front.pivot_end;
     ff.border = &front.border;
+    if (failpoint("mf.front_factor"))
+      throw la::SingularMatrix(front.pivot_begin);
     if (opt_.symmetric) {
       la::ldlt_factor_partial(F.view(), npiv);
     } else {
@@ -501,13 +517,11 @@ class MultifrontalSolver {
     // Out-of-core: spill the border panels immediately so that peak
     // memory never holds the full factor set (serial mode only).
     if (opt_.out_of_core) {
-      if (!ooc_) ooc_ = std::make_unique<OocPanelStore<T>>(opt_.ooc_dir);
-      ff.L21_ooc = ooc_->spill(std::move(ff.L21));
-      ff.L21 = TiledPanel<T>();
-      if (!opt_.symmetric) {
-        ff.U12t_ooc = ooc_->spill(std::move(ff.U12t));
-        ff.U12t = TiledPanel<T>();
-      }
+      if (!ooc_)
+        ooc_ = std::make_unique<OocPanelStore<T>>(opt_.ooc_dir,
+                                                  opt_.ooc_sync_on_spill);
+      ff.L21_ooc = spill_panel(ff.L21);
+      if (!opt_.symmetric) ff.U12t_ooc = spill_panel(ff.U12t);
     }
 
 #pragma omp atomic
@@ -516,6 +530,53 @@ class MultifrontalSolver {
     stats_.dense_panels += local_dense;
 
     factors_[f] = std::move(ff);
+  }
+
+  /// Spill one factor panel, retrying transient I/O failures with a short
+  /// exponential backoff (1/2/4 ms). When the failure persists or is
+  /// non-transient (ENOSPC) the panel is *kept in core* — the graceful
+  /// degradation path trades the OOC memory saving for completing the
+  /// factorization — and an invalid handle is returned. On success the
+  /// panel is released and the spill handle returned.
+  typename OocPanelStore<T>::Handle spill_panel(TiledPanel<T>& panel) {
+    for (int attempt = 0;; ++attempt) {
+      try {
+        auto h = ooc_->spill(std::move(panel));
+        panel = TiledPanel<T>();
+        return h;
+      } catch (const IoError& e) {
+        if (e.transient() && attempt < 2) {
+          Metrics::instance().add(Metric::kOocRetries, 1);
+          trace_instant("ooc", "ooc.write_retry");
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(1L << attempt));
+          continue;
+        }
+        log_warn("ooc: spill failed (", e.what(),
+                 "); keeping panel in core");
+        Metrics::instance().add(Metric::kOocInCoreFallbacks, 1);
+        trace_instant("ooc", "ooc.incore_fallback");
+        return {};
+      }
+    }
+  }
+
+  /// Load a spilled panel back, retrying transient I/O failures with the
+  /// same backoff. Non-transient and persistent failures propagate (the
+  /// coupled driver then retries the whole solve in-core).
+  TiledPanel<T> load_panel(
+      const typename OocPanelStore<T>::Handle& h) const {
+    for (int attempt = 0;; ++attempt) {
+      try {
+        return ooc_->load(h);
+      } catch (const IoError& e) {
+        if (!e.transient() || attempt >= 2) throw;
+        Metrics::instance().add(Metric::kOocRetries, 1);
+        trace_instant("ooc", "ooc.read_retry");
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(1L << attempt));
+      }
+    }
   }
 
   /// Assemble original matrix entries of `front` into its dense front
@@ -610,7 +671,7 @@ class MultifrontalSolver {
       if (nb == 0) continue;
       la::Matrix<T> upd(nb, nrhs);
       if (ff.L21_ooc.valid()) {
-        const TiledPanel<T> panel = ooc_->load(ff.L21_ooc);
+        const TiledPanel<T> panel = load_panel(ff.L21_ooc);
         panel.mult(la::ConstMatrixView<T>(y), upd.view());
       } else {
         ff.L21.mult(la::ConstMatrixView<T>(y), upd.view());
@@ -645,7 +706,7 @@ class MultifrontalSolver {
         la::Matrix<T> upd(npiv, nrhs);
         if (opt_.symmetric) {
           if (ff.L21_ooc.valid()) {
-            const TiledPanel<T> panel = ooc_->load(ff.L21_ooc);
+            const TiledPanel<T> panel = load_panel(ff.L21_ooc);
             panel.mult_trans(la::ConstMatrixView<T>(xb.view()), upd.view());
           } else {
             ff.L21.mult_trans(la::ConstMatrixView<T>(xb.view()), upd.view());
@@ -653,7 +714,7 @@ class MultifrontalSolver {
         } else {
           // upd = U12 * xb = (U12^T)^T * xb.
           if (ff.U12t_ooc.valid()) {
-            const TiledPanel<T> panel = ooc_->load(ff.U12t_ooc);
+            const TiledPanel<T> panel = load_panel(ff.U12t_ooc);
             panel.mult_trans(la::ConstMatrixView<T>(xb.view()), upd.view());
           } else {
             ff.U12t.mult_trans(la::ConstMatrixView<T>(xb.view()), upd.view());

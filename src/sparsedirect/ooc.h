@@ -10,14 +10,16 @@
 // the classic OOC trade: factor memory for solve-time I/O.
 #pragma once
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
-#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include <unistd.h>
 
+#include "common/error.h"
+#include "common/failpoint.h"
 #include "sparsedirect/blr.h"
 
 namespace cs::sparsedirect {
@@ -32,14 +34,26 @@ class OocPanelStore {
     bool valid() const { return offset >= 0; }
   };
 
-  explicit OocPanelStore(const std::string& dir = "/tmp") {
+  /// `sync_on_spill` fsyncs the backing file at the end of every spill()
+  /// — slower, but a crash right after a spill cannot leave a factor
+  /// panel half-written in the page cache.
+  explicit OocPanelStore(const std::string& dir = "/tmp",
+                         bool sync_on_spill = false)
+      : sync_on_spill_(sync_on_spill) {
     const std::string path = dir + "/cs_ooc_XXXXXX";
     std::vector<char> tmpl(path.begin(), path.end());
     tmpl.push_back('\0');
+    errno = 0;
     const int fd = ::mkstemp(tmpl.data());
-    if (fd < 0) throw std::runtime_error("cannot create OOC spill file in " + dir);
+    if (fd < 0)
+      throw IoError("ooc.open", "cannot create OOC spill file in " + dir,
+                    errno);
     file_ = ::fdopen(fd, "w+b");
-    if (file_ == nullptr) throw std::runtime_error("fdopen failed for OOC file");
+    if (file_ == nullptr) {
+      const int err = errno;
+      ::close(fd);
+      throw IoError("ooc.open", "fdopen failed for OOC file", err);
+    }
     ::remove(tmpl.data());  // unlink: the file lives only as our descriptor
   }
 
@@ -49,15 +63,18 @@ class OocPanelStore {
   OocPanelStore(const OocPanelStore&) = delete;
   OocPanelStore& operator=(const OocPanelStore&) = delete;
 
-  /// Serialize the panel and release its in-core storage.
+  /// Serialize the panel and release its in-core storage. On failure an
+  /// IoError is thrown *before* the panel is consumed, so the caller
+  /// still owns it in core and can retry or keep it resident.
   Handle spill(TiledPanel<T>&& panel) {
     Handle h;
     if (panel.empty()) {
       h.offset = -1;
       return h;
     }
+    errno = 0;
     if (std::fseek(file_, 0, SEEK_END) != 0)
-      throw std::runtime_error("OOC seek failed");
+      throw IoError("ooc.write", "OOC seek failed", errno);
     h.offset = std::ftell(file_);
     const auto& tiles = panel.tiles();
     const index_t header[3] = {panel.rows(), panel.cols(),
@@ -78,6 +95,11 @@ class OocPanelStore {
                                    tile.dense.cols());
       }
     }
+    if (sync_on_spill_) {
+      errno = 0;
+      if (std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0)
+        throw IoError("ooc.write", "OOC fsync failed", errno);
+    }
     TiledPanel<T> drop = std::move(panel);  // free in-core storage
     (void)drop;
     return h;
@@ -87,8 +109,9 @@ class OocPanelStore {
   TiledPanel<T> load(const Handle& h) const {
     TiledPanel<T> panel;
     if (!h.valid()) return panel;
+    errno = 0;
     if (std::fseek(file_, h.offset, SEEK_SET) != 0)
-      throw std::runtime_error("OOC seek failed");
+      throw IoError("ooc.read", "OOC seek failed", errno);
     index_t header[3];
     get(header, 3);
     const index_t rows = header[0], cols = header[1], ntiles = header[2];
@@ -122,18 +145,45 @@ class OocPanelStore {
  private:
   template <class U>
   void put(const U* data, std::size_t count) {
-    if (std::fwrite(data, sizeof(U), count, file_) != count)
-      throw std::runtime_error("OOC write failed");
+    // A short fwrite would otherwise be silent data corruption: the panel
+    // header says N scalars but fewer made it to disk, and the next load
+    // would deserialize garbage. Check every write; ENOSPC (disk full) is
+    // reported distinctly via IoError::transient().
+    if (failpoint("ooc.write"))
+      throw IoError("ooc.write", "injected OOC write failure", EIO);
+    if (failpoint("ooc.enospc"))
+      throw IoError("ooc.write", "injected OOC disk-full failure", ENOSPC);
+    errno = 0;
+    const std::size_t written = std::fwrite(data, sizeof(U), count, file_);
+    if (written != count) {
+      const int err = errno;
+      throw IoError("ooc.write",
+                    err == ENOSPC
+                        ? "OOC spill device is full (short write of " +
+                              std::to_string(written) + "/" +
+                              std::to_string(count) + " items)"
+                        : "OOC short write (" + std::to_string(written) +
+                              "/" + std::to_string(count) + " items)",
+                    err);
+    }
     bytes_ += count * sizeof(U);
   }
   template <class U>
   void get(U* data, std::size_t count) const {
-    if (std::fread(data, sizeof(U), count, file_) != count)
-      throw std::runtime_error("OOC read failed");
+    if (failpoint("ooc.read"))
+      throw IoError("ooc.read", "injected OOC read failure", EIO);
+    errno = 0;
+    const std::size_t read = std::fread(data, sizeof(U), count, file_);
+    if (read != count)
+      throw IoError("ooc.read",
+                    "OOC short read (" + std::to_string(read) + "/" +
+                        std::to_string(count) + " items)",
+                    errno);
   }
 
   std::FILE* file_ = nullptr;
   std::size_t bytes_ = 0;
+  bool sync_on_spill_ = false;
 };
 
 }  // namespace cs::sparsedirect

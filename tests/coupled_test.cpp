@@ -129,10 +129,14 @@ TEST(Coupled, CompressedSchurUsesLessMemoryThanDense) {
 TEST(Coupled, BudgetFailureIsReportedNotThrown) {
   Config cfg;
   cfg.strategy = Strategy::kAdvancedCoupling;  // the most memory-hungry
+  cfg.auto_recover = false;  // feasibility probe: first failure is final
   cfg.memory_budget = MemoryTracker::instance().current() + 4 * 1024 * 1024;
   auto stats = solve_coupled(real_system(), cfg);
   EXPECT_FALSE(stats.success);
   EXPECT_NE(stats.failure.find("memory budget"), std::string::npos);
+  EXPECT_EQ(stats.error.code, ErrorCode::kBudget);
+  EXPECT_EQ(stats.attempts, 1);
+  EXPECT_TRUE(stats.recoveries.empty());
   // No tracked leak after the failed run.
   EXPECT_EQ(MemoryTracker::instance().budget(), 0u);
 }
@@ -249,6 +253,7 @@ TEST(Coupled, BudgetFailureInParallelWorkersIsReportedNotThrown) {
                      Strategy::kMultiFactorizationCompressed}) {
     Config cfg;
     cfg.strategy = s;
+    cfg.auto_recover = false;  // the point is the failure path itself
     cfg.num_threads = 4;
     cfg.n_b = 3;
     cfg.memory_budget =
@@ -257,6 +262,7 @@ TEST(Coupled, BudgetFailureInParallelWorkersIsReportedNotThrown) {
     EXPECT_FALSE(stats.success) << strategy_name(s);
     EXPECT_NE(stats.failure.find("memory budget"), std::string::npos)
         << strategy_name(s) << ": " << stats.failure;
+    EXPECT_EQ(stats.error.code, ErrorCode::kBudget) << strategy_name(s);
     EXPECT_EQ(MemoryTracker::instance().budget(), 0u);
   }
   EXPECT_EQ(MemoryTracker::instance().current(), before);
@@ -345,6 +351,119 @@ TEST(Coupled, LdltToggleIsIgnoredForUnsymmetricSystems) {
   auto stats = solve_coupled(complex_system(), cfg);
   ASSERT_TRUE(stats.success) << stats.failure;
   EXPECT_LT(stats.relative_error, 1e-3);
+}
+
+// -- resilience: the degrade-and-retry driver -------------------------------
+
+TEST(Resilience, BudgetDegradationHalvesPanelsUntilTheRunFits) {
+  // The acceptance scenario: a budget that the seed panel width blows
+  // through must be recovered automatically by halving n_c, with the
+  // recovery trail recorded.
+  const auto& sys = real_system();
+  Config probe;
+  probe.strategy = Strategy::kMultiSolve;
+  probe.n_c = 8;
+  auto base = solve_coupled(sys, probe);
+  ASSERT_TRUE(base.success) << base.failure;
+
+  Config cfg = probe;
+  cfg.n_c = 512;  // the Y panel alone exceeds the headroom below
+  cfg.memory_budget = base.peak_bytes + 1024 * 1024;
+
+  Config no_recover = cfg;
+  no_recover.auto_recover = false;
+  auto failed = solve_coupled(sys, no_recover);
+  ASSERT_FALSE(failed.success) << "budget chosen too loose for the test";
+  EXPECT_EQ(failed.error.code, ErrorCode::kBudget);
+
+  auto stats = solve_coupled(sys, cfg);
+  ASSERT_TRUE(stats.success) << stats.failure;
+  EXPECT_GT(stats.attempts, 1);
+  ASSERT_FALSE(stats.recoveries.empty());
+  for (const auto& rec : stats.recoveries) {
+    EXPECT_EQ(rec.action, "halve_panels");
+    EXPECT_EQ(rec.error, "budget");
+  }
+  EXPECT_LT(stats.relative_error, 1e-2);
+}
+
+TEST(Resilience, HldltBreakdownFallsBackToHlu) {
+  Config cfg;
+  cfg.strategy = Strategy::kMultiSolveCompressed;
+  cfg.eps = 1e-4;
+  cfg.hmat_symmetric_ldlt = true;
+  cfg.failpoints = "hldlt.pivot=once";
+  auto stats = solve_coupled(real_system(), cfg);
+  ASSERT_TRUE(stats.success) << stats.failure;
+  EXPECT_EQ(stats.attempts, 2);
+  ASSERT_EQ(stats.recoveries.size(), 1u);
+  EXPECT_EQ(stats.recoveries[0].action, "hldlt_to_hlu");
+  EXPECT_EQ(stats.recoveries[0].error, "numerical_breakdown");
+  EXPECT_LT(stats.relative_error, 1e-3);
+}
+
+TEST(Resilience, TransientOocWriteFailureRetriesInPlace) {
+  Config cfg;
+  cfg.strategy = Strategy::kMultiSolve;
+  cfg.out_of_core = true;
+  cfg.failpoints = "ooc.write=once";
+  auto stats = solve_coupled(real_system(), cfg);
+  ASSERT_TRUE(stats.success) << stats.failure;
+  // The spill retried inside the sparse solver: no driver-level attempt.
+  EXPECT_EQ(stats.attempts, 1);
+  EXPECT_GE(stats.counters.count("ooc.retries"), 1u);
+  EXPECT_LT(stats.relative_error, 1e-2);
+}
+
+TEST(Resilience, PersistentSpillFailureKeepsPanelsInCore) {
+  Config cfg;
+  cfg.strategy = Strategy::kMultiSolve;
+  cfg.out_of_core = true;
+  cfg.failpoints = "ooc.write=always";
+  auto stats = solve_coupled(real_system(), cfg);
+  ASSERT_TRUE(stats.success) << stats.failure;
+  EXPECT_EQ(stats.attempts, 1);
+  EXPECT_GE(stats.counters["ooc.incore_fallbacks"], 1.0);
+  EXPECT_LT(stats.relative_error, 1e-2);
+}
+
+TEST(Resilience, TransientOocReadFailureRetriesInPlace) {
+  Config cfg;
+  cfg.strategy = Strategy::kMultiSolve;
+  cfg.out_of_core = true;
+  cfg.failpoints = "ooc.read=once";
+  auto stats = solve_coupled(real_system(), cfg);
+  ASSERT_TRUE(stats.success) << stats.failure;
+  EXPECT_EQ(stats.attempts, 1);
+  EXPECT_LT(stats.relative_error, 1e-2);
+}
+
+TEST(Resilience, PersistentOocReadFailureDisablesOoc) {
+  Config cfg;
+  cfg.strategy = Strategy::kMultiSolve;
+  cfg.out_of_core = true;
+  cfg.failpoints = "ooc.read=always";
+  auto stats = solve_coupled(real_system(), cfg);
+  ASSERT_TRUE(stats.success) << stats.failure;
+  EXPECT_EQ(stats.attempts, 2);
+  ASSERT_FALSE(stats.recoveries.empty());
+  EXPECT_EQ(stats.recoveries[0].action, "disable_ooc");
+  EXPECT_EQ(stats.recoveries[0].error, "io");
+  EXPECT_LT(stats.relative_error, 1e-2);
+}
+
+TEST(Resilience, RecoveryDisabledReportsFirstFailure) {
+  Config cfg;
+  cfg.strategy = Strategy::kMultiSolveCompressed;
+  cfg.hmat_symmetric_ldlt = true;
+  cfg.auto_recover = false;
+  cfg.failpoints = "hldlt.pivot=once";
+  auto stats = solve_coupled(real_system(), cfg);
+  EXPECT_FALSE(stats.success);
+  EXPECT_EQ(stats.error.code, ErrorCode::kNumericalBreakdown);
+  EXPECT_EQ(stats.error.site, "hldlt.pivot");
+  EXPECT_EQ(stats.attempts, 1);
+  EXPECT_TRUE(stats.recoveries.empty());
 }
 
 TEST(Coupled, StrategyNamesAreUnique) {
