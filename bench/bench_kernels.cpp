@@ -31,6 +31,24 @@ la::Matrix<double> random_matrix(index_t m, index_t n, std::uint64_t seed) {
   return a;
 }
 
+template <class T>
+la::Matrix<T> random_matrix_t(index_t m, index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  la::Matrix<T> a(m, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i) a(i, j) = rng.scalar<T>();
+  return a;
+}
+
+/// gemm flops for an m x n x k product: 2mnk real, 8mnk complex (4 mul +
+/// 4 add per element update). items_per_second then reads as FLOP/s.
+template <class T>
+long long gemm_flops(index_t m, index_t n, index_t k) {
+  const long long mnk =
+      static_cast<long long>(m) * static_cast<long long>(n) * k;
+  return (cs::is_complex_v<T> ? 8 : 2) * mnk;
+}
+
 void BM_Gemm(benchmark::State& state) {
   const index_t n = static_cast<index_t>(state.range(0));
   auto A = random_matrix(n, n, 1);
@@ -41,10 +59,135 @@ void BM_Gemm(benchmark::State& state) {
              0.0, C.view());
     benchmark::DoNotOptimize(C.data());
   }
-  state.SetItemsProcessed(state.iterations() * 2 * static_cast<long long>(n) *
-                          n * n);
+  state.SetItemsProcessed(state.iterations() * gemm_flops<double>(n, n, n));
 }
 BENCHMARK(BM_Gemm)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+
+/// Packed cache-blocked engine, forced (no size dispatch): the tentpole
+/// kernel under every dense layer. Square sweep.
+template <class T>
+void BM_GemmPacked(benchmark::State& state) {
+  const index_t n = static_cast<index_t>(state.range(0));
+  auto A = random_matrix_t<T>(n, n, 1);
+  auto B = random_matrix_t<T>(n, n, 2);
+  la::Matrix<T> C(n, n);
+  for (auto _ : state) {
+    la::detail::gemm_packed(T{1}, A.cview(), la::Op::kNoTrans, B.cview(),
+                            la::Op::kNoTrans, C.view(), /*parallel=*/true);
+    benchmark::DoNotOptimize(C.data());
+  }
+  state.SetItemsProcessed(state.iterations() * gemm_flops<T>(n, n, n));
+}
+BENCHMARK_TEMPLATE(BM_GemmPacked, double)
+    ->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_GemmPacked, cs::complexd)
+    ->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+
+/// Unpacked column-blocked kernel (the pre-packing gemm), same shapes:
+/// the reference the CI non-regression guard compares against.
+template <class T>
+void BM_GemmRef(benchmark::State& state) {
+  const index_t n = static_cast<index_t>(state.range(0));
+  auto A = random_matrix_t<T>(n, n, 1);
+  auto B = random_matrix_t<T>(n, n, 2);
+  la::Matrix<T> C(n, n);
+  for (auto _ : state) {
+    la::detail::gemm_unpacked(T{1}, A.cview(), la::Op::kNoTrans, B.cview(),
+                              la::Op::kNoTrans, C.view(), /*parallel=*/true);
+    benchmark::DoNotOptimize(C.data());
+  }
+  state.SetItemsProcessed(state.iterations() * gemm_flops<T>(n, n, n));
+}
+BENCHMARK_TEMPLATE(BM_GemmRef, double)
+    ->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_GemmRef, cs::complexd)
+    ->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+
+/// Panel shapes from the solver: the rank-b trailing update of the blocked
+/// factorizations (m x n large, k = panel width) and the tall-skinny
+/// apply of the compact-WY QR path.
+template <class T>
+void BM_GemmPanelRankK(benchmark::State& state) {
+  const index_t n = static_cast<index_t>(state.range(0));
+  const index_t k = 96;  // factor panel width
+  auto A = random_matrix_t<T>(n, k, 3);
+  auto B = random_matrix_t<T>(k, n, 4);
+  la::Matrix<T> C(n, n);
+  for (auto _ : state) {
+    la::gemm(T{-1}, A.cview(), la::Op::kNoTrans, B.cview(), la::Op::kNoTrans,
+             T{1}, C.view());
+    benchmark::DoNotOptimize(C.data());
+  }
+  state.SetItemsProcessed(state.iterations() * gemm_flops<T>(n, n, k));
+}
+BENCHMARK_TEMPLATE(BM_GemmPanelRankK, double)
+    ->Arg(768)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_GemmPanelRankK, cs::complexd)
+    ->Arg(768)->Unit(benchmark::kMillisecond);
+
+template <class T>
+void BM_GemmPanelTall(benchmark::State& state) {
+  const index_t m = static_cast<index_t>(state.range(0));
+  const index_t n = 64, k = 64;  // WY block-reflector apply shape
+  auto A = random_matrix_t<T>(m, k, 5);
+  auto B = random_matrix_t<T>(k, n, 6);
+  la::Matrix<T> C(m, n);
+  for (auto _ : state) {
+    la::gemm(T{1}, A.cview(), la::Op::kNoTrans, B.cview(), la::Op::kNoTrans,
+             T{0}, C.view());
+    benchmark::DoNotOptimize(C.data());
+  }
+  state.SetItemsProcessed(state.iterations() * gemm_flops<T>(m, n, k));
+}
+BENCHMARK_TEMPLATE(BM_GemmPanelTall, double)
+    ->Arg(4096)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_GemmPanelTall, cs::complexd)
+    ->Arg(4096)->Unit(benchmark::kMillisecond);
+
+/// Blocked triangular solves, both sides (flops: n^2 * nrhs per side).
+template <class T>
+void BM_TrsmLeft(benchmark::State& state) {
+  const index_t n = static_cast<index_t>(state.range(0));
+  const index_t nrhs = 256;
+  auto A = random_matrix_t<T>(n, n, 7);
+  for (index_t i = 0; i < n; ++i) A(i, i) += T{static_cast<double>(n)};
+  auto B = random_matrix_t<T>(n, nrhs, 8);
+  la::Matrix<T> X(n, nrhs);
+  for (auto _ : state) {
+    X.view().copy_from(B.cview());
+    la::trsm(la::Side::kLeft, la::Uplo::kLower, la::Op::kNoTrans,
+             la::Diag::kNonUnit, A.cview(), X.view());
+    benchmark::DoNotOptimize(X.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          gemm_flops<T>(n, nrhs, n) / 2);
+}
+BENCHMARK_TEMPLATE(BM_TrsmLeft, double)
+    ->Arg(512)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_TrsmLeft, cs::complexd)
+    ->Arg(512)->Unit(benchmark::kMillisecond);
+
+template <class T>
+void BM_TrsmRight(benchmark::State& state) {
+  const index_t n = static_cast<index_t>(state.range(0));
+  const index_t m = 256;
+  auto A = random_matrix_t<T>(n, n, 9);
+  for (index_t i = 0; i < n; ++i) A(i, i) += T{static_cast<double>(n)};
+  auto B = random_matrix_t<T>(m, n, 10);
+  la::Matrix<T> X(m, n);
+  for (auto _ : state) {
+    X.view().copy_from(B.cview());
+    la::trsm(la::Side::kRight, la::Uplo::kUpper, la::Op::kNoTrans,
+             la::Diag::kNonUnit, A.cview(), X.view());
+    benchmark::DoNotOptimize(X.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          gemm_flops<T>(m, n, n) / 2);
+}
+BENCHMARK_TEMPLATE(BM_TrsmRight, double)
+    ->Arg(512)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_TrsmRight, cs::complexd)
+    ->Arg(512)->Unit(benchmark::kMillisecond);
 
 void BM_DenseLdlt(benchmark::State& state) {
   const index_t n = static_cast<index_t>(state.range(0));
@@ -181,12 +324,17 @@ BENCHMARK(BM_HMatrixAssemble)->Arg(16)->Arg(24)->Unit(benchmark::kMillisecond);
 // Custom main instead of BENCHMARK_MAIN(): peel off the shared
 // observability flags (--trace=..., --trace-sample-us=...) before
 // google-benchmark sees them (it aborts on unknown flags), so kernel
-// microbenchmarks can be traced like the solver drivers.
+// microbenchmarks can be traced like the solver drivers. The shared
+// --report=FILE flag of the figure benches maps onto google-benchmark's
+// JSON file output (items_per_second carries the FLOP/s rates the CI
+// non-regression guard and EXPERIMENTS.md read).
 int main(int argc, char** argv) {
   std::string trace_path;
   int sample_us = 1000;
   std::vector<char*> pass;
-  pass.reserve(static_cast<std::size_t>(argc));
+  std::vector<std::string> rewritten;  // keeps c_str storage alive
+  pass.reserve(static_cast<std::size_t>(argc) + 1);
+  rewritten.reserve(2 * static_cast<std::size_t>(argc));
   for (int i = 0; i < argc; ++i) {
     std::string arg = argv[i];
     auto value_of = [&](const std::string& prefix) {
@@ -196,6 +344,11 @@ int main(int argc, char** argv) {
       trace_path = value_of("--trace=");
     } else if (arg.rfind("--trace-sample-us=", 0) == 0) {
       sample_us = std::atoi(value_of("--trace-sample-us=").c_str());
+    } else if (arg.rfind("--report=", 0) == 0) {
+      rewritten.push_back("--benchmark_out=" + value_of("--report="));
+      rewritten.push_back("--benchmark_out_format=json");
+      pass.push_back(rewritten[rewritten.size() - 2].data());
+      pass.push_back(rewritten.back().data());
     } else {
       pass.push_back(argv[i]);
     }

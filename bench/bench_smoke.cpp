@@ -10,6 +10,8 @@
 
 #include "bench_common.h"
 #include "common/json.h"
+#include "common/random.h"
+#include "la/blas.h"
 
 using namespace cs;
 using coupled::Config;
@@ -47,6 +49,46 @@ int main(int argc, char** argv) {
   auto& tracer = Tracer::instance();
   const bool already_tracing = tracer.enabled();
   if (!already_tracing) tracer.set_enabled(true);
+
+  // -- packed kernel engine sanity ------------------------------------------
+  // The whole solver stack now runs on the packed gemm/trsm engine; verify
+  // on this host that its results agree with the naive definition before
+  // trusting any end-to-end numbers below.
+  {
+    const index_t kn = 96;
+    Rng rng(12345);
+    la::Matrix<complexd> A(kn, kn), B(kn, kn), C(kn, kn), R(kn, kn);
+    for (index_t j = 0; j < kn; ++j)
+      for (index_t i = 0; i < kn; ++i) {
+        A(i, j) = rng.scalar<complexd>();
+        B(i, j) = rng.scalar<complexd>();
+      }
+    la::gemm(complexd{1}, A.cview(), la::Op::kNoTrans, B.cview(),
+             la::Op::kTrans, complexd{0}, C.view());
+    for (index_t j = 0; j < kn; ++j)
+      for (index_t i = 0; i < kn; ++i) {
+        complexd acc{};
+        for (index_t p = 0; p < kn; ++p) acc += A(i, p) * B(j, p);
+        R(i, j) = acc;
+      }
+    const double gemm_err = la::rel_diff(C.cview(), R.cview());
+    expect(gemm_err < 1e-13,
+           "packed gemm matches naive reference (rel err " +
+               bench::sci(gemm_err) + ")");
+    // Round-trip triangular solve: X = L \ (L * R) must recover R.
+    la::Matrix<complexd> L(kn, kn);
+    for (index_t j = 0; j < kn; ++j) {
+      for (index_t i = j; i < kn; ++i) L(i, j) = rng.scalar<complexd>();
+      L(j, j) += complexd{4};
+    }
+    la::gemm(complexd{1}, L.cview(), la::Op::kNoTrans, R.cview(),
+             la::Op::kNoTrans, complexd{0}, C.view());
+    la::trsm(la::Side::kLeft, la::Uplo::kLower, la::Op::kNoTrans,
+             la::Diag::kNonUnit, L.cview(), C.view());
+    const double trsm_err = la::rel_diff(C.cview(), R.cview());
+    expect(trsm_err < 1e-12, "blocked trsm round-trips (rel err " +
+                                 bench::sci(trsm_err) + ")");
+  }
 
   auto sys = fembem::make_pipe_system<double>({.total_unknowns = n});
   std::printf("== observability smoke: N = %d (%d FEM + %d BEM), "

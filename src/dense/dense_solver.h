@@ -26,10 +26,14 @@ class DenseSolver {
     a_ = std::move(A);
     symmetric_ = symmetric;
     if (failpoint("dense.factor")) throw la::SingularMatrix(0);
+    // Wider panels amortize better over the packed gemm engine once the
+    // trailing updates dominate; small problems keep the default width so
+    // the unblocked panel work stays a small fraction.
+    const index_t nb = a_.rows() >= 2048 ? 192 : 96;
     if (symmetric_) {
-      la::ldlt_factor(a_.view());
+      la::ldlt_factor(a_.view(), nb);
     } else {
-      la::lu_factor(a_.view(), piv_);
+      la::lu_factor(a_.view(), piv_, nb);
     }
     factored_ = true;
   }

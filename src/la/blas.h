@@ -1,9 +1,13 @@
 // BLAS-like dense kernels on MatrixView: gemm/gemv/trsm/axpy/norms.
 //
 // These are the building blocks under the dense solver ("SPIDO" analogue),
-// the multifrontal fronts, and the H-matrix arithmetic. Loops are ordered
-// for column-major access and parallelized with OpenMP over output columns;
-// transposition is plain (not conjugated) because the library manipulates
+// the multifrontal fronts, and the H-matrix arithmetic. Large gemm shapes
+// dispatch to the packed cache-blocked engine of gemm_kernel.h (BLIS-style
+// mr x nr micro-kernels over packed panels, DESIGN.md section 10); tiny and
+// skinny shapes keep the lightweight column-blocked kernel below. trsm is a
+// blocked recursion: scalar solves on diagonal blocks, packed-gemm updates
+// off the diagonal, with both sides parallel over independent slabs of B.
+// Transposition is plain (not conjugated) because the library manipulates
 // complex *symmetric* (not Hermitian) matrices, as in the paper's BEM/FEM
 // setting.
 #pragma once
@@ -12,39 +16,27 @@
 #include <cassert>
 #include <cmath>
 
+#include "la/gemm_kernel.h"
 #include "la/matrix.h"
 
 namespace cs::la {
 
-enum class Op { kNoTrans, kTrans };
+namespace detail {
 
-/// C := beta*C + alpha * op(A) * op(B).
+/// Unpacked column-blocked kernel (the pre-packing gemm, minus the beta
+/// prologue): C += alpha * op(A) * op(B). Retained as the dispatch target
+/// for shapes where packing does not pay off (rank-1 ACA updates, tiny
+/// blocks) and as the reference path for the kernel non-regression bench.
+/// Each column of A is reused across kColBlock output columns, cutting A's
+/// memory traffic by that factor for multi-RHS products.
 template <class T>
-void gemm(T alpha, ConstMatrixView<T> A, Op opA, ConstMatrixView<T> B, Op opB,
-          T beta, MatrixView<T> C) {
+void gemm_unpacked(T alpha, ConstMatrixView<T> A, Op opA, ConstMatrixView<T> B,
+                   Op opB, MatrixView<T> C, bool parallel) {
   const index_t m = C.rows();
   const index_t n = C.cols();
   const index_t k = (opA == Op::kNoTrans) ? A.cols() : A.rows();
-  assert(((opA == Op::kNoTrans) ? A.rows() : A.cols()) == m);
-  assert(((opB == Op::kNoTrans) ? B.rows() : B.cols()) == k);
-  assert(((opB == Op::kNoTrans) ? B.cols() : B.rows()) == n);
-
-  if (beta != T{1}) {
-    for (index_t j = 0; j < n; ++j)
-      for (index_t i = 0; i < m; ++i)
-        C(i, j) = (beta == T{0}) ? T{0} : beta * C(i, j);
-  }
-  if (alpha == T{0} || m == 0 || n == 0 || k == 0) return;
-
-  const bool parallel = static_cast<offset_t>(m) * n * k > 65536;
-
-  // Column-blocked kernels: each column of A is reused across kColBlock
-  // output columns, cutting A's memory traffic by that factor for
-  // multi-RHS products (the BLAS-3 amortization the blocked algorithms
-  // rely on).
   constexpr index_t kColBlock = 8;
-  if (opA == Op::kNoTrans &&
-      (opB == Op::kNoTrans || opB == Op::kTrans)) {
+  if (opA == Op::kNoTrans && (opB == Op::kNoTrans || opB == Op::kTrans)) {
 #pragma omp parallel for schedule(static) if (parallel)
     for (index_t j0 = 0; j0 < n; j0 += kColBlock) {
       const index_t jb = std::min(kColBlock, n - j0);
@@ -87,8 +79,7 @@ void gemm(T alpha, ConstMatrixView<T> A, Op opA, ConstMatrixView<T> B, Op opB,
           const T a = ai[p];
           for (index_t jj = 0; jj < jb; ++jj) acc[jj] += a * bcols[jj][p];
         }
-        for (index_t jj = 0; jj < jb; ++jj)
-          C(i, j0 + jj) += alpha * acc[jj];
+        for (index_t jj = 0; jj < jb; ++jj) C(i, j0 + jj) += alpha * acc[jj];
       }
     }
   } else {  // T,T
@@ -101,6 +92,42 @@ void gemm(T alpha, ConstMatrixView<T> A, Op opA, ConstMatrixView<T> B, Op opB,
         C(i, j) += alpha * acc;
       }
     }
+  }
+}
+
+}  // namespace detail
+
+/// C := beta*C + alpha * op(A) * op(B).
+template <class T>
+void gemm(T alpha, ConstMatrixView<T> A, Op opA, ConstMatrixView<T> B, Op opB,
+          T beta, MatrixView<T> C) {
+  const index_t m = C.rows();
+  const index_t n = C.cols();
+  const index_t k = (opA == Op::kNoTrans) ? A.cols() : A.rows();
+  assert(((opA == Op::kNoTrans) ? A.rows() : A.cols()) == m);
+  assert(((opB == Op::kNoTrans) ? B.rows() : B.cols()) == k);
+  assert(((opB == Op::kNoTrans) ? B.cols() : B.rows()) == n);
+
+  if (beta != T{1}) {
+    // Scaling is bandwidth-bound; spread large C over the team.
+    const bool par_scale = static_cast<offset_t>(m) * n > 16384;
+#pragma omp parallel for schedule(static) if (par_scale)
+    for (index_t j = 0; j < n; ++j) {
+      T* cj = &C(0, j);
+      if (beta == T{0}) {
+        for (index_t i = 0; i < m; ++i) cj[i] = T{0};
+      } else {
+        for (index_t i = 0; i < m; ++i) cj[i] *= beta;
+      }
+    }
+  }
+  if (alpha == T{0} || m == 0 || n == 0 || k == 0) return;
+
+  const bool parallel = static_cast<offset_t>(m) * n * k > 65536;
+  if (detail::use_packed_gemm(m, n, k)) {
+    detail::gemm_packed(alpha, A, opA, B, opB, C, parallel);
+  } else {
+    detail::gemm_unpacked(alpha, A, opA, B, opB, C, parallel);
   }
 }
 
@@ -150,77 +177,215 @@ enum class Side { kLeft, kRight };
 enum class Uplo { kLower, kUpper };
 enum class Diag { kUnit, kNonUnit };
 
+namespace detail {
+
+/// Order at or below which the trsm recursion bottoms out on the scalar
+/// solves, and the slab width/height the independent dimension of B is cut
+/// into. Both are thread-count independent so results are bitwise identical
+/// for any number of workers.
+inline constexpr index_t kTrsmBase = 64;
+inline constexpr index_t kTrsmSlab = 32;
+
+/// Scalar left solve op(A)^{-1} * B (one column slab of B; recursion base).
+template <class T>
+void trsm_left_unblocked(Uplo uplo, Op opA, Diag diag, ConstMatrixView<T> A,
+                         MatrixView<T> B) {
+  const index_t n = A.rows();
+  const index_t nrhs = B.cols();
+  const bool unit = diag == Diag::kUnit;
+  const bool lower = (uplo == Uplo::kLower) != (opA == Op::kTrans);
+  auto a = [&](index_t i, index_t j) -> T {
+    return (opA == Op::kTrans) ? A(j, i) : A(i, j);
+  };
+  for (index_t j = 0; j < nrhs; ++j) {
+    T* bj = &B(0, j);
+    if (lower) {
+      for (index_t i = 0; i < n; ++i) {
+        T acc = bj[i];
+        for (index_t p = 0; p < i; ++p) acc -= a(i, p) * bj[p];
+        bj[i] = unit ? acc : acc / a(i, i);
+      }
+    } else {
+      for (index_t i = n - 1; i >= 0; --i) {
+        T acc = bj[i];
+        for (index_t p = i + 1; p < n; ++p) acc -= a(i, p) * bj[p];
+        bj[i] = unit ? acc : acc / a(i, i);
+      }
+    }
+  }
+}
+
+/// Scalar right solve B * op(A)^{-1} (one row slab of B; recursion base).
+template <class T>
+void trsm_right_unblocked(Uplo uplo, Op opA, Diag diag, ConstMatrixView<T> A,
+                          MatrixView<T> B) {
+  const index_t n = A.rows();
+  const index_t m = B.rows();
+  const bool unit = diag == Diag::kUnit;
+  const bool lower = (uplo == Uplo::kLower) != (opA == Op::kTrans);
+  auto a = [&](index_t i, index_t j) -> T {
+    return (opA == Op::kTrans) ? A(j, i) : A(i, j);
+  };
+  if (lower) {
+    // x_j depends on columns > j of op(A): B(:,j) = (B(:,j) - sum_{p>j}
+    // B(:,p) * a(p,j)) / a(j,j) going j from n-1 downto 0.
+    for (index_t j = n - 1; j >= 0; --j) {
+      T* bj = &B(0, j);
+      for (index_t p = j + 1; p < n; ++p) {
+        const T apj = a(p, j);
+        if (apj == T{0}) continue;
+        const T* bp = &B(0, p);
+        for (index_t i = 0; i < m; ++i) bj[i] -= bp[i] * apj;
+      }
+      if (!unit) {
+        const T inv = T{1} / a(j, j);
+        for (index_t i = 0; i < m; ++i) bj[i] *= inv;
+      }
+    }
+  } else {
+    for (index_t j = 0; j < n; ++j) {
+      T* bj = &B(0, j);
+      for (index_t p = 0; p < j; ++p) {
+        const T apj = a(p, j);
+        if (apj == T{0}) continue;
+        const T* bp = &B(0, p);
+        for (index_t i = 0; i < m; ++i) bj[i] -= bp[i] * apj;
+      }
+      if (!unit) {
+        const T inv = T{1} / a(j, j);
+        for (index_t i = 0; i < m; ++i) bj[i] *= inv;
+      }
+    }
+  }
+}
+
+/// Blocked recursion for the left solve: scalar solve on the diagonal
+/// blocks, packed-gemm update of the remaining rows of B.
+template <class T>
+void trsm_left_rec(Uplo uplo, Op opA, Diag diag, ConstMatrixView<T> A,
+                   MatrixView<T> B) {
+  const index_t n = A.rows();
+  if (n <= kTrsmBase) {
+    trsm_left_unblocked(uplo, opA, diag, A, B);
+    return;
+  }
+  const index_t n1 = n / 2;
+  const index_t n2 = n - n1;
+  const index_t nrhs = B.cols();
+  const bool lower = (uplo == Uplo::kLower) != (opA == Op::kTrans);
+  ConstMatrixView<T> A11 = A.block(0, 0, n1, n1);
+  ConstMatrixView<T> A22 = A.block(n1, n1, n2, n2);
+  MatrixView<T> B1 = B.block(0, 0, n1, nrhs);
+  MatrixView<T> B2 = B.block(n1, 0, n2, nrhs);
+  if (lower) {
+    trsm_left_rec(uplo, opA, diag, A11, B1);
+    // B2 -= eff(A21) * B1, where eff(A21) is the stored A21 (no-trans) or
+    // the stored A12 transposed.
+    if (opA == Op::kNoTrans) {
+      gemm(T{-1}, A.block(n1, 0, n2, n1), Op::kNoTrans, ConstMatrixView<T>(B1),
+           Op::kNoTrans, T{1}, B2);
+    } else {
+      gemm(T{-1}, A.block(0, n1, n1, n2), Op::kTrans, ConstMatrixView<T>(B1),
+           Op::kNoTrans, T{1}, B2);
+    }
+    trsm_left_rec(uplo, opA, diag, A22, B2);
+  } else {
+    trsm_left_rec(uplo, opA, diag, A22, B2);
+    // B1 -= eff(A12) * B2.
+    if (opA == Op::kNoTrans) {
+      gemm(T{-1}, A.block(0, n1, n1, n2), Op::kNoTrans, ConstMatrixView<T>(B2),
+           Op::kNoTrans, T{1}, B1);
+    } else {
+      gemm(T{-1}, A.block(n1, 0, n2, n1), Op::kTrans, ConstMatrixView<T>(B2),
+           Op::kNoTrans, T{1}, B1);
+    }
+    trsm_left_rec(uplo, opA, diag, A11, B1);
+  }
+}
+
+/// Blocked recursion for the right solve B := B * op(A)^{-1}.
+template <class T>
+void trsm_right_rec(Uplo uplo, Op opA, Diag diag, ConstMatrixView<T> A,
+                    MatrixView<T> B) {
+  const index_t n = A.rows();
+  if (n <= kTrsmBase) {
+    trsm_right_unblocked(uplo, opA, diag, A, B);
+    return;
+  }
+  const index_t n1 = n / 2;
+  const index_t n2 = n - n1;
+  const index_t m = B.rows();
+  const bool lower = (uplo == Uplo::kLower) != (opA == Op::kTrans);
+  ConstMatrixView<T> A11 = A.block(0, 0, n1, n1);
+  ConstMatrixView<T> A22 = A.block(n1, n1, n2, n2);
+  MatrixView<T> B1 = B.block(0, 0, m, n1);
+  MatrixView<T> B2 = B.block(0, n1, m, n2);
+  if (lower) {
+    // [X1 X2] [L11 0; L21 L22] = [B1 B2]: X2 first, then B1 -= X2 * L21.
+    trsm_right_rec(uplo, opA, diag, A22, B2);
+    if (opA == Op::kNoTrans) {
+      gemm(T{-1}, ConstMatrixView<T>(B2), Op::kNoTrans, A.block(n1, 0, n2, n1),
+           Op::kNoTrans, T{1}, B1);
+    } else {
+      gemm(T{-1}, ConstMatrixView<T>(B2), Op::kNoTrans, A.block(0, n1, n1, n2),
+           Op::kTrans, T{1}, B1);
+    }
+    trsm_right_rec(uplo, opA, diag, A11, B1);
+  } else {
+    // [X1 X2] [U11 U12; 0 U22] = [B1 B2]: X1 first, then B2 -= X1 * U12.
+    trsm_right_rec(uplo, opA, diag, A11, B1);
+    if (opA == Op::kNoTrans) {
+      gemm(T{-1}, ConstMatrixView<T>(B1), Op::kNoTrans, A.block(0, n1, n1, n2),
+           Op::kNoTrans, T{1}, B2);
+    } else {
+      gemm(T{-1}, ConstMatrixView<T>(B1), Op::kNoTrans, A.block(n1, 0, n2, n1),
+           Op::kTrans, T{1}, B2);
+    }
+    trsm_right_rec(uplo, opA, diag, A22, B2);
+  }
+}
+
+}  // namespace detail
+
 /// Triangular solve with multiple right-hand sides:
 ///   Side::kLeft : B := op(A)^{-1} * B
 ///   Side::kRight: B := B * op(A)^{-1}
-/// A is triangular (lower or upper), optionally unit-diagonal.
+/// A is triangular (lower or upper), optionally unit-diagonal. Both sides
+/// are parallel over the independent dimension of B (columns for the left
+/// solve, rows for the right solve); the per-element arithmetic does not
+/// depend on the slab split, so results match the serial solve bitwise.
 template <class T>
 void trsm(Side side, Uplo uplo, Op opA, Diag diag, ConstMatrixView<T> A,
           MatrixView<T> B) {
   const index_t n = A.rows();
   assert(A.cols() == n);
-  const bool unit = diag == Diag::kUnit;
-
-  // Effective orientation of op(A).
-  const bool lower = (uplo == Uplo::kLower) != (opA == Op::kTrans);
-  auto a = [&](index_t i, index_t j) -> T {
-    return (opA == Op::kTrans) ? A(j, i) : A(i, j);
-  };
+  if (n == 0) return;
 
   if (side == Side::kLeft) {
     assert(B.rows() == n);
     const index_t nrhs = B.cols();
-#pragma omp parallel for schedule(static) \
-    if (static_cast<offset_t>(n) * n * nrhs > 65536)
-    for (index_t j = 0; j < nrhs; ++j) {
-      T* bj = &B(0, j);
-      if (lower) {
-        for (index_t i = 0; i < n; ++i) {
-          T acc = bj[i];
-          for (index_t p = 0; p < i; ++p) acc -= a(i, p) * bj[p];
-          bj[i] = unit ? acc : acc / a(i, i);
-        }
-      } else {
-        for (index_t i = n - 1; i >= 0; --i) {
-          T acc = bj[i];
-          for (index_t p = i + 1; p < n; ++p) acc -= a(i, p) * bj[p];
-          bj[i] = unit ? acc : acc / a(i, i);
-        }
-      }
+    if (nrhs == 0) return;
+    const index_t slabs = (nrhs + detail::kTrsmSlab - 1) / detail::kTrsmSlab;
+    const bool parallel =
+        slabs > 1 && static_cast<offset_t>(n) * n * nrhs > 65536;
+#pragma omp parallel for schedule(static) if (parallel)
+    for (index_t s = 0; s < slabs; ++s) {
+      const index_t j0 = s * detail::kTrsmSlab;
+      const index_t w = std::min(detail::kTrsmSlab, nrhs - j0);
+      detail::trsm_left_rec(uplo, opA, diag, A, B.block(0, j0, n, w));
     }
-  } else {  // Right: B := B * op(A)^{-1}; process columns of B.
+  } else {
     assert(B.cols() == n);
     const index_t m = B.rows();
-    if (lower) {
-      // x_j depends on columns > j of op(A): B(:,j) = (B(:,j) - sum_{p>j}
-      // B(:,p) * a(p,j)) / a(j,j) going j from n-1 downto 0.
-      for (index_t j = n - 1; j >= 0; --j) {
-        T* bj = &B(0, j);
-        for (index_t p = j + 1; p < n; ++p) {
-          const T apj = a(p, j);
-          if (apj == T{0}) continue;
-          const T* bp = &B(0, p);
-          for (index_t i = 0; i < m; ++i) bj[i] -= bp[i] * apj;
-        }
-        if (!unit) {
-          const T inv = T{1} / a(j, j);
-          for (index_t i = 0; i < m; ++i) bj[i] *= inv;
-        }
-      }
-    } else {
-      for (index_t j = 0; j < n; ++j) {
-        T* bj = &B(0, j);
-        for (index_t p = 0; p < j; ++p) {
-          const T apj = a(p, j);
-          if (apj == T{0}) continue;
-          const T* bp = &B(0, p);
-          for (index_t i = 0; i < m; ++i) bj[i] -= bp[i] * apj;
-        }
-        if (!unit) {
-          const T inv = T{1} / a(j, j);
-          for (index_t i = 0; i < m; ++i) bj[i] *= inv;
-        }
-      }
+    if (m == 0) return;
+    const index_t slabs = (m + detail::kTrsmSlab - 1) / detail::kTrsmSlab;
+    const bool parallel =
+        slabs > 1 && static_cast<offset_t>(n) * n * m > 65536;
+#pragma omp parallel for schedule(static) if (parallel)
+    for (index_t s = 0; s < slabs; ++s) {
+      const index_t i0 = s * detail::kTrsmSlab;
+      const index_t h = std::min(detail::kTrsmSlab, m - i0);
+      detail::trsm_right_rec(uplo, opA, diag, A, B.block(i0, 0, h, n));
     }
   }
 }

@@ -86,16 +86,28 @@ void ldlt_factor_partial(MatrixView<T> A, index_t ns, index_t nb = 96) {
       for (index_t i = 0; i < rest; ++i) dst[i] = src[i] * d;
     }
     MatrixView<T> A22 = A.block(k + b, k + b, rest, rest);
-    // Column-wise rank-b update of the lower triangle.
-    const bool parallel = static_cast<offset_t>(rest) * rest * b > 65536;
-#pragma omp parallel for schedule(dynamic, 8) if (parallel)
-    for (index_t j = 0; j < rest; ++j) {
-      T* cj = &A22(0, j);
-      for (index_t p = 0; p < b; ++p) {
-        const T l_jp = L21(j, p);
-        if (l_jp == T{0}) continue;
-        const T* wp = &W(0, p);
-        for (index_t i = j; i < rest; ++i) cj[i] -= wp[i] * l_jp;
+    // Rank-b update A22 -= W * L21^T of the lower triangle, in column
+    // blocks: the small diagonal triangles keep the scalar loop, the
+    // rectangle below each one routes through the packed gemm engine
+    // (which keeps the strictly-upper part of A22 untouched, as the
+    // lower-storage convention requires).
+    constexpr index_t jb_blk = 96;
+    for (index_t j0 = 0; j0 < rest; j0 += jb_blk) {
+      const index_t jb = std::min(jb_blk, rest - j0);
+      for (index_t j = j0; j < j0 + jb; ++j) {
+        T* cj = &A22(0, j);
+        for (index_t p = 0; p < b; ++p) {
+          const T l_jp = L21(j, p);
+          if (l_jp == T{0}) continue;
+          const T* wp = &W(0, p);
+          for (index_t i = j; i < j0 + jb; ++i) cj[i] -= wp[i] * l_jp;
+        }
+      }
+      const index_t below = rest - (j0 + jb);
+      if (below > 0) {
+        gemm(T{-1}, ConstMatrixView<T>(W.block(j0 + jb, 0, below, b)),
+             Op::kNoTrans, L21.block(j0, 0, jb, b), Op::kTrans, T{1},
+             A22.block(j0 + jb, j0, below, jb));
       }
     }
   }

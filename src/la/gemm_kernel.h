@@ -1,0 +1,197 @@
+// Three-level cache-blocked, packed GEMM engine (BLIS-style; Van Zee &
+// van de Geijn, TOMS 2015).
+//
+// The classic loop nest around an mr x nr register-tiled micro-kernel:
+//
+//   for jc in steps of nc:             // B column panel        (~L3)
+//     for pc in steps of kc:           // rank-kc update
+//       pack op(B)[pc, jc] -> Bp       // kc x nc, nr-tiled
+//       for ic in steps of mc:         // A row panel           (~L2)
+//         pack op(A)[ic, pc] -> Ap     // mc x kc, mr-tiled
+//         for jr, ir tiles:            // micro-kernel: Ap tile (~L1)
+//           C[ir, jr] += alpha * Ap_tile * Bp_tile
+//
+// The micro-kernel accumulates an mr x nr tile in registers over the full
+// kc dimension, reading one contiguous mr-slice of Ap and one nr-slice of
+// Bp per step; it is written so the compiler auto-vectorizes the mr-length
+// inner loops for both double and (via the split re/im packing of pack.h)
+// std::complex<double>. OpenMP parallelism covers the pack loops and the
+// jr macro-loop; the accumulation order over k is fixed by the sequential
+// pc loop, so results are bitwise identical for every thread count.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "la/matrix.h"
+#include "la/pack.h"
+
+namespace cs::la::detail {
+
+/// Register-tile and cache-block sizes per scalar type. mr/nr size the
+/// micro-kernel accumulator (kept small enough to live in vector registers
+/// on a 16-register AVX2 machine); mc*kc targets L2, kc*nc targets L3.
+/// Complex blocks are half-sized: each element packs into two real planes.
+template <class T>
+struct KernelTraits {
+  static constexpr index_t mr = 8, nr = 4;
+  static constexpr index_t mc = 128, kc = 256, nc = 2048;
+};
+template <class S>
+struct KernelTraits<std::complex<S>> {
+  static constexpr index_t mr = 4, nr = 4;
+  static constexpr index_t mc = 96, kc = 192, nc = 1024;
+};
+
+/// Real micro-kernel: acc[j*MR+i] += sum_p a[p*MR+i] * b[p*NR+j] over the
+/// packed tiles of pack.h.
+template <class R, index_t MR, index_t NR>
+inline void microkernel_real(index_t kb, const R* __restrict a,
+                             const R* __restrict b, R* __restrict acc) {
+  for (index_t p = 0; p < kb; ++p) {
+    const R* ap = a + static_cast<std::size_t>(p) * MR;
+    const R* bp = b + static_cast<std::size_t>(p) * NR;
+    for (index_t j = 0; j < NR; ++j) {
+      const R bv = bp[j];
+      R* accj = acc + j * MR;
+      for (index_t i = 0; i < MR; ++i) accj[i] += ap[i] * bv;
+    }
+  }
+}
+
+/// Split-plane complex micro-kernel: tiles hold [re(MR) | im(MR)] per
+/// k-slice, so the complex multiply becomes four real FMA streams.
+template <class R, index_t MR, index_t NR>
+inline void microkernel_cplx(index_t kb, const R* __restrict a,
+                             const R* __restrict b, R* __restrict acc_re,
+                             R* __restrict acc_im) {
+  for (index_t p = 0; p < kb; ++p) {
+    const R* ar = a + static_cast<std::size_t>(p) * 2 * MR;
+    const R* ai = ar + MR;
+    const R* br = b + static_cast<std::size_t>(p) * 2 * NR;
+    const R* bi = br + NR;
+    for (index_t j = 0; j < NR; ++j) {
+      const R brv = br[j];
+      const R biv = bi[j];
+      R* cr = acc_re + j * MR;
+      R* ci = acc_im + j * MR;
+      for (index_t i = 0; i < MR; ++i) {
+        cr[i] += ar[i] * brv - ai[i] * biv;
+        ci[i] += ar[i] * biv + ai[i] * brv;
+      }
+    }
+  }
+}
+
+/// C[i0.., j0..] += alpha * acc tile, masked to the real tile extent.
+template <class T, index_t MR, index_t NR>
+inline void store_tile(T alpha, const real_of_t<T>* acc_re,
+                       const real_of_t<T>* acc_im, MatrixView<T> C, index_t i0,
+                       index_t j0) {
+  const index_t mt = std::min<index_t>(MR, C.rows() - i0);
+  const index_t nt = std::min<index_t>(NR, C.cols() - j0);
+  for (index_t j = 0; j < nt; ++j) {
+    T* cj = &C(i0, j0 + j);
+    for (index_t i = 0; i < mt; ++i) {
+      if constexpr (is_complex_v<T>) {
+        cj[i] += alpha * T{acc_re[j * MR + i], acc_im[j * MR + i]};
+      } else {
+        cj[i] += alpha * acc_re[j * MR + i];
+      }
+    }
+  }
+}
+
+/// Size-based dispatch: shapes below this stay on the unpacked kernel
+/// (packing and zero-padded tiles do not pay off for tiny or skinny
+/// operands -- notably the ACA rank-1 updates, where k == 1). The flop
+/// threshold matches the library-wide OpenMP parallelization threshold.
+inline bool use_packed_gemm(index_t m, index_t n, index_t k) {
+  return m >= 8 && n >= 8 && k >= 16 &&
+         static_cast<offset_t>(m) * n * k >= (offset_t{1} << 16);
+}
+
+/// C += alpha * op(A) * op(B) through the packed engine. beta must already
+/// have been applied to C by the caller (blas.h's shared prologue).
+template <class T>
+void gemm_packed(T alpha, ConstMatrixView<T> A, Op opA, ConstMatrixView<T> B,
+                 Op opB, MatrixView<T> C, bool parallel) {
+  using R = real_of_t<T>;
+  using KT = KernelTraits<T>;
+  constexpr index_t MR = KT::mr;
+  constexpr index_t NR = KT::nr;
+  constexpr index_t MC = KT::mc;
+  constexpr index_t KC = KT::kc;
+  constexpr index_t NC = KT::nc;
+  constexpr index_t planes = kPackPlanes<T>;
+
+  const index_t m = C.rows();
+  const index_t n = C.cols();
+  const index_t k = (opA == Op::kNoTrans) ? A.cols() : A.rows();
+  if (m == 0 || n == 0 || k == 0) return;
+
+  const index_t mc = std::min<index_t>(MC, m);
+  const index_t nc = std::min<index_t>(NC, n);
+  const index_t kc = std::min<index_t>(KC, k);
+  const std::size_t a_cap = static_cast<std::size_t>((mc + MR - 1) / MR) * MR *
+                            static_cast<std::size_t>(kc) * planes;
+  const std::size_t b_cap = static_cast<std::size_t>((nc + NR - 1) / NR) * NR *
+                            static_cast<std::size_t>(kc) * planes;
+  thread_local PackScratch<R> a_scratch;
+  thread_local PackScratch<R> b_scratch;
+  R* Ap = a_scratch.ensure(a_cap);
+  R* Bp = b_scratch.ensure(b_cap);
+
+#pragma omp parallel if (parallel) default(shared)
+  {
+    for (index_t jc = 0; jc < n; jc += NC) {
+      const index_t nb = std::min<index_t>(NC, n - jc);
+      const index_t jtiles = (nb + NR - 1) / NR;
+      for (index_t pc = 0; pc < k; pc += KC) {
+        const index_t kb = std::min<index_t>(KC, k - pc);
+        const std::size_t b_stride = static_cast<std::size_t>(kb) * NR * planes;
+        // Cooperative B pack (all threads; implicit barrier synchronizes).
+#pragma omp for schedule(static)
+        for (index_t tj = 0; tj < jtiles; ++tj)
+          pack_b_tile<T, NR>(B, opB, pc, jc + tj * NR, kb,
+                             std::min<index_t>(NR, nb - tj * NR),
+                             Bp + tj * b_stride);
+        for (index_t ic = 0; ic < m; ic += MC) {
+          const index_t mb = std::min<index_t>(MC, m - ic);
+          const index_t itiles = (mb + MR - 1) / MR;
+          const std::size_t a_stride =
+              static_cast<std::size_t>(kb) * MR * planes;
+#pragma omp for schedule(static)
+          for (index_t ti = 0; ti < itiles; ++ti)
+            pack_a_tile<T, MR>(A, opA, ic + ti * MR, pc,
+                               std::min<index_t>(MR, mb - ti * MR), kb,
+                               Ap + ti * a_stride);
+          // Macro-loop over jr tiles; each (ir, jr) tile is written by
+          // exactly one thread and the k order is fixed by the pc loop, so
+          // the result does not depend on the schedule.
+#pragma omp for schedule(dynamic)
+          for (index_t tj = 0; tj < jtiles; ++tj) {
+            const R* bt = Bp + tj * b_stride;
+            for (index_t ti = 0; ti < itiles; ++ti) {
+              if constexpr (is_complex_v<T>) {
+                R acc_re[MR * NR] = {};
+                R acc_im[MR * NR] = {};
+                microkernel_cplx<R, MR, NR>(kb, Ap + ti * a_stride, bt, acc_re,
+                                            acc_im);
+                store_tile<T, MR, NR>(alpha, acc_re, acc_im, C, ic + ti * MR,
+                                      jc + tj * NR);
+              } else {
+                R acc[MR * NR] = {};
+                microkernel_real<R, MR, NR>(kb, Ap + ti * a_stride, bt, acc);
+                store_tile<T, MR, NR>(alpha, acc, nullptr, C, ic + ti * MR,
+                                      jc + tj * NR);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace cs::la::detail

@@ -14,6 +14,12 @@
 
 namespace cs::la {
 
+/// Operand transposition for the BLAS-like kernels (plain transpose, never
+/// conjugated: the library works with complex-symmetric matrices). Lives
+/// here so the packing layer (pack.h / gemm_kernel.h) can resolve it at
+/// pack time without depending on blas.h.
+enum class Op { kNoTrans, kTrans };
+
 template <class T>
 class ConstMatrixView;
 

@@ -1,0 +1,113 @@
+// Panel packing for the cache-blocked GEMM engine (see gemm_kernel.h).
+//
+// Following the BLIS decomposition (Van Zee & van de Geijn, TOMS 2015), the
+// kc x mc A-block and kc x nc B-block of each macro-iteration are repacked
+// into contiguous 64-byte-aligned tile buffers before the micro-kernel
+// sweeps them:
+//  * transposition (Op) is resolved at pack time, so the micro-kernel sees
+//    one canonical layout and the per-element transpose branches of the old
+//    kernel disappear from the O(m*n*k) loop;
+//  * complex scalars are split into separate real/imaginary planes inside
+//    each k-slice, which lets the compiler vectorize the complex multiply
+//    as four independent real FMA streams (the interleaved std::complex
+//    representation defeats auto-vectorization);
+//  * edge tiles are zero-padded to the full mr/nr width, so the hot loop
+//    never branches on remainder sizes (the store step masks instead).
+//
+// Pack buffers are transient, grow-only, thread-local scratch and are
+// deliberately *not* byte-accounted by common/memory.h: a budget-capped
+// solve must not be able to fail inside a gemm.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <new>
+
+#include "la/matrix.h"
+
+namespace cs::la::detail {
+
+inline constexpr std::size_t kPackAlign = 64;
+
+/// Number of real "planes" a scalar type packs into (re/im split).
+template <class T>
+inline constexpr index_t kPackPlanes = is_complex_v<T> ? 2 : 1;
+
+/// Grow-only aligned scratch buffer (untracked; see file comment).
+template <class R>
+class PackScratch {
+ public:
+  R* ensure(std::size_t n) {
+    if (n > cap_) {
+      data_.reset(static_cast<R*>(
+          ::operator new(n * sizeof(R), std::align_val_t{kPackAlign})));
+      cap_ = n;
+    }
+    return data_.get();
+  }
+
+ private:
+  struct Deleter {
+    void operator()(R* p) const {
+      ::operator delete(p, std::align_val_t{kPackAlign});
+    }
+  };
+  std::unique_ptr<R, Deleter> data_;
+  std::size_t cap_ = 0;
+};
+
+/// Pack one mr-row tile of op(A): rows [i0, i0+mt) (mt <= MR), inner
+/// dimension [p0, p0+kb) of the effective (transposition-resolved) operand.
+/// Layout: k-slice-major; slice p holds MR reals per plane (re, then im),
+/// rows beyond mt zero-padded.
+template <class T, index_t MR>
+void pack_a_tile(ConstMatrixView<T> A, Op opA, index_t i0, index_t p0,
+                 index_t mt, index_t kb, real_of_t<T>* dst) {
+  using R = real_of_t<T>;
+  constexpr index_t planes = kPackPlanes<T>;
+  for (index_t p = 0; p < kb; ++p) {
+    R* slice = dst + static_cast<std::size_t>(p) * MR * planes;
+    for (index_t i = 0; i < mt; ++i) {
+      const T v = (opA == Op::kNoTrans) ? A(i0 + i, p0 + p) : A(p0 + p, i0 + i);
+      if constexpr (is_complex_v<T>) {
+        slice[i] = v.real();
+        slice[MR + i] = v.imag();
+      } else {
+        slice[i] = v;
+      }
+    }
+    for (index_t i = mt; i < MR; ++i) {
+      slice[i] = R{0};
+      if constexpr (is_complex_v<T>) slice[MR + i] = R{0};
+    }
+  }
+}
+
+/// Pack one nr-column tile of op(B): columns [j0, j0+nt) (nt <= NR), inner
+/// dimension [p0, p0+kb). Same k-slice-major layout as pack_a_tile with NR
+/// values per plane per slice, columns beyond nt zero-padded.
+template <class T, index_t NR>
+void pack_b_tile(ConstMatrixView<T> B, Op opB, index_t p0, index_t j0,
+                 index_t kb, index_t nt, real_of_t<T>* dst) {
+  using R = real_of_t<T>;
+  constexpr index_t planes = kPackPlanes<T>;
+  for (index_t p = 0; p < kb; ++p) {
+    R* slice = dst + static_cast<std::size_t>(p) * NR * planes;
+    for (index_t j = 0; j < nt; ++j) {
+      const T v = (opB == Op::kNoTrans) ? B(p0 + p, j0 + j) : B(j0 + j, p0 + p);
+      if constexpr (is_complex_v<T>) {
+        slice[j] = v.real();
+        slice[NR + j] = v.imag();
+      } else {
+        slice[j] = v;
+      }
+    }
+    for (index_t j = nt; j < NR; ++j) {
+      slice[j] = R{0};
+      if constexpr (is_complex_v<T>) slice[NR + j] = R{0};
+    }
+  }
+}
+
+}  // namespace cs::la::detail

@@ -23,44 +23,202 @@
 
 namespace cs::la {
 
+namespace detail {
+
+/// Reflector panel width for the blocked (compact WY) application paths,
+/// and the size below which the scalar reflector loops are kept (the WY
+/// set-up cost does not pay off for tiny blocks).
+inline constexpr index_t kQrPanel = 32;
+inline constexpr index_t kQrBlockedMinRows = 32;
+inline constexpr index_t kQrBlockedMinCols = 8;
+
+/// Materialize the unit-lower-trapezoidal reflector block V (and its
+/// conjugate Vc) for reflectors [j0, j0+jb) of a householder_qr output,
+/// restricted to rows [j0, m). tau == 0 columns are zeroed (H_j = I).
+template <class T>
+void materialize_v(ConstMatrixView<T> QR, const T* tau, index_t j0, index_t jb,
+                   Matrix<T>& V, Matrix<T>& Vc) {
+  const index_t rows = QR.rows() - j0;
+  V = Matrix<T>(rows, jb);
+  Vc = Matrix<T>(rows, jb);
+  for (index_t c = 0; c < jb; ++c) {
+    if (tau[c] == T{0}) continue;  // identity reflector: keep the zero column
+    V(c, c) = T{1};
+    Vc(c, c) = T{1};
+    for (index_t i = c + 1; i < rows; ++i) {
+      const T v = QR(j0 + i, j0 + c);
+      V(i, c) = v;
+      Vc(i, c) = conj_if(v);
+    }
+  }
+}
+
+/// T factor of the compact WY representation: the product of the panel's
+/// reflectors H_j = I - tau_j v_j v_j^H equals I - V * S * V^H, where
+///   forward  (S upper triangular): H_{j0} H_{j0+1} ... H_{j0+jb-1}
+///   backward (S lower triangular): H_{j0+jb-1} ... H_{j0+1} H_{j0}
+/// Built from the Gram matrix G = V^H V (one gemm) plus an O(jb^3) scalar
+/// recurrence.
+template <class T>
+Matrix<T> reflector_t_factor(const Matrix<T>& V, const Matrix<T>& Vc,
+                             const T* tau, index_t jb, bool forward) {
+  Matrix<T> G(jb, jb);
+  gemm(T{1}, ConstMatrixView<T>(Vc.view()), Op::kTrans,
+       ConstMatrixView<T>(V.view()), Op::kNoTrans, T{0}, G.view());
+  Matrix<T> S(jb, jb);
+  if (forward) {
+    // S(0:c, c) = -tau_c * S(0:c, 0:c) * G(0:c, c).
+    for (index_t c = 0; c < jb; ++c) {
+      const T t = tau[c];
+      for (index_t i = 0; i < c; ++i) {
+        T acc{};
+        for (index_t q = i; q < c; ++q) acc += S(i, q) * G(q, c);
+        S(i, c) = -t * acc;
+      }
+      S(c, c) = t;
+    }
+  } else {
+    // S(c, 0:c) = -tau_c * G(c, 0:c) * S(0:c, 0:c).
+    for (index_t c = 0; c < jb; ++c) {
+      const T t = tau[c];
+      for (index_t q = 0; q < c; ++q) {
+        T acc{};
+        for (index_t i = q; i < c; ++i) acc += G(c, i) * S(i, q);
+        S(c, q) = -t * acc;
+      }
+      S(c, c) = t;
+    }
+  }
+  return S;
+}
+
+/// Out := (I - V S V^H) * Out -- the block-reflector application, as three
+/// gemms routed through the packed engine.
+template <class T>
+void apply_block_reflector(const Matrix<T>& V, const Matrix<T>& Vc,
+                           const Matrix<T>& S, MatrixView<T> Out) {
+  const index_t jb = V.cols();
+  Matrix<T> W(jb, Out.cols());
+  gemm(T{1}, ConstMatrixView<T>(Vc.view()), Op::kTrans,
+       ConstMatrixView<T>(Out), Op::kNoTrans, T{0}, W.view());
+  Matrix<T> W2(jb, Out.cols());
+  gemm(T{1}, ConstMatrixView<T>(S.view()), Op::kNoTrans,
+       ConstMatrixView<T>(W.view()), Op::kNoTrans, T{0}, W2.view());
+  gemm(T{-1}, ConstMatrixView<T>(V.view()), Op::kNoTrans,
+       ConstMatrixView<T>(W2.view()), Op::kNoTrans, T{1}, Out);
+}
+
+/// Apply the ordered product of reflectors [j0, j0+jb) to Out's rows
+/// [j0, m) via the compact WY form (see reflector_t_factor for the order).
+template <class T>
+void apply_reflector_panel(ConstMatrixView<T> QR, const T* tau, index_t j0,
+                           index_t jb, bool forward, MatrixView<T> Out) {
+  Matrix<T> V, Vc;
+  materialize_v(QR, tau, j0, jb, V, Vc);
+  Matrix<T> S = reflector_t_factor(V, Vc, tau, jb, forward);
+  apply_block_reflector(V, Vc, S, Out);
+}
+
+/// Scalar fallback: C := (H_0 ... H_{k-1}) * C, one reflector at a time
+/// (the pre-WY loop; exact arithmetic kept for tiny problems).
+template <class T>
+void apply_q_left_unblocked(ConstMatrixView<T> QR, const std::vector<T>& tau,
+                            MatrixView<T> C) {
+  const index_t m = QR.rows();
+  const index_t k = QR.cols();
+  for (index_t j = k - 1; j >= 0; --j) {
+    const T tau_j = tau[static_cast<std::size_t>(j)];
+    if (tau_j == T{0}) continue;
+    for (index_t c = 0; c < C.cols(); ++c) {
+      T w = C(j, c);
+      for (index_t i = j + 1; i < m; ++i) w += conj_if(QR(i, j)) * C(i, c);
+      w *= tau_j;
+      C(j, c) -= w;
+      for (index_t i = j + 1; i < m; ++i) C(i, c) -= w * QR(i, j);
+    }
+  }
+}
+
+}  // namespace detail
+
+/// C := Q * C with Q = H_0 H_1 ... H_{k-1} from a householder_qr output
+/// (C.rows() == QR.rows()). Large problems go panel by panel through the
+/// compact WY form, turning the reflector applications into rank-jb gemm
+/// updates on the packed engine.
+template <class T>
+void apply_q_left(ConstMatrixView<T> QR, const std::vector<T>& tau,
+                  MatrixView<T> C) {
+  const index_t m = QR.rows();
+  const index_t k = QR.cols();
+  assert(C.rows() == m);
+  if (m < detail::kQrBlockedMinRows || k < detail::kQrBlockedMinCols) {
+    detail::apply_q_left_unblocked(QR, tau, C);
+    return;
+  }
+  const index_t panels = (k + detail::kQrPanel - 1) / detail::kQrPanel;
+  for (index_t panel = panels - 1; panel >= 0; --panel) {
+    const index_t j0 = panel * detail::kQrPanel;
+    const index_t jb = std::min(detail::kQrPanel, k - j0);
+    detail::apply_reflector_panel(QR, tau.data() + j0, j0, jb,
+                                  /*forward=*/true,
+                                  C.block(j0, 0, m - j0, C.cols()));
+  }
+}
+
 /// In-place Householder QR of an m x k matrix (m >= k). On exit the upper
 /// triangle holds R and the Householder vectors are stored below the
 /// diagonal (v_j(j) = 1 implicit); tau holds the reflector coefficients.
+/// Panels of kQrPanel columns are factored with the scalar loop; the
+/// trailing columns receive the whole panel at once as a compact-WY block
+/// reflector (three packed gemms) instead of one rank-1 update per column.
 template <class T>
 void householder_qr(MatrixView<T> A, std::vector<T>& tau) {
   const index_t m = A.rows();
   const index_t k = A.cols();
   tau.assign(static_cast<std::size_t>(k), T{0});
-  for (index_t j = 0; j < k; ++j) {
-    // Build the reflector for column j.
-    real_of_t<T> xnorm2 = 0;
-    for (index_t i = j + 1; i < m; ++i) xnorm2 += abs2(A(i, j));
-    const T alpha = A(j, j);
-    if (xnorm2 == 0) {
-      // Column is already upper triangular; no reflector needed.
-      tau[static_cast<std::size_t>(j)] = T{0};
-      continue;
+  const bool blocked = m >= detail::kQrBlockedMinRows && k > detail::kQrPanel;
+  const index_t panel_w = blocked ? detail::kQrPanel : k;
+  for (index_t j0 = 0; j0 < k; j0 += panel_w) {
+    const index_t jend = std::min(k, j0 + panel_w);
+    for (index_t j = j0; j < jend; ++j) {
+      // Build the reflector for column j.
+      real_of_t<T> xnorm2 = 0;
+      for (index_t i = j + 1; i < m; ++i) xnorm2 += abs2(A(i, j));
+      const T alpha = A(j, j);
+      if (xnorm2 == 0) {
+        // Column is already upper triangular; no reflector needed.
+        tau[static_cast<std::size_t>(j)] = T{0};
+        continue;
+      }
+      const real_of_t<T> anorm = std::sqrt(abs2(alpha) + xnorm2);
+      // beta = -sign(alpha) * ||x|| (complex sign: alpha/|alpha|).
+      T beta;
+      if (std::abs(alpha) == real_of_t<T>{0}) {
+        beta = T{-anorm};
+      } else {
+        beta = -(alpha / std::abs(alpha)) * anorm;
+      }
+      const T tau_j = (beta - alpha) / beta;
+      const T scale = T{1} / (alpha - beta);
+      for (index_t i = j + 1; i < m; ++i) A(i, j) *= scale;
+      A(j, j) = beta;
+      tau[static_cast<std::size_t>(j)] = tau_j;
+      // Apply (I - tau v v^H) to the remaining columns of this panel.
+      for (index_t c = j + 1; c < jend; ++c) {
+        T w = A(j, c);
+        for (index_t i = j + 1; i < m; ++i) w += conj_if(A(i, j)) * A(i, c);
+        w *= tau_j;
+        A(j, c) -= w;
+        for (index_t i = j + 1; i < m; ++i) A(i, c) -= w * A(i, j);
+      }
     }
-    const real_of_t<T> anorm = std::sqrt(abs2(alpha) + xnorm2);
-    // beta = -sign(alpha) * ||x|| (complex sign: alpha/|alpha|).
-    T beta;
-    if (std::abs(alpha) == real_of_t<T>{0}) {
-      beta = T{-anorm};
-    } else {
-      beta = -(alpha / std::abs(alpha)) * anorm;
-    }
-    const T tau_j = (beta - alpha) / beta;
-    const T scale = T{1} / (alpha - beta);
-    for (index_t i = j + 1; i < m; ++i) A(i, j) *= scale;
-    A(j, j) = beta;
-    tau[static_cast<std::size_t>(j)] = tau_j;
-    // Apply (I - tau v v^H) to the remaining columns.
-    for (index_t c = j + 1; c < k; ++c) {
-      T w = A(j, c);
-      for (index_t i = j + 1; i < m; ++i) w += conj_if(A(i, j)) * A(i, c);
-      w *= tau_j;
-      A(j, c) -= w;
-      for (index_t i = j + 1; i < m; ++i) A(i, c) -= w * A(i, j);
+    // Trailing update: the panel's reflectors were applied in order
+    // H_{jend-1} ... H_{j0} (each column saw the earlier ones first), so
+    // the block application uses the backward product.
+    if (jend < k) {
+      detail::apply_reflector_panel(
+          ConstMatrixView<T>(A), tau.data() + j0, j0, jend - j0,
+          /*forward=*/false, A.block(j0, jend, m - j0, k - jend));
     }
   }
 }
@@ -72,17 +230,7 @@ Matrix<T> form_q_thin(ConstMatrixView<T> QR, const std::vector<T>& tau) {
   const index_t k = QR.cols();
   Matrix<T> Q(m, k);
   for (index_t j = 0; j < k; ++j) Q(j, j) = T{1};
-  for (index_t j = k - 1; j >= 0; --j) {
-    const T tau_j = tau[static_cast<std::size_t>(j)];
-    if (tau_j == T{0}) continue;
-    for (index_t c = 0; c < k; ++c) {
-      T w = Q(j, c);
-      for (index_t i = j + 1; i < m; ++i) w += conj_if(QR(i, j)) * Q(i, c);
-      w *= tau_j;
-      Q(j, c) -= w;
-      for (index_t i = j + 1; i < m; ++i) Q(i, c) -= w * QR(i, j);
-    }
-  }
+  apply_q_left(QR, tau, Q.view());
   return Q;
 }
 
@@ -300,16 +448,21 @@ void truncate_rk(RkFactors<T>& rk, real_of_t<T> eps) {
   householder_qr(QRu.view(), tau_u);
   householder_qr(QRv.view(), tau_v);
 
-  // Core C = Ru * Rv^T (k x k); R factors are upper triangular, so the
-  // inner sum starts at max(i, j).
-  Matrix<T> C(k, k);
+  // Core C = Ru * Rv^T (k x k). Extract the upper-triangular R factors
+  // (zero below the diagonal -- the QR storage keeps reflector vectors
+  // there) and route the k^3 product through gemm instead of a naive
+  // triple loop: for the k ~ few-hundred cores of Rk arithmetic this is
+  // the dominant cost of a truncation.
+  Matrix<T> Ru(k, k), Rv(k, k);
   for (index_t j = 0; j < k; ++j)
-    for (index_t i = 0; i < k; ++i) {
-      T acc{};
-      for (index_t p = std::max(i, j); p < k; ++p)
-        acc += QRu(i, p) * QRv(j, p);
-      C(i, j) = acc;
+    for (index_t i = 0; i <= j; ++i) {
+      Ru(i, j) = QRu(i, j);
+      Rv(i, j) = QRv(i, j);
     }
+  Matrix<T> C(k, k);
+  gemm(T{1}, Ru.view(), Op::kNoTrans, Rv.view(), Op::kTrans, T{0}, C.view());
+  Ru.clear();
+  Rv.clear();
 
   Matrix<T> Uc, Vc;
   std::vector<R> sigma;
@@ -335,24 +488,13 @@ void truncate_rk(RkFactors<T>& rk, real_of_t<T> eps) {
   for (index_t j = 0; j < r; ++j)
     for (index_t i = 0; i < k; ++i) Vconj(i, j) = conj_if(Vc(i, j));
 
-  // Apply the stored Q factors to the small cores.
+  // Apply the stored Q factors to the (zero-padded) small cores via the
+  // blocked WY path.
   auto apply_q = [](const Matrix<T>& QR, const std::vector<T>& tau,
                     const Matrix<T>& core, index_t rows) {
     Matrix<T> out(rows, core.cols());
     out.block(0, 0, core.rows(), core.cols()).copy_from(core.view());
-    const index_t kk = QR.cols();
-    for (index_t j = kk - 1; j >= 0; --j) {
-      const T tau_j = tau[static_cast<std::size_t>(j)];
-      if (tau_j == T{0}) continue;
-      for (index_t c = 0; c < out.cols(); ++c) {
-        T w = out(j, c);
-        for (index_t i = j + 1; i < rows; ++i)
-          w += conj_if(QR(i, j)) * out(i, c);
-        w *= tau_j;
-        out(j, c) -= w;
-        for (index_t i = j + 1; i < rows; ++i) out(i, c) -= w * QR(i, j);
-      }
-    }
+    apply_q_left(QR.view(), tau, out.view());
     return out;
   };
   rk.U = apply_q(QRu, tau_u, Us, m);

@@ -1,0 +1,302 @@
+// Property tests for the packed cache-blocked gemm/trsm kernel engine
+// (la/pack.h + la/gemm_kernel.h + the blocked trsm of la/blas.h): both
+// dispatch targets are checked against a naive reference over all
+// transpose combinations, edge shapes around the register-tile sizes,
+// strided sub-views, the alpha/beta special cases, and every trsm
+// Side/Uplo/Op/Diag variant. Also pins down the bitwise thread-count
+// invariance the parallel solver layers rely on.
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/random.h"
+#include "la/blas.h"
+#include "la/matrix.h"
+
+namespace cs::la {
+namespace {
+
+template <class T>
+Matrix<T> random_matrix(index_t m, index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix<T> a(m, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i) a(i, j) = rng.scalar<T>();
+  return a;
+}
+
+/// Reference C := beta*C + alpha*op(A)*op(B), straight from the definition.
+template <class T>
+void naive_gemm(T alpha, ConstMatrixView<T> A, Op opA, ConstMatrixView<T> B,
+                Op opB, T beta, MatrixView<T> C) {
+  const index_t m = C.rows();
+  const index_t n = C.cols();
+  const index_t k = (opA == Op::kNoTrans) ? A.cols() : A.rows();
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i) {
+      T acc{};
+      for (index_t p = 0; p < k; ++p) {
+        const T a = (opA == Op::kNoTrans) ? A(i, p) : A(p, i);
+        const T b = (opB == Op::kNoTrans) ? B(p, j) : B(j, p);
+        acc += a * b;
+      }
+      C(i, j) = beta * C(i, j) + alpha * acc;
+    }
+}
+
+template <class T>
+struct tol;
+template <>
+struct tol<double> {
+  static constexpr double value = 1e-13;
+};
+template <>
+struct tol<complexd> {
+  static constexpr double value = 1e-13;
+};
+
+template <class T>
+class KernelTypedTest : public ::testing::Test {};
+
+using Scalars = ::testing::Types<double, complexd>;
+TYPED_TEST_SUITE(KernelTypedTest, Scalars);
+
+constexpr Op kOps[] = {Op::kNoTrans, Op::kTrans};
+
+/// Shapes straddling the micro-tile sizes (mr=8/nr=4 real, 4/4 complex),
+/// the packed-dispatch threshold, and the cache-block boundaries.
+struct Shape {
+  index_t m, n, k;
+};
+const Shape kShapes[] = {
+    {1, 1, 1},    {3, 5, 2},     {7, 4, 16},   {8, 8, 16},   {9, 5, 17},
+    {16, 12, 1},  {31, 33, 32},  {48, 48, 32}, {65, 63, 40}, {97, 30, 129},
+    {129, 97, 8}, {40, 130, 257}};
+
+TYPED_TEST(KernelTypedTest, PackedMatchesNaiveAllOps) {
+  using T = TypeParam;
+  for (const auto& s : kShapes) {
+    // gemm_packed needs real work; skip shapes its dispatch would reject.
+    if (!detail::use_packed_gemm(s.m, s.n, s.k)) continue;
+    for (Op opA : kOps)
+      for (Op opB : kOps) {
+        const auto A = (opA == Op::kNoTrans)
+                           ? random_matrix<T>(s.m, s.k, 11)
+                           : random_matrix<T>(s.k, s.m, 11);
+        const auto B = (opB == Op::kNoTrans)
+                           ? random_matrix<T>(s.k, s.n, 13)
+                           : random_matrix<T>(s.n, s.k, 13);
+        Matrix<T> C(s.m, s.n);
+        detail::gemm_packed(T{2}, A.view(), opA, B.view(), opB, C.view(),
+                            /*parallel=*/false);
+        Matrix<T> R(s.m, s.n);
+        naive_gemm(T{2}, A.view(), opA, B.view(), opB, T{0}, R.view());
+        EXPECT_LT(rel_diff(C.cview(), R.cview()), tol<T>::value)
+            << "m=" << s.m << " n=" << s.n << " k=" << s.k;
+      }
+  }
+}
+
+TYPED_TEST(KernelTypedTest, UnpackedMatchesNaiveAllOps) {
+  using T = TypeParam;
+  for (const auto& s : kShapes) {
+    for (Op opA : kOps)
+      for (Op opB : kOps) {
+        const auto A = (opA == Op::kNoTrans)
+                           ? random_matrix<T>(s.m, s.k, 17)
+                           : random_matrix<T>(s.k, s.m, 17);
+        const auto B = (opB == Op::kNoTrans)
+                           ? random_matrix<T>(s.k, s.n, 19)
+                           : random_matrix<T>(s.n, s.k, 19);
+        Matrix<T> C(s.m, s.n);
+        detail::gemm_unpacked(T{1}, A.view(), opA, B.view(), opB, C.view(),
+                              /*parallel=*/false);
+        Matrix<T> R(s.m, s.n);
+        naive_gemm(T{1}, A.view(), opA, B.view(), opB, T{0}, R.view());
+        EXPECT_LT(rel_diff(C.cview(), R.cview()), tol<T>::value);
+      }
+  }
+}
+
+TYPED_TEST(KernelTypedTest, DispatchAlphaBetaCases) {
+  using T = TypeParam;
+  Rng rng(23);
+  const T generic = rng.scalar<T>();
+  const std::vector<T> alphas = {T{0}, T{1}, T{-1}, generic};
+  const std::vector<T> betas = {T{0}, T{1}, T{-1}, generic};
+  const Shape shapes[] = {{9, 7, 5}, {48, 48, 32}};
+  for (const auto& s : shapes) {
+    const auto A = random_matrix<T>(s.m, s.k, 29);
+    const auto B = random_matrix<T>(s.k, s.n, 31);
+    for (const T& alpha : alphas)
+      for (const T& beta : betas) {
+        auto C = random_matrix<T>(s.m, s.n, 37);
+        auto R = random_matrix<T>(s.m, s.n, 37);
+        gemm(alpha, A.view(), Op::kNoTrans, B.view(), Op::kNoTrans, beta,
+             C.view());
+        naive_gemm(alpha, A.view(), Op::kNoTrans, B.view(), Op::kNoTrans, beta,
+                   R.view());
+        EXPECT_LT(rel_diff(C.cview(), R.cview()), tol<T>::value);
+      }
+  }
+}
+
+TYPED_TEST(KernelTypedTest, StridedSubviewOperands) {
+  using T = TypeParam;
+  // All operands are interior blocks of larger arrays, so every view has
+  // ld > rows; the pack routines must honor the stride.
+  const index_t m = 70, n = 50, k = 90;
+  auto Abig = random_matrix<T>(m + 13, k + 7, 41);
+  auto Bbig = random_matrix<T>(k + 5, n + 9, 43);
+  auto Cbig = random_matrix<T>(m + 3, n + 4, 47);
+  auto Rbig = Matrix<T>(m + 3, n + 4);
+  Rbig.view().copy_from(Cbig.cview());
+  ConstMatrixView<T> A = Abig.block(5, 3, m, k);
+  ConstMatrixView<T> B = Bbig.block(2, 6, k, n);
+  gemm(T{-1}, A, Op::kNoTrans, B, Op::kNoTrans, T{1},
+       Cbig.view().block(1, 2, m, n));
+  naive_gemm(T{-1}, A, Op::kNoTrans, B, Op::kNoTrans, T{1},
+             Rbig.view().block(1, 2, m, n));
+  // Surroundings must be untouched, interior must match: compare wholesale.
+  EXPECT_LT(rel_diff(Cbig.cview(), Rbig.cview()), tol<T>::value);
+
+  // Transposed strided operands through the packed path.
+  ConstMatrixView<T> At = Abig.block(5, 3, k, m - 10);
+  Matrix<T> C2(m - 10, n);
+  Matrix<T> R2(m - 10, n);
+  gemm(T{1}, At, Op::kTrans, B, Op::kNoTrans, T{0}, C2.view());
+  naive_gemm(T{1}, At, Op::kTrans, B, Op::kNoTrans, T{0}, R2.view());
+  EXPECT_LT(rel_diff(C2.cview(), R2.cview()), tol<T>::value);
+}
+
+TYPED_TEST(KernelTypedTest, EmptyAndRankOneShapes) {
+  using T = TypeParam;
+  // Degenerate dims must not crash and must leave C consistent; k == 1 is
+  // the ACA rank-1 update path and must stay on the unpacked kernel.
+  EXPECT_FALSE(detail::use_packed_gemm(500, 500, 1));
+  const index_t dims[] = {0, 1};
+  for (index_t m : dims)
+    for (index_t n : dims)
+      for (index_t k : dims) {
+        const auto A = random_matrix<T>(m, k, 53);
+        const auto B = random_matrix<T>(k, n, 59);
+        Matrix<T> C(m, n);
+        Matrix<T> R(m, n);
+        gemm(T{1}, A.view(), Op::kNoTrans, B.view(), Op::kNoTrans, T{0},
+             C.view());
+        naive_gemm(T{1}, A.view(), Op::kNoTrans, B.view(), Op::kNoTrans, T{0},
+                   R.view());
+        EXPECT_LT(rel_diff(C.cview(), R.cview()), tol<T>::value);
+      }
+  // Tall rank-1 update (the ACA shape).
+  const auto u = random_matrix<T>(300, 1, 61);
+  const auto v = random_matrix<T>(200, 1, 67);
+  Matrix<T> C(300, 200);
+  Matrix<T> R(300, 200);
+  gemm(T{1}, u.view(), Op::kNoTrans, v.view(), Op::kTrans, T{0}, C.view());
+  naive_gemm(T{1}, u.view(), Op::kNoTrans, v.view(), Op::kTrans, T{0},
+             R.view());
+  EXPECT_LT(rel_diff(C.cview(), R.cview()), tol<T>::value);
+}
+
+TYPED_TEST(KernelTypedTest, GemmBitwiseThreadInvariance) {
+  using T = TypeParam;
+  const auto A = random_matrix<T>(150, 170, 71);
+  const auto B = random_matrix<T>(170, 140, 73);
+  Matrix<T> C1(150, 140), C4(150, 140);
+  {
+    ScopedNumThreads one(1);
+    gemm(T{1}, A.view(), Op::kNoTrans, B.view(), Op::kNoTrans, T{0},
+         C1.view());
+  }
+  {
+    ScopedNumThreads four(4);
+    gemm(T{1}, A.view(), Op::kNoTrans, B.view(), Op::kNoTrans, T{0},
+         C4.view());
+  }
+  for (index_t j = 0; j < C1.cols(); ++j)
+    for (index_t i = 0; i < C1.rows(); ++i) EXPECT_EQ(C1(i, j), C4(i, j));
+}
+
+/// Well-conditioned triangular test matrix: mild off-diagonal entries and
+/// a dominant diagonal so residual comparisons stay tight.
+template <class T>
+Matrix<T> random_triangular(index_t n, Uplo uplo, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix<T> a(n, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) {
+      const bool stored = (uplo == Uplo::kLower) ? (i >= j) : (i <= j);
+      if (!stored) continue;
+      a(i, j) = rng.scalar<T>() * T{0.25};
+    }
+  for (index_t i = 0; i < n; ++i) a(i, i) = T{2} + a(i, i);
+  return a;
+}
+
+TYPED_TEST(KernelTypedTest, TrsmAllVariantsMatchUnblocked) {
+  using T = TypeParam;
+  const index_t sizes[] = {1, 7, 33, 64, 65, 97, 130};
+  const index_t other = 37;  // crosses the 32-wide slab boundary
+  for (index_t n : sizes) {
+    for (Uplo uplo : {Uplo::kLower, Uplo::kUpper})
+      for (Op op : kOps)
+        for (Diag diag : {Diag::kUnit, Diag::kNonUnit})
+          for (Side side : {Side::kLeft, Side::kRight}) {
+            const auto A = random_triangular<T>(n, uplo, 79 + n);
+            const auto B0 = (side == Side::kLeft)
+                                ? random_matrix<T>(n, other, 83)
+                                : random_matrix<T>(other, n, 83);
+            Matrix<T> X(B0.rows(), B0.cols());
+            X.view().copy_from(B0.cview());
+            trsm(side, uplo, op, diag, A.cview(), X.view());
+            Matrix<T> R(B0.rows(), B0.cols());
+            R.view().copy_from(B0.cview());
+            if (side == Side::kLeft) {
+              detail::trsm_left_unblocked(uplo, op, diag, A.cview(), R.view());
+            } else {
+              detail::trsm_right_unblocked(uplo, op, diag, A.cview(),
+                                           R.view());
+            }
+            EXPECT_LT(rel_diff(X.cview(), R.cview()), 1e-11)
+                << "n=" << n << " uplo=" << (uplo == Uplo::kLower ? "L" : "U")
+                << " op=" << (op == Op::kTrans ? "T" : "N")
+                << " diag=" << (diag == Diag::kUnit ? "unit" : "nonunit")
+                << " side=" << (side == Side::kLeft ? "left" : "right");
+          }
+  }
+}
+
+TYPED_TEST(KernelTypedTest, TrsmRightWideBParallelRegression) {
+  using T = TypeParam;
+  // The right-side solve parallelizes over row slabs of B; a B much taller
+  // than the slab width exercises many independent slabs. Must equal the
+  // serial unblocked solve and be bitwise thread-count invariant.
+  const index_t n = 97, m = 301;
+  const auto A = random_triangular<T>(n, Uplo::kUpper, 89);
+  const auto B0 = random_matrix<T>(m, n, 97);
+  Matrix<T> X1(m, n), X4(m, n), R(m, n);
+  X1.view().copy_from(B0.cview());
+  X4.view().copy_from(B0.cview());
+  R.view().copy_from(B0.cview());
+  {
+    ScopedNumThreads one(1);
+    trsm(Side::kRight, Uplo::kUpper, Op::kNoTrans, Diag::kNonUnit, A.cview(),
+         X1.view());
+  }
+  {
+    ScopedNumThreads four(4);
+    trsm(Side::kRight, Uplo::kUpper, Op::kNoTrans, Diag::kNonUnit, A.cview(),
+         X4.view());
+  }
+  detail::trsm_right_unblocked(Uplo::kUpper, Op::kNoTrans, Diag::kNonUnit,
+                               A.cview(), R.view());
+  EXPECT_LT(rel_diff(X1.cview(), R.cview()), 1e-11);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i) EXPECT_EQ(X1(i, j), X4(i, j));
+}
+
+}  // namespace
+}  // namespace cs::la
