@@ -35,14 +35,46 @@ std::string CliArgs::get(const std::string& name,
   return it == values_.end() ? fallback : it->second;
 }
 
+namespace {
+
+// A malformed value must be a usage error naming the offending flag, not
+// an uncaught std::invalid_argument aborting the process. Requires the
+// whole value to parse (rejects "--n=12abc"), exits like an unknown flag.
+[[noreturn]] void bad_value(const std::string& name, const std::string& value,
+                            const char* kind) {
+  std::fprintf(stderr, "invalid value for --%s: '%s' is not %s (see --help)\n",
+               name.c_str(), value.c_str(), kind);
+  std::exit(2);
+}
+
+}  // namespace
+
 long long CliArgs::get_int(const std::string& name, long long fallback) const {
   auto it = values_.find(name);
-  return it == values_.end() ? fallback : std::stoll(it->second);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t used = 0;
+    const long long v = std::stoll(it->second, &used);
+    if (used != it->second.size() || it->second.empty())
+      bad_value(name, it->second, "an integer");
+    return v;
+  } catch (const std::exception&) {
+    bad_value(name, it->second, "an integer");
+  }
 }
 
 double CliArgs::get_double(const std::string& name, double fallback) const {
   auto it = values_.find(name);
-  return it == values_.end() ? fallback : std::stod(it->second);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(it->second, &used);
+    if (used != it->second.size() || it->second.empty())
+      bad_value(name, it->second, "a number");
+    return v;
+  } catch (const std::exception&) {
+    bad_value(name, it->second, "a number");
+  }
 }
 
 bool CliArgs::get_bool(const std::string& name, bool fallback) const {

@@ -46,4 +46,13 @@ bool parse(const std::string& text, Value* out, std::string* error);
 /// Escape a string for embedding between double quotes in JSON output.
 std::string escape(const std::string& s);
 
+/// Render a double as a JSON token: full round-trip precision (%.17g) for
+/// finite values, the literal `null` for NaN/inf. Bare `nan`/`inf` is not
+/// valid JSON — jq, Perfetto and this parser all reject it — and the
+/// report/trace writers hit non-finite values routinely (NaN
+/// relative_error from a failed run, inf compression ratio from a
+/// division by zero). Every hand-rolled writer must emit numbers through
+/// this helper.
+std::string number(double v);
+
 }  // namespace cs::json

@@ -200,9 +200,10 @@ std::string Tracer::to_json() const {
       std::snprintf(buf, sizeof(buf), "%.3f", e.ts_us);
       out += buf;
       if (e.phase == TracePhase::kCounter) {
-        std::snprintf(buf, sizeof(buf), "%.17g", e.counter_value);
+        // json::number: a non-finite counter value must render as null,
+        // never as bare nan/inf (invalid JSON).
         out += ",\"args\":{\"value\":";
-        out += buf;
+        out += json::number(e.counter_value);
         out += "}";
       } else if (e.phase == TracePhase::kInstant) {
         out += ",\"s\":\"t\"";
@@ -259,9 +260,9 @@ std::size_t Tracer::dropped_count() const {
 // -- TraceSpan ---------------------------------------------------------------
 
 std::string TraceSpan::format_number(double value) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", value);
-  return buf;
+  // Span args land verbatim inside the exported JSON: non-finite doubles
+  // must become null there too.
+  return json::number(value);
 }
 
 void TraceSpan::append(const char* key, const std::string& rendered) {

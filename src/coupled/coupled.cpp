@@ -1,6 +1,8 @@
 #include "coupled/coupled.h"
 
 #include <atomic>
+#include <cmath>
+#include <complex>
 #include <functional>
 #include <optional>
 #include <thread>
@@ -33,10 +35,20 @@ const char* strategy_name(Strategy s) {
 }
 
 std::string validate_config(const Config& c) {
+  // Blocking parameters are validated for every strategy (the resilient
+  // driver may halve/double them, and a nonsensical value should fail fast
+  // rather than survive until a strategy switch), but only the strategies
+  // that consume them impose cross-field constraints:
+  //   * n_c drives the multi-solve family and the slab width of the
+  //     advanced coupling's A_ss materialization;
+  //   * n_S only matters for kMultiSolveCompressed (panel = max(n_S, n_c));
+  //   * n_b only matters for the multi-factorization pair;
+  //   * kMultiSolveRandomized ignores n_c/n_S/n_b entirely — its blocking
+  //     is the adaptive sample size (rand_initial_rank, doubled until the
+  //     posterior probe passes, capped at rand_max_rank_ratio * n_BEM).
   if (c.n_c < 1) return "n_c must be >= 1";
+  if (c.n_S < 1) return "n_S must be >= 1";
   if (c.n_b < 1) return "n_b must be >= 1";
-  // n_S is only meaningful for the compressed multi-solve; the other
-  // strategies ignore it (and kMultiSolve with a huge n_c is legal).
   if (c.strategy == Strategy::kMultiSolveCompressed && c.n_S < c.n_c)
     return "n_S must be >= n_c for the compressed multi-solve";
   if (!(c.eps > 0)) return "eps must be > 0";
@@ -53,6 +65,51 @@ std::string validate_config(const Config& c) {
     return "ooc_dir must be non-empty when out_of_core is on";
   return FailpointRegistry::check(c.failpoints);
 }
+
+namespace detail {
+
+/// Everything FactoredCoupled keeps alive between solves. The strategy
+/// runners fill this in as they finish: the interior multifrontal factors,
+/// exactly one of the dense / H-matrix Schur factorizations, the surface
+/// cluster tree (whose permutation maps caller <-> tree coordinates) and
+/// the coupling block in tree row order.
+template <class T>
+struct FactoredImpl {
+  const fembem::CoupledSystem<T>* sys = nullptr;  ///< borrowed; outlives us
+  Config cfg;         ///< effective config after degrade-and-retry
+  SolveStats fstats;  ///< factorization-run stats (nrhs == 0)
+  bool ok = false;
+
+  std::optional<hmat::ClusterTree> tree;
+  sparse::Csr<T> A_sv_tree;  ///< coupling rows permuted to tree order
+  sparsedirect::MultifrontalSolver<T> interior;
+  dense::DenseSolver<T> schur_dense;
+  std::optional<hmat::HMatrix<T>> schur_h;
+
+  /// In-place S X = B in tree coordinates, through whichever Schur
+  /// factorization the strategy kept.
+  void schur_solve(la::MatrixView<T> B) const {
+    if (schur_h) {
+      schur_h->solve(B);
+    } else {
+      schur_dense.solve(B);
+    }
+  }
+
+  /// Drop whatever a failed attempt may have left behind. Strategy
+  /// runners only store factors after everything succeeded, but a retry
+  /// must never see state from a previous attempt.
+  void reset_factors() {
+    ok = false;
+    tree.reset();
+    A_sv_tree = sparse::Csr<T>();
+    interior = sparsedirect::MultifrontalSolver<T>();
+    schur_dense = dense::DenseSolver<T>();
+    schur_h.reset();
+  }
+};
+
+}  // namespace detail
 
 namespace {
 
@@ -107,27 +164,30 @@ struct Degrade {
   bool dense_ldlt_ok = true;   ///< false: factor the dense Schur with LU
 };
 
-/// Shared context of one coupled solve.
+/// Shared context of one factorization attempt. The strategy runner fills
+/// `out` with the factors it produced; run_strategy moves the shared
+/// pieces (cluster tree, tree-ordered coupling block) in afterwards.
 template <class T>
 struct Run {
   const CoupledSystem<T>& sys;
   const Config& cfg;
   const Degrade& deg;
   SolveStats& stats;
+  detail::FactoredImpl<T>& out;
   ClusterTree tree;            // surface dof clustering
   sparse::Csr<T> A_sv_tree;    // coupling rows in tree order
-  la::Vector<T> b_s_tree;
   PermutedGenerator<T> gen_tree;
 
   Run(const CoupledSystem<T>& s, const Config& c, const Degrade& d,
-      SolveStats& st)
+      SolveStats& st, detail::FactoredImpl<T>& o)
       : sys(s),
         cfg(c),
         deg(d),
         stats(st),
+        out(o),
         tree(s.surface_points(), c.hmat_leaf),
         gen_tree(*s.A_ss, tree.original_of_tree()) {
-    // Permute coupling rows and the surface right-hand side once.
+    // Permute the coupling rows once.
     const auto& perm = tree.tree_of_original();
     sparse::Triplets<T> trip(sys.ns(), sys.nv());
     for (index_t r = 0; r < sys.A_sv.rows(); ++r)
@@ -135,9 +195,6 @@ struct Run {
         trip.add(perm[static_cast<std::size_t>(r)], sys.A_sv.col(k),
                  sys.A_sv.value(k));
     A_sv_tree = sparse::Csr<T>::from_triplets(trip);
-    b_s_tree = la::Vector<T>(sys.ns());
-    for (index_t r = 0; r < sys.ns(); ++r)
-      b_s_tree[perm[static_cast<std::size_t>(r)]] = sys.b_s[r];
   }
 
   SolverOptions sparse_options(bool symmetric, index_t schur_size) const {
@@ -175,93 +232,152 @@ struct Run {
     ho.eta = cfg.eta;
     return ho;
   }
+};
 
-  /// Common finishing sequence (paper eq. (7)): forms the reduced
-  /// right-hand side, solves the Schur system and back-substitutes.
-  /// `interior` must solve A_vv X = B in place (the leading block of
-  /// whatever factorization the strategy kept); `schur_solve` solves
-  /// S X = B in place in tree coordinates.
-  void finish(const MultifrontalSolver<T>& interior,
-              const std::function<void(MatrixView<T>)>& schur_solve) {
-    ScopedPhase phase(stats.phases, "solution");
-    TraceSpan span("phase", "solution");
-    const index_t nv = sys.nv();
-    const index_t ns = sys.ns();
+/// Common solution sequence (paper eq. (7)), generalized to an nrhs-column
+/// block: forms the reduced right-hand side, solves the Schur system,
+/// back-substitutes and optionally refines — all on blocks. On entry
+/// B_v/B_s hold right-hand-side columns in caller coordinates; on return
+/// they hold the solution. Every kernel involved (spmm, spmm_trans,
+/// generator_multiply, the triangular block solves) accumulates each
+/// column independently in a fixed scan order, so column j of the result
+/// is bitwise identical to a single-column solve of that column, at any
+/// thread count.
+template <class T>
+void solve_batch(const detail::FactoredImpl<T>& f, MatrixView<T> B_v,
+                 MatrixView<T> B_s, SolveStats& stats) {
+  const CoupledSystem<T>& sys = *f.sys;
+  const index_t nv = sys.nv();
+  const index_t ns = sys.ns();
+  const index_t nrhs = B_v.cols();
+  ScopedPhase phase(stats.phases, "solution");
+  TraceSpan span("phase", "solution");
+  span.arg("nrhs", static_cast<long long>(nrhs));
 
-    // y_v = A_vv^{-1} b_v.
-    Matrix<T> yv(nv, 1);
+  const auto& perm = f.tree->tree_of_original();
+  const auto& orig = f.tree->original_of_tree();
+
+  // Refinement re-applies the exact operator against the original
+  // right-hand side after B_v/B_s have been overwritten with the solution.
+  Matrix<T> Bv0, Bs0;
+  if (f.cfg.refine_iterations > 0) {
+    Bv0 = Matrix<T>(nv, nrhs);
+    Bs0 = Matrix<T>(ns, nrhs);
+    Bv0.view().copy_from(la::ConstMatrixView<T>(B_v));
+    Bs0.view().copy_from(la::ConstMatrixView<T>(B_s));
+  }
+
+  {
+    // y_v = A_vv^{-1} B_v.
+    Matrix<T> yv(nv, nrhs);
     {
       StageScope stage(stats.stages, "solution.interior_solve");
-      for (index_t i = 0; i < nv; ++i) yv(i, 0) = sys.b_v[i];
-      interior.solve(yv.view());
+      stage.span().arg("nrhs", static_cast<long long>(nrhs));
+      yv.view().copy_from(la::ConstMatrixView<T>(B_v));
+      f.interior.solve(yv.view());
     }
 
-    // t = b_s - A_sv y_v (tree order).
-    Matrix<T> t(ns, 1);
-    for (index_t i = 0; i < ns; ++i) t(i, 0) = b_s_tree[i];
-    A_sv_tree.spmv(T{-1}, &yv(0, 0), T{1}, &t(0, 0));
+    // T = B_s - A_sv Y_v (tree order).
+    Matrix<T> t(ns, nrhs);
+    for (index_t j = 0; j < nrhs; ++j)
+      for (index_t i = 0; i < ns; ++i)
+        t(perm[static_cast<std::size_t>(i)], j) = B_s(i, j);
+    f.A_sv_tree.spmm(T{-1}, la::ConstMatrixView<T>(yv.view()), T{1},
+                     t.view());
 
-    // x_s = S^{-1} t.
+    // X_s = S^{-1} T.
     {
       StageScope stage(stats.stages, "solution.schur_solve");
-      schur_solve(t.view());
+      stage.span().arg("nrhs", static_cast<long long>(nrhs));
+      f.schur_solve(t.view());
     }
 
-    // x_v = A_vv^{-1} (b_v - A_sv^T x_s).
-    Matrix<T> rv(nv, 1);
+    // X_v = A_vv^{-1} (B_v - A_sv^T X_s).
+    Matrix<T> rv(nv, nrhs);
     {
       StageScope stage(stats.stages, "solution.interior_solve");
-      for (index_t i = 0; i < nv; ++i) rv(i, 0) = sys.b_v[i];
-      A_sv_tree.spmv_trans(T{-1}, &t(0, 0), T{1}, &rv(0, 0));
-      interior.solve(rv.view());
+      stage.span().arg("nrhs", static_cast<long long>(nrhs));
+      rv.view().copy_from(la::ConstMatrixView<T>(B_v));
+      f.A_sv_tree.spmm_trans(T{-1}, la::ConstMatrixView<T>(t.view()), T{1},
+                             rv.view());
+      f.interior.solve(rv.view());
     }
 
-    // Scatter x_s back to the caller's surface ordering.
-    la::Vector<T> xs(ns), xv(nv);
-    const auto& orig = tree.original_of_tree();
-    for (index_t p = 0; p < ns; ++p)
-      xs[orig[static_cast<std::size_t>(p)]] = t(p, 0);
-    for (index_t i = 0; i < nv; ++i) xv[i] = rv(i, 0);
-
-    // Optional iterative refinement against the *exact* coupled operator
-    // (the dense block applied through its kernel generator): recovers the
-    // accuracy lost to aggressive compression.
-    for (int it = 0; it < cfg.refine_iterations; ++it) {
-      StageScope stage(stats.stages, "solution.refine");
-      stage.span().arg("sweep", static_cast<long long>(it));
-      Metrics::instance().add(Metric::kRefineSweeps, 1);
-      // Residuals in caller coordinates.
-      la::Vector<T> r_v(nv), r_s(ns);
-      for (index_t i = 0; i < nv; ++i) r_v[i] = sys.b_v[i];
-      sys.A_vv.spmv(T{-1}, xv.data(), T{1}, r_v.data());
-      sys.A_sv.spmv_trans(T{-1}, xs.data(), T{1}, r_v.data());
-      fembem::generator_matvec(*sys.A_ss, xs.data(), r_s.data());
-      for (index_t i = 0; i < ns; ++i) r_s[i] = sys.b_s[i] - r_s[i];
-      sys.A_sv.spmv(T{-1}, xv.data(), T{1}, r_s.data());
-
-      // Correction through the same factorizations.
-      Matrix<T> dy(nv, 1);
-      for (index_t i = 0; i < nv; ++i) dy(i, 0) = r_v[i];
-      interior.solve(dy.view());
-      Matrix<T> dt(ns, 1);
-      const auto& perm = tree.tree_of_original();
-      for (index_t i = 0; i < ns; ++i)
-        dt(perm[static_cast<std::size_t>(i)], 0) = r_s[i];
-      A_sv_tree.spmv(T{-1}, &dy(0, 0), T{1}, &dt(0, 0));
-      schur_solve(dt.view());
-      Matrix<T> dv(nv, 1);
-      for (index_t i = 0; i < nv; ++i) dv(i, 0) = r_v[i];
-      A_sv_tree.spmv_trans(T{-1}, &dt(0, 0), T{1}, &dv(0, 0));
-      interior.solve(dv.view());
-
+    // Scatter the solution into the caller's views; the direct-solve
+    // transients (yv, t, rv) are released before refinement allocates its
+    // own blocks (see planner.h solve_batch_bytes).
+    for (index_t j = 0; j < nrhs; ++j) {
+      for (index_t i = 0; i < nv; ++i) B_v(i, j) = rv(i, j);
       for (index_t p = 0; p < ns; ++p)
-        xs[orig[static_cast<std::size_t>(p)]] += dt(p, 0);
-      for (index_t i = 0; i < nv; ++i) xv[i] += dv(i, 0);
+        B_s(orig[static_cast<std::size_t>(p)], j) = t(p, j);
+    }
+  }
+
+  // Optional iterative refinement against the *exact* coupled operator
+  // (the dense block applied through its kernel generator): recovers the
+  // accuracy lost to aggressive compression. Runs on the whole block.
+  stats.refine_residuals.clear();
+  for (int it = 0; it < f.cfg.refine_iterations; ++it) {
+    StageScope stage(stats.stages, "solution.refine");
+    stage.span()
+        .arg("sweep", static_cast<long long>(it))
+        .arg("nrhs", static_cast<long long>(nrhs));
+    Metrics::instance().add(Metric::kRefineSweeps, 1);
+
+    // Residuals in caller coordinates: R_v = B_v0 - A_vv X_v - A_sv^T X_s,
+    // R_s = B_s0 - A_sv X_v - A_ss X_s.
+    Matrix<T> Rv(nv, nrhs), Rs(ns, nrhs);
+    Rv.view().copy_from(la::ConstMatrixView<T>(Bv0.view()));
+    sys.A_vv.spmm(T{-1}, la::ConstMatrixView<T>(B_v), T{1}, Rv.view());
+    sys.A_sv.spmm_trans(T{-1}, la::ConstMatrixView<T>(B_s), T{1}, Rv.view());
+    fembem::generator_multiply(*sys.A_ss, la::ConstMatrixView<T>(B_s),
+                               Rs.view());
+    for (index_t j = 0; j < nrhs; ++j)
+      for (index_t i = 0; i < ns; ++i) Rs(i, j) = Bs0(i, j) - Rs(i, j);
+    sys.A_sv.spmm(T{-1}, la::ConstMatrixView<T>(B_v), T{1}, Rs.view());
+
+    // Per-column convergence accounting: the relative coupled residual of
+    // the iterate entering this sweep; the last sweep's values are what
+    // SolveStats::refine_residuals reports.
+    stats.refine_residuals.assign(static_cast<std::size_t>(nrhs), 0.0);
+    for (index_t j = 0; j < nrhs; ++j) {
+      double rr = 0, bb = 0;
+      for (index_t i = 0; i < nv; ++i) {
+        rr += std::norm(Rv(i, j));
+        bb += std::norm(Bv0(i, j));
+      }
+      for (index_t i = 0; i < ns; ++i) {
+        rr += std::norm(Rs(i, j));
+        bb += std::norm(Bs0(i, j));
+      }
+      stats.refine_residuals[static_cast<std::size_t>(j)] =
+          std::sqrt(rr) / std::sqrt(std::max(1e-300, bb));
     }
 
-    stats.relative_error = sys.relative_error(xv, xs);
+    // Corrections through the same factorizations.
+    Matrix<T> dy(nv, nrhs);
+    dy.view().copy_from(la::ConstMatrixView<T>(Rv.view()));
+    f.interior.solve(dy.view());
+    Matrix<T> dt(ns, nrhs);
+    for (index_t j = 0; j < nrhs; ++j)
+      for (index_t i = 0; i < ns; ++i)
+        dt(perm[static_cast<std::size_t>(i)], j) = Rs(i, j);
+    f.A_sv_tree.spmm(T{-1}, la::ConstMatrixView<T>(dy.view()), T{1},
+                     dt.view());
+    f.schur_solve(dt.view());
+    Matrix<T> dv(nv, nrhs);
+    dv.view().copy_from(la::ConstMatrixView<T>(Rv.view()));
+    f.A_sv_tree.spmm_trans(T{-1}, la::ConstMatrixView<T>(dt.view()), T{1},
+                           dv.view());
+    f.interior.solve(dv.view());
+
+    for (index_t j = 0; j < nrhs; ++j) {
+      for (index_t i = 0; i < nv; ++i) B_v(i, j) += dv(i, j);
+      for (index_t p = 0; p < ns; ++p)
+        B_s(orig[static_cast<std::size_t>(p)], j) += dt(p, j);
+    }
   }
-};
+}
 
 /// Factor the compressed Schur H-matrix: H-LU by default, symmetric
 /// H-LDL^T (the paper's HMAT mode) when requested and applicable. A pivot
@@ -358,7 +474,8 @@ void run_multisolve(Run<T>& run, bool blocked, bool compressed) {
       TraceSpan span("phase", "dense_factorization");
       factor_schur_dense(ds, std::move(S), run);
     }
-    run.finish(mf, [&](MatrixView<T> B) { ds.solve(B); });
+    run.out.interior = std::move(mf);
+    run.out.schur_dense = std::move(ds);
   } else {
     // Compressed Schur (MUMPS/HMAT-style): A_ss assembled directly in
     // compressed form; dense Z panels folded in with compressed AXPYs.
@@ -495,7 +612,8 @@ void run_multisolve(Run<T>& run, bool blocked, bool compressed) {
       factor_schur_h(S, run);
     }
     stats.schur_bytes = std::max(stats.schur_bytes, S.memory_bytes());
-    run.finish(mf, [&](MatrixView<T> B) { S.solve(B); });
+    run.out.interior = std::move(mf);
+    run.out.schur_h = std::move(S_store);
   }
 }
 
@@ -623,7 +741,8 @@ void run_multisolve_randomized(Run<T>& run) {
     TraceSpan span("phase", "dense_factorization");
     factor_schur_h(S, run);
   }
-  run.finish(mf, [&](MatrixView<T> B) { S.solve(B); });
+  run.out.interior = std::move(mf);
+  run.out.schur_h = std::move(S_store);
 }
 
 // ---------------------------------------------------------------------------
@@ -682,7 +801,11 @@ void run_advanced(Run<T>& run) {
     TraceSpan span("phase", "dense_factorization");
     factor_schur_dense(ds, std::move(S), run);
   }
-  run.finish(mf, [&](MatrixView<T> B) { ds.solve(B); });
+  // The factorization of K = [[A_vv, A_sv^T],[A_sv, 0]] with a Schur
+  // feature on the trailing ns also serves as the interior solver: a solve
+  // with an nv-row block runs through the A_vv subsystem only.
+  run.out.interior = std::move(mf);
+  run.out.schur_dense = std::move(ds);
 }
 
 // ---------------------------------------------------------------------------
@@ -882,7 +1005,8 @@ void run_multifacto(Run<T>& run, bool compressed) {
       factor_schur_h(*S_h, run);
     }
     stats.schur_bytes = std::max(stats.schur_bytes, S_h->memory_bytes());
-    run.finish(mf_last, [&](MatrixView<T> B) { S_h->solve(B); });
+    run.out.interior = std::move(mf_last);
+    run.out.schur_h = std::move(S_h);
   } else {
     stats.schur_bytes = S_dense.size_bytes();
     dense::DenseSolver<T> ds;
@@ -891,15 +1015,18 @@ void run_multifacto(Run<T>& run, bool compressed) {
       TraceSpan span("phase", "dense_factorization");
       factor_schur_dense(ds, std::move(S_dense), run);
     }
-    run.finish(mf_last, [&](MatrixView<T> B) { ds.solve(B); });
+    run.out.interior = std::move(mf_last);
+    run.out.schur_dense = std::move(ds);
   }
 }
 
-/// One solve attempt with the effective (possibly degraded) config.
+/// One factorization attempt with the effective (possibly degraded)
+/// config. On success `out` holds the complete factorization.
 template <class T>
 void run_strategy(const CoupledSystem<T>& system, const Config& cfg,
-                  const Degrade& deg, SolveStats& stats) {
-  Run<T> run(system, cfg, deg, stats);
+                  const Degrade& deg, SolveStats& stats,
+                  detail::FactoredImpl<T>& out) {
+  Run<T> run(system, cfg, deg, stats, out);
   switch (cfg.strategy) {
     case Strategy::kBaselineCoupling:
       run_multisolve(run, /*blocked=*/false, /*compressed=*/false);
@@ -923,6 +1050,9 @@ void run_strategy(const CoupledSystem<T>& system, const Config& cfg,
       run_multisolve_randomized(run);
       break;
   }
+  // The runner stored its solvers; move the shared pieces in with them.
+  out.tree = std::move(run.tree);
+  out.A_sv_tree = std::move(run.A_sv_tree);
 }
 
 /// Map the in-flight exception onto the structured taxonomy. Call from a
@@ -1028,25 +1158,60 @@ const char* plan_recovery(const SolveError& err, Config& cfg, Degrade& deg,
   return nullptr;
 }
 
-}  // namespace
-
+/// Degrade-and-retry driver shared by solve_coupled and factorize_coupled:
+/// one attempt = factorization (run_strategy) plus the caller-supplied
+/// `after` step (the solution phase for solve_coupled, nothing for
+/// factorize_coupled). A failure in either part is classified, fed through
+/// plan_recovery and retried with the degraded config — exactly the
+/// historical whole-run retry semantics. The effective config ends up in
+/// impl.cfg.
 template <class T>
-SolveStats solve_coupled(const CoupledSystem<T>& system,
-                         const Config& config) {
-  SolveStats stats;
-  stats.n_fem = system.nv();
-  stats.n_bem = system.ns();
-  stats.n_total = system.total();
-
-  {
-    const std::string problem = validate_config(config);
-    if (!problem.empty()) {
-      stats.error = SolveError{ErrorCode::kInternal, "config", problem};
+void run_attempts(const CoupledSystem<T>& system, const Config& config,
+                  detail::FactoredImpl<T>& impl, SolveStats& stats,
+                  const std::function<void(detail::FactoredImpl<T>&)>& after) {
+  Config eff = config;
+  Degrade deg;
+  const int max_attempts =
+      1 + (config.auto_recover ? std::max(0, config.max_recovery_attempts)
+                               : 0);
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    stats.attempts = attempt;
+    impl.reset_factors();
+    impl.cfg = eff;
+    try {
+      run_strategy(system, eff, deg, stats, impl);
+      impl.ok = true;
+      if (after) after(impl);
+      stats.success = true;
+      stats.error = SolveError{};
+      stats.failure.clear();
+      break;
+    } catch (...) {
+      stats.error = classify_current_exception();
       stats.failure = failure_text(stats.error);
-      return stats;
+      trace_instant("error", error_code_name(stats.error.code));
     }
+    if (attempt == max_attempts) break;
+    const char* action = plan_recovery(stats.error, eff, deg, system.ns());
+    if (!action) break;
+    stats.recoveries.push_back(
+        RecoveryAction{action, error_code_name(stats.error.code),
+                       stats.error.site + ": " + stats.error.detail});
+    Metrics::instance().add(Metric::kRecoveries, 1);
+    trace_instant("recovery", action);
+    log_info("recovery: ", action, " after ",
+             error_code_name(stats.error.code), " at ", stats.error.site);
   }
+  impl.cfg = eff;
+  if (!stats.success) impl.reset_factors();
+}
 
+/// Per-call scaffolding shared by solve_coupled and factorize_coupled:
+/// peak reset, budget/thread scopes, tracing session, metrics, sampler,
+/// failpoints, total timer and the end-of-run stat snapshot around `body`.
+template <class Body>
+void with_solver_session(const Config& config, SolveStats& stats,
+                         const char* span_kind, const Body& body) {
   auto& tracker = MemoryTracker::instance();
   tracker.reset_peak();
   ScopedBudget budget(config.memory_budget);
@@ -1072,41 +1237,12 @@ SolveStats solve_coupled(const CoupledSystem<T>& system,
 
   Timer total;
   {
-    TraceSpan span("solve", strategy_name(config.strategy));
+    TraceSpan span(span_kind, strategy_name(config.strategy));
     span.arg("n_total", static_cast<long long>(stats.n_total))
         .arg("n_fem", static_cast<long long>(stats.n_fem))
         .arg("n_bem", static_cast<long long>(stats.n_bem));
-
-    Config eff = config;
-    Degrade deg;
-    const int max_attempts =
-        1 + (config.auto_recover ? std::max(0, config.max_recovery_attempts)
-                                 : 0);
-    for (int attempt = 1; attempt <= max_attempts; ++attempt) {
-      stats.attempts = attempt;
-      try {
-        run_strategy(system, eff, deg, stats);
-        stats.success = true;
-        stats.error = SolveError{};
-        stats.failure.clear();
-        break;
-      } catch (...) {
-        stats.error = classify_current_exception();
-        stats.failure = failure_text(stats.error);
-        trace_instant("error", error_code_name(stats.error.code));
-      }
-      if (attempt == max_attempts) break;
-      const char* action = plan_recovery(stats.error, eff, deg, system.ns());
-      if (!action) break;
-      stats.recoveries.push_back(
-          RecoveryAction{action, error_code_name(stats.error.code),
-                         stats.error.site + ": " + stats.error.detail});
-      Metrics::instance().add(Metric::kRecoveries, 1);
-      trace_instant("recovery", action);
-      log_info("recovery: ", action, " after ",
-               error_code_name(stats.error.code), " at ", stats.error.site);
-    }
-  }  // close the "solve" span before exporting
+    body();
+  }  // close the top span before exporting
   stats.total_seconds = total.seconds();
   stats.peak_bytes = tracker.peak();
   stats.counters = Metrics::instance().snapshot();
@@ -1116,6 +1252,153 @@ SolveStats solve_coupled(const CoupledSystem<T>& system,
     if (!config.trace_path.empty()) tracer.write_json(config.trace_path);
     tracer.set_enabled(false);
   }
+}
+
+}  // namespace
+
+template <class T>
+SolveStats solve_coupled(const CoupledSystem<T>& system,
+                         const Config& config) {
+  SolveStats stats;
+  stats.n_fem = system.nv();
+  stats.n_bem = system.ns();
+  stats.n_total = system.total();
+
+  {
+    const std::string problem = validate_config(config);
+    if (!problem.empty()) {
+      stats.error = SolveError{ErrorCode::kInternal, "config", problem};
+      stats.failure = failure_text(stats.error);
+      return stats;
+    }
+  }
+
+  detail::FactoredImpl<T> impl;
+  impl.sys = &system;
+  with_solver_session(config, stats, "solve", [&] {
+    run_attempts<T>(system, config, impl, stats,
+                    [&](detail::FactoredImpl<T>& f) {
+                      // One-column batch from the system's built-in RHS.
+                      const index_t nv = system.nv();
+                      const index_t ns = system.ns();
+                      la::Matrix<T> Bv(nv, 1), Bs(ns, 1);
+                      for (index_t i = 0; i < nv; ++i)
+                        Bv(i, 0) = system.b_v[i];
+                      for (index_t i = 0; i < ns; ++i)
+                        Bs(i, 0) = system.b_s[i];
+                      stats.nrhs = 1;
+                      solve_batch(f, Bv.view(), Bs.view(), stats);
+                      la::Vector<T> xv(nv), xs(ns);
+                      for (index_t i = 0; i < nv; ++i) xv[i] = Bv(i, 0);
+                      for (index_t i = 0; i < ns; ++i) xs[i] = Bs(i, 0);
+                      stats.relative_error = system.relative_error(xv, xs);
+                    });
+  });
+  return stats;
+}
+
+template <class T>
+FactoredCoupled<T> factorize_coupled(const CoupledSystem<T>& system,
+                                     const Config& config) {
+  FactoredCoupled<T> handle;
+  handle.impl_ = std::make_unique<detail::FactoredImpl<T>>();
+  detail::FactoredImpl<T>& impl = *handle.impl_;
+  impl.sys = &system;
+  impl.cfg = config;
+  SolveStats& stats = impl.fstats;
+  stats.n_fem = system.nv();
+  stats.n_bem = system.ns();
+  stats.n_total = system.total();
+
+  {
+    const std::string problem = validate_config(config);
+    if (!problem.empty()) {
+      stats.error = SolveError{ErrorCode::kInternal, "config", problem};
+      stats.failure = failure_text(stats.error);
+      return handle;
+    }
+  }
+
+  with_solver_session(config, stats, "factorize", [&] {
+    run_attempts<T>(system, config, impl, stats, nullptr);
+  });
+  return handle;
+}
+
+// -- FactoredCoupled ---------------------------------------------------------
+
+template <class T>
+FactoredCoupled<T>::FactoredCoupled() = default;
+template <class T>
+FactoredCoupled<T>::~FactoredCoupled() = default;
+template <class T>
+FactoredCoupled<T>::FactoredCoupled(FactoredCoupled&&) noexcept = default;
+template <class T>
+FactoredCoupled<T>& FactoredCoupled<T>::operator=(FactoredCoupled&&) noexcept =
+    default;
+
+template <class T>
+bool FactoredCoupled<T>::ok() const {
+  return impl_ != nullptr && impl_->ok;
+}
+
+template <class T>
+const SolveStats& FactoredCoupled<T>::stats() const {
+  static const SolveStats empty;
+  return impl_ ? impl_->fstats : empty;
+}
+
+template <class T>
+const Config& FactoredCoupled<T>::config() const {
+  static const Config defaults;
+  return impl_ ? impl_->cfg : defaults;
+}
+
+template <class T>
+index_t FactoredCoupled<T>::nv() const {
+  return impl_ && impl_->sys ? impl_->sys->nv() : 0;
+}
+
+template <class T>
+index_t FactoredCoupled<T>::ns() const {
+  return impl_ && impl_->sys ? impl_->sys->ns() : 0;
+}
+
+template <class T>
+SolveStats FactoredCoupled<T>::solve(la::MatrixView<T> B_v,
+                                     la::MatrixView<T> B_s) const {
+  SolveStats stats;
+  stats.nrhs = B_v.cols();
+  if (!ok()) {
+    stats.error = SolveError{ErrorCode::kInternal, "handle",
+                             "solve on an unfactored handle"};
+    stats.failure = failure_text(stats.error);
+    return stats;
+  }
+  stats.n_fem = impl_->sys->nv();
+  stats.n_bem = impl_->sys->ns();
+  stats.n_total = impl_->sys->total();
+  if (B_v.cols() != B_s.cols() || B_v.rows() != impl_->sys->nv() ||
+      B_s.rows() != impl_->sys->ns()) {
+    stats.error = SolveError{ErrorCode::kInternal, "handle",
+                             "right-hand-side block shape mismatch"};
+    stats.failure = failure_text(stats.error);
+    return stats;
+  }
+  // Deliberately no budget/thread scopes, no Metrics reset and no retry
+  // ladder here: solve() must be safe to call concurrently from several
+  // threads against one factorization, so it runs entirely in the caller's
+  // context and reports any failure without touching global state.
+  Timer total;
+  try {
+    solve_batch(*impl_, B_v, B_s, stats);
+    stats.success = true;
+  } catch (...) {
+    stats.error = classify_current_exception();
+    stats.failure = failure_text(stats.error);
+    trace_instant("error", error_code_name(stats.error.code));
+  }
+  stats.total_seconds = total.seconds();
   return stats;
 }
 
@@ -1123,5 +1406,11 @@ template SolveStats solve_coupled<double>(const CoupledSystem<double>&,
                                           const Config&);
 template SolveStats solve_coupled<complexd>(const CoupledSystem<complexd>&,
                                             const Config&);
+template FactoredCoupled<double> factorize_coupled<double>(
+    const CoupledSystem<double>&, const Config&);
+template FactoredCoupled<complexd> factorize_coupled<complexd>(
+    const CoupledSystem<complexd>&, const Config&);
+template class FactoredCoupled<double>;
+template class FactoredCoupled<complexd>;
 
 }  // namespace cs::coupled

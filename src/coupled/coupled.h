@@ -28,6 +28,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,7 @@
 #include "common/memory.h"
 #include "common/timer.h"
 #include "fembem/system.h"
+#include "la/matrix.h"
 #include "ordering/ordering.h"
 
 namespace cs::coupled {
@@ -192,7 +194,86 @@ struct SolveStats {
 
   /// kMultiSolveRandomized: rank found by the adaptive range finder.
   index_t randomized_rank = 0;
+
+  /// Right-hand-side columns this solve handled (0 for a factorize-only
+  /// run; solve_coupled reports 1).
+  index_t nrhs = 0;
+  /// Per-column relative residual of the coupled system after the last
+  /// iterative-refinement sweep (empty when refine_iterations == 0).
+  std::vector<double> refine_residuals;
 };
+
+namespace detail {
+template <class T>
+struct FactoredImpl;
+}  // namespace detail
+
+/// Persistent factorization of a coupled system: the interior multifrontal
+/// factors, the (dense or H-) Schur factorization, the BEM cluster
+/// permutation and the tree-ordered coupling block, kept alive so one
+/// factorization can serve many right-hand sides (the paper's industrial
+/// usage: one factorization per frequency, hundreds of excitations).
+///
+/// Lifetime: the handle borrows the CoupledSystem passed to
+/// factorize_coupled (refinement re-applies the original operator), so the
+/// system must outlive the handle. Obtain one with factorize_coupled; a
+/// default-constructed handle is empty (ok() == false).
+///
+/// Thread safety: solve() is const and touches only immutable factorization
+/// state (the out-of-core panel store serializes its file access
+/// internally), so independent batches may call solve() concurrently from
+/// multiple threads against one handle. Each call solves in the calling
+/// thread's context: it installs no memory budget and no thread count of
+/// its own, and — unlike solve_coupled — never retries; a failure is
+/// classified into the returned SolveStats and the RHS block is left
+/// unspecified.
+template <class T>
+class FactoredCoupled {
+ public:
+  FactoredCoupled();
+  ~FactoredCoupled();
+  FactoredCoupled(FactoredCoupled&&) noexcept;
+  FactoredCoupled& operator=(FactoredCoupled&&) noexcept;
+  FactoredCoupled(const FactoredCoupled&) = delete;
+  FactoredCoupled& operator=(const FactoredCoupled&) = delete;
+
+  /// True when the handle holds a usable factorization.
+  bool ok() const;
+  /// Stats of the factorization run (attempts, recoveries, phase times,
+  /// memory; nrhs == 0 since no RHS was solved). Meaningful even when
+  /// ok() is false: it carries the classified factorization error.
+  const SolveStats& stats() const;
+  /// Effective configuration after degrade-and-retry (panel sizes, OOC,
+  /// LDL^T fallbacks may differ from the requested Config).
+  const Config& config() const;
+
+  index_t nv() const;  ///< interior (FEM) unknowns
+  index_t ns() const;  ///< boundary (BEM) unknowns
+
+  /// Solve the factored system for a block of right-hand sides, in place:
+  /// on entry B_v (nv x nrhs) / B_s (ns x nrhs) hold the RHS columns, on
+  /// success they hold the solution. Both views must have the same number
+  /// of columns. Per-column results are bitwise identical to nrhs
+  /// independent single-column solves at any thread count. Never throws.
+  SolveStats solve(la::MatrixView<T> B_v, la::MatrixView<T> B_s) const;
+
+ private:
+  template <class U>
+  friend FactoredCoupled<U> factorize_coupled(
+      const fembem::CoupledSystem<U>& system, const Config& config);
+
+  std::unique_ptr<detail::FactoredImpl<T>> impl_;
+};
+
+/// Factorization phase of solve_coupled: runs the selected strategy's
+/// analysis + factorization (including the degrade-and-retry driver,
+/// tracing, metrics and memory accounting) and returns a persistent handle
+/// instead of solving a built-in RHS. On failure the returned handle has
+/// ok() == false and stats() carries the classified error. The system must
+/// outlive the handle.
+template <class T>
+FactoredCoupled<T> factorize_coupled(const fembem::CoupledSystem<T>& system,
+                                     const Config& config);
 
 /// Run one strategy on a coupled system. Never throws: every failure
 /// (budget, singularity, numerical breakdown, OOC I/O, invalid config) is
@@ -200,6 +281,10 @@ struct SolveStats {
 /// recoverable failures trigger a bounded degrade-and-retry loop whose
 /// actions are recorded in SolveStats::recoveries. Tracked memory returns
 /// to its pre-call level on every failure path.
+///
+/// Equivalent to factorize_coupled + one FactoredCoupled::solve on the
+/// system's built-in RHS (b_v, b_s); use those directly to amortize one
+/// factorization across many right-hand sides.
 template <class T>
 SolveStats solve_coupled(const fembem::CoupledSystem<T>& system,
                          const Config& config);

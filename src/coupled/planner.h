@@ -72,6 +72,21 @@ inline std::size_t multisolve_panel_bytes(index_t nv, index_t ns,
                                   static_cast<double>(ns) * panel * b);
 }
 
+/// Tracked transient footprint of one batched solution phase
+/// (FactoredCoupled::solve with an nv x nrhs + ns x nrhs RHS block): the
+/// interior solve block, the Schur right-hand side and the
+/// back-substitution block live concurrently (3 nv + 2 ns scalars per
+/// column); an iterative-refinement sweep holds a residual + correction
+/// block pair on top. Batch drivers (bench_solve) use this to size nrhs
+/// against the budget headroom left by the factorization.
+inline std::size_t solve_batch_bytes(index_t nv, index_t ns, index_t nrhs,
+                                     std::size_t scalar_bytes, bool refine) {
+  const double b = static_cast<double>(scalar_bytes);
+  double per_col = 3.0 * static_cast<double>(nv) + 2.0 * static_cast<double>(ns);
+  if (refine) per_col += 3.0 * static_cast<double>(nv + ns);
+  return static_cast<std::size_t>(per_col * static_cast<double>(nrhs) * b);
+}
+
 /// Transient footprint of one multi-factorization (bi, bj) job: the
 /// duplicated (unsymmetric LU) factors of W plus the retrieved p x p Schur
 /// block and its internal copy.

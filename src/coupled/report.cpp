@@ -9,11 +9,10 @@ namespace cs::coupled {
 
 namespace {
 
-std::string num(double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
-}
+// json::number, not %.17g: a NaN relative_error (failed run) or an inf
+// schur_compression_ratio must come out as `null`, not bare `nan`/`inf`
+// that jq and this repo's own parser reject.
+std::string num(double v) { return json::number(v); }
 
 std::string str(const std::string& s) { return "\"" + json::escape(s) + "\""; }
 
@@ -75,6 +74,17 @@ std::string stats_json(const SolveStats& stats) {
   out += ",\"relative_error\":" + num(stats.relative_error);
   if (stats.randomized_rank > 0)
     out += ",\"randomized_rank\":" + std::to_string(stats.randomized_rank);
+  out += ",\"nrhs\":" + std::to_string(stats.nrhs);
+  if (!stats.refine_residuals.empty()) {
+    out += ",\"refine_residuals\":[";
+    bool first_res = true;
+    for (double r : stats.refine_residuals) {
+      if (!first_res) out += ",";
+      first_res = false;
+      out += num(r);
+    }
+    out += "]";
+  }
   return out + "}";
 }
 

@@ -149,6 +149,30 @@ void generator_matvec(const hmat::MatrixGenerator<T>& gen, const T* x, T* y) {
   }
 }
 
+/// Y := A_ss * X for a block of columns, evaluated directly from the
+/// generator. Each kernel entry is computed once and applied to every
+/// column; each column accumulates independently in the same ascending-k
+/// order as generator_matvec, so column j of the result is bitwise
+/// identical to a single-column apply of X(:, j) at any thread count.
+template <class T>
+void generator_multiply(const hmat::MatrixGenerator<T>& gen,
+                        la::ConstMatrixView<T> X, la::MatrixView<T> Y) {
+  const index_t m = gen.rows();
+  const index_t n = gen.cols();
+  const index_t nrhs = X.cols();
+#pragma omp parallel for schedule(dynamic, 32)
+  for (index_t i = 0; i < m; ++i) {
+    std::vector<T> acc(static_cast<std::size_t>(nrhs), T{});
+    for (index_t k = 0; k < n; ++k) {
+      const T a = gen.entry(i, k);
+      for (index_t j = 0; j < nrhs; ++j)
+        acc[static_cast<std::size_t>(j)] += a * X(k, j);
+    }
+    for (index_t j = 0; j < nrhs; ++j)
+      Y(i, j) = acc[static_cast<std::size_t>(j)];
+  }
+}
+
 /// Materialize the dense sub-block rows [r0, r0+nr) x cols [c0, c0+nc).
 template <class T>
 void generator_block(const hmat::MatrixGenerator<T>& gen, index_t r0,

@@ -13,6 +13,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -72,6 +73,11 @@ class OocPanelStore {
       h.offset = -1;
       return h;
     }
+    // The seek + sequence-of-writes below must be atomic with respect to
+    // concurrent load() calls: FactoredCoupled::solve is const and
+    // thread-safe, so several solves may stream panels back from this
+    // store at once.
+    std::lock_guard<std::mutex> lock(io_mu_);
     errno = 0;
     if (std::fseek(file_, 0, SEEK_END) != 0)
       throw IoError("ooc.write", "OOC seek failed", errno);
@@ -109,6 +115,7 @@ class OocPanelStore {
   TiledPanel<T> load(const Handle& h) const {
     TiledPanel<T> panel;
     if (!h.valid()) return panel;
+    std::lock_guard<std::mutex> lock(io_mu_);
     errno = 0;
     if (std::fseek(file_, h.offset, SEEK_SET) != 0)
       throw IoError("ooc.read", "OOC seek failed", errno);
@@ -184,6 +191,9 @@ class OocPanelStore {
   std::FILE* file_ = nullptr;
   std::size_t bytes_ = 0;
   bool sync_on_spill_ = false;
+  /// Serializes the shared FILE* position across concurrent loads (and a
+  /// late spill): fseek + fread pairs are not atomic on their own.
+  mutable std::mutex io_mu_;
 };
 
 }  // namespace cs::sparsedirect

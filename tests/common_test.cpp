@@ -2,11 +2,14 @@
 // tracked buffers, timers, tables, CLI parsing.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <thread>
 #include <vector>
 
 #include "common/buffer.h"
 #include "common/cli.h"
+#include "common/json.h"
 #include "common/memory.h"
 #include "common/random.h"
 #include "common/table.h"
@@ -216,6 +219,50 @@ TEST(Cli, ParsesFlagsInBothForms) {
 TEST(Cli, RejectsPositionalArguments) {
   const char* argv[] = {"prog", "oops"};
   EXPECT_THROW(CliArgs(2, const_cast<char**>(argv)), std::runtime_error);
+}
+
+// A malformed numeric value must be a usage error naming the flag and a
+// non-zero exit, not an uncaught std::invalid_argument abort.
+TEST(CliDeathTest, MalformedDoubleIsUsageErrorNotAbort) {
+  const char* argv[] = {"prog", "--eps=abc"};
+  CliArgs args(2, const_cast<char**>(argv));
+  EXPECT_EXIT(args.get_double("eps", 0.0), testing::ExitedWithCode(2),
+              "invalid value for --eps");
+}
+
+TEST(CliDeathTest, MalformedIntIsUsageErrorNotAbort) {
+  const char* argv[] = {"prog", "--n=12x"};
+  CliArgs args(2, const_cast<char**>(argv));
+  EXPECT_EXIT(args.get_int("n", 0), testing::ExitedWithCode(2),
+              "invalid value for --n");
+}
+
+TEST(CliDeathTest, IntOverflowIsUsageError) {
+  const char* argv[] = {"prog", "--n=999999999999999999999999"};
+  CliArgs args(2, const_cast<char**>(argv));
+  EXPECT_EXIT(args.get_int("n", 0), testing::ExitedWithCode(2),
+              "invalid value for --n");
+}
+
+TEST(Cli, WellFormedValuesStillParse) {
+  const char* argv[] = {"prog", "--n=-3", "--eps=1e-6", "--ratio=0.5"};
+  CliArgs args(4, const_cast<char**>(argv));
+  EXPECT_EQ(args.get_int("n", 0), -3);
+  EXPECT_DOUBLE_EQ(args.get_double("eps", 0.0), 1e-6);
+  EXPECT_DOUBLE_EQ(args.get_double("ratio", 0.0), 0.5);
+}
+
+TEST(JsonNumber, FiniteRoundTripsNonFiniteBecomesNull) {
+  EXPECT_EQ(json::number(1.5), "1.5");
+  EXPECT_EQ(json::number(0.0), "0");
+  EXPECT_EQ(json::number(std::nan("")), "null");
+  EXPECT_EQ(json::number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json::number(-std::numeric_limits<double>::infinity()), "null");
+  // Full round-trip precision for finite values.
+  json::Value v;
+  std::string err;
+  ASSERT_TRUE(json::parse(json::number(0.1), &v, &err)) << err;
+  EXPECT_EQ(v.number, 0.1);
 }
 
 TEST(Table, FormatsNumbers) {

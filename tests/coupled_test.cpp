@@ -5,6 +5,11 @@
 // the memory/failure accounting must behave like the paper's experiments.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
+#include <thread>
+
+#include "common/parallel.h"
 #include "coupled/coupled.h"
 
 namespace cs::coupled {
@@ -464,6 +469,287 @@ TEST(Resilience, RecoveryDisabledReportsFirstFailure) {
   EXPECT_EQ(stats.error.site, "hldlt.pivot");
   EXPECT_EQ(stats.attempts, 1);
   EXPECT_TRUE(stats.recoveries.empty());
+}
+
+// -- factor once, solve many ------------------------------------------------
+
+// RHS block whose column j is (j+1) times the system's built-in RHS, so
+// column j of the exact solution is (j+1) times the manufactured one.
+template <class T>
+la::Matrix<T> scaled_rhs(const la::Vector<T>& b, index_t nrhs) {
+  la::Matrix<T> B(b.size(), nrhs);
+  for (index_t j = 0; j < nrhs; ++j)
+    for (index_t i = 0; i < b.size(); ++i)
+      B(i, j) = T(double(j + 1)) * b[i];
+  return B;
+}
+
+template <class T>
+void expect_column_bitwise_equal(const la::Matrix<T>& A, index_t ja,
+                                 const la::Matrix<T>& B, index_t jb) {
+  ASSERT_EQ(A.rows(), B.rows());
+  ASSERT_EQ(std::memcmp(A.data() + static_cast<std::size_t>(ja) * A.rows(),
+                        B.data() + static_cast<std::size_t>(jb) * B.rows(),
+                        static_cast<std::size_t>(A.rows()) * sizeof(T)),
+            0);
+}
+
+class FactoredSweep : public ::testing::TestWithParam<Strategy> {};
+
+TEST_P(FactoredSweep, MultiRhsMatchesIndependentSingleRhsBitwise) {
+  // The acceptance bar of the phase split: one factorization, a block of
+  // right-hand sides, and every column bitwise identical to the same
+  // column solved alone -- even when the batch runs at a different thread
+  // count (every solution kernel accumulates each column independently in
+  // a fixed scan order).
+  const auto& sys = real_system();
+  Config cfg;
+  cfg.strategy = GetParam();
+  cfg.eps = 1e-4;
+  cfg.n_c = 64;
+  cfg.n_S = 160;
+  cfg.n_b = 2;
+  auto f = factorize_coupled(sys, cfg);
+  ASSERT_TRUE(f.ok()) << f.stats().failure;
+  ASSERT_TRUE(f.stats().success);
+  EXPECT_EQ(f.stats().nrhs, 0);
+  EXPECT_EQ(f.nv(), sys.nv());
+  EXPECT_EQ(f.ns(), sys.ns());
+
+  const index_t nrhs = 3;
+  la::Matrix<double> Xv = scaled_rhs(sys.b_v, nrhs);
+  la::Matrix<double> Xs = scaled_rhs(sys.b_s, nrhs);
+  SolveStats batch;
+  {
+    ScopedNumThreads threads(4);
+    batch = f.solve(Xv.view(), Xs.view());
+  }
+  ASSERT_TRUE(batch.success) << batch.failure;
+  EXPECT_EQ(batch.nrhs, nrhs);
+
+  for (index_t j = 0; j < nrhs; ++j) {
+    la::Matrix<double> bv(sys.nv(), 1), bs(sys.ns(), 1);
+    for (index_t i = 0; i < sys.nv(); ++i)
+      bv(i, 0) = double(j + 1) * sys.b_v[i];
+    for (index_t i = 0; i < sys.ns(); ++i)
+      bs(i, 0) = double(j + 1) * sys.b_s[i];
+    ScopedNumThreads threads(1);
+    auto single = f.solve(bv.view(), bs.view());
+    ASSERT_TRUE(single.success) << single.failure;
+    EXPECT_EQ(single.nrhs, 1);
+    expect_column_bitwise_equal(Xv, j, bv, 0);
+    expect_column_bitwise_equal(Xs, j, bs, 0);
+  }
+
+  // The batch is not just self-consistent: each column solves the system.
+  la::Vector<double> xv(sys.nv()), xs(sys.ns());
+  for (index_t i = 0; i < sys.nv(); ++i) xv[i] = Xv(i, nrhs - 1) / nrhs;
+  for (index_t i = 0; i < sys.ns(); ++i) xs[i] = Xs(i, nrhs - 1) / nrhs;
+  // The randomized Schur approximation is held to its own looser accuracy
+  // class (see RandomizedSchurSolvesAtLooseAccuracy).
+  const double tol =
+      GetParam() == Strategy::kMultiSolveRandomized ? 5e-2 : 1e-3;
+  EXPECT_LT(sys.relative_error(xv, xs), tol) << strategy_name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, FactoredSweep,
+    ::testing::Values(Strategy::kBaselineCoupling, Strategy::kAdvancedCoupling,
+                      Strategy::kMultiSolve, Strategy::kMultiSolveCompressed,
+                      Strategy::kMultiFactorization,
+                      Strategy::kMultiFactorizationCompressed,
+                      Strategy::kMultiSolveRandomized),
+    [](const ::testing::TestParamInfo<Strategy>& info) {
+      std::string name = strategy_name(info.param);
+      for (auto& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+TEST(FactoredCoupled, ConcurrentSolvesOnSharedFactorizationMatchSerial) {
+  // FactoredCoupled::solve is const and must be callable from several
+  // threads on one shared factorization (the TSan job runs this test).
+  // Each worker gets its own scaled RHS; results must match the serial
+  // answers bitwise.
+  const auto& sys = real_system();
+  Config cfg;
+  cfg.strategy = Strategy::kMultiSolveCompressed;
+  cfg.eps = 1e-4;
+  cfg.refine_iterations = 1;  // refinement re-applies shared operators
+  auto f = factorize_coupled(sys, cfg);
+  ASSERT_TRUE(f.ok()) << f.stats().failure;
+
+  constexpr index_t kWorkers = 4;
+  std::vector<la::Matrix<double>> serial_v, serial_s;
+  for (index_t t = 0; t < kWorkers; ++t) {
+    serial_v.push_back(scaled_rhs(sys.b_v, 2));
+    serial_s.push_back(scaled_rhs(sys.b_s, 2));
+    auto stats = f.solve(serial_v[t].view(), serial_s[t].view());
+    ASSERT_TRUE(stats.success) << stats.failure;
+  }
+
+  std::vector<la::Matrix<double>> conc_v, conc_s;
+  for (index_t t = 0; t < kWorkers; ++t) {
+    conc_v.push_back(scaled_rhs(sys.b_v, 2));
+    conc_s.push_back(scaled_rhs(sys.b_s, 2));
+  }
+  std::vector<SolveStats> stats(kWorkers);
+  std::vector<std::thread> workers;
+  for (index_t t = 0; t < kWorkers; ++t)
+    workers.emplace_back([&, t] {
+      stats[t] = f.solve(conc_v[t].view(), conc_s[t].view());
+    });
+  for (auto& w : workers) w.join();
+
+  for (index_t t = 0; t < kWorkers; ++t) {
+    ASSERT_TRUE(stats[t].success) << "worker " << t << ": "
+                                  << stats[t].failure;
+    for (index_t j = 0; j < 2; ++j) {
+      expect_column_bitwise_equal(conc_v[t], j, serial_v[t], j);
+      expect_column_bitwise_equal(conc_s[t], j, serial_s[t], j);
+    }
+  }
+}
+
+TEST(FactoredCoupled, ConcurrentSolvesWithOutOfCorePanelsAreSafe) {
+  // OOC panel loads share one FILE* across concurrent solves; the store
+  // serializes seek+read, so concurrent solves must still be correct.
+  const auto& sys = real_system();
+  Config cfg;
+  cfg.strategy = Strategy::kMultiSolve;
+  cfg.out_of_core = true;
+  auto f = factorize_coupled(sys, cfg);
+  ASSERT_TRUE(f.ok()) << f.stats().failure;
+
+  la::Matrix<double> ref_v = scaled_rhs(sys.b_v, 1);
+  la::Matrix<double> ref_s = scaled_rhs(sys.b_s, 1);
+  ASSERT_TRUE(f.solve(ref_v.view(), ref_s.view()).success);
+
+  constexpr int kWorkers = 4;
+  std::vector<la::Matrix<double>> v, s;
+  for (int t = 0; t < kWorkers; ++t) {
+    v.push_back(scaled_rhs(sys.b_v, 1));
+    s.push_back(scaled_rhs(sys.b_s, 1));
+  }
+  std::vector<SolveStats> stats(kWorkers);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kWorkers; ++t)
+    workers.emplace_back(
+        [&, t] { stats[t] = f.solve(v[t].view(), s[t].view()); });
+  for (auto& w : workers) w.join();
+  for (int t = 0; t < kWorkers; ++t) {
+    ASSERT_TRUE(stats[t].success) << stats[t].failure;
+    expect_column_bitwise_equal(v[t], 0, ref_v, 0);
+    expect_column_bitwise_equal(s[t], 0, ref_s, 0);
+  }
+}
+
+TEST(FactoredCoupled, RefinementReportsPerColumnResiduals) {
+  const auto& sys = real_system();
+  Config cfg;
+  cfg.strategy = Strategy::kMultiSolveCompressed;
+  cfg.eps = 1e-2;
+  cfg.refine_iterations = 2;
+  auto f = factorize_coupled(sys, cfg);
+  ASSERT_TRUE(f.ok()) << f.stats().failure;
+
+  const index_t nrhs = 3;
+  la::Matrix<double> Bv = scaled_rhs(sys.b_v, nrhs);
+  la::Matrix<double> Bs = scaled_rhs(sys.b_s, nrhs);
+  auto stats = f.solve(Bv.view(), Bs.view());
+  ASSERT_TRUE(stats.success) << stats.failure;
+  ASSERT_EQ(stats.refine_residuals.size(), static_cast<std::size_t>(nrhs));
+  for (double r : stats.refine_residuals) {
+    EXPECT_TRUE(std::isfinite(r));
+    EXPECT_GE(r, 0.0);
+    EXPECT_LT(r, 1e-3);
+  }
+}
+
+TEST(Coupled, SolveCoupledIsTheOneRhsWrapper) {
+  Config cfg;
+  cfg.strategy = Strategy::kMultiSolve;
+  cfg.refine_iterations = 1;
+  auto stats = solve_coupled(real_system(), cfg);
+  ASSERT_TRUE(stats.success) << stats.failure;
+  EXPECT_EQ(stats.nrhs, 1);
+  ASSERT_EQ(stats.refine_residuals.size(), 1u);
+  EXPECT_LT(stats.refine_residuals[0], 1e-3);
+}
+
+TEST(FactoredCoupled, ComplexSystemFactorizeThenSolve) {
+  const auto& sys = complex_system();
+  Config cfg;
+  cfg.strategy = Strategy::kMultiSolveCompressed;
+  cfg.eps = 1e-4;
+  auto f = factorize_coupled(sys, cfg);
+  ASSERT_TRUE(f.ok()) << f.stats().failure;
+  la::Matrix<complexd> Bv = scaled_rhs(sys.b_v, 2);
+  la::Matrix<complexd> Bs = scaled_rhs(sys.b_s, 2);
+  auto stats = f.solve(Bv.view(), Bs.view());
+  ASSERT_TRUE(stats.success) << stats.failure;
+  la::Vector<complexd> xv(sys.nv()), xs(sys.ns());
+  for (index_t i = 0; i < sys.nv(); ++i) xv[i] = Bv(i, 1) / 2.0;
+  for (index_t i = 0; i < sys.ns(); ++i) xs[i] = Bs(i, 1) / 2.0;
+  EXPECT_LT(sys.relative_error(xv, xs), 1e-3);
+}
+
+TEST(FactoredCoupled, UnfactoredOrFailedHandleRefusesToSolveCleanly) {
+  FactoredCoupled<double> empty;
+  EXPECT_FALSE(empty.ok());
+  la::Matrix<double> b(1, 1);
+  auto stats = empty.solve(b.view(), b.view());
+  EXPECT_FALSE(stats.success);
+  EXPECT_EQ(stats.error.code, ErrorCode::kInternal);
+
+  // An invalid config yields a handle carrying the classified error and
+  // the same clean refusal.
+  Config bad;
+  bad.n_S = 0;
+  auto f = factorize_coupled(real_system(), bad);
+  EXPECT_FALSE(f.ok());
+  EXPECT_FALSE(f.stats().success);
+  EXPECT_EQ(f.stats().error.code, ErrorCode::kInternal);
+  auto s2 = f.solve(b.view(), b.view());
+  EXPECT_FALSE(s2.success);
+  EXPECT_EQ(s2.error.code, ErrorCode::kInternal);
+}
+
+TEST(FactoredCoupled, ShapeMismatchIsReportedNotUndefined) {
+  const auto& sys = real_system();
+  Config cfg;
+  cfg.strategy = Strategy::kMultiSolve;
+  auto f = factorize_coupled(sys, cfg);
+  ASSERT_TRUE(f.ok()) << f.stats().failure;
+  la::Matrix<double> Bv(sys.nv(), 2), Bs(sys.ns(), 3);
+  auto stats = f.solve(Bv.view(), Bs.view());
+  EXPECT_FALSE(stats.success);
+  EXPECT_EQ(stats.error.code, ErrorCode::kInternal);
+  la::Matrix<double> short_v(sys.nv() - 1, 1), bs1(sys.ns(), 1);
+  auto s2 = f.solve(short_v.view(), bs1.view());
+  EXPECT_FALSE(s2.success);
+}
+
+TEST(ConfigValidation, BlockingParametersAuditedPerStrategy) {
+  Config c;
+  c.n_S = 0;
+  EXPECT_FALSE(validate_config(c).empty());
+  c.n_S = 1;
+  c.n_c = 0;
+  EXPECT_FALSE(validate_config(c).empty());
+
+  // The compressed multi-solve consumes n_S and rejects n_S < n_c ...
+  Config ms;
+  ms.strategy = Strategy::kMultiSolveCompressed;
+  ms.n_c = 64;
+  ms.n_S = 32;
+  EXPECT_FALSE(validate_config(ms).empty());
+
+  // ... while the randomized strategy ignores n_c/n_S/n_b entirely (its
+  // blocking is the adaptive sample size), so the same values pass.
+  Config r = ms;
+  r.strategy = Strategy::kMultiSolveRandomized;
+  EXPECT_TRUE(validate_config(r).empty());
 }
 
 TEST(Coupled, StrategyNamesAreUnique) {

@@ -6,13 +6,17 @@
 // never a crash, deadlock or tracked-byte leak.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdlib>
+#include <limits>
 
 #include "common/error.h"
 #include "common/failpoint.h"
+#include "common/json.h"
 #include "common/memory.h"
 #include "common/parallel.h"
 #include "common/random.h"
+#include "common/trace.h"
 #include "coupled/coupled.h"
 #include "coupled/report.h"
 #include "hmat/hmatrix.h"
@@ -414,6 +418,62 @@ TEST(ReportJson, CarriesErrorAndRecoveryTrail) {
   const std::string cfg_json = coupled::config_json(cfg);
   EXPECT_NE(cfg_json.find("\"failpoints\""), std::string::npos);
   EXPECT_NE(cfg_json.find("\"auto_recover\":true"), std::string::npos);
+}
+
+// Non-finite stats (NaN relative_error from a failed run, inf compression
+// ratio from a division by zero) must round-trip through the repo's own
+// parser: they render as null, never as bare nan/inf (invalid JSON).
+TEST(ReportJson, NonFiniteDoublesEmitNullNotBareNan) {
+  SolveStats stats;
+  stats.success = false;
+  stats.failure = "synthetic failure";
+  stats.relative_error = std::nan("");
+  stats.schur_compression_ratio = std::numeric_limits<double>::infinity();
+  stats.counters["weird"] = -std::numeric_limits<double>::infinity();
+  stats.nrhs = 4;
+  stats.refine_residuals = {1e-9, std::nan(""), 2e-9, 3e-9};
+
+  const std::string text = coupled::stats_json(stats);
+  EXPECT_EQ(text.find("nan"), std::string::npos) << text;
+  EXPECT_EQ(text.find("inf"), std::string::npos) << text;
+
+  json::Value doc;
+  std::string err;
+  ASSERT_TRUE(json::parse(text, &doc, &err)) << err << "\n" << text;
+  const json::Value* rel = doc.find("relative_error");
+  ASSERT_NE(rel, nullptr);
+  EXPECT_TRUE(rel->is_null());
+  const json::Value* ratio = doc.find("schur_compression_ratio");
+  ASSERT_NE(ratio, nullptr);
+  EXPECT_TRUE(ratio->is_null());
+  const json::Value* nrhs = doc.find("nrhs");
+  ASSERT_NE(nrhs, nullptr);
+  EXPECT_EQ(nrhs->number, 4);
+  const json::Value* res = doc.find("refine_residuals");
+  ASSERT_NE(res, nullptr);
+  ASSERT_EQ(res->array.size(), 4u);
+  EXPECT_TRUE(res->array[1].is_null());
+  EXPECT_DOUBLE_EQ(res->array[2].number, 2e-9);
+}
+
+// The trace exporter must apply the same rule: counter samples and span
+// args with non-finite values still yield a parseable file.
+TEST(ReportJson, TraceExportSurvivesNonFiniteValues) {
+  auto& tracer = Tracer::instance();
+  const bool was = tracer.enabled();
+  tracer.set_enabled(true);
+  {
+    TraceSpan span("test", "nonfinite.span");
+    span.arg("bad", std::nan(""));
+    trace_counter("nonfinite.counter",
+                  std::numeric_limits<double>::infinity());
+  }
+  const std::string text = tracer.to_json();
+  tracer.set_enabled(was);
+
+  json::Value doc;
+  std::string err;
+  ASSERT_TRUE(json::parse(text, &doc, &err)) << err;
 }
 
 }  // namespace
