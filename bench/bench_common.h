@@ -33,6 +33,33 @@ inline void apply_threads(const CliArgs& args, coupled::Config& cfg) {
   cfg.num_threads = static_cast<int>(args.get_int("threads", 0));
 }
 
+/// Shared --precision flag (factor storage precision). `single` stores and
+/// applies every factor in float and leans on double-precision refinement,
+/// so drivers sweeping memory feasibility see the halved factor footprint.
+inline void describe_precision(CliArgs& args) {
+  args.describe("precision",
+                "factor precision: double (default) or single "
+                "(float factors + double refinement)");
+}
+
+/// Applies --precision to `cfg`; exits with a usage error on anything but
+/// "single" / "double". Single-precision factors need at least one
+/// refinement sweep (validate_config enforces it), so drivers that default
+/// to refine_iterations == 0 get one sweep here.
+inline void apply_precision(const CliArgs& args, coupled::Config& cfg) {
+  const std::string p = args.get("precision", "double");
+  if (p == "double") {
+    cfg.factor_precision = coupled::Precision::kDouble;
+  } else if (p == "single") {
+    cfg.factor_precision = coupled::Precision::kSingle;
+    if (cfg.refine_iterations < 1) cfg.refine_iterations = 2;
+  } else {
+    std::fprintf(stderr, "unknown --precision '%s' (double | single)\n",
+                 p.c_str());
+    std::exit(2);
+  }
+}
+
 inline std::string mib(std::size_t bytes) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.1f", bytes / (1024.0 * 1024.0));

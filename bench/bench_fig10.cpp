@@ -70,10 +70,13 @@ int main(int argc, char** argv) {
                 "degrade-and-retry instead of treating a budget hit as the "
                 "feasibility cap (shows the recovery trail in --report)");
   bench::describe_threads(args);
+  bench::describe_precision(args);
   bench::Observability::describe(args);
   args.check(
       "Reproduces Fig. 10: best times vs N per algorithm under a memory "
-      "budget, plus the largest N each algorithm can process.");
+      "budget, plus the largest N each algorithm can process. "
+      "--precision=single halves the factor footprint, pushing each "
+      "algorithm's feasibility cap to larger N at the same budget.");
   bench::Observability obs(args, "bench_fig10");
 
   const std::size_t budget =
@@ -109,6 +112,7 @@ int main(int argc, char** argv) {
       cfg.memory_budget = budget;
       cfg.auto_recover = auto_recover;
       bench::apply_threads(args, cfg);
+      bench::apply_precision(args, cfg);
       auto stats = bench::run_and_row(
           sys, cfg, table, coupled::strategy_name(cand.strategy), cand.desc,
           &obs, /*failure_expected=*/true);

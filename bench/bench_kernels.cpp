@@ -82,6 +82,13 @@ BENCHMARK_TEMPLATE(BM_GemmPacked, double)
     ->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
 BENCHMARK_TEMPLATE(BM_GemmPacked, cs::complexd)
     ->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+// Mixed-precision factor path: the same engine on 4-byte scalars (16x4 /
+// 8x4 micro-tiles). The CI guard checks float >= 1.5x the double rate at
+// 512 (half the bytes moved through every cache level).
+BENCHMARK_TEMPLATE(BM_GemmPacked, float)
+    ->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_GemmPacked, cs::complexf)
+    ->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
 
 /// Unpacked column-blocked kernel (the pre-packing gemm), same shapes:
 /// the reference the CI non-regression guard compares against.
@@ -101,6 +108,10 @@ void BM_GemmRef(benchmark::State& state) {
 BENCHMARK_TEMPLATE(BM_GemmRef, double)
     ->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
 BENCHMARK_TEMPLATE(BM_GemmRef, cs::complexd)
+    ->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_GemmRef, float)
+    ->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_GemmRef, cs::complexf)
     ->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
 
 /// Panel shapes from the solver: the rank-b trailing update of the blocked

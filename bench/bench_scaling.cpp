@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
                 "(default = hardware)");
   args.describe("budget-mib", "virtual memory budget in MiB (0 = unlimited)");
   args.describe("n-b", "multi-factorization blocks per dimension (default 4)");
+  bench::describe_precision(args);
   bench::Observability::describe(args);
   args.check(
       "Sweeps 1..N worker threads per strategy and emits per-phase JSON "
@@ -75,6 +76,7 @@ int main(int argc, char** argv) {
       cfg.num_threads = t;
       cfg.memory_budget = budget;
       cfg.n_b = nb;
+      bench::apply_precision(args, cfg);
       log_info("[scaling] ", coupled::strategy_name(s), " threads=", t,
                "...");
       auto stats = coupled::solve_coupled(sys, cfg);
@@ -90,7 +92,8 @@ int main(int argc, char** argv) {
           "\"success\": %s, \"total_seconds\": %s, \"phases\": %s, "
           "\"schur_plus_dense_seconds\": %s, \"speedup_vs_1\": %s, "
           "\"relative_error\": %s, \"peak_bytes\": %zu, "
-          "\"schur_bytes\": %zu, \"schur_compression_ratio\": %s}\n",
+          "\"schur_bytes\": %zu, \"schur_compression_ratio\": %s, "
+          "\"factor_precision\": \"%s\", \"factor_bytes\": %zu}\n",
           coupled::strategy_name(s), t, static_cast<long long>(stats.n_total),
           stats.success ? "true" : "false",
           bench::sci(stats.total_seconds).c_str(),
@@ -98,7 +101,9 @@ int main(int argc, char** argv) {
           bench::sci(hot > 0 ? serial_hot / hot : 0.0).c_str(),
           bench::sci(stats.relative_error).c_str(), stats.peak_bytes,
           stats.schur_bytes,
-          bench::sci(stats.schur_compression_ratio).c_str());
+          bench::sci(stats.schur_compression_ratio).c_str(),
+          coupled::precision_name(stats.factor_precision),
+          stats.factor_bytes);
       std::fflush(stdout);
       summary.add_row(
           {coupled::strategy_name(s), TablePrinter::fmt_int(t),

@@ -67,6 +67,7 @@ int main(int argc, char** argv) {
   args.describe("nrhs",
                 "single batch width to run (0 = sweep 1,4,16,64,256)");
   args.describe("refine", "iterative refinement sweeps per solve");
+  bench::describe_precision(args);
   args.describe("report",
                 "write the factorization + sweep JSON here (solves/sec, "
                 "amortized cost per RHS)");
@@ -83,6 +84,7 @@ int main(int argc, char** argv) {
                                Strategy::kMultiSolveCompressed)));
   cfg.refine_iterations = static_cast<int>(args.get_int("refine", 0));
   bench::apply_threads(args, cfg);
+  bench::apply_precision(args, cfg);
 
   auto sys = fembem::make_pipe_system<double>({.total_unknowns = n});
   std::printf("== factor once, solve many: N = %d (%d FEM + %d BEM), %s ==\n",
@@ -187,6 +189,10 @@ int main(int argc, char** argv) {
     out += ",\"n_bem\":" + std::to_string(sys.ns());
     out += ",\"refine_iterations\":" +
            std::to_string(cfg.refine_iterations);
+    out += ",\"factor_precision\":\"" +
+           std::string(coupled::precision_name(cfg.factor_precision)) + "\"";
+    out += ",\"factor_bytes\":" +
+           std::to_string(handle.stats().factor_bytes);
     out += ",\"factorize_seconds\":" + json::number(factor_seconds);
     out += ",\"factorize_attempts\":" +
            std::to_string(handle.stats().attempts);

@@ -122,6 +122,7 @@ const std::vector<std::string>& FailpointRegistry::known_sites() {
       "hlu.pivot",        // H-LU dense-leaf factorization
       "hldlt.pivot",      // H-LDLT dense-leaf factorization
       "dense.factor",     // dense Schur factorization
+      "refine.stall",     // mixed-precision refinement plateau
   };
   return sites;
 }

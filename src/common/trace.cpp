@@ -419,6 +419,8 @@ const char* metric_name(Metric m) {
     case Metric::kRecoveries: return "recovery.actions";
     case Metric::kOocRetries: return "ooc.retries";
     case Metric::kOocInCoreFallbacks: return "ooc.incore_fallbacks";
+    case Metric::kRefineStalls: return "refine.stalls";
+    case Metric::kPrecisionEscalations: return "precision.escalations";
     case Metric::kCount: break;
   }
   return "?";

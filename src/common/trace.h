@@ -264,6 +264,8 @@ enum class Metric : int {
   kRecoveries,               ///< degrade-and-retry recovery actions taken
   kOocRetries,               ///< OOC I/O operations retried after a failure
   kOocInCoreFallbacks,       ///< OOC spills abandoned; panel kept in core
+  kRefineStalls,             ///< refinement plateaus under single factors
+  kPrecisionEscalations,     ///< single -> double factor re-factorizations
   kCount
 };
 

@@ -17,6 +17,7 @@ using index_t = std::int32_t;
 using offset_t = std::int64_t;
 
 using complexd = std::complex<double>;
+using complexf = std::complex<float>;
 
 template <class T>
 struct is_complex : std::false_type {};
@@ -37,6 +38,40 @@ struct real_of<std::complex<T>> {
 };
 template <class T>
 using real_of_t = typename real_of<T>::type;
+
+/// The single-precision counterpart of a scalar (double -> float,
+/// complex<double> -> complex<float>; single-precision types map to
+/// themselves). This is the storage scalar of mixed-precision
+/// factorizations: factors are stored and applied in single_of_t<T> while
+/// operators, right-hand sides and refinement stay in T.
+template <class T>
+struct single_of {
+  using type = T;
+};
+template <>
+struct single_of<double> {
+  using type = float;
+};
+template <>
+struct single_of<complexd> {
+  using type = complexf;
+};
+template <class T>
+using single_of_t = typename single_of<T>::type;
+
+/// Value conversion between scalar types of matching complexity
+/// (real <-> real, complex <-> complex), e.g. double -> float demotion of
+/// factor storage and float -> double promotion of corrections.
+template <class To, class From>
+inline To scalar_cast(const From& x) {
+  if constexpr (is_complex_v<From>) {
+    static_assert(is_complex_v<To>, "cannot narrow complex to real");
+    using R = real_of_t<To>;
+    return To{static_cast<R>(x.real()), static_cast<R>(x.imag())};
+  } else {
+    return To(x);
+  }
+}
 
 /// |x|^2 without the square root (works for real and complex scalars).
 template <class T>

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <complex>
 #include <functional>
+#include <limits>
 #include <optional>
+#include <string_view>
 #include <thread>
 
 #include "common/failpoint.h"
@@ -34,6 +36,14 @@ const char* strategy_name(Strategy s) {
   return "?";
 }
 
+const char* precision_name(Precision p) {
+  switch (p) {
+    case Precision::kDouble: return "double";
+    case Precision::kSingle: return "single";
+  }
+  return "?";
+}
+
 std::string validate_config(const Config& c) {
   // Blocking parameters are validated for every strategy (the resilient
   // driver may halve/double them, and a nonsensical value should fail fast
@@ -58,6 +68,14 @@ std::string validate_config(const Config& c) {
   if (!(c.rand_max_rank_ratio > 0) || c.rand_max_rank_ratio > 1)
     return "rand_max_rank_ratio must be in (0, 1]";
   if (c.refine_iterations < 0) return "refine_iterations must be >= 0";
+  if (c.refine_tolerance < 0) return "refine_tolerance must be >= 0";
+  // Mixed precision relies on the double-precision refinement sweeps to
+  // recover the ~1e-6 accuracy of the single-precision factors; without
+  // them the solve would silently return single-precision answers.
+  if (c.factor_precision == Precision::kSingle && c.refine_iterations == 0)
+    return "factor_precision=single requires refine_iterations >= 1 "
+           "(double-precision iterative refinement recovers the accuracy "
+           "lost to single-precision factors)";
   if (c.num_threads < 0) return "num_threads must be >= 0";
   if (c.max_recovery_attempts < 0)
     return "max_recovery_attempts must be >= 0";
@@ -75,6 +93,9 @@ namespace detail {
 /// the coupling block in tree row order.
 template <class T>
 struct FactoredImpl {
+  /// Factor-storage scalar of the mixed-precision path.
+  using F = single_of_t<T>;
+
   const fembem::CoupledSystem<T>* sys = nullptr;  ///< borrowed; outlives us
   Config cfg;         ///< effective config after degrade-and-retry
   SolveStats fstats;  ///< factorization-run stats (nrhs == 0)
@@ -82,14 +103,45 @@ struct FactoredImpl {
 
   std::optional<hmat::ClusterTree> tree;
   sparse::Csr<T> A_sv_tree;  ///< coupling rows permuted to tree order
+
+  /// Exactly one precision bank holds the factors: the input-precision
+  /// members when `single` is false, the single-precision (`F`) members
+  /// when the strategy ran with Config::factor_precision == kSingle. The
+  /// solve wrappers below convert each right-hand-side block to factor
+  /// precision around the triangular solves, so solve_batch (and its
+  /// double-precision refinement operators) is precision-agnostic.
+  bool single = false;
   sparsedirect::MultifrontalSolver<T> interior;
   dense::DenseSolver<T> schur_dense;
   std::optional<hmat::HMatrix<T>> schur_h;
+  sparsedirect::MultifrontalSolver<F> interior_f;
+  dense::DenseSolver<F> schur_dense_f;
+  std::optional<hmat::HMatrix<F>> schur_h_f;
+
+  /// In-place interior solve A_vv X = B through whichever precision bank
+  /// holds the factors.
+  void interior_solve(la::MatrixView<T> B) const {
+    if (single) {
+      la::Matrix<F> W = la::converted<F>(la::ConstMatrixView<T>(B));
+      interior_f.solve(W.view());
+      la::convert_into<T, F>(la::ConstMatrixView<F>(W.view()), B);
+    } else {
+      interior.solve(B);
+    }
+  }
 
   /// In-place S X = B in tree coordinates, through whichever Schur
   /// factorization the strategy kept.
   void schur_solve(la::MatrixView<T> B) const {
-    if (schur_h) {
+    if (single) {
+      la::Matrix<F> W = la::converted<F>(la::ConstMatrixView<T>(B));
+      if (schur_h_f) {
+        schur_h_f->solve(W.view());
+      } else {
+        schur_dense_f.solve(W.view());
+      }
+      la::convert_into<T, F>(la::ConstMatrixView<F>(W.view()), B);
+    } else if (schur_h) {
       schur_h->solve(B);
     } else {
       schur_dense.solve(B);
@@ -103,9 +155,13 @@ struct FactoredImpl {
     ok = false;
     tree.reset();
     A_sv_tree = sparse::Csr<T>();
+    single = false;
     interior = sparsedirect::MultifrontalSolver<T>();
     schur_dense = dense::DenseSolver<T>();
     schur_h.reset();
+    interior_f = sparsedirect::MultifrontalSolver<F>();
+    schur_dense_f = dense::DenseSolver<F>();
+    schur_h_f.reset();
   }
 };
 
@@ -164,19 +220,36 @@ struct Degrade {
   bool dense_ldlt_ok = true;   ///< false: factor the dense Schur with LU
 };
 
-/// Shared context of one factorization attempt. The strategy runner fills
-/// `out` with the factors it produced; run_strategy moves the shared
-/// pieces (cluster tree, tree-ordered coupling block) in afterwards.
-template <class T>
+/// Shared context of one factorization attempt, parameterized on the input
+/// scalar T and the factor-storage scalar ST (== T for a full-precision
+/// run, single_of_t<T> for a mixed-precision one). The ST-typed operator
+/// views below feed the strategy runners, which do all their numeric work
+/// — sparse factorization, Schur assembly/panels, H-matrix compression,
+/// dense factorization — in ST; the T-typed A_sv_tree is what moves into
+/// FactoredImpl for the (always input-precision) solution and refinement
+/// phase. The strategy runner fills `out` with the factors it produced;
+/// run_strategy moves the shared pieces (cluster tree, tree-ordered
+/// coupling block) in afterwards.
+template <class T, class ST>
 struct Run {
+  static constexpr bool kMixed = !std::is_same_v<ST, T>;
+
   const CoupledSystem<T>& sys;
   const Config& cfg;
   const Degrade& deg;
   SolveStats& stats;
   detail::FactoredImpl<T>& out;
   ClusterTree tree;            // surface dof clustering
-  sparse::Csr<T> A_sv_tree;    // coupling rows in tree order
-  PermutedGenerator<T> gen_tree;
+  sparse::Csr<T> A_sv_tree;    // coupling rows in tree order (input scalar)
+
+  // Factor-precision operator views. When ST == T these point straight at
+  // the system / A_sv_tree; in mixed mode they own converted copies (the
+  // sparse blocks are small against the factors they produce).
+  sparse::Csr<ST> A_vv_store, A_sv_store;
+  const sparse::Csr<ST>* A_vv_st = nullptr;
+  const sparse::Csr<ST>* A_sv_st = nullptr;
+  std::optional<hmat::CastGenerator<ST, T>> cast_ss;
+  PermutedGenerator<ST> gen_tree;
 
   Run(const CoupledSystem<T>& s, const Config& c, const Degrade& d,
       SolveStats& st, detail::FactoredImpl<T>& o)
@@ -186,7 +259,8 @@ struct Run {
         stats(st),
         out(o),
         tree(s.surface_points(), c.hmat_leaf),
-        gen_tree(*s.A_ss, tree.original_of_tree()) {
+        cast_ss(make_cast(s)),
+        gen_tree(base_gen(s, cast_ss), tree.original_of_tree()) {
     // Permute the coupling rows once.
     const auto& perm = tree.tree_of_original();
     sparse::Triplets<T> trip(sys.ns(), sys.nv());
@@ -195,6 +269,43 @@ struct Run {
         trip.add(perm[static_cast<std::size_t>(r)], sys.A_sv.col(k),
                  sys.A_sv.value(k));
     A_sv_tree = sparse::Csr<T>::from_triplets(trip);
+    if constexpr (kMixed) {
+      A_vv_store = sys.A_vv.template converted<ST>();
+      A_sv_store = A_sv_tree.template converted<ST>();
+      A_vv_st = &A_vv_store;
+      A_sv_st = &A_sv_store;
+    } else {
+      A_vv_st = &sys.A_vv;
+      A_sv_st = &A_sv_tree;
+    }
+  }
+
+  /// The factor-precision A_ss generator (compressed assembly reads it).
+  const hmat::MatrixGenerator<ST>& gen_ss() const {
+    return base_gen(sys, cast_ss);
+  }
+
+  /// Store the finished factors in the matching precision bank of `out`.
+  void store(MultifrontalSolver<ST>&& mf, dense::DenseSolver<ST>&& ds) const {
+    if constexpr (kMixed) {
+      out.single = true;
+      out.interior_f = std::move(mf);
+      out.schur_dense_f = std::move(ds);
+    } else {
+      out.interior = std::move(mf);
+      out.schur_dense = std::move(ds);
+    }
+  }
+  void store(MultifrontalSolver<ST>&& mf,
+             std::optional<HMatrix<ST>>&& h) const {
+    if constexpr (kMixed) {
+      out.single = true;
+      out.interior_f = std::move(mf);
+      out.schur_h_f = std::move(h);
+    } else {
+      out.interior = std::move(mf);
+      out.schur_h = std::move(h);
+    }
   }
 
   SolverOptions sparse_options(bool symmetric, index_t schur_size) const {
@@ -214,7 +325,7 @@ struct Run {
   /// unpivoted-LDLT zero pivot is a recoverable kNumericalBreakdown (the
   /// driver retries with LU); an LU zero pivot means the matrix really is
   /// singular.
-  void factorize_sparse(MultifrontalSolver<T>& mf, const sparse::Csr<T>& A,
+  void factorize_sparse(MultifrontalSolver<ST>& mf, const sparse::Csr<ST>& A,
                         bool symmetric, index_t schur_size) const {
     const SolverOptions so = sparse_options(symmetric, schur_size);
     try {
@@ -231,6 +342,26 @@ struct Run {
     ho.eps = cfg.eps;
     ho.eta = cfg.eta;
     return ho;
+  }
+
+ private:
+  static std::optional<hmat::CastGenerator<ST, T>> make_cast(
+      const CoupledSystem<T>& s) {
+    if constexpr (kMixed) {
+      return std::optional<hmat::CastGenerator<ST, T>>(std::in_place,
+                                                       *s.A_ss);
+    } else {
+      return std::nullopt;
+    }
+  }
+  static const hmat::MatrixGenerator<ST>& base_gen(
+      const CoupledSystem<T>& s,
+      const std::optional<hmat::CastGenerator<ST, T>>& cast) {
+    if constexpr (kMixed) {
+      return *cast;
+    } else {
+      return *s.A_ss;
+    }
   }
 };
 
@@ -274,7 +405,7 @@ void solve_batch(const detail::FactoredImpl<T>& f, MatrixView<T> B_v,
       StageScope stage(stats.stages, "solution.interior_solve");
       stage.span().arg("nrhs", static_cast<long long>(nrhs));
       yv.view().copy_from(la::ConstMatrixView<T>(B_v));
-      f.interior.solve(yv.view());
+      f.interior_solve(yv.view());
     }
 
     // T = B_s - A_sv Y_v (tree order).
@@ -300,7 +431,7 @@ void solve_batch(const detail::FactoredImpl<T>& f, MatrixView<T> B_v,
       rv.view().copy_from(la::ConstMatrixView<T>(B_v));
       f.A_sv_tree.spmm_trans(T{-1}, la::ConstMatrixView<T>(t.view()), T{1},
                              rv.view());
-      f.interior.solve(rv.view());
+      f.interior_solve(rv.view());
     }
 
     // Scatter the solution into the caller's views; the direct-solve
@@ -315,8 +446,17 @@ void solve_batch(const detail::FactoredImpl<T>& f, MatrixView<T> B_v,
 
   // Optional iterative refinement against the *exact* coupled operator
   // (the dense block applied through its kernel generator): recovers the
-  // accuracy lost to aggressive compression. Runs on the whole block.
+  // accuracy lost to aggressive compression — including the ~1e-6 error
+  // floor of single-precision factors. Runs on the whole block.
   stats.refine_residuals.clear();
+  stats.refine_sweeps = 0;
+  // Stall detection for the mixed-precision path: when cond(A)*eps_single
+  // is too large the float-factor correction stops contracting the
+  // residual well above the target. Escalating to double factors is the
+  // recovery, so a plateau (or a non-finite residual) is thrown as a
+  // recoverable numerical breakdown at site "refine.stall".
+  double prev_worst = std::numeric_limits<double>::infinity();
+  const double stall_floor = std::max(f.cfg.refine_tolerance, 1e-9);
   for (int it = 0; it < f.cfg.refine_iterations; ++it) {
     StageScope stage(stats.stages, "solution.refine");
     stage.span()
@@ -353,11 +493,38 @@ void solve_batch(const detail::FactoredImpl<T>& f, MatrixView<T> B_v,
       stats.refine_residuals[static_cast<std::size_t>(j)] =
           std::sqrt(rr) / std::sqrt(std::max(1e-300, bb));
     }
+    double worst = 0;
+    for (double r : stats.refine_residuals) worst = std::max(worst, r);
+
+    // Converged: every column meets the requested tolerance, skip the
+    // remaining sweeps (refine_tolerance == 0 keeps the historical
+    // fixed-sweep behavior).
+    if (f.cfg.refine_tolerance > 0 && worst <= f.cfg.refine_tolerance)
+      break;
+
+    // Stalled: non-finite residual, or — past the first correction — a
+    // contraction factor below 2x while still above the accuracy the
+    // factors should support. Only the mixed-precision path throws (the
+    // recovery is to re-factorize in double); a full-precision plateau has
+    // no better factorization to escalate to. The failpoint forces the
+    // stall deterministically for the resilience tests.
+    bool stalled = !std::isfinite(worst);
+    if (f.single && it >= 2 && worst > stall_floor && worst > 0.5 * prev_worst)
+      stalled = true;
+    if (failpoint("refine.stall")) stalled = true;
+    if (stalled && f.single) {
+      Metrics::instance().add(Metric::kRefineStalls, 1);
+      throw ClassifiedError(
+          ErrorCode::kNumericalBreakdown, "refine.stall",
+          "iterative refinement stalled at relative residual " +
+              std::to_string(worst) + " with single-precision factors");
+    }
+    prev_worst = worst;
 
     // Corrections through the same factorizations.
     Matrix<T> dy(nv, nrhs);
     dy.view().copy_from(la::ConstMatrixView<T>(Rv.view()));
-    f.interior.solve(dy.view());
+    f.interior_solve(dy.view());
     Matrix<T> dt(ns, nrhs);
     for (index_t j = 0; j < nrhs; ++j)
       for (index_t i = 0; i < ns; ++i)
@@ -369,13 +536,14 @@ void solve_batch(const detail::FactoredImpl<T>& f, MatrixView<T> B_v,
     dv.view().copy_from(la::ConstMatrixView<T>(Rv.view()));
     f.A_sv_tree.spmm_trans(T{-1}, la::ConstMatrixView<T>(dt.view()), T{1},
                            dv.view());
-    f.interior.solve(dv.view());
+    f.interior_solve(dv.view());
 
     for (index_t j = 0; j < nrhs; ++j) {
       for (index_t i = 0; i < nv; ++i) B_v(i, j) += dv(i, j);
       for (index_t p = 0; p < ns; ++p)
         B_s(orig[static_cast<std::size_t>(p)], j) += dt(p, j);
     }
+    stats.refine_sweeps = it + 1;
   }
 }
 
@@ -383,8 +551,8 @@ void solve_batch(const detail::FactoredImpl<T>& f, MatrixView<T> B_v,
 /// H-LDL^T (the paper's HMAT mode) when requested and applicable. A pivot
 /// breakdown in the unpivoted H-LDL^T is recoverable (the driver clears
 /// hmat_symmetric_ldlt and retries with H-LU); one in H-LU is not.
-template <class T>
-void factor_schur_h(HMatrix<T>& S, const Run<T>& run) {
+template <class T, class ST>
+void factor_schur_h(HMatrix<ST>& S, const Run<T, ST>& run) {
   const bool ldlt = run.cfg.hmat_symmetric_ldlt && run.sys.symmetric;
   try {
     if (ldlt) {
@@ -401,9 +569,9 @@ void factor_schur_h(HMatrix<T>& S, const Run<T>& run) {
 
 /// Factor the dense Schur accumulator, classifying a zero pivot: blocked
 /// LDL^T breakdown falls back to LU on retry; an LU breakdown is final.
-template <class T>
-void factor_schur_dense(dense::DenseSolver<T>& ds, Matrix<T>&& S,
-                        const Run<T>& run) {
+template <class T, class ST>
+void factor_schur_dense(dense::DenseSolver<ST>& ds, Matrix<ST>&& S,
+                        const Run<T, ST>& run) {
   const bool ldlt = run.sys.symmetric && run.deg.dense_ldlt_ok;
   try {
     ds.factorize(std::move(S), ldlt);
@@ -420,24 +588,24 @@ void factor_schur_dense(dense::DenseSolver<T>& ds, Matrix<T>&& S,
 
 /// blocked = false reproduces the baseline coupling (one sparse solve with
 /// all n_BEM right-hand sides at once); blocked = true is multi-solve.
-template <class T>
-void run_multisolve(Run<T>& run, bool blocked, bool compressed) {
+template <class T, class ST>
+void run_multisolve(Run<T, ST>& run, bool blocked, bool compressed) {
   const auto& cfg = run.cfg;
   auto& stats = run.stats;
   const index_t nv = run.sys.nv();
   const index_t ns = run.sys.ns();
 
-  MultifrontalSolver<T> mf;
+  MultifrontalSolver<ST> mf;
   {
     ScopedPhase phase(stats.phases, "sparse_factorization");
     TraceSpan span("phase", "sparse_factorization");
-    run.factorize_sparse(mf, run.sys.A_vv, true, 0);
+    run.factorize_sparse(mf, *run.A_vv_st, true, 0);
   }
   stats.sparse_factor_bytes = mf.factor_bytes();
 
   if (!compressed) {
     // Dense Schur accumulation (MUMPS/SPIDO-style coupling).
-    Matrix<T> S(ns, ns);
+    Matrix<ST> S(ns, ns);
     {
       ScopedPhase phase(stats.phases, "schur");
       TraceSpan span("phase", "schur");
@@ -447,48 +615,47 @@ void run_multisolve(Run<T>& run, bool blocked, bool compressed) {
         if (failpoint("alloc.panel"))
           throw BudgetExceeded(
               static_cast<std::size_t>(nv) * static_cast<std::size_t>(nc) *
-                  sizeof(T),
+                  sizeof(ST),
               MemoryTracker::instance().current(),
               MemoryTracker::instance().budget());
         // Y_i = A_vv^{-1} A_sv(i)^T, retrieved dense (the API limitation).
-        Matrix<T> Y(nv, nc);
+        Matrix<ST> Y(nv, nc);
         {
           StageScope stage(stats.stages, "schur.panel_solve");
           stage.span()
               .arg("c0", static_cast<long long>(c0))
               .arg("ncols", static_cast<long long>(nc));
-          run.A_sv_tree.rows_as_dense_transposed(c0, nc, Y.view());
+          run.A_sv_st->rows_as_dense_transposed(c0, nc, Y.view());
           mf.solve(Y.view());
         }
         StageScope stage(stats.stages, "schur.assemble");
         auto slab = S.block(0, c0, ns, nc);
         fembem::generator_block(run.gen_tree, 0, c0, slab);  // A_ss block
-        run.A_sv_tree.spmm(T{-1}, Y.view(), T{1}, slab);     // - A_sv Y_i
+        run.A_sv_st->spmm(ST{-1}, Y.view(), ST{1}, slab);    // - A_sv Y_i
       }
     }
     stats.schur_bytes = S.size_bytes();
     stats.schur_compression_ratio = 1.0;
-    dense::DenseSolver<T> ds;
+    dense::DenseSolver<ST> ds;
     {
       ScopedPhase phase(stats.phases, "dense_factorization");
       TraceSpan span("phase", "dense_factorization");
       factor_schur_dense(ds, std::move(S), run);
     }
-    run.out.interior = std::move(mf);
-    run.out.schur_dense = std::move(ds);
+    run.store(std::move(mf), std::move(ds));
   } else {
     // Compressed Schur (MUMPS/HMAT-style): A_ss assembled directly in
     // compressed form; dense Z panels folded in with compressed AXPYs.
-    std::optional<HMatrix<T>> S_store;
+    std::optional<HMatrix<ST>> S_store;
     {
       ScopedPhase phase(stats.phases, "schur");
       TraceSpan span("phase", "schur");
       {
         StageScope stage(stats.stages, "schur.assemble");
-        S_store = HMatrix<T>::assemble(run.tree, run.tree, *run.sys.A_ss,
-                                       run.h_options());
+        S_store = HMatrix<ST>::assemble(run.tree, run.tree, run.gen_ss(),
+                                        run.h_options());
       }
-      HMatrix<T>& S = *S_store;
+      HMatrix<ST>& S = *S_store;
       const index_t panel = std::max(cfg.n_S, cfg.n_c);
 
       auto produce_panel = [&](index_t c0) {
@@ -496,34 +663,34 @@ void run_multisolve(Run<T>& run, bool blocked, bool compressed) {
         if (failpoint("alloc.panel"))
           throw BudgetExceeded(
               static_cast<std::size_t>(ns) * static_cast<std::size_t>(np) *
-                  sizeof(T),
+                  sizeof(ST),
               MemoryTracker::instance().current(),
               MemoryTracker::instance().budget());
-        Matrix<T> Z(ns, np);
+        Matrix<ST> Z(ns, np);
         for (index_t cc = 0; cc < np; cc += cfg.n_c) {
           const index_t nc = std::min(cfg.n_c, np - cc);
-          Matrix<T> Y(nv, nc);
+          Matrix<ST> Y(nv, nc);
           {
             StageScope stage(stats.stages, "schur.panel_solve");
             stage.span()
                 .arg("c0", static_cast<long long>(c0 + cc))
                 .arg("ncols", static_cast<long long>(nc));
-            run.A_sv_tree.rows_as_dense_transposed(c0 + cc, nc, Y.view());
+            run.A_sv_st->rows_as_dense_transposed(c0 + cc, nc, Y.view());
             mf.solve(Y.view());
           }
           StageScope stage(stats.stages, "schur.spmm");
-          run.A_sv_tree.spmm(T{1}, Y.view(), T{0}, Z.block(0, cc, ns, nc));
+          run.A_sv_st->spmm(ST{1}, Y.view(), ST{0}, Z.block(0, cc, ns, nc));
         }
         Metrics::instance().add(Metric::kPanelsProduced, 1);
         return Z;
       };
 
-      auto fold_panel = [&](index_t c0, Matrix<T>& Z) {
+      auto fold_panel = [&](index_t c0, Matrix<ST>& Z) {
         StageScope stage(stats.stages, "schur.axpy");
         stage.span()
             .arg("c0", static_cast<long long>(c0))
             .arg("ncols", static_cast<long long>(Z.cols()));
-        S.add_dense_block(T{-1}, Z.view(), 0, c0);  // compressed AXPY
+        S.add_dense_block(ST{-1}, Z.view(), 0, c0);  // compressed AXPY
         Metrics::instance().add(Metric::kPanelsFolded, 1);
       };
 
@@ -536,7 +703,7 @@ void run_multisolve(Run<T>& run, bool blocked, bool compressed) {
       // ascending c0 order either way, so the recompression sequence --
       // and hence the result -- is identical to a serial run.
       const int inflight = admissible_inflight(
-          multisolve_panel_bytes(nv, ns, cfg, sizeof(T)), cfg.memory_budget,
+          multisolve_panel_bytes(nv, ns, cfg, sizeof(ST)), cfg.memory_budget,
           MemoryTracker::instance().current(), 3);
       if (resolve_threads(cfg.num_threads) <= 1 || inflight <= 1 ||
           ns <= panel) {
@@ -547,13 +714,13 @@ void run_multisolve(Run<T>& run, bool blocked, bool compressed) {
           trace_instant("admission", "pipeline.degraded_serial");
         }
         for (index_t c0 = 0; c0 < ns; c0 += panel) {
-          Matrix<T> Z = produce_panel(c0);
+          Matrix<ST> Z = produce_panel(c0);
           fold_panel(c0, Z);
         }
       } else {
         struct Panel {
           index_t c0;
-          Matrix<T> Z;
+          Matrix<ST> Z;
         };
         // Live panels = queued + one in production + one being folded.
         BoundedQueue<Panel> queue(
@@ -603,7 +770,7 @@ void run_multisolve(Run<T>& run, bool blocked, bool compressed) {
         if (producer_error) std::rethrow_exception(producer_error);
       }
     }
-    HMatrix<T>& S = *S_store;
+    HMatrix<ST>& S = *S_store;
     stats.schur_bytes = S.memory_bytes();
     stats.schur_compression_ratio = S.compression_ratio();
     {
@@ -612,8 +779,7 @@ void run_multisolve(Run<T>& run, bool blocked, bool compressed) {
       factor_schur_h(S, run);
     }
     stats.schur_bytes = std::max(stats.schur_bytes, S.memory_bytes());
-    run.out.interior = std::move(mf);
-    run.out.schur_h = std::move(S_store);
+    run.store(std::move(mf), std::move(S_store));
   }
 }
 
@@ -626,46 +792,46 @@ void run_multisolve(Run<T>& run, bool blocked, bool compressed) {
 // measures where it wins/loses against the blocked algorithms.
 // ---------------------------------------------------------------------------
 
-template <class T>
-void run_multisolve_randomized(Run<T>& run) {
+template <class T, class ST>
+void run_multisolve_randomized(Run<T, ST>& run) {
   const auto& cfg = run.cfg;
   auto& stats = run.stats;
   const index_t nv = run.sys.nv();
   const index_t ns = run.sys.ns();
 
-  MultifrontalSolver<T> mf;
+  MultifrontalSolver<ST> mf;
   {
     ScopedPhase phase(stats.phases, "sparse_factorization");
     TraceSpan span("phase", "sparse_factorization");
-    run.factorize_sparse(mf, run.sys.A_vv, true, 0);
+    run.factorize_sparse(mf, *run.A_vv_st, true, 0);
   }
   stats.sparse_factor_bytes = mf.factor_bytes();
 
   // out := M * G by two sparse products around a multi-RHS solve.
-  auto apply_m = [&](la::ConstMatrixView<T> G, la::MatrixView<T> out) {
-    Matrix<T> Y(nv, G.cols());
-    run.A_sv_tree.spmm_trans(T{1}, G, T{0}, Y.view());
+  auto apply_m = [&](la::ConstMatrixView<ST> G, la::MatrixView<ST> out) {
+    Matrix<ST> Y(nv, G.cols());
+    run.A_sv_st->spmm_trans(ST{1}, G, ST{0}, Y.view());
     mf.solve(Y.view());
-    run.A_sv_tree.spmm(T{1}, la::ConstMatrixView<T>(Y.view()), T{0}, out);
+    run.A_sv_st->spmm(ST{1}, la::ConstMatrixView<ST>(Y.view()), ST{0}, out);
   };
 
-  std::optional<HMatrix<T>> S_store;
+  std::optional<HMatrix<ST>> S_store;
   {
     ScopedPhase phase(stats.phases, "schur");
     TraceSpan span("phase", "schur");
     {
       StageScope stage(stats.stages, "schur.assemble");
-      S_store = HMatrix<T>::assemble(run.tree, run.tree, *run.sys.A_ss,
-                                     run.h_options());
+      S_store = HMatrix<ST>::assemble(run.tree, run.tree, run.gen_ss(),
+                                      run.h_options());
     }
-    HMatrix<T>& S = *S_store;
+    HMatrix<ST>& S = *S_store;
 
     Rng rng(20220512);
     auto gaussian = [&](index_t rows, index_t cols) {
-      Matrix<T> G(rows, cols);
+      Matrix<ST> G(rows, cols);
       for (index_t j = 0; j < cols; ++j)
         for (index_t i = 0; i < rows; ++i)
-          G(i, j) = T(rng.normal());
+          G(i, j) = ST(rng.normal());
       return G;
     };
 
@@ -673,46 +839,46 @@ void run_multisolve_randomized(Run<T>& run) {
         1, std::min<index_t>(
                ns, static_cast<index_t>(cfg.rand_max_rank_ratio * ns)));
     index_t r = std::min<index_t>(cap, cfg.rand_initial_rank);
-    Matrix<T> W(ns, 0);
-    Matrix<T> Q;
+    Matrix<ST> W(ns, 0);
+    Matrix<ST> Q;
     while (true) {
       // Extend the sample block to r columns.
       const index_t have = W.cols();
-      Matrix<T> W_new(ns, r);
+      Matrix<ST> W_new(ns, r);
       if (have > 0)
         W_new.block(0, 0, ns, have).copy_from(
-            la::ConstMatrixView<T>(W.view()));
+            la::ConstMatrixView<ST>(W.view()));
       {
         auto G = gaussian(ns, r - have);
-        apply_m(la::ConstMatrixView<T>(G.view()),
+        apply_m(la::ConstMatrixView<ST>(G.view()),
                 W_new.block(0, have, ns, r - have));
       }
       W = std::move(W_new);
       // Orthonormal range basis.
-      Matrix<T> QR = W;
-      std::vector<T> tau;
+      Matrix<ST> QR = W;
+      std::vector<ST> tau;
       la::householder_qr(QR.view(), tau);
-      Q = la::form_q_thin(la::ConstMatrixView<T>(QR.view()), tau);
+      Q = la::form_q_thin(la::ConstMatrixView<ST>(QR.view()), tau);
       // Posterior accuracy probe: || (I - Q Q^T') M z || / || M z ||.
       const index_t n_probe = 4;
       auto Z = gaussian(ns, n_probe);
-      Matrix<T> P(ns, n_probe);
-      apply_m(la::ConstMatrixView<T>(Z.view()), P.view());
-      Matrix<T> C(r, n_probe);
+      Matrix<ST> P(ns, n_probe);
+      apply_m(la::ConstMatrixView<ST>(Z.view()), P.view());
+      Matrix<ST> C(r, n_probe);
       // C = Q^H P (unitary basis: conjugated inner products).
       for (index_t j = 0; j < n_probe; ++j)
         for (index_t c = 0; c < r; ++c) {
-          T acc{};
+          ST acc{};
           for (index_t i = 0; i < ns; ++i) acc += conj_if(Q(i, c)) * P(i, j);
           C(c, j) = acc;
         }
-      Matrix<T> R = P;
-      la::gemm(T{-1}, la::ConstMatrixView<T>(Q.view()), la::Op::kNoTrans,
-               la::ConstMatrixView<T>(C.view()), la::Op::kNoTrans, T{1},
+      Matrix<ST> R = P;
+      la::gemm(ST{-1}, la::ConstMatrixView<ST>(Q.view()), la::Op::kNoTrans,
+               la::ConstMatrixView<ST>(C.view()), la::Op::kNoTrans, ST{1},
                R.view());
       const double rel =
-          la::norm_fro(la::ConstMatrixView<T>(R.view())) /
-          std::max(1e-300, double(la::norm_fro(la::ConstMatrixView<T>(
+          la::norm_fro(la::ConstMatrixView<ST>(R.view())) /
+          std::max(1e-300, double(la::norm_fro(la::ConstMatrixView<ST>(
                                P.view()))));
       if (rel <= cfg.eps || r >= cap) break;
       r = std::min<index_t>(cap, 2 * r);
@@ -723,17 +889,17 @@ void run_multisolve_randomized(Run<T>& run) {
     // complex symmetric (M^T = M), the projected approximation
     // M ~ Q Q^H M factors as U V^T with U = Q and V = M conj(Q):
     //   Q (M conj(Q))^T = Q conj(Q)^T M^T = (Q Q^H) M.
-    Matrix<T> Qc(ns, Q.cols());
+    Matrix<ST> Qc(ns, Q.cols());
     for (index_t j = 0; j < Q.cols(); ++j)
       for (index_t i = 0; i < ns; ++i) Qc(i, j) = conj_if(Q(i, j));
-    la::RkFactors<T> correction;
-    correction.V = Matrix<T>(ns, Q.cols());
-    apply_m(la::ConstMatrixView<T>(Qc.view()), correction.V.view());
+    la::RkFactors<ST> correction;
+    correction.V = Matrix<ST>(ns, Q.cols());
+    apply_m(la::ConstMatrixView<ST>(Qc.view()), correction.V.view());
     correction.U = std::move(Q);
     // S -= M (compressed, directly from factors).
-    S.add_low_rank(T{-1}, correction);
+    S.add_low_rank(ST{-1}, correction);
   }
-  HMatrix<T>& S = *S_store;
+  HMatrix<ST>& S = *S_store;
   stats.schur_bytes = S.memory_bytes();
   stats.schur_compression_ratio = S.compression_ratio();
   {
@@ -741,44 +907,43 @@ void run_multisolve_randomized(Run<T>& run) {
     TraceSpan span("phase", "dense_factorization");
     factor_schur_h(S, run);
   }
-  run.out.interior = std::move(mf);
-  run.out.schur_h = std::move(S_store);
+  run.store(std::move(mf), std::move(S_store));
 }
 
 // ---------------------------------------------------------------------------
 // Advanced coupling (II-F): one sparse factorization+Schur call
 // ---------------------------------------------------------------------------
 
-template <class T>
-void run_advanced(Run<T>& run) {
+template <class T, class ST>
+void run_advanced(Run<T, ST>& run) {
   const auto& cfg = run.cfg;
   auto& stats = run.stats;
   const index_t nv = run.sys.nv();
   const index_t ns = run.sys.ns();
 
   // K = [[A_vv, A_sv^T],[A_sv, 0]], symmetric, Schur on the trailing ns.
-  MultifrontalSolver<T> mf;
+  MultifrontalSolver<ST> mf;
   {
     ScopedPhase phase(stats.phases, "sparse_factorization");
     TraceSpan span("phase", "sparse_factorization");
-    sparse::Triplets<T> trip(nv + ns, nv + ns);
-    const auto& A = run.sys.A_vv;
+    sparse::Triplets<ST> trip(nv + ns, nv + ns);
+    const auto& A = *run.A_vv_st;
     for (index_t r = 0; r < nv; ++r)
       for (offset_t k = A.row_begin(r); k < A.row_end(r); ++k)
         trip.add(r, A.col(k), A.value(k));
-    const auto& C = run.A_sv_tree;
+    const auto& C = *run.A_sv_st;
     for (index_t r = 0; r < ns; ++r)
       for (offset_t k = C.row_begin(r); k < C.row_end(r); ++k) {
         trip.add(nv + r, C.col(k), C.value(k));
         trip.add(C.col(k), nv + r, C.value(k));
       }
-    auto K = sparse::Csr<T>::from_triplets(trip);
+    auto K = sparse::Csr<ST>::from_triplets(trip);
     run.factorize_sparse(mf, K, true, ns);
   }
   stats.sparse_factor_bytes = mf.factor_bytes();
 
   // The Schur complement arrives as one non-compressed dense matrix.
-  Matrix<T> S = mf.take_schur();  // = -A_sv A_vv^{-1} A_sv^T (tree order)
+  Matrix<ST> S = mf.take_schur();  // = -A_sv A_vv^{-1} A_sv^T (tree order)
   {
     ScopedPhase phase(stats.phases, "schur");
     TraceSpan span("phase", "schur");
@@ -786,16 +951,16 @@ void run_advanced(Run<T>& run) {
     // S += A_ss, materialized in column slabs through generator_block
     // (amortizes kernel evaluation the same way the baseline branch does).
     const index_t slab = std::max<index_t>(1, cfg.n_c);
-    Matrix<T> G(ns, std::min(slab, ns));
+    Matrix<ST> G(ns, std::min(slab, ns));
     for (index_t c0 = 0; c0 < ns; c0 += slab) {
       const index_t nc = std::min(slab, ns - c0);
       auto Gb = G.block(0, 0, ns, nc);
       fembem::generator_block(run.gen_tree, 0, c0, Gb);
-      la::axpy(T{1}, Gb, S.block(0, c0, ns, nc));
+      la::axpy(ST{1}, Gb, S.block(0, c0, ns, nc));
     }
   }
   stats.schur_bytes = S.size_bytes();
-  dense::DenseSolver<T> ds;
+  dense::DenseSolver<ST> ds;
   {
     ScopedPhase phase(stats.phases, "dense_factorization");
     TraceSpan span("phase", "dense_factorization");
@@ -804,16 +969,15 @@ void run_advanced(Run<T>& run) {
   // The factorization of K = [[A_vv, A_sv^T],[A_sv, 0]] with a Schur
   // feature on the trailing ns also serves as the interior solver: a solve
   // with an nv-row block runs through the A_vv subsystem only.
-  run.out.interior = std::move(mf);
-  run.out.schur_dense = std::move(ds);
+  run.store(std::move(mf), std::move(ds));
 }
 
 // ---------------------------------------------------------------------------
 // Multi-factorization (Alg. 3, plus the compressed-Schur variant)
 // ---------------------------------------------------------------------------
 
-template <class T>
-void run_multifacto(Run<T>& run, bool compressed) {
+template <class T, class ST>
+void run_multifacto(Run<T, ST>& run, bool compressed) {
   const auto& cfg = run.cfg;
   auto& stats = run.stats;
   const index_t nv = run.sys.nv();
@@ -827,15 +991,15 @@ void run_multifacto(Run<T>& run, bool compressed) {
         static_cast<index_t>(static_cast<offset_t>(k) * ns / nb);
 
   // Schur accumulator: dense, or the compressed A_ss H-matrix.
-  Matrix<T> S_dense;
-  std::optional<HMatrix<T>> S_h;
+  Matrix<ST> S_dense;
+  std::optional<HMatrix<ST>> S_h;
   if (compressed) {
     ScopedPhase phase(stats.phases, "schur");
     StageScope stage(stats.stages, "schur.assemble");
-    S_h = HMatrix<T>::assemble(run.tree, run.tree, *run.sys.A_ss,
-                               run.h_options());
+    S_h = HMatrix<ST>::assemble(run.tree, run.tree, run.gen_ss(),
+                                run.h_options());
   } else {
-    S_dense = Matrix<T>(ns, ns);
+    S_dense = Matrix<ST>(ns, ns);
   }
 
   struct Job {
@@ -846,7 +1010,7 @@ void run_multifacto(Run<T>& run, bool compressed) {
     for (index_t bj = 0; bj < nb; ++bj) jobs.push_back(Job{bi, bj});
 
   // One (bi, bj) W-factorization; `mf` receives the factors.
-  auto factor_job = [&](const Job& job, MultifrontalSolver<T>& mf) {
+  auto factor_job = [&](const Job& job, MultifrontalSolver<ST>& mf) {
     const index_t r0 = start[static_cast<std::size_t>(job.bi)];
     const index_t nri = start[static_cast<std::size_t>(job.bi) + 1] - r0;
     const index_t c0 = start[static_cast<std::size_t>(job.bj)];
@@ -864,36 +1028,36 @@ void run_multifacto(Run<T>& run, bool compressed) {
     if (failpoint("mf.job"))
       throw BudgetExceeded(
           static_cast<std::size_t>(p) * static_cast<std::size_t>(p) *
-              sizeof(T),
+              sizeof(ST),
           MemoryTracker::instance().current(),
           MemoryTracker::instance().budget());
-    sparse::Triplets<T> trip(nv + p, nv + p);
-    const auto& A = run.sys.A_vv;
+    sparse::Triplets<ST> trip(nv + p, nv + p);
+    const auto& A = *run.A_vv_st;
     for (index_t r = 0; r < nv; ++r)
       for (offset_t k = A.row_begin(r); k < A.row_end(r); ++k)
         trip.add(r, A.col(k), A.value(k));
-    const auto& C = run.A_sv_tree;
+    const auto& C = *run.A_sv_st;
     for (index_t r = 0; r < nri; ++r)
       for (offset_t k = C.row_begin(r0 + r); k < C.row_end(r0 + r); ++k)
         trip.add(nv + r, C.col(k), C.value(k));
     for (index_t q = 0; q < ncj; ++q)
       for (offset_t k = C.row_begin(c0 + q); k < C.row_end(c0 + q); ++k)
         trip.add(C.col(k), nv + q, C.value(k));
-    auto W = sparse::Csr<T>::from_triplets(trip);
+    auto W = sparse::Csr<ST>::from_triplets(trip);
     // Superfluous re-factorization of A_vv on every call: the API
     // limitation that gives the algorithm its name.
     run.factorize_sparse(mf, W, false, p);
   };
 
-  MultifrontalSolver<T> mf_last;  // the last diagonal factorization serves
-                                  // the interior solves of the finish phase
+  MultifrontalSolver<ST> mf_last;  // the last diagonal factorization serves
+                                   // the interior solves of the finish phase
 
   // Fold one retrieved Schur block into the accumulator. Commits happen
   // strictly in the serial (bi, bj) order, so the recompression sequence
   // of the compressed accumulator -- and hence the result -- is identical
   // to a serial run.
-  auto commit_job = [&](const Job& job, Matrix<T>& X,
-                        MultifrontalSolver<T>& mf) {
+  auto commit_job = [&](const Job& job, Matrix<ST>& X,
+                        MultifrontalSolver<ST>& mf) {
     const index_t r0 = start[static_cast<std::size_t>(job.bi)];
     const index_t nri = start[static_cast<std::size_t>(job.bi) + 1] - r0;
     const index_t c0 = start[static_cast<std::size_t>(job.bj)];
@@ -905,11 +1069,11 @@ void run_multifacto(Run<T>& run, bool compressed) {
           .arg("bi", static_cast<long long>(job.bi))
           .arg("bj", static_cast<long long>(job.bj));
       if (compressed) {
-        S_h->add_dense_block(T{1}, X.block(0, 0, nri, ncj), r0, c0);
+        S_h->add_dense_block(ST{1}, X.block(0, 0, nri, ncj), r0, c0);
       } else {
         auto slab = S_dense.block(r0, c0, nri, ncj);
         fembem::generator_block(run.gen_tree, r0, c0, slab);
-        la::axpy(T{1}, X.block(0, 0, nri, ncj), slab);
+        la::axpy(ST{1}, X.block(0, 0, nri, ncj), slab);
       }
     }
     X.clear();
@@ -927,7 +1091,8 @@ void run_multifacto(Run<T>& run, bool compressed) {
   int workers = 1;
   std::size_t job_bytes = 0;
   if (resolve_threads(cfg.num_threads) > 1 && jobs.size() > 1) {
-    const PlannerInputs in = planner_inputs(run.sys, cfg);
+    PlannerInputs in = planner_inputs(run.sys, cfg);
+    in.scalar_bytes = sizeof(ST);  // jobs allocate in factor precision
     job_bytes = multifacto_job_bytes(in, cfg);
     workers = admissible_inflight(
         job_bytes, cfg.memory_budget, MemoryTracker::instance().current(),
@@ -942,9 +1107,9 @@ void run_multifacto(Run<T>& run, bool compressed) {
       trace_instant("admission", "multifacto.degraded_serial");
     }
     for (const Job& job : jobs) {
-      MultifrontalSolver<T> mf;
+      MultifrontalSolver<ST> mf;
       factor_job(job, mf);
-      Matrix<T> X = mf.take_schur();  // p x p
+      Matrix<ST> X = mf.take_schur();  // p x p
       commit_job(job, X, mf);
     }
   } else {
@@ -956,8 +1121,8 @@ void run_multifacto(Run<T>& run, bool compressed) {
     for (std::ptrdiff_t k = 0; k < n_jobs; ++k) {
       bool admitted = false;
       {
-        MultifrontalSolver<T> mf;
-        Matrix<T> X;
+        MultifrontalSolver<ST> mf;
+        Matrix<ST> X;
         bool ok = false;
         if (!failed.load(std::memory_order_relaxed)) {
           admission.acquire();
@@ -1005,28 +1170,27 @@ void run_multifacto(Run<T>& run, bool compressed) {
       factor_schur_h(*S_h, run);
     }
     stats.schur_bytes = std::max(stats.schur_bytes, S_h->memory_bytes());
-    run.out.interior = std::move(mf_last);
-    run.out.schur_h = std::move(S_h);
+    run.store(std::move(mf_last), std::move(S_h));
   } else {
     stats.schur_bytes = S_dense.size_bytes();
-    dense::DenseSolver<T> ds;
+    dense::DenseSolver<ST> ds;
     {
       ScopedPhase phase(stats.phases, "dense_factorization");
       TraceSpan span("phase", "dense_factorization");
       factor_schur_dense(ds, std::move(S_dense), run);
     }
-    run.out.interior = std::move(mf_last);
-    run.out.schur_dense = std::move(ds);
+    run.store(std::move(mf_last), std::move(ds));
   }
 }
 
 /// One factorization attempt with the effective (possibly degraded)
-/// config. On success `out` holds the complete factorization.
-template <class T>
-void run_strategy(const CoupledSystem<T>& system, const Config& cfg,
-                  const Degrade& deg, SolveStats& stats,
-                  detail::FactoredImpl<T>& out) {
-  Run<T> run(system, cfg, deg, stats, out);
+/// config, working in factor-storage scalar ST. On success `out` holds the
+/// complete factorization.
+template <class T, class ST>
+void run_strategy_in(const CoupledSystem<T>& system, const Config& cfg,
+                     const Degrade& deg, SolveStats& stats,
+                     detail::FactoredImpl<T>& out) {
+  Run<T, ST> run(system, cfg, deg, stats, out);
   switch (cfg.strategy) {
     case Strategy::kBaselineCoupling:
       run_multisolve(run, /*blocked=*/false, /*compressed=*/false);
@@ -1053,6 +1217,20 @@ void run_strategy(const CoupledSystem<T>& system, const Config& cfg,
   // The runner stored its solvers; move the shared pieces in with them.
   out.tree = std::move(run.tree);
   out.A_sv_tree = std::move(run.A_sv_tree);
+}
+
+/// Precision dispatch: a single-precision run instantiates the whole
+/// strategy stack (multifrontal, H-matrix, dense solver, packed kernels)
+/// at single_of_t<T> while the solution/refinement phase stays in T.
+template <class T>
+void run_strategy(const CoupledSystem<T>& system, const Config& cfg,
+                  const Degrade& deg, SolveStats& stats,
+                  detail::FactoredImpl<T>& out) {
+  if (cfg.factor_precision == Precision::kSingle) {
+    run_strategy_in<T, single_of_t<T>>(system, cfg, deg, stats, out);
+  } else {
+    run_strategy_in<T, T>(system, cfg, deg, stats, out);
+  }
 }
 
 /// Map the in-flight exception onto the structured taxonomy. Call from a
@@ -1126,6 +1304,14 @@ const char* plan_recovery(const SolveError& err, Config& cfg, Degrade& deg,
       return nullptr;
     }
     case ErrorCode::kNumericalBreakdown: {
+      // Stalled mixed-precision refinement: the float factors cannot
+      // contract the residual (cond(A) * eps_single too large). Escalate
+      // to double-precision factors and re-run the whole attempt.
+      if (err.site == "refine.stall" &&
+          cfg.factor_precision == Precision::kSingle) {
+        cfg.factor_precision = Precision::kDouble;
+        return "precision_escalate";
+      }
       // An unpivoted LDL^T hit a zero pivot; the pivoted LU of the same
       // block may still succeed.
       if (err.site == "hldlt.pivot" && cfg.hmat_symmetric_ldlt) {
@@ -1176,6 +1362,7 @@ void run_attempts(const CoupledSystem<T>& system, const Config& config,
                                : 0);
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
     stats.attempts = attempt;
+    stats.factor_precision = eff.factor_precision;
     impl.reset_factors();
     impl.cfg = eff;
     try {
@@ -1185,6 +1372,7 @@ void run_attempts(const CoupledSystem<T>& system, const Config& config,
       stats.success = true;
       stats.error = SolveError{};
       stats.failure.clear();
+      stats.factor_bytes = stats.sparse_factor_bytes + stats.schur_bytes;
       break;
     } catch (...) {
       stats.error = classify_current_exception();
@@ -1198,6 +1386,8 @@ void run_attempts(const CoupledSystem<T>& system, const Config& config,
         RecoveryAction{action, error_code_name(stats.error.code),
                        stats.error.site + ": " + stats.error.detail});
     Metrics::instance().add(Metric::kRecoveries, 1);
+    if (std::string_view(action) == "precision_escalate")
+      Metrics::instance().add(Metric::kPrecisionEscalations, 1);
     trace_instant("recovery", action);
     log_info("recovery: ", action, " after ",
              error_code_name(stats.error.code), " at ", stats.error.site);
@@ -1378,6 +1568,7 @@ SolveStats FactoredCoupled<T>::solve(la::MatrixView<T> B_v,
   stats.n_fem = impl_->sys->nv();
   stats.n_bem = impl_->sys->ns();
   stats.n_total = impl_->sys->total();
+  stats.factor_precision = impl_->cfg.factor_precision;
   if (B_v.cols() != B_s.cols() || B_v.rows() != impl_->sys->nv() ||
       B_s.rows() != impl_->sys->ns()) {
     stats.error = SolveError{ErrorCode::kInternal, "handle",

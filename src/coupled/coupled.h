@@ -58,6 +58,19 @@ enum class Strategy {
 
 const char* strategy_name(Strategy s);
 
+/// Working precision of the *stored factors* (interior multifrontal
+/// factors, dense/H-matrix Schur factorization). kSingle halves every
+/// factor byte — roughly 2x memory headroom and effective bandwidth —
+/// while operators, right-hand sides, residuals and iterative refinement
+/// stay in the input precision, which recovers full accuracy for
+/// reasonably conditioned systems (cond(A) * eps_single < 1).
+enum class Precision {
+  kDouble,
+  kSingle,
+};
+
+const char* precision_name(Precision p);
+
 struct Config {
   Strategy strategy = Strategy::kMultiSolveCompressed;
 
@@ -81,6 +94,21 @@ struct Config {
   /// Iterative refinement sweeps on the coupled system after the direct
   /// solve (recovers accuracy lost to aggressive compression; 0 = off).
   int refine_iterations = 0;
+
+  /// Early-exit threshold for iterative refinement: stop sweeping once
+  /// every column's relative coupled residual is <= this value (0 = run
+  /// all refine_iterations sweeps, the historical behavior). The
+  /// mixed-precision stall detector also treats this as the accuracy the
+  /// refinement must keep making progress towards.
+  double refine_tolerance = 0.0;
+
+  /// Working precision of the stored factors. kSingle requires
+  /// refine_iterations >= 1 (validate_config enforces this): without the
+  /// double-precision refinement sweeps the solve would silently return
+  /// ~1e-6-accurate answers. A refinement stall under single-precision
+  /// factors is a recoverable numerical breakdown: the degrade-and-retry
+  /// driver re-factorizes in double ("precision_escalate").
+  Precision factor_precision = Precision::kDouble;
 
   /// Worker threads for the task-parallel execution layer (H-matrix leaf
   /// loops, H-LU tasks, the Schur pipeline, block-parallel
@@ -187,7 +215,16 @@ struct SolveStats {
   std::size_t peak_bytes = 0;          ///< tracked peak over the whole run
   std::size_t schur_bytes = 0;         ///< storage of S (dense or H)
   std::size_t sparse_factor_bytes = 0;
+  /// Total factor storage (sparse factors + Schur factorization) in the
+  /// effective factor precision; single-precision factors show up as
+  /// roughly half the double-precision figure.
+  std::size_t factor_bytes = 0;
   double schur_compression_ratio = 1.0;  ///< stored / dense for S
+
+  /// Effective working precision of the stored factors after any
+  /// precision_escalate recovery (may differ from the requested
+  /// Config::factor_precision).
+  Precision factor_precision = Precision::kDouble;
 
   double relative_error = -1.0;
   index_t n_total = 0, n_fem = 0, n_bem = 0;
@@ -201,6 +238,10 @@ struct SolveStats {
   /// Per-column relative residual of the coupled system after the last
   /// iterative-refinement sweep (empty when refine_iterations == 0).
   std::vector<double> refine_residuals;
+  /// Refinement sweeps that actually applied a correction in the
+  /// successful solve (early exit on refine_tolerance may make this
+  /// smaller than refine_iterations).
+  int refine_sweeps = 0;
 };
 
 namespace detail {

@@ -43,13 +43,19 @@ struct PlannerInputs {
 };
 
 /// Gather the planner inputs from a system (runs one symbolic analysis).
+/// scalar_bytes is the element size of the *factor storage*, so a
+/// Config::factor_precision == kSingle run halves every factor, panel and
+/// Schur term of the predictions (the system blocks stay in the input
+/// scalar and are counted separately via system_bytes).
 template <class T>
 PlannerInputs planner_inputs(const fembem::CoupledSystem<T>& sys,
                              const Config& cfg) {
   PlannerInputs in;
   in.nv = sys.nv();
   in.ns = sys.ns();
-  in.scalar_bytes = sizeof(T);
+  in.scalar_bytes = cfg.factor_precision == Precision::kSingle
+                        ? sizeof(single_of_t<T>)
+                        : sizeof(T);
   sparsedirect::MultifrontalSolver<T> mf;
   sparsedirect::SolverOptions so;
   so.ordering = cfg.ordering;

@@ -69,12 +69,16 @@ std::string stats_json(const SolveStats& stats) {
   out += ",\"schur_bytes\":" + std::to_string(stats.schur_bytes);
   out += ",\"sparse_factor_bytes\":" +
          std::to_string(stats.sparse_factor_bytes);
+  out += ",\"factor_bytes\":" + std::to_string(stats.factor_bytes);
+  out += ",\"factor_precision\":" +
+         str(precision_name(stats.factor_precision));
   out += ",\"schur_compression_ratio\":" +
          num(stats.schur_compression_ratio);
   out += ",\"relative_error\":" + num(stats.relative_error);
   if (stats.randomized_rank > 0)
     out += ",\"randomized_rank\":" + std::to_string(stats.randomized_rank);
   out += ",\"nrhs\":" + std::to_string(stats.nrhs);
+  out += ",\"refine_sweeps\":" + std::to_string(stats.refine_sweeps);
   if (!stats.refine_residuals.empty()) {
     out += ",\"refine_residuals\":[";
     bool first_res = true;
@@ -104,6 +108,9 @@ std::string config_json(const Config& config) {
          std::string(config.parallel_fronts ? "true" : "false");
   out += ",\"refine_iterations\":" +
          std::to_string(config.refine_iterations);
+  out += ",\"refine_tolerance\":" + num(config.refine_tolerance);
+  out += ",\"factor_precision\":" +
+         str(precision_name(config.factor_precision));
   out += ",\"auto_recover\":" +
          std::string(config.auto_recover ? "true" : "false");
   out += ",\"max_recovery_attempts\":" +

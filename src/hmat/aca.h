@@ -33,6 +33,48 @@ class MatrixGenerator {
   }
 };
 
+/// Scalar-converting adapter: presents a generator of scalar `From` as one
+/// of scalar `To` by converting every evaluated entry. The mixed-precision
+/// assembly path wraps the double-precision BEM generator in
+/// CastGenerator<float_scalar, double_scalar> so the H-matrix is built
+/// directly in factor precision; the original operator stays in double for
+/// residual computation. Borrows the wrapped generator (no ownership).
+template <class To, class From>
+class CastGenerator final : public MatrixGenerator<To> {
+ public:
+  explicit CastGenerator(const MatrixGenerator<From>& inner) : inner_(inner) {}
+
+  index_t rows() const override { return inner_.rows(); }
+  index_t cols() const override { return inner_.cols(); }
+  To entry(index_t i, index_t j) const override {
+    return scalar_cast<To>(inner_.entry(i, j));
+  }
+
+  void row(index_t i, const index_t* col_ids, index_t n,
+           To* out) const override {
+    scratch_.resize(static_cast<std::size_t>(n));
+    inner_.row(i, col_ids, n, scratch_.data());
+    for (index_t k = 0; k < n; ++k)
+      out[k] = scalar_cast<To>(scratch_[static_cast<std::size_t>(k)]);
+  }
+  void col(index_t j, const index_t* row_ids, index_t m,
+           To* out) const override {
+    scratch_.resize(static_cast<std::size_t>(m));
+    inner_.col(j, row_ids, m, scratch_.data());
+    for (index_t k = 0; k < m; ++k)
+      out[k] = scalar_cast<To>(scratch_[static_cast<std::size_t>(k)]);
+  }
+
+ private:
+  const MatrixGenerator<From>& inner_;
+  // Per-thread bulk-evaluation staging: row()/col() are called from the
+  // parallel H-matrix assembly loops, so the scratch must not be shared.
+  static thread_local std::vector<From> scratch_;
+};
+
+template <class To, class From>
+thread_local std::vector<From> CastGenerator<To, From>::scratch_;
+
 /// ACA with partial pivoting on the sub-block (row_ids x col_ids) of the
 /// generator, at relative accuracy eps. Returns U (m x k), V (n x k) with
 /// block ~= U V^T. If convergence is not reached within max_rank crosses

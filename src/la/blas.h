@@ -431,6 +431,25 @@ void transpose_into(ConstMatrixView<T> A, MatrixView<T> B) {
     for (index_t i = 0; i < A.rows(); ++i) B(j, i) = A(i, j);
 }
 
+/// B := (To)A, elementwise scalar conversion between precisions (the
+/// mixed-precision solve path demotes RHS panels to factor precision and
+/// promotes corrections back).
+template <class To, class From>
+void convert_into(ConstMatrixView<From> A, MatrixView<To> B) {
+  assert(B.rows() == A.rows() && B.cols() == A.cols());
+  for (index_t j = 0; j < A.cols(); ++j)
+    for (index_t i = 0; i < A.rows(); ++i)
+      B(i, j) = scalar_cast<To>(A(i, j));
+}
+
+/// Elementwise-converted copy of A in scalar type To.
+template <class To, class From>
+Matrix<To> converted(ConstMatrixView<From> A) {
+  Matrix<To> B(A.rows(), A.cols());
+  convert_into<To, From>(A, B.view());
+  return B;
+}
+
 /// Frobenius norm.
 template <class T>
 real_of_t<T> norm_fro(ConstMatrixView<T> A) {

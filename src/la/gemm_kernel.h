@@ -42,6 +42,23 @@ struct KernelTraits<std::complex<S>> {
   static constexpr index_t mr = 4, nr = 4;
   static constexpr index_t mc = 96, kc = 192, nc = 1024;
 };
+/// Single precision: elements are half the bytes, so mr scales up at the
+/// same vector-register budget and the cache blocks double to keep the
+/// same L2/L3 footprint. The mr values are measured, not derived: GCC
+/// keeps these accumulator tiles in registers across the k loop, whereas
+/// the "natural" halved-bytes choices (16 x 4 float, 8 x 4 complex float)
+/// fall out of the auto-vectorizer's register allocation and run an order
+/// of magnitude slower.
+template <>
+struct KernelTraits<float> {
+  static constexpr index_t mr = 32, nr = 4;
+  static constexpr index_t mc = 256, kc = 384, nc = 4096;
+};
+template <>
+struct KernelTraits<std::complex<float>> {
+  static constexpr index_t mr = 16, nr = 4;
+  static constexpr index_t mc = 192, kc = 256, nc = 2048;
+};
 
 /// Real micro-kernel: acc[j*MR+i] += sum_p a[p*MR+i] * b[p*NR+j] over the
 /// packed tiles of pack.h.

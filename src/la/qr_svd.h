@@ -251,6 +251,21 @@ void jacobi_svd(ConstMatrixView<T> A, Matrix<T>& U,
   const R eps = std::numeric_limits<R>::epsilon();
 
   for (int sweep = 0; sweep < 60; ++sweep) {
+    // Columns whose norm has collapsed to rotation round-off of the
+    // dominant column are converged by fiat: each rotation against a large
+    // column re-seeds a tiny one with O(eps * ||g_max||) of mass, so the
+    // relative pair criterion below can never be met for them and the
+    // sweep loop spins to its cap. This bites in single precision, where
+    // graded Rk cores routinely span more than float's 2^24 range; the
+    // frozen columns carry sigma <= 4 eps sigma_max, which is noise at
+    // working precision.
+    R max2 = 0;
+    for (index_t j = 0; j < n; ++j) {
+      R acc = 0;
+      for (index_t i = 0; i < m; ++i) acc += abs2(G(i, j));
+      max2 = std::max(max2, acc);
+    }
+    const R tiny2 = (R{4} * eps) * (R{4} * eps) * max2;
     bool converged = true;
     for (index_t p = 0; p < n - 1; ++p) {
       for (index_t q = p + 1; q < n; ++q) {
@@ -262,6 +277,7 @@ void jacobi_svd(ConstMatrixView<T> A, Matrix<T>& U,
           aqq += abs2(G(i, q));
           apq += conj_if(G(i, p)) * G(i, q);
         }
+        if (app <= tiny2 || aqq <= tiny2) continue;
         const R apq_abs = std::abs(apq);
         if (apq_abs == R{0} ||
             apq_abs <= R{16} * eps * std::sqrt(app * aqq)) {

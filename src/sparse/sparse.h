@@ -232,7 +232,29 @@ class Csr {
     return d;
   }
 
+  /// Same pattern with values converted to scalar U (the mixed-precision
+  /// path demotes the assembled operators to factor precision with this).
+  template <class U>
+  Csr<U> converted() const {
+    Csr<U> m;
+    m.rows_ = rows_;
+    m.cols_ = cols_;
+    m.row_ptr_.reset(row_ptr_.size());
+    m.col_idx_.reset(col_idx_.size());
+    m.values_.reset(values_.size());
+    for (std::size_t k = 0; k < row_ptr_.size(); ++k)
+      m.row_ptr_[k] = row_ptr_[k];
+    for (std::size_t k = 0; k < col_idx_.size(); ++k)
+      m.col_idx_[k] = col_idx_[k];
+    for (std::size_t k = 0; k < values_.size(); ++k)
+      m.values_[k] = scalar_cast<U>(values_[k]);
+    return m;
+  }
+
  private:
+  template <class U>
+  friend class Csr;
+
   index_t rows_ = 0;
   index_t cols_ = 0;
   Buffer<offset_t> row_ptr_;

@@ -752,6 +752,212 @@ TEST(ConfigValidation, BlockingParametersAuditedPerStrategy) {
   EXPECT_TRUE(validate_config(r).empty());
 }
 
+// -- mixed precision: float factors, double refinement ----------------------
+
+double worst_residual(const SolveStats& stats) {
+  double worst = 0;
+  for (double r : stats.refine_residuals) worst = std::max(worst, r);
+  return worst;
+}
+
+class MixedPrecisionSweep : public ::testing::TestWithParam<Strategy> {};
+
+TEST_P(MixedPrecisionSweep, SingleFactorsReachDoubleLevelResiduals) {
+  // The paper's mixed-precision bar: factors stored and applied in float,
+  // double-precision refinement against the exact operators, and the final
+  // residual within 10x of the all-double run (with the refinement target
+  // as a floor -- both runs early-exit once they meet it).
+  Config dbl;
+  dbl.strategy = GetParam();
+  dbl.eps = 1e-4;
+  dbl.n_c = 64;
+  dbl.n_S = 160;
+  dbl.n_b = 2;
+  dbl.refine_iterations = 6;
+  dbl.refine_tolerance = 1e-9;
+  auto sd = solve_coupled(real_system(), dbl);
+  ASSERT_TRUE(sd.success) << sd.failure;
+
+  Config sgl = dbl;
+  sgl.factor_precision = Precision::kSingle;
+  auto ss = solve_coupled(real_system(), sgl);
+  ASSERT_TRUE(ss.success) << ss.failure;
+  EXPECT_EQ(ss.factor_precision, Precision::kSingle)
+      << "escalated: " << strategy_name(GetParam());
+  EXPECT_GE(ss.refine_sweeps, 1);
+  EXPECT_LT(ss.relative_error, 1e-3) << strategy_name(GetParam());
+  EXPECT_LT(worst_residual(ss),
+            10.0 * std::max(worst_residual(sd), dbl.refine_tolerance))
+      << strategy_name(GetParam());
+  // Float factors buy the paper's memory headroom.
+  ASSERT_GT(sd.factor_bytes, 0u);
+  EXPECT_LT(ss.factor_bytes, sd.factor_bytes) << strategy_name(GetParam());
+}
+
+TEST_P(MixedPrecisionSweep, ComplexSystemSingleFactorsStayAccurate) {
+  Config cfg;
+  cfg.strategy = GetParam();
+  cfg.eps = 1e-4;
+  cfg.n_c = 64;
+  cfg.n_S = 160;
+  cfg.n_b = 2;
+  // Each sweep applies the exact (uncompressed) BEM generator, the
+  // dominant cost on the complex system; a 1e-6 target early-exits well
+  // past the 1e-3 accuracy bar below.
+  cfg.refine_iterations = 4;
+  cfg.refine_tolerance = 1e-6;
+  cfg.factor_precision = Precision::kSingle;
+  auto stats = solve_coupled(complex_system(), cfg);
+  ASSERT_TRUE(stats.success) << stats.failure;
+  EXPECT_LT(stats.relative_error, 1e-3) << strategy_name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, MixedPrecisionSweep,
+    ::testing::Values(Strategy::kBaselineCoupling, Strategy::kAdvancedCoupling,
+                      Strategy::kMultiSolve, Strategy::kMultiSolveCompressed,
+                      Strategy::kMultiFactorization,
+                      Strategy::kMultiFactorizationCompressed,
+                      Strategy::kMultiSolveRandomized),
+    [](const ::testing::TestParamInfo<Strategy>& info) {
+      std::string name = strategy_name(info.param);
+      for (auto& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+TEST(Coupled, SingleFactorsRoughlyHalveFactorStorage) {
+  // Dense Schur + uncompressed multifrontal: every factor byte is a raw
+  // scalar, so single precision stores about half of what double does.
+  Config dbl;
+  dbl.strategy = Strategy::kMultiSolve;
+  dbl.sparse_compression = false;
+  dbl.refine_iterations = 3;
+  Config sgl = dbl;
+  sgl.factor_precision = Precision::kSingle;
+  auto sd = solve_coupled(real_system(), dbl);
+  auto ss = solve_coupled(real_system(), sgl);
+  ASSERT_TRUE(sd.success && ss.success);
+  ASSERT_GT(sd.factor_bytes, 0u);
+  EXPECT_LT(static_cast<double>(ss.factor_bytes),
+            0.6 * static_cast<double>(sd.factor_bytes));
+}
+
+TEST(ConfigValidation, SingleFactorsRequireRefinement) {
+  Config c;
+  c.factor_precision = Precision::kSingle;
+  c.refine_iterations = 0;
+  EXPECT_FALSE(validate_config(c).empty());
+  c.refine_iterations = 1;
+  EXPECT_TRUE(validate_config(c).empty());
+  c.refine_tolerance = -1e-9;
+  EXPECT_FALSE(validate_config(c).empty());
+}
+
+TEST(Resilience, ForcedRefineStallEscalatesToDoubleFactors) {
+  // The precision-escalation rung: a refinement plateau under single
+  // factors re-factorizes in double. The failpoint forces the plateau on
+  // the first attempt; the retry must report the escalated precision.
+  Config cfg;
+  cfg.strategy = Strategy::kMultiSolveCompressed;
+  cfg.eps = 1e-4;
+  cfg.factor_precision = Precision::kSingle;
+  cfg.refine_iterations = 2;
+  cfg.failpoints = "refine.stall=once";
+  auto stats = solve_coupled(real_system(), cfg);
+  ASSERT_TRUE(stats.success) << stats.failure;
+  EXPECT_EQ(stats.attempts, 2);
+  ASSERT_EQ(stats.recoveries.size(), 1u);
+  EXPECT_EQ(stats.recoveries[0].action, "precision_escalate");
+  EXPECT_EQ(stats.recoveries[0].error, "numerical_breakdown");
+  EXPECT_EQ(stats.factor_precision, Precision::kDouble);
+  EXPECT_LT(stats.relative_error, 1e-3);
+}
+
+TEST(Resilience, RefineStallWithoutRecoveryIsClassified) {
+  Config cfg;
+  cfg.strategy = Strategy::kMultiSolve;
+  cfg.factor_precision = Precision::kSingle;
+  cfg.refine_iterations = 1;
+  cfg.auto_recover = false;
+  cfg.failpoints = "refine.stall=once";
+  auto stats = solve_coupled(real_system(), cfg);
+  EXPECT_FALSE(stats.success);
+  EXPECT_EQ(stats.error.code, ErrorCode::kNumericalBreakdown);
+  EXPECT_EQ(stats.error.site, "refine.stall");
+  EXPECT_EQ(stats.attempts, 1);
+  EXPECT_TRUE(stats.recoveries.empty());
+}
+
+TEST(FactoredCoupled, MixedPrecisionFactorizeThenSolve) {
+  const auto& sys = real_system();
+  Config cfg;
+  cfg.strategy = Strategy::kMultiSolveCompressed;
+  cfg.eps = 1e-4;
+  cfg.factor_precision = Precision::kSingle;
+  cfg.refine_iterations = 4;
+  cfg.refine_tolerance = 1e-9;
+  auto f = factorize_coupled(sys, cfg);
+  ASSERT_TRUE(f.ok()) << f.stats().failure;
+  EXPECT_EQ(f.stats().factor_precision, Precision::kSingle);
+
+  la::Matrix<double> Bv = scaled_rhs(sys.b_v, 2);
+  la::Matrix<double> Bs = scaled_rhs(sys.b_s, 2);
+  auto stats = f.solve(Bv.view(), Bs.view());
+  ASSERT_TRUE(stats.success) << stats.failure;
+  EXPECT_EQ(stats.factor_precision, Precision::kSingle);
+  EXPECT_GE(stats.refine_sweeps, 1);
+  la::Vector<double> xv(sys.nv()), xs(sys.ns());
+  for (index_t i = 0; i < sys.nv(); ++i) xv[i] = Bv(i, 1) / 2.0;
+  for (index_t i = 0; i < sys.ns(); ++i) xs[i] = Bs(i, 1) / 2.0;
+  EXPECT_LT(sys.relative_error(xv, xs), 1e-3);
+}
+
+TEST(FactoredCoupled, ConcurrentMixedPrecisionSolvesMatchSerial) {
+  // The TSan target for the mixed path: concurrent solves down-convert
+  // RHS blocks and refine through the shared float factors; results must
+  // match the serial answers bitwise.
+  const auto& sys = real_system();
+  Config cfg;
+  cfg.strategy = Strategy::kMultiSolveCompressed;
+  cfg.eps = 1e-4;
+  cfg.factor_precision = Precision::kSingle;
+  cfg.refine_iterations = 2;
+  auto f = factorize_coupled(sys, cfg);
+  ASSERT_TRUE(f.ok()) << f.stats().failure;
+
+  constexpr index_t kWorkers = 4;
+  std::vector<la::Matrix<double>> serial_v, serial_s;
+  for (index_t t = 0; t < kWorkers; ++t) {
+    serial_v.push_back(scaled_rhs(sys.b_v, 2));
+    serial_s.push_back(scaled_rhs(sys.b_s, 2));
+    auto stats = f.solve(serial_v[t].view(), serial_s[t].view());
+    ASSERT_TRUE(stats.success) << stats.failure;
+  }
+
+  std::vector<la::Matrix<double>> conc_v, conc_s;
+  for (index_t t = 0; t < kWorkers; ++t) {
+    conc_v.push_back(scaled_rhs(sys.b_v, 2));
+    conc_s.push_back(scaled_rhs(sys.b_s, 2));
+  }
+  std::vector<SolveStats> stats(kWorkers);
+  std::vector<std::thread> workers;
+  for (index_t t = 0; t < kWorkers; ++t)
+    workers.emplace_back([&, t] {
+      stats[t] = f.solve(conc_v[t].view(), conc_s[t].view());
+    });
+  for (auto& w : workers) w.join();
+
+  for (index_t t = 0; t < kWorkers; ++t) {
+    ASSERT_TRUE(stats[t].success) << "worker " << t << ": "
+                                  << stats[t].failure;
+    for (index_t j = 0; j < 2; ++j) {
+      expect_column_bitwise_equal(conc_v[t], j, serial_v[t], j);
+      expect_column_bitwise_equal(conc_s[t], j, serial_s[t], j);
+    }
+  }
+}
+
 TEST(Coupled, StrategyNamesAreUnique) {
   std::set<std::string> names;
   for (Strategy s :

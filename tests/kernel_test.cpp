@@ -46,27 +46,44 @@ void naive_gemm(T alpha, ConstMatrixView<T> A, Op opA, ConstMatrixView<T> B,
     }
 }
 
+// Per-scalar tolerances: `value` bounds gemm-vs-naive Frobenius rel_diff,
+// `trsm` the blocked-vs-unblocked solve (triangular solves amplify roundoff
+// by the matrix size, hence the looser bar). The float bars scale the
+// double ones by eps_single/eps_double with the same safety margin.
 template <class T>
 struct tol;
 template <>
 struct tol<double> {
   static constexpr double value = 1e-13;
+  static constexpr double trsm = 1e-11;
 };
 template <>
 struct tol<complexd> {
   static constexpr double value = 1e-13;
+  static constexpr double trsm = 1e-11;
+};
+template <>
+struct tol<float> {
+  static constexpr double value = 5e-5;
+  static constexpr double trsm = 5e-3;
+};
+template <>
+struct tol<complexf> {
+  static constexpr double value = 5e-5;
+  static constexpr double trsm = 5e-3;
 };
 
 template <class T>
 class KernelTypedTest : public ::testing::Test {};
 
-using Scalars = ::testing::Types<double, complexd>;
+using Scalars = ::testing::Types<double, complexd, float, complexf>;
 TYPED_TEST_SUITE(KernelTypedTest, Scalars);
 
 constexpr Op kOps[] = {Op::kNoTrans, Op::kTrans};
 
-/// Shapes straddling the micro-tile sizes (mr=8/nr=4 real, 4/4 complex),
-/// the packed-dispatch threshold, and the cache-block boundaries.
+/// Shapes straddling the micro-tile sizes (mr x nr = 8x4 double, 16x4
+/// float, 4x4 complexd, 8x4 complexf), the packed-dispatch threshold, and
+/// the cache-block boundaries.
 struct Shape {
   index_t m, n, k;
 };
@@ -260,7 +277,7 @@ TYPED_TEST(KernelTypedTest, TrsmAllVariantsMatchUnblocked) {
               detail::trsm_right_unblocked(uplo, op, diag, A.cview(),
                                            R.view());
             }
-            EXPECT_LT(rel_diff(X.cview(), R.cview()), 1e-11)
+            EXPECT_LT(rel_diff(X.cview(), R.cview()), tol<T>::trsm)
                 << "n=" << n << " uplo=" << (uplo == Uplo::kLower ? "L" : "U")
                 << " op=" << (op == Op::kTrans ? "T" : "N")
                 << " diag=" << (diag == Diag::kUnit ? "unit" : "nonunit")
@@ -293,7 +310,7 @@ TYPED_TEST(KernelTypedTest, TrsmRightWideBParallelRegression) {
   }
   detail::trsm_right_unblocked(Uplo::kUpper, Op::kNoTrans, Diag::kNonUnit,
                                A.cview(), R.view());
-  EXPECT_LT(rel_diff(X1.cview(), R.cview()), 1e-11);
+  EXPECT_LT(rel_diff(X1.cview(), R.cview()), tol<T>::trsm);
   for (index_t j = 0; j < n; ++j)
     for (index_t i = 0; i < m; ++i) EXPECT_EQ(X1(i, j), X4(i, j));
 }
