@@ -29,6 +29,17 @@ std::string json_phases(const coupled::SolveStats& stats) {
   return out + "}";
 }
 
+std::string json_peak_by_tag(const coupled::SolveStats& stats) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [tag, bytes] : stats.peak_by_tag) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + tag + "\": " + std::to_string(bytes);
+  }
+  return out + "}";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -93,7 +104,8 @@ int main(int argc, char** argv) {
           "\"schur_plus_dense_seconds\": %s, \"speedup_vs_1\": %s, "
           "\"relative_error\": %s, \"peak_bytes\": %zu, "
           "\"schur_bytes\": %zu, \"schur_compression_ratio\": %s, "
-          "\"factor_precision\": \"%s\", \"factor_bytes\": %zu}\n",
+          "\"factor_precision\": \"%s\", \"factor_bytes\": %zu, "
+          "\"peak_by_tag\": %s, \"planner_predicted_bytes\": %zu}\n",
           coupled::strategy_name(s), t, static_cast<long long>(stats.n_total),
           stats.success ? "true" : "false",
           bench::sci(stats.total_seconds).c_str(),
@@ -103,7 +115,8 @@ int main(int argc, char** argv) {
           stats.schur_bytes,
           bench::sci(stats.schur_compression_ratio).c_str(),
           coupled::precision_name(stats.factor_precision),
-          stats.factor_bytes);
+          stats.factor_bytes, json_peak_by_tag(stats).c_str(),
+          stats.planner_predicted_bytes);
       std::fflush(stdout);
       summary.add_row(
           {coupled::strategy_name(s), TablePrinter::fmt_int(t),

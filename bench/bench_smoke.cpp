@@ -126,6 +126,25 @@ int main(int argc, char** argv) {
     expect(stats.relative_error < 1e-1,
            std::string(coupled::strategy_name(s)) + " rel err " +
                bench::sci(stats.relative_error) + " < 1e-1");
+    // Attribution ledger: the peak snapshot must decompose the global
+    // high-water mark. pack.scratch is budget-exempt per-tag-only
+    // accounting and excluded from the sum; concurrent allocators make the
+    // snapshot approximate, hence the slack.
+    std::size_t tag_sum = 0;
+    for (const auto& [tag, bytes] : stats.peak_by_tag)
+      if (tag != "pack.scratch") tag_sum += bytes;
+    const double lo = 0.75 * static_cast<double>(stats.peak_bytes);
+    const double hi = 1.25 * static_cast<double>(stats.peak_bytes) + 1e6;
+    expect(static_cast<double>(tag_sum) >= lo &&
+               static_cast<double>(tag_sum) <= hi,
+           std::string(coupled::strategy_name(s)) + " peak_by_tag sum " +
+               format_bytes(tag_sum) + " ~ peak " +
+               format_bytes(stats.peak_bytes));
+    expect(stats.planner_predicted_bytes > 0,
+           std::string(coupled::strategy_name(s)) +
+               " planner audit recorded (predicted " +
+               format_bytes(stats.planner_predicted_bytes) + ", x" +
+               bench::sci(stats.planner_misprediction) + " of measured)");
   }
 
   // -- factor once, solve a batch -------------------------------------------
@@ -189,7 +208,9 @@ int main(int argc, char** argv) {
   for (const char* required :
        {"schur.panel_solve", "schur.axpy", "multifacto.factor",
         "solution.schur_solve", "mf.factor", "hmat.assemble",
-        "memory.current", "memory.peak", "panels.inflight"}) {
+        "memory.current", "memory.peak", "panels.inflight",
+        "mem.mf.front", "mem.schur.dense", "mem.rhs.workspace",
+        "mem.hmat.rk"}) {
     expect(names.count(required) > 0,
            std::string("trace contains '") + required + "'");
   }

@@ -36,13 +36,15 @@ class Buffer {
 
   Buffer(Buffer&& other) noexcept
       : data_(std::exchange(other.data_, nullptr)),
-        size_(std::exchange(other.size_, 0)) {}
+        size_(std::exchange(other.size_, 0)),
+        tag_(std::exchange(other.tag_, MemTag::kUntagged)) {}
 
   Buffer& operator=(Buffer&& other) noexcept {
     if (this != &other) {
       destroy();
       data_ = std::exchange(other.data_, nullptr);
       size_ = std::exchange(other.size_, 0);
+      tag_ = std::exchange(other.tag_, MemTag::kUntagged);
     }
     return *this;
   }
@@ -51,15 +53,20 @@ class Buffer {
 
   /// Discard contents and reallocate for `count` elements (uninitialized
   /// beyond value-initialization). Throws BudgetExceeded if the tracker's
-  /// budget would be exceeded.
+  /// budget would be exceeded. The allocation is charged to the calling
+  /// thread's MemoryScope tag, which the buffer remembers so the matching
+  /// release hits the same ledger entry no matter where it is destroyed
+  /// (factors allocated under mf.* scopes die at handle teardown, far from
+  /// any scope).
   void reset(std::size_t count) {
     destroy();
     if (count == 0) return;
     const std::size_t bytes = count * sizeof(T);
-    MemoryTracker::instance().allocate(bytes);
+    tag_ = MemoryScope::current();
+    MemoryTracker::instance().allocate(bytes, tag_);
     void* raw = std::aligned_alloc(kAlignment, round_up(bytes));
     if (raw == nullptr) {
-      MemoryTracker::instance().release(bytes);
+      MemoryTracker::instance().release(bytes, tag_);
       throw std::bad_alloc();
     }
     data_ = static_cast<T*>(raw);
@@ -92,14 +99,16 @@ class Buffer {
   void destroy() {
     if (data_ != nullptr) {
       std::free(data_);
-      MemoryTracker::instance().release(size_ * sizeof(T));
+      MemoryTracker::instance().release(size_ * sizeof(T), tag_);
       data_ = nullptr;
       size_ = 0;
+      tag_ = MemTag::kUntagged;
     }
   }
 
   T* data_ = nullptr;
   std::size_t size_ = 0;
+  MemTag tag_ = MemTag::kUntagged;
 };
 
 }  // namespace cs

@@ -1,37 +1,234 @@
 #include "common/memory.h"
 
+#include <algorithm>
 #include <array>
 #include <cstdio>
+#include <vector>
 
 namespace cs {
 
-MemoryTracker& MemoryTracker::instance() {
-  static MemoryTracker tracker;
-  return tracker;
+const char* mem_tag_name(MemTag tag) {
+  switch (tag) {
+    case MemTag::kUntagged:
+      return "untagged";
+    case MemTag::kSparseMatrix:
+      return "sparse.matrix";
+    case MemTag::kCouplingBlock:
+      return "coupling.block";
+    case MemTag::kMfFront:
+      return "mf.front";
+    case MemTag::kMfFactor:
+      return "mf.factor";
+    case MemTag::kMfBlrPanel:
+      return "mf.blr_panel";
+    case MemTag::kOocBuffer:
+      return "ooc.buffer";
+    case MemTag::kHmatRk:
+      return "hmat.rk";
+    case MemTag::kHmatDense:
+      return "hmat.dense";
+    case MemTag::kSchurDense:
+      return "schur.dense";
+    case MemTag::kSchurPanel:
+      return "schur.panel";
+    case MemTag::kRhsWorkspace:
+      return "rhs.workspace";
+    case MemTag::kPackScratch:
+      return "pack.scratch";
+    case MemTag::kCount:
+      break;
+  }
+  return "invalid";
 }
 
-void MemoryTracker::allocate(std::size_t bytes) {
+const char* mem_tag_counter_name(MemTag tag) {
+  // Trace counters require static-lifetime names, so these literals mirror
+  // mem_tag_name() with a "mem." prefix rather than being built at runtime.
+  switch (tag) {
+    case MemTag::kUntagged:
+      return "mem.untagged";
+    case MemTag::kSparseMatrix:
+      return "mem.sparse.matrix";
+    case MemTag::kCouplingBlock:
+      return "mem.coupling.block";
+    case MemTag::kMfFront:
+      return "mem.mf.front";
+    case MemTag::kMfFactor:
+      return "mem.mf.factor";
+    case MemTag::kMfBlrPanel:
+      return "mem.mf.blr_panel";
+    case MemTag::kOocBuffer:
+      return "mem.ooc.buffer";
+    case MemTag::kHmatRk:
+      return "mem.hmat.rk";
+    case MemTag::kHmatDense:
+      return "mem.hmat.dense";
+    case MemTag::kSchurDense:
+      return "mem.schur.dense";
+    case MemTag::kSchurPanel:
+      return "mem.schur.panel";
+    case MemTag::kRhsWorkspace:
+      return "mem.rhs.workspace";
+    case MemTag::kPackScratch:
+      return "mem.pack.scratch";
+    case MemTag::kCount:
+      break;
+  }
+  return "mem.invalid";
+}
+
+namespace {
+
+/// "6.1 GiB mf.front + 2.9 GiB schur.dense + ..." -- the largest owners
+/// first, minor tags folded into a remainder so the message stays one line.
+std::string attribution_summary(const MemTagArray& attribution) {
+  std::vector<std::pair<std::size_t, MemTag>> owners;
+  std::size_t total = 0;
+  for (std::size_t t = 0; t < kMemTagCount; ++t) {
+    if (attribution[t] == 0 || static_cast<MemTag>(t) == MemTag::kPackScratch)
+      continue;
+    owners.emplace_back(attribution[t], static_cast<MemTag>(t));
+    total += attribution[t];
+  }
+  if (owners.empty()) return "";
+  std::sort(owners.begin(), owners.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  constexpr std::size_t kTopOwners = 4;
+  std::string out;
+  std::size_t shown = 0;
+  for (std::size_t k = 0; k < owners.size() && k < kTopOwners; ++k) {
+    if (!out.empty()) out += " + ";
+    out += format_bytes(owners[k].first);
+    out += " ";
+    out += mem_tag_name(owners[k].second);
+    shown += owners[k].first;
+  }
+  if (shown < total) out += " + " + format_bytes(total - shown) + " other";
+  return out;
+}
+
+std::string budget_message(std::size_t requested, std::size_t in_use,
+                           std::size_t budget,
+                           const MemTagArray& attribution) {
+  std::string msg = "memory budget exceeded: requested " +
+                    format_bytes(requested) + " with " + format_bytes(in_use) +
+                    " in use, budget " + format_bytes(budget);
+  const std::string owners = attribution_summary(attribution);
+  if (!owners.empty()) msg += " (in use: " + owners + ")";
+  return msg;
+}
+
+MemTagArray live_attribution() {
+  MemTagArray out{};
+  auto& tracker = MemoryTracker::instance();
+  for (std::size_t t = 0; t < kMemTagCount; ++t)
+    out[t] = tracker.tag_current(static_cast<MemTag>(t));
+  return out;
+}
+
+}  // namespace
+
+BudgetExceeded::BudgetExceeded(std::size_t requested, std::size_t in_use,
+                               std::size_t budget)
+    : std::runtime_error(
+          budget_message(requested, in_use, budget, live_attribution())),
+      requested_(requested),
+      in_use_(in_use),
+      budget_(budget),
+      attribution_(live_attribution()) {}
+
+MemoryTracker& MemoryTracker::instance() {
+  // Leaky singleton: thread_local consumers (the gemm pack scratch) release
+  // their bytes from thread-exit destructors, which on the main thread run
+  // after function-local statics are destroyed.
+  static MemoryTracker* tracker = new MemoryTracker();
+  return *tracker;
+}
+
+void MemoryTracker::allocate(std::size_t bytes, MemTag tag) {
   const std::size_t budget = budget_.load(std::memory_order_relaxed);
-  std::size_t now = current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  const std::size_t now =
+      current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
   if (budget != 0 && now > budget) {
     current_.fetch_sub(bytes, std::memory_order_relaxed);
     throw BudgetExceeded(bytes, now - bytes, budget);
   }
-  // Lock-free peak update.
+  // Attribution ledger: one extra relaxed add per allocation, plus a
+  // relaxed peak check. The tag counter is bumped *before* the global peak
+  // CAS so a snapshot triggered by this allocation sees its bytes.
+  const auto t = static_cast<std::size_t>(tag);
+  const std::size_t tag_now =
+      tag_current_[t].fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  std::size_t tag_prev = tag_peak_[t].load(std::memory_order_relaxed);
+  while (tag_now > tag_prev &&
+         !tag_peak_[t].compare_exchange_weak(tag_prev, tag_now,
+                                             std::memory_order_relaxed)) {
+  }
+  // Lock-free global peak update; the snapshot is captured only when the
+  // CAS succeeds (the high-water mark is monotone, so this is the cold
+  // path -- quiescent phases never touch the mutex).
   std::size_t prev_peak = peak_.load(std::memory_order_relaxed);
-  while (now > prev_peak &&
-         !peak_.compare_exchange_weak(prev_peak, now,
-                                      std::memory_order_relaxed)) {
+  bool advanced = false;
+  while (now > prev_peak) {
+    if (peak_.compare_exchange_weak(prev_peak, now,
+                                    std::memory_order_relaxed)) {
+      advanced = true;
+      break;
+    }
+  }
+  if (advanced) capture_peak_snapshot(now);
+}
+
+void MemoryTracker::release(std::size_t bytes, MemTag tag) {
+  current_.fetch_sub(bytes, std::memory_order_relaxed);
+  tag_current_[static_cast<std::size_t>(tag)].fetch_sub(
+      bytes, std::memory_order_relaxed);
+}
+
+void MemoryTracker::note_scratch(std::ptrdiff_t delta_bytes) noexcept {
+  auto& gauge = tag_current_[static_cast<std::size_t>(MemTag::kPackScratch)];
+  auto& mark = tag_peak_[static_cast<std::size_t>(MemTag::kPackScratch)];
+  std::size_t now;
+  if (delta_bytes >= 0) {
+    now = gauge.fetch_add(static_cast<std::size_t>(delta_bytes),
+                          std::memory_order_relaxed) +
+          static_cast<std::size_t>(delta_bytes);
+  } else {
+    now = gauge.fetch_sub(static_cast<std::size_t>(-delta_bytes),
+                          std::memory_order_relaxed) -
+          static_cast<std::size_t>(-delta_bytes);
+  }
+  std::size_t prev = mark.load(std::memory_order_relaxed);
+  while (now > prev &&
+         !mark.compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
   }
 }
 
-void MemoryTracker::release(std::size_t bytes) {
-  current_.fetch_sub(bytes, std::memory_order_relaxed);
+void MemoryTracker::capture_peak_snapshot(std::size_t peak_now) {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  // A racing thread may have advanced the mark further and snapshotted a
+  // later state already; keep the capture belonging to the largest peak.
+  if (peak_now < snapshot_peak_) return;
+  snapshot_peak_ = peak_now;
+  for (std::size_t t = 0; t < kMemTagCount; ++t)
+    snapshot_[t] = tag_current_[t].load(std::memory_order_relaxed);
+}
+
+MemTagArray MemoryTracker::peak_attribution() const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return snapshot_;
 }
 
 void MemoryTracker::reset_peak() {
   peak_.store(current_.load(std::memory_order_relaxed),
               std::memory_order_relaxed);
+  for (std::size_t t = 0; t < kMemTagCount; ++t)
+    tag_peak_[t].store(tag_current_[t].load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  snapshot_peak_ = current_.load(std::memory_order_relaxed);
+  for (std::size_t t = 0; t < kMemTagCount; ++t)
+    snapshot_[t] = tag_current_[t].load(std::memory_order_relaxed);
 }
 
 std::string format_bytes(std::size_t bytes) {

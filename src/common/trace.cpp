@@ -147,6 +147,17 @@ void Tracer::sample_counters() {
          static_cast<double>(tracker.current()));
   record(TracePhase::kCounter, "counter", "memory.peak",
          static_cast<double>(tracker.peak()));
+  // Per-tag attribution gauges. Tags that never saw a byte are skipped so
+  // idle subsystems don't add empty counter tracks to the timeline; once a
+  // tag has a nonzero peak we keep sampling it (including zeros) so its
+  // track drops back to the axis instead of ending mid-run.
+  for (std::size_t t = 0; t < kMemTagCount; ++t) {
+    const auto tag = static_cast<MemTag>(t);
+    const std::size_t now = tracker.tag_current(tag);
+    if (now == 0 && tracker.tag_peak(tag) == 0) continue;
+    record(TracePhase::kCounter, "counter", mem_tag_counter_name(tag),
+           static_cast<double>(now));
+  }
   std::vector<std::pair<const char*, long>> snapshot;
   {
     std::lock_guard<std::mutex> lock(registry_mutex_);

@@ -262,6 +262,7 @@ struct Run {
         cast_ss(make_cast(s)),
         gen_tree(base_gen(s, cast_ss), tree.original_of_tree()) {
     // Permute the coupling rows once.
+    MemoryScope scope(MemTag::kCouplingBlock);
     const auto& perm = tree.tree_of_original();
     sparse::Triplets<T> trip(sys.ns(), sys.nv());
     for (index_t r = 0; r < sys.A_sv.rows(); ++r)
@@ -270,8 +271,12 @@ struct Run {
                  sys.A_sv.value(k));
     A_sv_tree = sparse::Csr<T>::from_triplets(trip);
     if constexpr (kMixed) {
+      MemoryScope cast_scope(MemTag::kSparseMatrix);
       A_vv_store = sys.A_vv.template converted<ST>();
-      A_sv_store = A_sv_tree.template converted<ST>();
+      {
+        MemoryScope sv_scope(MemTag::kCouplingBlock);
+        A_sv_store = A_sv_tree.template converted<ST>();
+      }
       A_vv_st = &A_vv_store;
       A_sv_st = &A_sv_store;
     } else {
@@ -384,6 +389,9 @@ void solve_batch(const detail::FactoredImpl<T>& f, MatrixView<T> B_v,
   ScopedPhase phase(stats.phases, "solution");
   TraceSpan span("phase", "solution");
   span.arg("nrhs", static_cast<long long>(nrhs));
+  // Everything the solution phase allocates (reduced RHS, residuals,
+  // refinement corrections, solve transients) is RHS workspace.
+  MemoryScope mem_scope(MemTag::kRhsWorkspace);
 
   const auto& perm = f.tree->tree_of_original();
   const auto& orig = f.tree->original_of_tree();
@@ -605,7 +613,10 @@ void run_multisolve(Run<T, ST>& run, bool blocked, bool compressed) {
 
   if (!compressed) {
     // Dense Schur accumulation (MUMPS/SPIDO-style coupling).
-    Matrix<ST> S(ns, ns);
+    Matrix<ST> S = [&] {
+      MemoryScope scope(MemTag::kSchurDense);
+      return Matrix<ST>(ns, ns);
+    }();
     {
       ScopedPhase phase(stats.phases, "schur");
       TraceSpan span("phase", "schur");
@@ -619,6 +630,7 @@ void run_multisolve(Run<T, ST>& run, bool blocked, bool compressed) {
               MemoryTracker::instance().current(),
               MemoryTracker::instance().budget());
         // Y_i = A_vv^{-1} A_sv(i)^T, retrieved dense (the API limitation).
+        MemoryScope scope(MemTag::kSchurPanel);
         Matrix<ST> Y(nv, nc);
         {
           StageScope stage(stats.stages, "schur.panel_solve");
@@ -659,6 +671,8 @@ void run_multisolve(Run<T, ST>& run, bool blocked, bool compressed) {
       const index_t panel = std::max(cfg.n_S, cfg.n_c);
 
       auto produce_panel = [&](index_t c0) {
+        // Scope installed here so the producer thread tags its panels too.
+        MemoryScope scope(MemTag::kSchurPanel);
         const index_t np = std::min(panel, ns - c0);
         if (failpoint("alloc.panel"))
           throw BudgetExceeded(
@@ -809,6 +823,7 @@ void run_multisolve_randomized(Run<T, ST>& run) {
 
   // out := M * G by two sparse products around a multi-RHS solve.
   auto apply_m = [&](la::ConstMatrixView<ST> G, la::MatrixView<ST> out) {
+    MemoryScope scope(MemTag::kSchurPanel);
     Matrix<ST> Y(nv, G.cols());
     run.A_sv_st->spmm_trans(ST{1}, G, ST{0}, Y.view());
     mf.solve(Y.view());
@@ -828,6 +843,7 @@ void run_multisolve_randomized(Run<T, ST>& run) {
 
     Rng rng(20220512);
     auto gaussian = [&](index_t rows, index_t cols) {
+      MemoryScope scope(MemTag::kSchurPanel);
       Matrix<ST> G(rows, cols);
       for (index_t j = 0; j < cols; ++j)
         for (index_t i = 0; i < rows; ++i)
@@ -835,6 +851,9 @@ void run_multisolve_randomized(Run<T, ST>& run) {
       return G;
     };
 
+    // The sketch block, range basis and probe workspace of the randomized
+    // range finder are all Schur-feeding panels.
+    MemoryScope rand_scope(MemTag::kSchurPanel);
     const index_t cap = std::max<index_t>(
         1, std::min<index_t>(
                ns, static_cast<index_t>(cfg.rand_max_rank_ratio * ns)));
@@ -937,6 +956,7 @@ void run_advanced(Run<T, ST>& run) {
         trip.add(nv + r, C.col(k), C.value(k));
         trip.add(C.col(k), nv + r, C.value(k));
       }
+    MemoryScope scope(MemTag::kSparseMatrix);
     auto K = sparse::Csr<ST>::from_triplets(trip);
     run.factorize_sparse(mf, K, true, ns);
   }
@@ -951,6 +971,7 @@ void run_advanced(Run<T, ST>& run) {
     // S += A_ss, materialized in column slabs through generator_block
     // (amortizes kernel evaluation the same way the baseline branch does).
     const index_t slab = std::max<index_t>(1, cfg.n_c);
+    MemoryScope scope(MemTag::kSchurPanel);
     Matrix<ST> G(ns, std::min(slab, ns));
     for (index_t c0 = 0; c0 < ns; c0 += slab) {
       const index_t nc = std::min(slab, ns - c0);
@@ -999,6 +1020,7 @@ void run_multifacto(Run<T, ST>& run, bool compressed) {
     S_h = HMatrix<ST>::assemble(run.tree, run.tree, run.gen_ss(),
                                 run.h_options());
   } else {
+    MemoryScope scope(MemTag::kSchurDense);
     S_dense = Matrix<ST>(ns, ns);
   }
 
@@ -1043,6 +1065,7 @@ void run_multifacto(Run<T, ST>& run, bool compressed) {
     for (index_t q = 0; q < ncj; ++q)
       for (offset_t k = C.row_begin(c0 + q); k < C.row_end(c0 + q); ++k)
         trip.add(C.col(k), nv + q, C.value(k));
+    MemoryScope scope(MemTag::kSparseMatrix);
     auto W = sparse::Csr<ST>::from_triplets(trip);
     // Superfluous re-factorization of A_vv on every call: the API
     // limitation that gives the algorithm its name.
@@ -1396,6 +1419,36 @@ void run_attempts(const CoupledSystem<T>& system, const Config& config,
   if (!stats.success) impl.reset_factors();
 }
 
+/// Planner inputs for the predicted-vs-actual audit, computed *before* the
+/// solver session so the symbolic analysis it runs can neither inflate the
+/// measured peak nor fail a tight-budget run. Failure (e.g. an ambient
+/// budget) degrades to "no audit": factor_entries stays 0 and the predicted
+/// bytes are not recorded.
+template <class T>
+std::optional<PlannerInputs> planner_audit_inputs(
+    const CoupledSystem<T>& system, const Config& config) {
+  try {
+    return planner_inputs(system, config);
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+/// Record the planner's predicted peak for the *effective* (post-recovery)
+/// config: recoveries change n_c/n_S/n_b and can escalate the factor
+/// precision, so the scalar size is re-derived from `eff` rather than
+/// taken from the pre-run inputs.
+template <class T>
+void record_planner_audit(const std::optional<PlannerInputs>& inputs,
+                          const Config& eff, SolveStats& stats) {
+  if (!inputs) return;
+  PlannerInputs in = *inputs;
+  in.scalar_bytes = eff.factor_precision == Precision::kSingle
+                        ? sizeof(single_of_t<T>)
+                        : sizeof(T);
+  stats.planner_predicted_bytes = predict_peak(eff.strategy, in, eff);
+}
+
 /// Per-call scaffolding shared by solve_coupled and factorize_coupled:
 /// peak reset, budget/thread scopes, tracing session, metrics, sampler,
 /// failpoints, total timer and the end-of-run stat snapshot around `body`.
@@ -1435,6 +1488,19 @@ void with_solver_session(const Config& config, SolveStats& stats,
   }  // close the top span before exporting
   stats.total_seconds = total.seconds();
   stats.peak_bytes = tracker.peak();
+  // Peak attribution: the per-tag breakdown captured when the high-water
+  // mark last advanced. Recorded on failures too -- an OOM report that
+  // names the owning subsystem is the whole point of the ledger.
+  stats.peak_by_tag.clear();
+  const MemTagArray at_peak = tracker.peak_attribution();
+  for (std::size_t t = 0; t < kMemTagCount; ++t)
+    if (at_peak[t] > 0)
+      stats.peak_by_tag.emplace_back(mem_tag_name(static_cast<MemTag>(t)),
+                                     at_peak[t]);
+  if (stats.planner_predicted_bytes > 0 && stats.peak_bytes > 0)
+    stats.planner_misprediction =
+        static_cast<double>(stats.planner_predicted_bytes) /
+        static_cast<double>(stats.peak_bytes);
   stats.counters = Metrics::instance().snapshot();
 
   sampler.reset();  // final memory sample, then stop the sampler thread
@@ -1465,10 +1531,12 @@ SolveStats solve_coupled(const CoupledSystem<T>& system,
 
   detail::FactoredImpl<T> impl;
   impl.sys = &system;
+  const auto audit_in = planner_audit_inputs(system, config);
   with_solver_session(config, stats, "solve", [&] {
     run_attempts<T>(system, config, impl, stats,
                     [&](detail::FactoredImpl<T>& f) {
                       // One-column batch from the system's built-in RHS.
+                      MemoryScope scope(MemTag::kRhsWorkspace);
                       const index_t nv = system.nv();
                       const index_t ns = system.ns();
                       la::Matrix<T> Bv(nv, 1), Bs(ns, 1);
@@ -1483,6 +1551,7 @@ SolveStats solve_coupled(const CoupledSystem<T>& system,
                       for (index_t i = 0; i < ns; ++i) xs[i] = Bs(i, 0);
                       stats.relative_error = system.relative_error(xv, xs);
                     });
+    record_planner_audit<T>(audit_in, impl.cfg, stats);
   });
   return stats;
 }
@@ -1509,8 +1578,10 @@ FactoredCoupled<T> factorize_coupled(const CoupledSystem<T>& system,
     }
   }
 
+  const auto audit_in = planner_audit_inputs(system, config);
   with_solver_session(config, stats, "factorize", [&] {
     run_attempts<T>(system, config, impl, stats, nullptr);
+    record_planner_audit<T>(audit_in, impl.cfg, stats);
   });
   return handle;
 }

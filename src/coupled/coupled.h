@@ -219,6 +219,19 @@ struct SolveStats {
   /// effective factor precision; single-precision factors show up as
   /// roughly half the double-precision figure.
   std::size_t factor_bytes = 0;
+
+  /// Per-tag attribution of peak_bytes: the ledger snapshot captured when
+  /// the global high-water mark last advanced, as (tag name, bytes) pairs
+  /// for the non-zero tags. Entries other than the budget-exempt
+  /// "pack.scratch" sum to peak_bytes within slack (the capture races
+  /// concurrent allocators by design).
+  std::vector<std::pair<std::string, std::size_t>> peak_by_tag;
+  /// Planner audit: planner::predict_peak evaluated with the *effective*
+  /// (post-recovery) config, and its ratio against the measured peak
+  /// (predicted / measured; 0 when either side is unknown). Validates the
+  /// planner's empirical constants on every instrumented run.
+  std::size_t planner_predicted_bytes = 0;
+  double planner_misprediction = 0;
   double schur_compression_ratio = 1.0;  ///< stored / dense for S
 
   /// Effective working precision of the stored factors after any

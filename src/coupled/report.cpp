@@ -66,6 +66,17 @@ std::string stats_json(const SolveStats& stats) {
   }
   out += "}";
   out += ",\"peak_bytes\":" + std::to_string(stats.peak_bytes);
+  out += ",\"peak_by_tag\":{";
+  first = true;
+  for (const auto& [tag, bytes] : stats.peak_by_tag) {
+    if (!first) out += ",";
+    first = false;
+    out += str(tag) + ":" + std::to_string(bytes);
+  }
+  out += "}";
+  out += ",\"planner_predicted_bytes\":" +
+         std::to_string(stats.planner_predicted_bytes);
+  out += ",\"planner_misprediction\":" + num(stats.planner_misprediction);
   out += ",\"schur_bytes\":" + std::to_string(stats.schur_bytes);
   out += ",\"sparse_factor_bytes\":" +
          std::to_string(stats.sparse_factor_bytes);

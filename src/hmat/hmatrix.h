@@ -297,6 +297,10 @@ class HMatrix {
         break;
       }
       case Kind::kRk: {
+        // Ledger: low-rank leaf storage (and its ACA/RRQR scratch). The
+        // scope lives here, inside the per-leaf call, because assembly
+        // runs leaves on arbitrary worker threads.
+        MemoryScope scope(MemTag::kHmatRk);
         std::vector<index_t> rids(row_orig.begin() + row_->begin,
                                   row_orig.begin() + row_->end);
         std::vector<index_t> cids(col_orig.begin() + col_->begin,
@@ -329,6 +333,7 @@ class HMatrix {
         break;
       }
       case Kind::kFull: {
+        MemoryScope scope(MemTag::kHmatDense);
         full_ = la::Matrix<T>(rows(), cols());
         std::vector<index_t> rids(row_orig.begin() + row_->begin,
                                   row_orig.begin() + row_->end);
@@ -346,17 +351,21 @@ class HMatrix {
       case Kind::kNode:
         for (auto& c : child_) c->fill_from_dense(dense);
         break;
-      case Kind::kRk:
+      case Kind::kRk: {
+        MemoryScope scope(MemTag::kHmatRk);
         rk_ = la::rrqr_compress(
             dense.block(row_->begin, col_->begin, rows(), cols()),
             real_of_t<T>(opt_.eps));
         demote_if_uneconomical();
         break;
-      case Kind::kFull:
+      }
+      case Kind::kFull: {
+        MemoryScope scope(MemTag::kHmatDense);
         full_ = la::Matrix<T>(rows(), cols());
         full_.view().copy_from(
             dense.block(row_->begin, col_->begin, rows(), cols()));
         break;
+      }
     }
   }
 
@@ -367,6 +376,7 @@ class HMatrix {
     const offset_t rk_entries =
         static_cast<offset_t>(rk_.rank()) * (rows() + cols());
     if (rk_entries < static_cast<offset_t>(rows()) * cols()) return;
+    MemoryScope scope(MemTag::kHmatDense);
     full_ = la::Matrix<T>(rows(), cols());
     la::gemm(T{1}, rk_.U.view(), la::Op::kNoTrans, rk_.V.view(), la::Op::kTrans,
              T{0}, full_.view());
@@ -379,13 +389,17 @@ class HMatrix {
       case Kind::kNode:
         for (auto& c : child_) c->fill_zero();
         break;
-      case Kind::kRk:
+      case Kind::kRk: {
+        MemoryScope scope(MemTag::kHmatRk);
         rk_.U = la::Matrix<T>(rows(), 0);
         rk_.V = la::Matrix<T>(cols(), 0);
         break;
-      case Kind::kFull:
+      }
+      case Kind::kFull: {
+        MemoryScope scope(MemTag::kHmatDense);
         full_ = la::Matrix<T>(rows(), cols());
         break;
+      }
     }
   }
 
@@ -482,6 +496,7 @@ class HMatrix {
       case Kind::kRk: {
         // Compress the incoming block, pad into leaf coordinates and
         // recompress (the paper's compressed AXPY with recompression).
+        MemoryScope scope(MemTag::kHmatRk);
         auto upd = la::rrqr_compress(D, real_of_t<T>(opt_.eps));
         if (upd.rank() == 0) break;
         const index_t k = upd.rank();
@@ -502,6 +517,7 @@ class HMatrix {
   /// this(Rk leaf) += U V^T followed by recompression.
   void add_rk_factors(la::ConstMatrixView<T> U, la::ConstMatrixView<T> V) {
     assert(kind_ == Kind::kRk);
+    MemoryScope scope(MemTag::kHmatRk);
     const index_t k0 = rk_.rank();
     const index_t k1 = U.cols();
     la::RkFactors<T> merged;
@@ -533,6 +549,7 @@ class HMatrix {
         const index_t r0 = row_->begin, c0 = col_->begin;
         parallel_for_capture(leaves.size(), [&](std::size_t l) {
           HMatrix* h = leaves[l];
+          MemoryScope scope(MemTag::kHmatRk);
           la::RkFactors<T> sub;
           sub.U = la::Matrix<T>(h->rows(), rk.rank());
           sub.V = la::Matrix<T>(h->cols(), rk.rank());
@@ -549,6 +566,7 @@ class HMatrix {
                  la::Op::kTrans, T{1}, full_.view());
         break;
       case Kind::kRk: {
+        MemoryScope scope(MemTag::kHmatRk);
         la::Matrix<T> Ua(rows(), rk.rank());
         for (index_t c = 0; c < rk.rank(); ++c)
           for (index_t i = 0; i < rows(); ++i) Ua(i, c) = alpha * rk.U(i, c);

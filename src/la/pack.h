@@ -15,8 +15,11 @@
 //    never branches on remainder sizes (the store step masks instead).
 //
 // Pack buffers are transient, grow-only, thread-local scratch and are
-// deliberately *not* byte-accounted by common/memory.h: a budget-capped
-// solve must not be able to fail inside a gemm.
+// deliberately *not* counted against the budget of common/memory.h: a
+// budget-capped solve must not be able to fail inside a gemm. Their
+// capacity is still visible in the attribution ledger under the
+// budget-exempt pack.scratch tag (MemoryTracker::note_scratch), so traces
+// and reports show how much memory the kernel engine holds per thread.
 #pragma once
 
 #include <algorithm>
@@ -24,6 +27,7 @@
 #include <memory>
 #include <new>
 
+#include "common/memory.h"
 #include "la/matrix.h"
 
 namespace cs::la::detail {
@@ -34,14 +38,22 @@ inline constexpr std::size_t kPackAlign = 64;
 template <class T>
 inline constexpr index_t kPackPlanes = is_complex_v<T> ? 2 : 1;
 
-/// Grow-only aligned scratch buffer (untracked; see file comment).
+/// Grow-only aligned scratch buffer (budget-exempt; see file comment).
 template <class R>
 class PackScratch {
  public:
+  ~PackScratch() {
+    if (cap_ > 0)
+      MemoryTracker::instance().note_scratch(
+          -static_cast<std::ptrdiff_t>(cap_ * sizeof(R)));
+  }
+
   R* ensure(std::size_t n) {
     if (n > cap_) {
       data_.reset(static_cast<R*>(
           ::operator new(n * sizeof(R), std::align_val_t{kPackAlign})));
+      MemoryTracker::instance().note_scratch(
+          static_cast<std::ptrdiff_t>((n - cap_) * sizeof(R)));
       cap_ = n;
     }
     return data_.get();

@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "common/memory.h"
 #include "la/blas.h"
 #include "la/qr_svd.h"
 
@@ -46,6 +47,9 @@ class TiledPanel {
     p.rows_ = panel.rows();
     p.cols_ = panel.cols();
     if (p.empty()) return p;
+    // Retained factor panels (and the RRQR scratch building them) belong
+    // to the BLR ledger entry, whatever scope the caller runs under.
+    MemoryScope scope(MemTag::kMfBlrPanel);
     const index_t step = compress ? tile_rows : p.rows_;
     for (index_t r0 = 0; r0 < p.rows_; r0 += step) {
       const index_t nr = std::min(step, p.rows_ - r0);

@@ -295,9 +295,14 @@ class MultifrontalSolver {
       perm_[static_cast<std::size_t>(v)] = perm2[static_cast<std::size_t>(
           perm1[static_cast<std::size_t>(v)])];
 
-    permuted_ = std::make_unique<sparse::Csr<T>>(A.permuted_symmetric(perm_));
-    if (!opt_.symmetric)
-      permuted_t_ = std::make_unique<sparse::Csr<T>>(permuted_->transposed());
+    {
+      MemoryScope scope(MemTag::kSparseMatrix);
+      permuted_ =
+          std::make_unique<sparse::Csr<T>>(A.permuted_symmetric(perm_));
+      if (!opt_.symmetric)
+        permuted_t_ =
+            std::make_unique<sparse::Csr<T>>(permuted_->transposed());
+    }
 
     const auto pat2 = opt_.symmetric
                           ? sparse::Pattern::from_symmetric(*permuted_)
@@ -426,6 +431,7 @@ class MultifrontalSolver {
       // user-facing Schur array it is copied into — the transient
       // 2 x n_schur^2 footprint is precisely the cost the paper's
       // algorithms are designed to avoid paying at full n_BEM.
+      MemoryScope schur_scope(MemTag::kSchurDense);
       la::Matrix<T> root(npiv, npiv);
       for (index_t k = 0; k < npiv; ++k)
         pos[static_cast<std::size_t>(front.pivot_begin + k)] = k;
@@ -453,6 +459,10 @@ class MultifrontalSolver {
       pos[static_cast<std::size_t>(front.border[static_cast<std::size_t>(
           k)])] = npiv + k;
 
+    // Transient frontal storage (the front itself, the children's
+    // contribution blocks, extraction scratch) is charged to mf.front; the
+    // retained factor pieces below override with their own tags.
+    MemoryScope front_scope(MemTag::kMfFront);
     if (failpoint("alloc.front"))
       throw BudgetExceeded(
           static_cast<std::size_t>(nf) * static_cast<std::size_t>(nf) *
@@ -478,7 +488,10 @@ class MultifrontalSolver {
     }
 
     // Extract factor panels (optionally BLR-compressed, tiled by rows).
-    ff.pivot_block = la::Matrix<T>(npiv, npiv);
+    {
+      MemoryScope factor_scope(MemTag::kMfFactor);
+      ff.pivot_block = la::Matrix<T>(npiv, npiv);
+    }
     ff.pivot_block.view().copy_from(F.block(0, 0, npiv, npiv));
     ff.L21 = TiledPanel<T>::from_dense(
         F.block(npiv, 0, nb, npiv), opt_.compress,

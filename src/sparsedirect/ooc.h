@@ -111,8 +111,11 @@ class OocPanelStore {
     return h;
   }
 
-  /// Stream a panel back into (tracked) memory.
+  /// Stream a panel back into (tracked) memory. The transient in-core
+  /// copy is charged to ooc.buffer -- in OOC runs this is the gauge that
+  /// shows panels cycling through memory one at a time.
   TiledPanel<T> load(const Handle& h) const {
+    MemoryScope scope(MemTag::kOocBuffer);
     TiledPanel<T> panel;
     if (!h.valid()) return panel;
     std::lock_guard<std::mutex> lock(io_mu_);

@@ -1,0 +1,246 @@
+#include "tools/cs_report.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "common/memory.h"
+
+namespace cs::tools {
+
+namespace {
+
+std::string fmt(const char* f, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, f);
+  std::vsnprintf(buf, sizeof(buf), f, ap);
+  va_end(ap);
+  return buf;
+}
+
+double dnum(const json::Value* v) {
+  return v != nullptr && v->is_number() ? v->number : 0.0;
+}
+
+std::size_t bnum(const json::Value* v) {
+  const double d = dnum(v);
+  return d > 0 ? static_cast<std::size_t>(d) : 0;
+}
+
+std::string sstr(const json::Value* v, const char* dflt = "?") {
+  return v != nullptr && v->is_string() ? v->string : dflt;
+}
+
+/// "label / config_desc" -- the identity used for run headers and for
+/// matching runs across two reports in diff mode.
+std::string run_key(const json::Value& run) {
+  return sstr(run.find("label")) + " / " + sstr(run.find("config_desc"));
+}
+
+const json::Value* run_stats(const json::Value& run) {
+  const json::Value* s = run.find("stats");
+  return s != nullptr && s->is_object() ? s : nullptr;
+}
+
+/// Peak-attribution rows of one run, largest owner first.
+std::vector<std::pair<std::string, std::size_t>> tag_rows(
+    const json::Value* stats) {
+  std::vector<std::pair<std::string, std::size_t>> rows;
+  if (stats == nullptr) return rows;
+  const json::Value* by_tag = stats->find("peak_by_tag");
+  if (by_tag == nullptr || !by_tag->is_object()) return rows;
+  for (const auto& [tag, bytes] : by_tag->object)
+    rows.emplace_back(tag, bnum(&bytes));
+  std::stable_sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  return rows;
+}
+
+std::string planner_verdict(double ratio) {
+  if (ratio <= 0) return "n/a";
+  if (ratio > 1.05) return "over";
+  if (ratio < 0.95) return "under";
+  return "good";
+}
+
+void append_run_analysis(std::string& out, const json::Value& run,
+                         std::size_t index, const ReportOptions& opts) {
+  const json::Value* stats = run_stats(run);
+  const json::Value* config = run.find("config");
+  out += fmt("-- run %zu: %s --\n", index + 1, run_key(run).c_str());
+  if (stats == nullptr) {
+    out += "  (no stats object)\n\n";
+    return;
+  }
+  const json::Value* success = stats->find("success");
+  const bool ok = success != nullptr && success->is_bool() && success->boolean;
+  std::string status = ok ? "success" : "FAILED";
+  if (!ok) {
+    const std::string why = sstr(stats->find("failure"), "");
+    if (!why.empty()) status += " (" + why + ")";
+  }
+  const std::string strategy =
+      config != nullptr ? sstr(config->find("strategy")) : "?";
+  out += fmt("  strategy   : %s\n", strategy.c_str());
+  out += fmt("  status     : %s\n", status.c_str());
+  out += fmt("  n          : %.0f  (fem %.0f, bem %.0f)\n",
+             dnum(stats->find("n_total")), dnum(stats->find("n_fem")),
+             dnum(stats->find("n_bem")));
+  out += fmt("  total      : %.3f s\n", dnum(stats->find("total_seconds")));
+  out += fmt("  rel error  : %.3e\n", dnum(stats->find("relative_error")));
+
+  // Peak attribution: decompose the high-water mark by owning subsystem.
+  const std::size_t peak = bnum(stats->find("peak_bytes"));
+  out += fmt("  peak       : %s\n", format_bytes(peak).c_str());
+  const auto rows = tag_rows(stats);
+  if (!rows.empty()) {
+    out += "  peak attribution:\n";
+    std::size_t tagged_sum = 0;
+    for (const auto& [tag, bytes] : rows) {
+      if (tag == "pack.scratch") {
+        out += fmt("    %-16s %12s   (budget-exempt)\n", tag.c_str(),
+                   format_bytes(bytes).c_str());
+        continue;
+      }
+      tagged_sum += bytes;
+      const double pct =
+          peak > 0 ? 100.0 * static_cast<double>(bytes) / peak : 0.0;
+      out += fmt("    %-16s %12s   %5.1f%%\n", tag.c_str(),
+                 format_bytes(bytes).c_str(), pct);
+    }
+    const double coverage =
+        peak > 0 ? 100.0 * static_cast<double>(tagged_sum) / peak : 0.0;
+    out += fmt("    %-16s %12s   %5.1f%% of peak\n", "tagged sum",
+               format_bytes(tagged_sum).c_str(), coverage);
+  }
+
+  // Planner audit for this run.
+  const std::size_t predicted = bnum(stats->find("planner_predicted_bytes"));
+  const double ratio = dnum(stats->find("planner_misprediction"));
+  if (predicted > 0)
+    out += fmt("  planner    : predicted %s, measured %s  (x%.2f, %s)\n",
+               format_bytes(predicted).c_str(), format_bytes(peak).c_str(),
+               ratio, planner_verdict(ratio).c_str());
+
+  // Hottest pipeline stages.
+  const json::Value* stages = stats->find("stages");
+  if (stages != nullptr && stages->is_object() && !stages->object.empty()) {
+    std::vector<std::pair<std::string, double>> hot;
+    for (const auto& [name, v] : stages->object)
+      hot.emplace_back(name, dnum(&v));
+    std::stable_sort(hot.begin(), hot.end(), [](const auto& a, const auto& b) {
+      return a.second > b.second;
+    });
+    if (hot.size() > opts.top_stages) hot.resize(opts.top_stages);
+    out += fmt("  top %zu stages (s):\n", hot.size());
+    for (const auto& [name, seconds] : hot)
+      out += fmt("    %-24s %9.3f\n", name.c_str(), seconds);
+  }
+  out += "\n";
+}
+
+}  // namespace
+
+json::Value load_report(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr)
+    throw std::runtime_error("cs-report: cannot open " + path);
+  std::string text;
+  char buf[1 << 16];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, got);
+  std::fclose(f);
+  json::Value doc;
+  std::string err;
+  if (!json::parse(text, &doc, &err))
+    throw std::runtime_error("cs-report: " + path + " is not JSON: " + err);
+  if (doc.find("runs") == nullptr || !doc.find("runs")->is_array())
+    throw std::runtime_error("cs-report: " + path +
+                             " lacks a \"runs\" array (not a run report?)");
+  return doc;
+}
+
+std::string analyze_report(const json::Value& report,
+                           const ReportOptions& opts) {
+  const json::Value* runs = report.find("runs");
+  if (runs == nullptr || !runs->is_array())
+    throw std::runtime_error("cs-report: report lacks a \"runs\" array");
+  std::string out;
+  out += fmt("== report: %s (%zu runs) ==\n\n",
+             sstr(report.find("binary")).c_str(), runs->array.size());
+  for (std::size_t i = 0; i < runs->array.size(); ++i)
+    append_run_analysis(out, runs->array[i], i, opts);
+
+  // Cross-run planner audit: predicted-vs-measured per strategy at a
+  // glance, the table the CI misprediction guard reads by eye.
+  out += "== planner audit (predicted vs measured peak) ==\n";
+  out += fmt("  %-34s %12s %12s %7s  %s\n", "run", "predicted", "measured",
+             "ratio", "verdict");
+  for (const auto& run : runs->array) {
+    const json::Value* stats = run_stats(run);
+    if (stats == nullptr) continue;
+    const std::size_t predicted = bnum(stats->find("planner_predicted_bytes"));
+    const std::size_t peak = bnum(stats->find("peak_bytes"));
+    const double ratio = dnum(stats->find("planner_misprediction"));
+    out += fmt("  %-34s %12s %12s %7.2f  %s\n", run_key(run).c_str(),
+               predicted > 0 ? format_bytes(predicted).c_str() : "-",
+               format_bytes(peak).c_str(), ratio,
+               planner_verdict(ratio).c_str());
+  }
+  return out;
+}
+
+std::string diff_reports(const json::Value& a, const json::Value& b,
+                         const ReportOptions&) {
+  const json::Value* runs_a = a.find("runs");
+  const json::Value* runs_b = b.find("runs");
+  if (runs_a == nullptr || !runs_a->is_array() || runs_b == nullptr ||
+      !runs_b->is_array())
+    throw std::runtime_error("cs-report: diff inputs lack \"runs\" arrays");
+  std::string out;
+  out += fmt("== diff: A=%s vs B=%s ==\n", sstr(a.find("binary")).c_str(),
+             sstr(b.find("binary")).c_str());
+  out += fmt("  %-34s %10s %10s %6s %12s %12s %6s\n", "run", "time A",
+             "time B", "B/A", "peak A", "peak B", "B/A");
+  std::vector<bool> matched_b(runs_b->array.size(), false);
+  std::vector<std::string> only_a;
+  for (const auto& run_a : runs_a->array) {
+    const std::string key = run_key(run_a);
+    const json::Value* run_b = nullptr;
+    for (std::size_t j = 0; j < runs_b->array.size(); ++j) {
+      if (!matched_b[j] && run_key(runs_b->array[j]) == key) {
+        matched_b[j] = true;
+        run_b = &runs_b->array[j];
+        break;
+      }
+    }
+    if (run_b == nullptr) {
+      only_a.push_back(key);
+      continue;
+    }
+    const json::Value* sa = run_stats(run_a);
+    const json::Value* sb = run_stats(*run_b);
+    const double ta = sa != nullptr ? dnum(sa->find("total_seconds")) : 0;
+    const double tb = sb != nullptr ? dnum(sb->find("total_seconds")) : 0;
+    const std::size_t pa = sa != nullptr ? bnum(sa->find("peak_bytes")) : 0;
+    const std::size_t pb = sb != nullptr ? bnum(sb->find("peak_bytes")) : 0;
+    out += fmt("  %-34s %9.3fs %9.3fs %6.2f %12s %12s %6.2f\n", key.c_str(),
+               ta, tb, ta > 0 ? tb / ta : 0.0, format_bytes(pa).c_str(),
+               format_bytes(pb).c_str(),
+               pa > 0 ? static_cast<double>(pb) / static_cast<double>(pa)
+                      : 0.0);
+  }
+  for (const std::string& key : only_a)
+    out += fmt("  only in A: %s\n", key.c_str());
+  for (std::size_t j = 0; j < runs_b->array.size(); ++j)
+    if (!matched_b[j])
+      out += fmt("  only in B: %s\n", run_key(runs_b->array[j]).c_str());
+  return out;
+}
+
+}  // namespace cs::tools

@@ -1,0 +1,49 @@
+// cs-report: analyze one or two run-report JSON files.
+//
+//   cs-report [--top=N] report.json              per-run analysis
+//   cs-report [--top=N] report.json baseline.json  analysis of the first
+//                                                + A-vs-B diff (A=baseline,
+//                                                B=report)
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "tools/cs_report.h"
+
+int main(int argc, char** argv) {
+  cs::tools::ReportOptions opts;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--top=", 0) == 0) {
+      const long n = std::atol(arg.c_str() + 6);
+      if (n > 0) opts.top_stages = static_cast<std::size_t>(n);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: cs-report [--top=N] report.json [baseline.json]\n");
+      return 0;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty() || paths.size() > 2) {
+    std::fprintf(stderr,
+                 "usage: cs-report [--top=N] report.json [baseline.json]\n");
+    return 2;
+  }
+  try {
+    const cs::json::Value report = cs::tools::load_report(paths[0]);
+    std::fputs(cs::tools::analyze_report(report, opts).c_str(), stdout);
+    if (paths.size() == 2) {
+      const cs::json::Value baseline = cs::tools::load_report(paths[1]);
+      std::fputs("\n", stdout);
+      std::fputs(cs::tools::diff_reports(baseline, report, opts).c_str(),
+                 stdout);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Golden-output tests for the cs-report run-report analyzer: the analysis
+// of a checked-in sample report must match the checked-in golden text
+// byte-for-byte (the analyzer uses fixed snprintf formats precisely so
+// this comparison is stable across platforms).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "tools/cs_report.h"
+
+namespace cs {
+namespace {
+
+std::string data_path(const char* name) {
+  return std::string(CS_TEST_DATA_DIR) + "/" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) ADD_FAILURE() << "cannot open " << path;
+  std::string text;
+  if (f != nullptr) {
+    char buf[1 << 14];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+      text.append(buf, got);
+    std::fclose(f);
+  }
+  return text;
+}
+
+TEST(CsReport, AnalysisMatchesGolden) {
+  const json::Value report =
+      tools::load_report(data_path("sample_report.json"));
+  const std::string out = tools::analyze_report(report);
+  const std::string golden = slurp(data_path("sample_report.golden.txt"));
+  ASSERT_FALSE(golden.empty());
+  EXPECT_EQ(out, golden)
+      << "analyzer output drifted from tests/data/sample_report.golden.txt; "
+         "if the change is intentional, regenerate the golden file with "
+         "build/src/tools/cs-report tests/data/sample_report.json";
+}
+
+TEST(CsReport, AnalysisNamesPeakOwnersAndPlannerVerdicts) {
+  const json::Value report =
+      tools::load_report(data_path("sample_report.json"));
+  const std::string out = tools::analyze_report(report);
+  // The failed budget run attributes its peak to the multifrontal fronts.
+  EXPECT_NE(out.find("mf.front"), std::string::npos);
+  EXPECT_NE(out.find("budget-exempt"), std::string::npos);
+  EXPECT_NE(out.find("FAILED"), std::string::npos);
+  EXPECT_NE(out.find("planner audit"), std::string::npos);
+  EXPECT_NE(out.find("over"), std::string::npos);   // 1.20 ratio
+  EXPECT_NE(out.find("under"), std::string::npos);  // 0.90 ratio
+}
+
+TEST(CsReport, DiffAgainstItselfShowsUnitRatios) {
+  const json::Value report =
+      tools::load_report(data_path("sample_report.json"));
+  const std::string out = tools::diff_reports(report, report);
+  EXPECT_NE(out.find("multi-solve-compressed / smoke"), std::string::npos);
+  EXPECT_NE(out.find("1.00"), std::string::npos);
+  EXPECT_EQ(out.find("only in"), std::string::npos);
+}
+
+TEST(CsReport, DiffListsUnmatchedRuns) {
+  const json::Value report =
+      tools::load_report(data_path("sample_report.json"));
+  json::Value trimmed = report;
+  trimmed.object[1].second.array.pop_back();  // drop the second run
+  const std::string out = tools::diff_reports(report, trimmed);
+  EXPECT_NE(out.find("only in A: multi-factorization / smoke"),
+            std::string::npos);
+}
+
+TEST(CsReport, LoadRejectsMissingAndMalformedFiles) {
+  EXPECT_THROW(tools::load_report(data_path("does_not_exist.json")),
+               std::runtime_error);
+  EXPECT_THROW(tools::load_report(data_path("sample_report.golden.txt")),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cs
