@@ -68,6 +68,9 @@ int main(int argc, char** argv) {
                 "single batch width to run (0 = sweep 1,4,16,64,256)");
   args.describe("refine", "iterative refinement sweeps per solve");
   bench::describe_precision(args);
+  args.describe("checkpoint",
+                "save the factored handle to this path, reload it, and time "
+                "both (adds a \"checkpoint\" section to --report)");
   args.describe("report",
                 "write the factorization + sweep JSON here (solves/sec, "
                 "amortized cost per RHS)");
@@ -103,6 +106,61 @@ int main(int argc, char** argv) {
               factor_seconds, handle.stats().attempts,
               handle.stats().attempts == 1 ? "" : "s",
               bench::mib(handle.stats().peak_bytes).c_str());
+
+  // Optional durability leg: serialize the handle, reload it from disk,
+  // and report how much cheaper the load is than refactorizing. This is
+  // the number the "factor once, restart later" workflow rests on.
+  const std::string ckpt_path = args.get("checkpoint", "");
+  double ckpt_save_seconds = 0, ckpt_load_seconds = 0;
+  std::size_t ckpt_bytes = 0;
+  bool ckpt_ok = false;
+  int ckpt_failures = 0;
+  if (!ckpt_path.empty()) {
+    Timer save_timer;
+    SolveError save_error;
+    ckpt_bytes = handle.save(ckpt_path, &save_error);
+    ckpt_save_seconds = save_timer.seconds();
+    if (ckpt_bytes == 0) {
+      std::fprintf(stderr, "checkpoint save failed at %s: %s\n",
+                   save_error.site.c_str(), save_error.detail.c_str());
+      ++ckpt_failures;
+    } else {
+      Config load_cfg;
+      bench::apply_threads(args, load_cfg);
+      Timer load_timer;
+      auto restored = coupled::load_factored<double>(ckpt_path, sys, load_cfg);
+      ckpt_load_seconds = load_timer.seconds();
+      ckpt_ok = restored.ok() &&
+                restored.stats().checkpoint_source == "checkpoint";
+      if (!ckpt_ok) {
+        std::fprintf(stderr, "checkpoint load failed: %s\n",
+                     restored.stats().failure.c_str());
+        ++ckpt_failures;
+      } else {
+        // The restored handle must still produce the manufactured answer.
+        la::Matrix<double> Bv = scaled_rhs(sys.b_v, 1);
+        la::Matrix<double> Bs = scaled_rhs(sys.b_s, 1);
+        restored.solve(Bv.view(), Bs.view());
+        la::Vector<double> xv(sys.nv()), xs(sys.ns());
+        for (index_t i = 0; i < sys.nv(); ++i) xv[i] = Bv(i, 0);
+        for (index_t i = 0; i < sys.ns(); ++i) xs[i] = Bs(i, 0);
+        const double err = sys.relative_error(xv, xs);
+        if (!(err < 1e-2)) {
+          std::fprintf(stderr,
+                       "checkpoint-restored solve inaccurate: %.3e\n", err);
+          ckpt_ok = false;
+          ++ckpt_failures;
+        }
+      }
+      const double speedup = ckpt_load_seconds > 0
+                                 ? factor_seconds / ckpt_load_seconds
+                                 : 0.0;
+      std::printf("checkpoint: %s MiB, save %.3f s, load %.3f s "
+                  "(load %.1fx faster than factorize)%s\n",
+                  bench::mib(ckpt_bytes).c_str(), ckpt_save_seconds,
+                  ckpt_load_seconds, speedup, ckpt_ok ? "" : "  FAILED");
+    }
+  }
 
   std::vector<index_t> widths;
   if (one_nrhs > 0)
@@ -196,6 +254,20 @@ int main(int argc, char** argv) {
     out += ",\"factorize_seconds\":" + json::number(factor_seconds);
     out += ",\"factorize_attempts\":" +
            std::to_string(handle.stats().attempts);
+    if (!ckpt_path.empty()) {
+      out += ",\"checkpoint\":{";
+      out += "\"path\":\"" + json::escape(ckpt_path) + "\"";
+      out += ",\"ok\":" + std::string(ckpt_ok ? "true" : "false");
+      out += ",\"bytes\":" + std::to_string(ckpt_bytes);
+      out += ",\"save_seconds\":" + json::number(ckpt_save_seconds);
+      out += ",\"load_seconds\":" + json::number(ckpt_load_seconds);
+      out += ",\"factorize_seconds\":" + json::number(factor_seconds);
+      out += ",\"load_vs_factorize_speedup\":" +
+             json::number(ckpt_load_seconds > 0
+                              ? factor_seconds / ckpt_load_seconds
+                              : 0.0);
+      out += "}";
+    }
     out += ",\"sweep\":[";
     bool first = true;
     for (const SweepPoint& p : points) {
@@ -229,5 +301,5 @@ int main(int argc, char** argv) {
     std::fclose(f);
     std::printf("report: wrote %s\n", report_path.c_str());
   }
-  return failures == 0 ? 0 : 1;
+  return failures + ckpt_failures == 0 ? 0 : 1;
 }

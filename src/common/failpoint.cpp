@@ -123,6 +123,11 @@ const std::vector<std::string>& FailpointRegistry::known_sites() {
       "hldlt.pivot",      // H-LDLT dense-leaf factorization
       "dense.factor",     // dense Schur factorization
       "refine.stall",     // mixed-precision refinement plateau
+      "ooc.corrupt",      // OOC panel checksum mismatch on reload
+      "ckpt.write",       // checkpoint section write
+      "ckpt.fsync",       // checkpoint commit-record fsync
+      "ckpt.torn",        // crash between payload and commit record
+      "ckpt.corrupt",     // checkpoint section CRC verification
   };
   return sites;
 }

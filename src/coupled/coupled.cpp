@@ -11,6 +11,7 @@
 
 #include "common/failpoint.h"
 #include "common/log.h"
+#include "common/serialize.h"
 #include "common/parallel.h"
 #include "common/random.h"
 #include "common/trace.h"
@@ -1510,6 +1511,352 @@ void with_solver_session(const Config& config, SolveStats& stats,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Checkpointing (DESIGN.md §14): durable save/load of a FactoredCoupled.
+// ---------------------------------------------------------------------------
+
+/// On-disk code of the checkpoint's input scalar type.
+template <class T>
+struct ScalarCode;
+template <>
+struct ScalarCode<double> {
+  static constexpr std::uint32_t v = 1;
+};
+template <>
+struct ScalarCode<complexd> {
+  static constexpr std::uint32_t v = 2;
+};
+
+template <class T>
+std::uint32_t vec_crc(const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return v.empty() ? 0
+                   : serialize::crc32c(0, v.data(), v.size() * sizeof(T));
+}
+
+/// CRC32C over a CSR matrix's structure and values in row-major scan
+/// order (row pointers are implied by the per-row scan, so two CSRs with
+/// identical entries hash identically regardless of how they were built).
+template <class T>
+std::uint32_t csr_crc(const sparse::Csr<T>& A) {
+  std::uint32_t c = 0;
+  for (index_t r = 0; r < A.rows(); ++r)
+    for (offset_t k = A.row_begin(r); k < A.row_end(r); ++k) {
+      const index_t col = A.col(k);
+      const T v = A.value(k);
+      c = serialize::crc32c(c, &col, sizeof col);
+      c = serialize::crc32c(c, &v, sizeof v);
+    }
+  return c;
+}
+
+/// Identity of the coupled system a checkpoint belongs to. The factors are
+/// only valid for the exact system they were computed from, so load checks
+/// dimensions, sparsity, matrix values and the BEM geometry — not just
+/// shapes — before trusting a single factor byte.
+struct Fingerprint {
+  std::uint32_t scalar = 0;
+  std::int64_t nv = 0, ns = 0, nnz_vv = 0, nnz_sv = 0;
+  std::uint8_t symmetric = 0;
+  std::uint32_t crc_vv = 0, crc_sv = 0, crc_pts = 0;
+
+  bool operator==(const Fingerprint& o) const {
+    return scalar == o.scalar && nv == o.nv && ns == o.ns &&
+           nnz_vv == o.nnz_vv && nnz_sv == o.nnz_sv &&
+           symmetric == o.symmetric && crc_vv == o.crc_vv &&
+           crc_sv == o.crc_sv && crc_pts == o.crc_pts;
+  }
+};
+
+template <class T>
+Fingerprint fingerprint_of(const CoupledSystem<T>& sys) {
+  Fingerprint fp;
+  fp.scalar = ScalarCode<T>::v;
+  fp.nv = sys.nv();
+  fp.ns = sys.ns();
+  fp.nnz_vv = sys.A_vv.nnz();
+  fp.nnz_sv = sys.A_sv.nnz();
+  fp.symmetric = sys.symmetric ? 1 : 0;
+  fp.crc_vv = csr_crc(sys.A_vv);
+  fp.crc_sv = csr_crc(sys.A_sv);
+  fp.crc_pts = vec_crc(sys.surface_points());
+  return fp;
+}
+
+void write_fingerprint(serialize::Writer& w, const Fingerprint& fp) {
+  w.write_u32(fp.scalar);
+  w.write_i64(fp.nv);
+  w.write_i64(fp.ns);
+  w.write_i64(fp.nnz_vv);
+  w.write_i64(fp.nnz_sv);
+  w.write_u8(fp.symmetric);
+  w.write_u32(fp.crc_vv);
+  w.write_u32(fp.crc_sv);
+  w.write_u32(fp.crc_pts);
+}
+
+Fingerprint read_fingerprint(serialize::Reader& in) {
+  Fingerprint fp;
+  fp.scalar = in.read_u32();
+  fp.nv = in.read_i64();
+  fp.ns = in.read_i64();
+  fp.nnz_vv = in.read_i64();
+  fp.nnz_sv = in.read_i64();
+  fp.symmetric = in.read_u8();
+  fp.crc_vv = in.read_u32();
+  fp.crc_sv = in.read_u32();
+  fp.crc_pts = in.read_u32();
+  return fp;
+}
+
+void check_fingerprint(const Fingerprint& stored, const Fingerprint& live) {
+  if (stored.scalar != live.scalar)
+    throw ClassifiedError(
+        ErrorCode::kIo, "ckpt.scalar",
+        "checkpoint scalar type (code " + std::to_string(stored.scalar) +
+            ") does not match the requested solver type (code " +
+            std::to_string(live.scalar) + ")");
+  if (!(stored == live))
+    throw ClassifiedError(
+        ErrorCode::kIo, "ckpt.fingerprint",
+        "checkpoint was created from a different coupled system "
+        "(dimension / sparsity / value / geometry fingerprint mismatch)");
+}
+
+/// The factorization-shaping Config fields stored in the checkpoint: on
+/// load they must match the factors byte for byte, so they come from the
+/// file, not the caller. Runtime-only knobs (threads, budget, tracing,
+/// failpoints, ooc_dir, recovery policy) stay the caller's.
+void write_config(serialize::Writer& w, const Config& c) {
+  w.write_i32(static_cast<std::int32_t>(c.strategy));
+  w.write_i64(c.n_c);
+  w.write_i64(c.n_S);
+  w.write_i64(c.n_b);
+  w.write_u8(c.sparse_compression ? 1 : 0);
+  w.write_f64(c.eps);
+  w.write_f64(c.eta);
+  w.write_i64(c.hmat_leaf);
+  w.write_i32(static_cast<std::int32_t>(c.ordering));
+  w.write_i32(c.refine_iterations);
+  w.write_f64(c.refine_tolerance);
+  w.write_i32(static_cast<std::int32_t>(c.factor_precision));
+  w.write_u8(c.parallel_fronts ? 1 : 0);
+  w.write_u8(c.hmat_symmetric_ldlt ? 1 : 0);
+  w.write_i64(c.rand_initial_rank);
+  w.write_f64(c.rand_max_rank_ratio);
+  w.write_u8(c.out_of_core ? 1 : 0);
+}
+
+Config read_config(serialize::Reader& in, const Config& runtime) {
+  Config c = runtime;
+  c.strategy = static_cast<Strategy>(in.read_i32());
+  c.n_c = static_cast<index_t>(in.read_i64());
+  c.n_S = static_cast<index_t>(in.read_i64());
+  c.n_b = static_cast<index_t>(in.read_i64());
+  c.sparse_compression = in.read_u8() != 0;
+  c.eps = in.read_f64();
+  c.eta = in.read_f64();
+  c.hmat_leaf = static_cast<index_t>(in.read_i64());
+  c.ordering = static_cast<decltype(c.ordering)>(in.read_i32());
+  c.refine_iterations = in.read_i32();
+  c.refine_tolerance = in.read_f64();
+  c.factor_precision = static_cast<Precision>(in.read_i32());
+  c.parallel_fronts = in.read_u8() != 0;
+  c.hmat_symmetric_ldlt = in.read_u8() != 0;
+  c.rand_initial_rank = static_cast<index_t>(in.read_i64());
+  c.rand_max_rank_ratio = in.read_f64();
+  c.out_of_core = in.read_u8() != 0;
+  return c;
+}
+
+template <class T>
+void write_coupling(serialize::Writer& w, const detail::FactoredImpl<T>& f) {
+  // CRC of the cluster-tree permutation: load rebuilds the tree from the
+  // live geometry and cross-checks it, so a silently different clustering
+  // (code change, different leaf size) can never be paired with factors
+  // computed in the old tree order.
+  w.write_u32(vec_crc(f.tree->tree_of_original()));
+  const sparse::Csr<T>& A = f.A_sv_tree;
+  w.write_i64(A.rows());
+  w.write_i64(A.cols());
+  w.write_i64(A.nnz());
+  std::vector<std::int64_t> row_len(static_cast<std::size_t>(A.rows()));
+  std::vector<index_t> cols;
+  std::vector<T> vals;
+  cols.reserve(static_cast<std::size_t>(A.nnz()));
+  vals.reserve(static_cast<std::size_t>(A.nnz()));
+  for (index_t r = 0; r < A.rows(); ++r) {
+    row_len[static_cast<std::size_t>(r)] = A.row_end(r) - A.row_begin(r);
+    for (offset_t k = A.row_begin(r); k < A.row_end(r); ++k) {
+      cols.push_back(A.col(k));
+      vals.push_back(A.value(k));
+    }
+  }
+  serialize::write_vec(w, row_len);
+  serialize::write_vec(w, cols);
+  serialize::write_vec(w, vals);
+}
+
+template <class T>
+void read_coupling(serialize::Reader& in, const CoupledSystem<T>& sys,
+                   detail::FactoredImpl<T>& f) {
+  const std::uint32_t stored_perm = in.read_u32();
+  if (stored_perm != vec_crc(f.tree->tree_of_original()))
+    throw ClassifiedError(
+        ErrorCode::kIo, "ckpt.fingerprint",
+        "surface cluster tree rebuilt on load does not match the "
+        "checkpoint's (geometry or clustering changed since save)");
+  const std::int64_t rows = in.read_i64();
+  const std::int64_t cols = in.read_i64();
+  const std::int64_t nnz = in.read_i64();
+  if (rows != sys.ns() || cols != sys.nv() || nnz < 0)
+    throw ClassifiedError(ErrorCode::kIo, "ckpt.corrupt",
+                          "tree-ordered coupling block shape mismatch");
+  const auto row_len = serialize::read_vec<std::int64_t>(in);
+  const auto cidx = serialize::read_vec<index_t>(in);
+  const auto vals = serialize::read_vec<T>(in);
+  if (row_len.size() != static_cast<std::size_t>(rows) ||
+      cidx.size() != static_cast<std::size_t>(nnz) ||
+      vals.size() != static_cast<std::size_t>(nnz))
+    throw ClassifiedError(ErrorCode::kIo, "ckpt.corrupt",
+                          "tree-ordered coupling block length mismatch");
+  MemoryScope scope(MemTag::kCouplingBlock);
+  sparse::Triplets<T> trip(static_cast<index_t>(rows),
+                           static_cast<index_t>(cols));
+  std::size_t k = 0;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const std::int64_t len = row_len[static_cast<std::size_t>(r)];
+    if (len < 0 || k + static_cast<std::size_t>(len) > cidx.size())
+      throw ClassifiedError(ErrorCode::kIo, "ckpt.corrupt",
+                            "tree-ordered coupling row lengths exceed nnz");
+    for (std::int64_t e = 0; e < len; ++e, ++k)
+      trip.add(static_cast<index_t>(r), cidx[k], vals[k]);
+  }
+  if (k != static_cast<std::size_t>(nnz))
+    throw ClassifiedError(ErrorCode::kIo, "ckpt.corrupt",
+                          "tree-ordered coupling row lengths exceed nnz");
+  f.A_sv_tree = sparse::Csr<T>::from_triplets(trip);
+}
+
+/// Serialize every factor bank of a successful factorization; throws
+/// IoError / ClassifiedError on failure. Section order is load order.
+template <class T>
+std::size_t save_factored_impl(const detail::FactoredImpl<T>& f,
+                               const std::string& path) {
+  TraceSpan span("phase", "checkpoint_save");
+  serialize::Writer w(path);
+  w.begin_section("meta");
+  write_fingerprint(w, fingerprint_of(*f.sys));
+  w.write_u8(f.single ? 1 : 0);
+  w.write_u64(f.fstats.sparse_factor_bytes);
+  w.write_u64(f.fstats.schur_bytes);
+  w.write_f64(f.fstats.schur_compression_ratio);
+  w.write_i64(f.fstats.randomized_rank);
+  w.end_section();
+  w.begin_section("config");
+  write_config(w, f.cfg);
+  w.end_section();
+  w.begin_section("coupling");
+  write_coupling(w, f);
+  w.end_section();
+  w.begin_section("interior");
+  if (f.single) {
+    f.interior_f.save(w);
+  } else {
+    f.interior.save(w);
+  }
+  w.end_section();
+  w.begin_section("schur");
+  // Exactly one Schur bank is live on an ok() handle: 1 = dense, 2 = H.
+  if (f.single) {
+    if (f.schur_h_f) {
+      w.write_u8(2);
+      f.schur_h_f->save(w);
+    } else {
+      w.write_u8(1);
+      f.schur_dense_f.save(w);
+    }
+  } else {
+    if (f.schur_h) {
+      w.write_u8(2);
+      f.schur_h->save(w);
+    } else {
+      w.write_u8(1);
+      f.schur_dense.save(w);
+    }
+  }
+  w.end_section();
+  return w.commit();
+}
+
+/// Reconstruct the factored state from a verified checkpoint; throws the
+/// classified error on any integrity or compatibility failure. Returns
+/// the checkpoint file size.
+template <class T>
+std::size_t load_factored_impl(const std::string& path,
+                               const CoupledSystem<T>& system,
+                               const Config& runtime,
+                               detail::FactoredImpl<T>& f,
+                               SolveStats& stats) {
+  using F = typename detail::FactoredImpl<T>::F;
+  serialize::Reader in(path);  // verifies trailer, footer, every CRC
+
+  in.open_section("meta");
+  check_fingerprint(read_fingerprint(in), fingerprint_of(system));
+  const bool single = in.read_u8() != 0;
+  stats.sparse_factor_bytes = static_cast<std::size_t>(in.read_u64());
+  stats.schur_bytes = static_cast<std::size_t>(in.read_u64());
+  stats.schur_compression_ratio = in.read_f64();
+  stats.randomized_rank = static_cast<index_t>(in.read_i64());
+
+  in.open_section("config");
+  f.cfg = read_config(in, runtime);
+  if (single != (f.cfg.factor_precision == Precision::kSingle))
+    throw ClassifiedError(ErrorCode::kIo, "ckpt.corrupt",
+                          "checkpoint precision flag disagrees with its "
+                          "stored factor_precision");
+  stats.factor_precision = f.cfg.factor_precision;
+
+  // The cluster tree is rebuilt deterministically from the live geometry;
+  // the coupling section cross-checks its permutation against the save.
+  f.tree.emplace(system.surface_points(), f.cfg.hmat_leaf);
+
+  in.open_section("coupling");
+  read_coupling(in, system, f);
+
+  in.open_section("interior");
+  f.single = single;
+  if (single) {
+    f.interior_f.load(in, runtime.ooc_dir);
+  } else {
+    f.interior.load(in, runtime.ooc_dir);
+  }
+
+  in.open_section("schur");
+  const std::uint8_t bank = in.read_u8();
+  HOptions ho;
+  ho.eps = f.cfg.eps;
+  ho.eta = f.cfg.eta;
+  if (bank == 2) {
+    if (single) {
+      f.schur_h_f.emplace(HMatrix<F>::load(*f.tree, *f.tree, ho, in));
+    } else {
+      f.schur_h.emplace(HMatrix<T>::load(*f.tree, *f.tree, ho, in));
+    }
+  } else if (bank == 1) {
+    if (single) {
+      f.schur_dense_f.load(in);
+    } else {
+      f.schur_dense.load(in);
+    }
+  } else {
+    throw ClassifiedError(ErrorCode::kIo, "ckpt.corrupt",
+                          "unknown Schur factor bank tag in checkpoint");
+  }
+  stats.factor_bytes = stats.sparse_factor_bytes + stats.schur_bytes;
+  return in.file_bytes();
+}
+
 }  // namespace
 
 template <class T>
@@ -1664,6 +2011,101 @@ SolveStats FactoredCoupled<T>::solve(la::MatrixView<T> B_v,
   return stats;
 }
 
+template <class T>
+std::size_t FactoredCoupled<T>::save(const std::string& path,
+                                     SolveError* error) const {
+  if (error) *error = SolveError{};
+  if (!ok()) {
+    if (error)
+      *error = SolveError{ErrorCode::kInternal, "handle",
+                          "save on an unfactored handle"};
+    return 0;
+  }
+  // Failpoints armed exactly like a solver session, so cfg.failpoints /
+  // CS_FAILPOINTS drive the ckpt.* crash-injection sites during the save.
+  ScopedFailpoints failpoints(impl_->cfg.failpoints);
+  try {
+    return save_factored_impl(*impl_, path);
+  } catch (...) {
+    const SolveError err = classify_current_exception();
+    trace_instant("error", error_code_name(err.code));
+    log_info("checkpoint save failed (", err.site, "): ", err.detail);
+    if (error) *error = err;
+    return 0;
+  }
+}
+
+template <class T>
+FactoredCoupled<T> load_factored(const std::string& path,
+                                 const CoupledSystem<T>& system,
+                                 const Config& config) {
+  FactoredCoupled<T> handle;
+  handle.impl_ = std::make_unique<detail::FactoredImpl<T>>();
+  detail::FactoredImpl<T>& impl = *handle.impl_;
+  impl.sys = &system;
+  impl.cfg = config;
+  SolveStats& stats = impl.fstats;
+  stats.n_fem = system.nv();
+  stats.n_bem = system.ns();
+  stats.n_total = system.total();
+
+  {
+    // The caller's config governs the checkpoint_fallback refactorization,
+    // so it is validated exactly like a factorize_coupled config.
+    const std::string problem = validate_config(config);
+    if (!problem.empty()) {
+      stats.error = SolveError{ErrorCode::kInternal, "config", problem};
+      stats.failure = failure_text(stats.error);
+      return handle;
+    }
+  }
+
+  const auto audit_in = planner_audit_inputs(system, config);
+  with_solver_session(config, stats, "load", [&] {
+    try {
+      ScopedPhase phase(stats.phases, "checkpoint_load");
+      TraceSpan span("phase", "checkpoint_load");
+      const std::size_t bytes =
+          load_factored_impl(path, system, config, impl, stats);
+      impl.ok = true;
+      stats.success = true;
+      stats.attempts = 1;
+      stats.checkpoint_source = "checkpoint";
+      stats.checkpoint_bytes = bytes;
+    } catch (...) {
+      stats.error = classify_current_exception();
+      stats.failure = failure_text(stats.error);
+      trace_instant("error", error_code_name(stats.error.code));
+      // Drop anything the partial load produced, including any stats the
+      // meta section primed before the failure surfaced.
+      impl.reset_factors();
+      impl.cfg = config;
+      stats.sparse_factor_bytes = 0;
+      stats.schur_bytes = 0;
+      stats.schur_compression_ratio = 0;
+      stats.randomized_rank = 0;
+      stats.factor_bytes = 0;
+    }
+    if (!impl.ok && config.auto_recover) {
+      // checkpoint_fallback rung of the recovery ladder: the checkpoint is
+      // unusable (missing, torn, corrupt, or for a different system), so
+      // refactorize from the live system under the caller's config — the
+      // answer stays correct, only the restart speedup is lost.
+      stats.recoveries.push_back(RecoveryAction{
+          "checkpoint_fallback", error_code_name(stats.error.code),
+          stats.error.site + ": " + stats.error.detail});
+      Metrics::instance().add(Metric::kRecoveries, 1);
+      trace_instant("recovery", "checkpoint_fallback");
+      log_info("recovery: checkpoint_fallback after ",
+               error_code_name(stats.error.code), " at ", stats.error.site);
+      run_attempts<T>(system, config, impl, stats, nullptr);
+      if (stats.success) stats.checkpoint_source = "refactorized";
+      record_planner_audit<T>(audit_in, impl.cfg, stats);
+    }
+  });
+  return handle;
+}
+
 template SolveStats solve_coupled<double>(const CoupledSystem<double>&,
                                           const Config&);
 template SolveStats solve_coupled<complexd>(const CoupledSystem<complexd>&,
@@ -1672,6 +2114,10 @@ template FactoredCoupled<double> factorize_coupled<double>(
     const CoupledSystem<double>&, const Config&);
 template FactoredCoupled<complexd> factorize_coupled<complexd>(
     const CoupledSystem<complexd>&, const Config&);
+template FactoredCoupled<double> load_factored<double>(
+    const std::string&, const CoupledSystem<double>&, const Config&);
+template FactoredCoupled<complexd> load_factored<complexd>(
+    const std::string&, const CoupledSystem<complexd>&, const Config&);
 template class FactoredCoupled<double>;
 template class FactoredCoupled<complexd>;
 

@@ -255,6 +255,15 @@ struct SolveStats {
   /// successful solve (early exit on refine_tolerance may make this
   /// smaller than refine_iterations).
   int refine_sweeps = 0;
+
+  /// Checkpoint provenance of this handle: "" for a fresh factorization,
+  /// "checkpoint" when restored by load_factored, "refactorized" when a
+  /// checkpoint load failed and the checkpoint_fallback rung refactorized
+  /// from the live system.
+  std::string checkpoint_source;
+  /// On-disk size of the checkpoint this handle was restored from (0 when
+  /// checkpoint_source != "checkpoint").
+  std::size_t checkpoint_bytes = 0;
 };
 
 namespace detail {
@@ -311,10 +320,23 @@ class FactoredCoupled {
   /// independent single-column solves at any thread count. Never throws.
   SolveStats solve(la::MatrixView<T> B_v, la::MatrixView<T> B_s) const;
 
+  /// Serialize the factored state to a crash-consistent checkpoint file
+  /// (CRC32C-checksummed sections, manifest footer fsynced last as the
+  /// commit record; see DESIGN.md §14). Returns the bytes written, or 0 on
+  /// failure with the classified error in *error (when non-null). Never
+  /// throws. A failed save may leave a torn file at `path`; load_factored
+  /// detects and rejects it.
+  std::size_t save(const std::string& path, SolveError* error = nullptr)
+      const;
+
  private:
   template <class U>
   friend FactoredCoupled<U> factorize_coupled(
       const fembem::CoupledSystem<U>& system, const Config& config);
+  template <class U>
+  friend FactoredCoupled<U> load_factored(
+      const std::string& path, const fembem::CoupledSystem<U>& system,
+      const Config& config);
 
   std::unique_ptr<detail::FactoredImpl<T>> impl_;
 };
@@ -328,6 +350,25 @@ class FactoredCoupled {
 template <class T>
 FactoredCoupled<T> factorize_coupled(const fembem::CoupledSystem<T>& system,
                                      const Config& config);
+
+/// Restore a FactoredCoupled handle from a checkpoint written by
+/// FactoredCoupled::save. The format version, scalar type, system
+/// fingerprint (dimensions, sparsity, matrix values, BEM geometry) and
+/// every section's CRC32C are verified before any byte is trusted; the
+/// restored handle's solve() is bitwise identical to the originating
+/// handle's. `system` must be the same coupled system the checkpoint was
+/// created from (it is borrowed, exactly as by factorize_coupled) and
+/// `config` supplies the runtime-only settings (threads, budget, tracing,
+/// failpoints, ooc_dir, recovery policy); the factorization-shaping fields
+/// come from the checkpoint. Never throws. On a missing/torn/corrupt/
+/// mismatched checkpoint: with config.auto_recover the checkpoint_fallback
+/// recovery rung refactorizes from the live system (recorded in
+/// SolveStats::recoveries, metrics and trace); without it the returned
+/// handle has ok() == false and stats() carries the classified error.
+template <class T>
+FactoredCoupled<T> load_factored(const std::string& path,
+                                 const fembem::CoupledSystem<T>& system,
+                                 const Config& config);
 
 /// Run one strategy on a coupled system. Never throws: every failure
 /// (budget, singularity, numerical breakdown, OOC I/O, invalid config) is

@@ -86,6 +86,10 @@ std::string stats_json(const SolveStats& stats) {
   out += ",\"schur_compression_ratio\":" +
          num(stats.schur_compression_ratio);
   out += ",\"relative_error\":" + num(stats.relative_error);
+  if (!stats.checkpoint_source.empty()) {
+    out += ",\"checkpoint_source\":" + str(stats.checkpoint_source);
+    out += ",\"checkpoint_bytes\":" + std::to_string(stats.checkpoint_bytes);
+  }
   if (stats.randomized_rank > 0)
     out += ",\"randomized_rank\":" + std::to_string(stats.randomized_rank);
   out += ",\"nrhs\":" + std::to_string(stats.nrhs);

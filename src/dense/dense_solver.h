@@ -10,7 +10,10 @@
 #include <utility>
 
 #include "common/failpoint.h"
+#include "common/memory.h"
+#include "common/serialize.h"
 #include "la/factor.h"
+#include "la/io.h"
 #include "la/matrix.h"
 
 namespace cs::dense {
@@ -59,6 +62,24 @@ class DenseSolver {
     a_.clear();
     piv_.clear();
     factored_ = false;
+  }
+
+  /// Serialize the factored state into the writer's open section.
+  void save(serialize::Writer& w) const {
+    w.write_u8(symmetric_ ? 1 : 0);
+    w.write_u8(factored_ ? 1 : 0);
+    serialize::write_vec(w, piv_);
+    la::write_matrix(w, a_);
+  }
+
+  /// Restore the factored state; the factor matrix is charged to the
+  /// schur.dense ledger tag like a freshly computed one.
+  void load(serialize::Reader& in) {
+    symmetric_ = in.read_u8() != 0;
+    factored_ = in.read_u8() != 0;
+    piv_ = serialize::read_vec<index_t>(in);
+    MemoryScope scope(MemTag::kSchurDense);
+    a_ = la::read_matrix<T>(in);
   }
 
  private:

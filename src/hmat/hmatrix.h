@@ -32,12 +32,16 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/error.h"
 #include "common/failpoint.h"
+#include "common/memory.h"
 #include "common/parallel.h"
+#include "common/serialize.h"
 #include "common/trace.h"
 #include "hmat/aca.h"
 #include "hmat/cluster.h"
 #include "la/factor.h"
+#include "la/io.h"
 #include "la/qr_svd.h"
 
 namespace cs::hmat {
@@ -137,6 +141,30 @@ class HMatrix {
     la::Matrix<T> out(rows(), cols());
     to_dense_rec(out.view(), row_->begin, col_->begin);
     return out;
+  }
+
+  /// Serialize the H-matrix payload (leaf kinds, dense/Rk factors, pivots,
+  /// factorization flags) via a depth-first walk. The block *structure* is
+  /// not stored: it is rebuilt deterministically from the cluster tree and
+  /// options on load, and the stored kinds are checked against it.
+  void save(serialize::Writer& w) const {
+    w.write_u8(factored_ ? 1 : 0);
+    w.write_u8(ldlt_ ? 1 : 0);
+    save_rec(w);
+  }
+
+  /// Rebuild an H-matrix from a checkpoint section: structure from
+  /// (rows, cols, opt), payload streamed from the reader. A stored dense
+  /// leaf where the structure says Rk is a legitimate demotion
+  /// (compression that did not pay at build time); any other kind
+  /// mismatch is corruption and throws ClassifiedError at ckpt.corrupt.
+  static HMatrix load(const ClusterTree& rows, const ClusterTree& cols,
+                      const HOptions& opt, serialize::Reader& in) {
+    HMatrix h = build_structure(rows.root(), cols.root(), opt);
+    h.factored_ = in.read_u8() != 0;
+    h.ldlt_ = in.read_u8() != 0;
+    h.load_rec(in);
+    return h;
   }
 
   /// In-place H-LU factorization (square blocks on one cluster tree). The
@@ -269,6 +297,56 @@ class HMatrix {
     f(*this);
     if (kind_ == Kind::kNode)
       for (const auto& c : child_) c->visit(f);
+  }
+
+  void save_rec(serialize::Writer& w) const {
+    w.write_u8(static_cast<std::uint8_t>(kind_));
+    switch (kind_) {
+      case Kind::kNode:
+        for (const auto& c : child_) c->save_rec(w);
+        break;
+      case Kind::kFull:
+        serialize::write_vec(w, piv_);
+        la::write_matrix(w, full_);
+        break;
+      case Kind::kRk:
+        la::write_rk(w, rk_);
+        break;
+    }
+  }
+
+  void load_rec(serialize::Reader& in) {
+    const auto stored = static_cast<Kind>(in.read_u8());
+    if (stored == Kind::kFull && kind_ == Kind::kRk) {
+      kind_ = Kind::kFull;  // demoted at build time: accept
+    } else if (stored != kind_) {
+      throw ClassifiedError(
+          ErrorCode::kIo, "ckpt.corrupt",
+          "H-matrix block kind does not match the deterministic structure");
+    }
+    switch (kind_) {
+      case Kind::kNode:
+        for (auto& c : child_) c->load_rec(in);
+        break;
+      case Kind::kFull: {
+        piv_ = serialize::read_vec<index_t>(in);
+        MemoryScope scope(MemTag::kHmatDense);
+        full_ = la::read_matrix<T>(in);
+        if (full_.rows() != rows() || full_.cols() != cols())
+          throw ClassifiedError(ErrorCode::kIo, "ckpt.corrupt",
+                                "H-matrix dense leaf dimension mismatch");
+        break;
+      }
+      case Kind::kRk: {
+        MemoryScope scope(MemTag::kHmatRk);
+        rk_ = la::read_rk<T>(in);
+        if (rk_.U.rows() != rows() || rk_.V.rows() != cols() ||
+            rk_.U.cols() != rk_.V.cols())
+          throw ClassifiedError(ErrorCode::kIo, "ckpt.corrupt",
+                                "H-matrix Rk leaf dimension mismatch");
+        break;
+      }
+    }
   }
 
   // -- assembly -------------------------------------------------------------

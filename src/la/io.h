@@ -1,0 +1,53 @@
+// Checkpoint (de)serialization of the dense linear-algebra containers.
+// Matrices are streamed as [rows i32, cols i32, column-major payload];
+// dimensions are validated against the section's remaining bytes before
+// any allocation so a corrupt header cannot drive a huge allocation.
+// Reads allocate under the caller's MemoryScope, so restored factors land
+// in the same ledger tag as freshly-computed ones.
+#pragma once
+
+#include "common/error.h"
+#include "common/serialize.h"
+#include "la/matrix.h"
+#include "la/qr_svd.h"
+
+namespace cs::la {
+
+template <class T>
+void write_matrix(serialize::Writer& w, const Matrix<T>& m) {
+  w.write_i32(m.rows());
+  w.write_i32(m.cols());
+  w.write_bytes(m.data(), static_cast<std::size_t>(m.rows()) *
+                              static_cast<std::size_t>(m.cols()) * sizeof(T));
+}
+
+template <class T>
+Matrix<T> read_matrix(serialize::Reader& in) {
+  const std::int32_t rows = in.read_i32();
+  const std::int32_t cols = in.read_i32();
+  if (rows < 0 || cols < 0)
+    throw ClassifiedError(ErrorCode::kIo, "ckpt.corrupt",
+                          "matrix with negative dimensions in checkpoint");
+  const std::size_t bytes = static_cast<std::size_t>(rows) *
+                            static_cast<std::size_t>(cols) * sizeof(T);
+  in.require(bytes);
+  Matrix<T> m(rows, cols);
+  in.read_bytes(m.data(), bytes);
+  return m;
+}
+
+template <class T>
+void write_rk(serialize::Writer& w, const RkFactors<T>& rk) {
+  write_matrix(w, rk.U);
+  write_matrix(w, rk.V);
+}
+
+template <class T>
+RkFactors<T> read_rk(serialize::Reader& in) {
+  RkFactors<T> rk;
+  rk.U = read_matrix<T>(in);
+  rk.V = read_matrix<T>(in);
+  return rk;
+}
+
+}  // namespace cs::la

@@ -37,9 +37,11 @@
 #include "common/failpoint.h"
 #include "common/log.h"
 #include "common/memory.h"
+#include "common/serialize.h"
 #include "common/timer.h"
 #include "common/trace.h"
 #include "la/factor.h"
+#include "la/io.h"
 #include "la/qr_svd.h"
 #include "ordering/ordering.h"
 #include "sparse/sparse.h"
@@ -240,6 +242,159 @@ class MultifrontalSolver {
                f.U12t.size_bytes();
     }
     return bytes;
+  }
+
+  /// Serialize the complete factored state (options, symbolic tree,
+  /// permutation, factor panels) into the writer's open section.
+  /// OOC-resident panels are streamed back through memory and written
+  /// inline, so the checkpoint is self-contained even when the unlinked
+  /// spill file is gone. The internal Schur root (take_schur) is not part
+  /// of the factored state and is not serialized.
+  void save(serialize::Writer& w) const {
+    w.write_i32(static_cast<std::int32_t>(opt_.ordering));
+    w.write_u8(opt_.symmetric ? 1 : 0);
+    w.write_i32(opt_.schur_size);
+    w.write_u8(opt_.compress ? 1 : 0);
+    w.write_f64(opt_.blr_eps);
+    w.write_i32(opt_.blr_min_dim);
+    w.write_i32(opt_.blr_tile_rows);
+    w.write_i32(opt_.relax_zeros);
+    w.write_i32(opt_.max_supernode);
+    w.write_u8(opt_.exploit_sparse_rhs ? 1 : 0);
+    w.write_u8(opt_.parallel_fronts ? 1 : 0);
+    w.write_u8(opt_.out_of_core ? 1 : 0);
+    w.write_string(opt_.ooc_dir);
+    w.write_u8(opt_.ooc_sync_on_spill ? 1 : 0);
+
+    w.write_i32(stats_.n);
+    w.write_i32(stats_.n_eliminated);
+    w.write_i64(stats_.nnz_input);
+    w.write_i32(stats_.n_fronts);
+    w.write_i64(stats_.peak_front_rows);
+    w.write_i64(stats_.factor_entries_dense);
+    w.write_i64(stats_.factor_entries_stored);
+    w.write_f64(stats_.analyze_seconds);
+    w.write_f64(stats_.factor_seconds);
+    w.write_i64(stats_.compressed_panels);
+    w.write_i64(stats_.dense_panels);
+    w.write_u64(stats_.ooc_bytes);
+
+    w.write_i32(sym_.n);
+    w.write_i32(sym_.n_eliminated);
+    w.write_i32(sym_.schur_front);
+    w.write_i64(sym_.factor_entries);
+    w.write_i64(sym_.peak_front_rows);
+    w.write_u64(sym_.fronts.size());
+    for (const Front& fr : sym_.fronts) {
+      w.write_i32(fr.pivot_begin);
+      w.write_i32(fr.pivot_end);
+      serialize::write_vec(w, fr.border);
+      w.write_i32(fr.parent);
+      serialize::write_vec(w, fr.children);
+      w.write_u8(fr.is_schur ? 1 : 0);
+    }
+    serialize::write_vec(w, sym_.front_of_var);
+    serialize::write_vec(w, perm_);
+    w.write_u8(factored_ ? 1 : 0);
+
+    w.write_u64(factors_.size());
+    for (const auto& ff : factors_) {
+      w.write_i32(ff.pivot_begin);
+      w.write_i32(ff.pivot_end);
+      serialize::write_vec(w, ff.piv);
+      la::write_matrix(w, ff.pivot_block);
+      write_panel(w, ff.L21, ff.L21_ooc);
+      write_panel(w, ff.U12t, ff.U12t_ooc);
+    }
+  }
+
+  /// Restore the factored state from a section written by save(). When the
+  /// stored options enable out-of-core, border panels are re-spilled into
+  /// a fresh store (rooted at `ooc_dir_override` when non-empty -- the
+  /// original spill directory may not exist after a restart). Factors land
+  /// in the same memory-ledger tags as freshly computed ones.
+  void load(serialize::Reader& in, const std::string& ooc_dir_override = {}) {
+    opt_ = SolverOptions{};
+    opt_.ordering = static_cast<ordering::Method>(in.read_i32());
+    opt_.symmetric = in.read_u8() != 0;
+    opt_.schur_size = in.read_i32();
+    opt_.compress = in.read_u8() != 0;
+    opt_.blr_eps = in.read_f64();
+    opt_.blr_min_dim = in.read_i32();
+    opt_.blr_tile_rows = in.read_i32();
+    opt_.relax_zeros = in.read_i32();
+    opt_.max_supernode = in.read_i32();
+    opt_.exploit_sparse_rhs = in.read_u8() != 0;
+    opt_.parallel_fronts = in.read_u8() != 0;
+    opt_.out_of_core = in.read_u8() != 0;
+    opt_.ooc_dir = in.read_string();
+    opt_.ooc_sync_on_spill = in.read_u8() != 0;
+    if (!ooc_dir_override.empty()) opt_.ooc_dir = ooc_dir_override;
+
+    stats_ = SolverStats{};
+    stats_.n = in.read_i32();
+    stats_.n_eliminated = in.read_i32();
+    stats_.nnz_input = in.read_i64();
+    stats_.n_fronts = in.read_i32();
+    stats_.peak_front_rows = in.read_i64();
+    stats_.factor_entries_dense = in.read_i64();
+    stats_.factor_entries_stored = in.read_i64();
+    stats_.analyze_seconds = in.read_f64();
+    stats_.factor_seconds = in.read_f64();
+    stats_.compressed_panels = in.read_i64();
+    stats_.dense_panels = in.read_i64();
+    stats_.ooc_bytes = in.read_u64();
+
+    sym_ = Symbolic{};
+    sym_.n = in.read_i32();
+    sym_.n_eliminated = in.read_i32();
+    sym_.schur_front = in.read_i32();
+    sym_.factor_entries = in.read_i64();
+    sym_.peak_front_rows = in.read_i64();
+    const std::uint64_t nfronts = in.read_u64();
+    in.require(nfronts);  // >= 1 byte per front: bounds the reserve
+    sym_.fronts.reserve(static_cast<std::size_t>(nfronts));
+    for (std::uint64_t f = 0; f < nfronts; ++f) {
+      Front fr;
+      fr.pivot_begin = in.read_i32();
+      fr.pivot_end = in.read_i32();
+      fr.border = serialize::read_vec<index_t>(in);
+      fr.parent = in.read_i32();
+      fr.children = serialize::read_vec<index_t>(in);
+      fr.is_schur = in.read_u8() != 0;
+      sym_.fronts.push_back(std::move(fr));
+    }
+    sym_.front_of_var = serialize::read_vec<index_t>(in);
+    perm_ = serialize::read_vec<index_t>(in);
+    factored_ = in.read_u8() != 0;
+
+    permuted_.reset();
+    permuted_t_.reset();
+    schur_ = la::Matrix<T>();
+    ooc_.reset();
+    const std::uint64_t nfactors = in.read_u64();
+    if (nfactors != sym_.fronts.size())
+      throw ClassifiedError(
+          ErrorCode::kIo, "ckpt.corrupt",
+          "checkpoint factor count does not match its assembly tree");
+    factors_.clear();
+    factors_.resize(sym_.fronts.size());
+    for (std::size_t f = 0; f < factors_.size(); ++f) {
+      FrontFactor& ff = factors_[f];
+      ff.pivot_begin = in.read_i32();
+      ff.pivot_end = in.read_i32();
+      // Rewire the border alias into the restored symbolic tree: the
+      // serialized form never stores this pointer.
+      ff.border = &sym_.fronts[f].border;
+      ff.piv = serialize::read_vec<index_t>(in);
+      {
+        MemoryScope scope(MemTag::kMfFactor);
+        ff.pivot_block = la::read_matrix<T>(in);
+      }
+      read_panel(in, ff.L21, ff.L21_ooc);
+      read_panel(in, ff.U12t, ff.U12t_ooc);
+    }
+    if (ooc_) stats_.ooc_bytes = ooc_->bytes_on_disk();
   }
 
  private:
@@ -572,6 +727,77 @@ class MultifrontalSolver {
         return {};
       }
     }
+  }
+
+  /// Serialize one border panel; an OOC-resident panel is loaded back
+  /// through memory and written inline, flagged so load() re-spills it.
+  void write_panel(serialize::Writer& w, const TiledPanel<T>& panel,
+                   const typename OocPanelStore<T>::Handle& h) const {
+    const bool was_ooc = h.valid();
+    w.write_u8(was_ooc ? 1 : 0);
+    if (was_ooc)
+      write_panel_tiles(w, load_panel(h));
+    else
+      write_panel_tiles(w, panel);
+  }
+
+  static void write_panel_tiles(serialize::Writer& w,
+                                const TiledPanel<T>& p) {
+    w.write_i32(p.rows());
+    w.write_i32(p.cols());
+    const auto& tiles = p.tiles();
+    w.write_u64(tiles.size());
+    for (const auto& tile : tiles) {
+      w.write_i32(tile.row0);
+      w.write_i32(tile.rows);
+      w.write_u8(tile.compressed ? 1 : 0);
+      if (tile.compressed)
+        la::write_rk(w, tile.rk);
+      else
+        la::write_matrix(w, tile.dense);
+    }
+  }
+
+  static TiledPanel<T> read_panel_tiles(serialize::Reader& in) {
+    const index_t rows = in.read_i32();
+    const index_t cols = in.read_i32();
+    const std::uint64_t ntiles = in.read_u64();
+    in.require(ntiles);  // >= 1 byte per tile: bounds the reserve
+    std::vector<PanelTile<T>> tiles;
+    tiles.reserve(static_cast<std::size_t>(ntiles));
+    for (std::uint64_t t = 0; t < ntiles; ++t) {
+      PanelTile<T> tile;
+      tile.row0 = in.read_i32();
+      tile.rows = in.read_i32();
+      tile.compressed = in.read_u8() != 0;
+      if (tile.compressed)
+        tile.rk = la::read_rk<T>(in);
+      else
+        tile.dense = la::read_matrix<T>(in);
+      tiles.push_back(std::move(tile));
+    }
+    return TiledPanel<T>::from_tiles(rows, cols, std::move(tiles));
+  }
+
+  /// Restore one border panel; panels flagged as OOC-resident at save time
+  /// are re-spilled (falling back to in-core if the spill fails, exactly
+  /// like the factorization path).
+  void read_panel(serialize::Reader& in, TiledPanel<T>& panel,
+                  typename OocPanelStore<T>::Handle& h) {
+    const bool was_ooc = in.read_u8() != 0;
+    TiledPanel<T> p;
+    {
+      MemoryScope scope(MemTag::kMfBlrPanel);
+      p = read_panel_tiles(in);
+    }
+    h = {};
+    if (was_ooc && opt_.out_of_core && !p.empty()) {
+      if (!ooc_)
+        ooc_ = std::make_unique<OocPanelStore<T>>(opt_.ooc_dir,
+                                                  opt_.ooc_sync_on_spill);
+      h = spill_panel(p);
+    }
+    panel = std::move(p);
   }
 
   /// Load a spilled panel back, retrying transient I/O failures with the

@@ -21,6 +21,7 @@
 
 #include "common/error.h"
 #include "common/failpoint.h"
+#include "common/serialize.h"
 #include "sparsedirect/blr.h"
 
 namespace cs::sparsedirect {
@@ -85,6 +86,7 @@ class OocPanelStore {
     const auto& tiles = panel.tiles();
     const index_t header[3] = {panel.rows(), panel.cols(),
                                static_cast<index_t>(tiles.size())};
+    crc_ = 0;
     put(header, 3);
     for (const auto& tile : tiles) {
       const index_t th[4] = {tile.row0, tile.rows,
@@ -101,6 +103,10 @@ class OocPanelStore {
                                    tile.dense.cols());
       }
     }
+    // Per-panel CRC32C trailer over header + tiles: reload verifies the
+    // panel before handing factors back to the solve path.
+    const std::uint32_t crc = crc_;
+    put(&crc, 1);
     if (sync_on_spill_) {
       errno = 0;
       if (std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0)
@@ -123,6 +129,7 @@ class OocPanelStore {
     if (std::fseek(file_, h.offset, SEEK_SET) != 0)
       throw IoError("ooc.read", "OOC seek failed", errno);
     index_t header[3];
+    crc_ = 0;
     get(header, 3);
     const index_t rows = header[0], cols = header[1], ntiles = header[2];
     std::vector<PanelTile<T>> tiles;
@@ -146,6 +153,16 @@ class OocPanelStore {
       }
       tiles.push_back(std::move(tile));
     }
+    const std::uint32_t computed = crc_;
+    std::uint32_t stored = 0;
+    get(&stored, 1);
+    if (computed != stored || failpoint("ooc.corrupt"))
+      throw IoError("ooc.corrupt",
+                    "OOC panel checksum mismatch (stored " +
+                        std::to_string(stored) + ", computed " +
+                        std::to_string(computed) +
+                        ") -- spill file corrupted",
+                    EIO);
     panel = TiledPanel<T>::from_tiles(rows, cols, std::move(tiles));
     return panel;
   }
@@ -176,6 +193,7 @@ class OocPanelStore {
                               "/" + std::to_string(count) + " items)",
                     err);
     }
+    crc_ = serialize::crc32c(crc_, data, count * sizeof(U));
     bytes_ += count * sizeof(U);
   }
   template <class U>
@@ -189,11 +207,14 @@ class OocPanelStore {
                     "OOC short read (" + std::to_string(read) + "/" +
                         std::to_string(count) + " items)",
                     errno);
+    crc_ = serialize::crc32c(crc_, data, count * sizeof(U));
   }
 
   std::FILE* file_ = nullptr;
   std::size_t bytes_ = 0;
   bool sync_on_spill_ = false;
+  /// Running CRC32C of the panel being spilled/loaded; guarded by io_mu_.
+  mutable std::uint32_t crc_ = 0;
   /// Serializes the shared FILE* position across concurrent loads (and a
   /// late spill): fseek + fread pairs are not atomic on their own.
   mutable std::mutex io_mu_;

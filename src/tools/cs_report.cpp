@@ -95,8 +95,14 @@ void append_run_analysis(std::string& out, const json::Value& run,
   out += fmt("  rel error  : %.3e\n", dnum(stats->find("relative_error")));
 
   // Peak attribution: decompose the high-water mark by owning subsystem.
+  // Reports written before tagged accounting existed simply lack the
+  // field; print an explicit "-" rather than fail or silently omit.
   const std::size_t peak = bnum(stats->find("peak_bytes"));
   out += fmt("  peak       : %s\n", format_bytes(peak).c_str());
+  const json::Value* by_tag = stats->find("peak_by_tag");
+  if (by_tag == nullptr || !by_tag->is_object()) {
+    out += "  peak attribution: -\n";
+  }
   const auto rows = tag_rows(stats);
   if (!rows.empty()) {
     out += "  peak attribution:\n";
@@ -119,13 +125,36 @@ void append_run_analysis(std::string& out, const json::Value& run,
                format_bytes(tagged_sum).c_str(), coverage);
   }
 
-  // Planner audit for this run.
-  const std::size_t predicted = bnum(stats->find("planner_predicted_bytes"));
+  // Planner audit for this run.  A missing field (pre-planner report)
+  // prints "-"; a present-but-zero prediction stays silent as before.
+  const json::Value* predicted_v = stats->find("planner_predicted_bytes");
+  const std::size_t predicted = bnum(predicted_v);
   const double ratio = dnum(stats->find("planner_misprediction"));
-  if (predicted > 0)
+  if (predicted_v == nullptr)
+    out += "  planner    : -\n";
+  else if (predicted > 0)
     out += fmt("  planner    : predicted %s, measured %s  (x%.2f, %s)\n",
                format_bytes(predicted).c_str(), format_bytes(peak).c_str(),
                ratio, planner_verdict(ratio).c_str());
+
+  // Checkpoint provenance: where this handle's factors came from.
+  const json::Value* ckpt_src = stats->find("checkpoint_source");
+  if (ckpt_src != nullptr && ckpt_src->is_string() &&
+      !ckpt_src->string.empty()) {
+    const std::size_t ckpt_bytes = bnum(stats->find("checkpoint_bytes"));
+    out += fmt("  checkpoint : %s (%s)\n", ckpt_src->string.c_str(),
+               ckpt_bytes > 0 ? format_bytes(ckpt_bytes).c_str() : "-");
+  }
+  const json::Value* ckpt = stats->find("checkpoint");
+  if (ckpt != nullptr && ckpt->is_object()) {
+    const double save_s = dnum(ckpt->find("save_seconds"));
+    const double load_s = dnum(ckpt->find("load_seconds"));
+    const double speedup = dnum(ckpt->find("load_vs_factorize_speedup"));
+    out += fmt("  checkpoint : %s, save %.3f s, load %.3f s  (load %.1fx "
+               "faster than factorize)\n",
+               format_bytes(bnum(ckpt->find("bytes"))).c_str(), save_s,
+               load_s, speedup);
+  }
 
   // Hottest pipeline stages.
   const json::Value* stages = stats->find("stages");
@@ -144,6 +173,50 @@ void append_run_analysis(std::string& out, const json::Value& run,
   out += "\n";
 }
 
+/// Analysis of a flat bench_solve report (no "runs" array): the sweep
+/// table plus the checkpoint save/load timing section when present.
+std::string analyze_bench_report(const json::Value& report,
+                                 const ReportOptions&) {
+  std::string out;
+  out += fmt("== bench report: %s ==\n", sstr(report.find("binary")).c_str());
+  out += fmt("  strategy   : %s\n", sstr(report.find("strategy")).c_str());
+  out += fmt("  n          : %.0f  (fem %.0f, bem %.0f)\n",
+             dnum(report.find("n_total")), dnum(report.find("n_fem")),
+             dnum(report.find("n_bem")));
+  out += fmt("  factorize  : %.3f s\n",
+             dnum(report.find("factorize_seconds")));
+  const json::Value* ckpt = report.find("checkpoint");
+  if (ckpt != nullptr && ckpt->is_object()) {
+    const json::Value* ok = ckpt->find("ok");
+    const bool ckpt_ok = ok != nullptr && ok->is_bool() && ok->boolean;
+    out += fmt("  checkpoint : %s, save %.3f s, load %.3f s  (load %.1fx "
+               "faster than factorize)%s\n",
+               format_bytes(bnum(ckpt->find("bytes"))).c_str(),
+               dnum(ckpt->find("save_seconds")),
+               dnum(ckpt->find("load_seconds")),
+               dnum(ckpt->find("load_vs_factorize_speedup")),
+               ckpt_ok ? "" : "  FAILED");
+  } else {
+    out += "  checkpoint : -\n";
+  }
+  const json::Value* sweep = report.find("sweep");
+  if (sweep != nullptr && sweep->is_array() && !sweep->array.empty()) {
+    out += fmt("  %8s %10s %10s %16s %8s\n", "nrhs", "solve s", "solves/s",
+               "amortized s/rhs", "status");
+    for (const auto& p : sweep->array) {
+      out += fmt("  %8.0f %10.3f %10.1f %16.3f %8s\n",
+                 dnum(p.find("nrhs")), dnum(p.find("solve_seconds")),
+                 dnum(p.find("solves_per_sec")),
+                 dnum(p.find("amortized_seconds_per_rhs")),
+                 p.find("ok") != nullptr && p.find("ok")->is_bool() &&
+                         p.find("ok")->boolean
+                     ? "ok"
+                     : "FAILED");
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 json::Value load_report(const std::string& path) {
@@ -159,7 +232,13 @@ json::Value load_report(const std::string& path) {
   std::string err;
   if (!json::parse(text, &doc, &err))
     throw std::runtime_error("cs-report: " + path + " is not JSON: " + err);
-  if (doc.find("runs") == nullptr || !doc.find("runs")->is_array())
+  // Two accepted shapes: a RunReport ("runs" array) and the bench_solve
+  // flat report, recognizable by its "sweep" array.
+  const bool has_runs =
+      doc.find("runs") != nullptr && doc.find("runs")->is_array();
+  const bool has_sweep =
+      doc.find("sweep") != nullptr && doc.find("sweep")->is_array();
+  if (!has_runs && !has_sweep)
     throw std::runtime_error("cs-report: " + path +
                              " lacks a \"runs\" array (not a run report?)");
   return doc;
@@ -168,8 +247,12 @@ json::Value load_report(const std::string& path) {
 std::string analyze_report(const json::Value& report,
                            const ReportOptions& opts) {
   const json::Value* runs = report.find("runs");
-  if (runs == nullptr || !runs->is_array())
+  if (runs == nullptr || !runs->is_array()) {
+    const json::Value* sweep = report.find("sweep");
+    if (sweep != nullptr && sweep->is_array())
+      return analyze_bench_report(report, opts);
     throw std::runtime_error("cs-report: report lacks a \"runs\" array");
+  }
   std::string out;
   out += fmt("== report: %s (%zu runs) ==\n\n",
              sstr(report.find("binary")).c_str(), runs->array.size());
@@ -184,8 +267,16 @@ std::string analyze_report(const json::Value& report,
   for (const auto& run : runs->array) {
     const json::Value* stats = run_stats(run);
     if (stats == nullptr) continue;
-    const std::size_t predicted = bnum(stats->find("planner_predicted_bytes"));
+    const json::Value* predicted_v = stats->find("planner_predicted_bytes");
+    const std::size_t predicted = bnum(predicted_v);
     const std::size_t peak = bnum(stats->find("peak_bytes"));
+    if (predicted_v == nullptr &&
+        stats->find("planner_misprediction") == nullptr) {
+      // Pre-planner report: the run never carried an audit.
+      out += fmt("  %-34s %12s %12s %7s  %s\n", run_key(run).c_str(), "-",
+                 format_bytes(peak).c_str(), "-", "-");
+      continue;
+    }
     const double ratio = dnum(stats->find("planner_misprediction"));
     out += fmt("  %-34s %12s %12s %7.2f  %s\n", run_key(run).c_str(),
                predicted > 0 ? format_bytes(predicted).c_str() : "-",

@@ -75,6 +75,23 @@ TEST(CsReport, DiffListsUnmatchedRuns) {
             std::string::npos);
 }
 
+TEST(CsReport, ToleratesPrePlannerReportsWithDashMarkers) {
+  // Reports written before PR 7 carry neither peak_by_tag nor the planner
+  // audit fields; the analyzer must not throw and must print explicit "-"
+  // markers instead of fabricated zeros.
+  const json::Value report =
+      tools::load_report(data_path("stripped_report.json"));
+  std::string out;
+  ASSERT_NO_THROW(out = tools::analyze_report(report));
+  EXPECT_NE(out.find("peak attribution: -"), std::string::npos);
+  EXPECT_NE(out.find("planner    : -"), std::string::npos);
+  // The cross-run audit row shows dashes in the ratio and verdict
+  // columns, and never invents a 0.00 ratio or an n/a verdict.
+  EXPECT_NE(out.find("      -  -"), std::string::npos);
+  EXPECT_EQ(out.find(" 0.00  "), std::string::npos);
+  EXPECT_EQ(out.find("n/a"), std::string::npos);
+}
+
 TEST(CsReport, LoadRejectsMissingAndMalformedFiles) {
   EXPECT_THROW(tools::load_report(data_path("does_not_exist.json")),
                std::runtime_error);

@@ -1,8 +1,17 @@
 // Tests for the out-of-core factor storage: solves must be identical to
-// in-core ones while the in-core factor footprint collapses.
+// in-core ones while the in-core factor footprint collapses, and every
+// panel byte streamed back from disk is checksum-verified.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/failpoint.h"
 #include "common/random.h"
+#include "common/serialize.h"
 #include "sparsedirect/multifrontal.h"
 #include "sparsedirect/ooc.h"
 
@@ -141,6 +150,107 @@ TEST(Ooc, WorksCombinedWithBlrAndSchur) {
   b(0, 0) = 1.0;
   mf.solve(b.view());
   EXPECT_TRUE(std::isfinite(b(0, 0)));
+}
+
+TEST(OocStore, CorruptPanelChecksumIsDetectedOnLoad) {
+  Rng rng(3);
+  Matrix<double> P(80, 24);
+  for (index_t j = 0; j < 24; ++j)
+    for (index_t i = 0; i < 80; ++i) P(i, j) = rng.uniform(-1, 1);
+  OocPanelStore<double> store;
+  auto handle = store.spill(TiledPanel<double>::from_dense(
+      la::ConstMatrixView<double>(P.view()), false, 0, 0, 0, nullptr,
+      nullptr));
+  ASSERT_TRUE(handle.valid());
+  // A clean load passes the per-panel CRC32C trailer check...
+  EXPECT_EQ(store.load(handle).rows(), 80);
+  // ...and an injected corruption surfaces at the ooc.corrupt site, before
+  // the panel can reach the solve path.
+  ScopedFailpoints fp("ooc.corrupt=once");
+  try {
+    store.load(handle);
+    FAIL() << "corrupt panel must throw";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.site(), "ooc.corrupt");
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos);
+  }
+}
+
+TEST(Ooc, SyncOnSpillStoreSurvivesCheckpointFsyncFailure) {
+  // sync_on_spill makes every spill durable on its own; a later
+  // *checkpoint* fsync failure must neither corrupt the live spill store
+  // nor block a clean retry of the save.
+  auto A = laplacian3d(10);
+  const index_t n = A.rows();
+  MultifrontalSolver<double> mf;
+  SolverOptions opt;
+  opt.out_of_core = true;
+  opt.ooc_sync_on_spill = true;
+  mf.factorize(A, opt);
+
+  Matrix<double> B(n, 2);
+  Rng rng(7);
+  for (index_t j = 0; j < 2; ++j)
+    for (index_t i = 0; i < n; ++i) B(i, j) = rng.uniform(-1, 1);
+  Matrix<double> X_ref = B;
+  mf.solve(X_ref.view());
+
+  const std::string path = ::testing::TempDir() + "cs_ooc_ckpt.bin";
+  {
+    // The save streams OOC panels through the writer, then the commit
+    // record's fsync fails: the checkpoint is torn, the store is not.
+    ScopedFailpoints fp("ckpt.fsync=once");
+    serialize::Writer w(path);
+    w.begin_section("mf");
+    mf.save(w);
+    w.end_section();
+    EXPECT_THROW(w.commit(), IoError);
+  }
+  Matrix<double> X_after = B;
+  mf.solve(X_after.view());
+  EXPECT_LT(rel_diff<double>(X_after.view(), X_ref.view()), 1e-15);
+
+  // Retry without the injection: the round trip restores a solver whose
+  // factors live back out of core and solve identically.
+  {
+    serialize::Writer w(path);
+    w.begin_section("mf");
+    mf.save(w);
+    w.end_section();
+    EXPECT_GT(w.commit(), 0u);
+  }
+  serialize::Reader in(path);
+  in.open_section("mf");
+  MultifrontalSolver<double> restored;
+  restored.load(in);
+  EXPECT_GT(restored.stats().ooc_bytes, 0u);
+  Matrix<double> X_restored = B;
+  restored.solve(X_restored.view());
+  EXPECT_LT(rel_diff<double>(X_restored.view(), X_ref.view()), 1e-15);
+  std::remove(path.c_str());
+}
+
+TEST(Ooc, CheckpointEnospcCarriesTheSpillPathPhrasing) {
+  // Writing a checkpoint to a full device must fail with the same
+  // actionable "device is full" message the OOC spill path uses, flagged
+  // non-transient (retrying will not help).
+  if (!std::ifstream("/dev/full").good())
+    GTEST_SKIP() << "/dev/full not available";
+  try {
+    serialize::Writer w("/dev/full");
+    w.begin_section("blob");
+    std::vector<char> big(1 << 22, 'x');
+    w.write_bytes(big.data(), big.size());
+    w.end_section();
+    w.commit();
+    FAIL() << "writing 4 MiB to /dev/full must report ENOSPC";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.site(), "ckpt.write");
+    EXPECT_FALSE(e.transient());
+    EXPECT_NE(std::string(e.what()).find("device is full (short write"),
+              std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(Ooc, UnsymmetricLuPath) {
