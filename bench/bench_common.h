@@ -126,7 +126,10 @@ class Observability {
                  trace_path_);
       tracer.set_enabled(false);
     }
-    if (!report_path_.empty()) {
+    // Drivers with a bespoke flat report shape (bench_solve, bench_sweep)
+    // write --report themselves and never add() runs; an empty RunReport
+    // must not clobber their file.
+    if (!report_path_.empty() && report_.size() > 0) {
       if (report_.write(report_path_))
         log_info("report: wrote ", report_.size(), " runs to ",
                  report_path_);

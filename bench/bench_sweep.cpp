@@ -1,0 +1,215 @@
+// Frequency-sweep driver: solves one coupled scene at k frequencies twice
+// — naively (every frequency an independent factorize + solve) and with
+// the recycling SweepDriver (shared symbolic analysis / cluster tree /
+// block skeleton, ACA rank warm starts, frequency-lagged refinement) —
+// and reports seconds-per-frequency, factorizations actually performed
+// and the ACA cross-product counts for both. The "many frequencies, few
+// factorizations" claim is the whole point: the recycled sweep must do
+// measurably less work per frequency at the same accuracy. --report
+// writes both sweeps' per-frequency JSON; CI asserts recycled wall-clock
+// < 0.6x naive and factorizations < k on it.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/json.h"
+#include "coupled/sweep.h"
+#include "fembem/shifted.h"
+
+using namespace cs;
+using coupled::Config;
+using coupled::Strategy;
+using coupled::SweepOptions;
+using coupled::SweepStats;
+
+namespace {
+
+Strategy strategy_by_name(const std::string& name) {
+  for (Strategy s :
+       {Strategy::kBaselineCoupling, Strategy::kAdvancedCoupling,
+        Strategy::kMultiSolve, Strategy::kMultiSolveCompressed,
+        Strategy::kMultiFactorization,
+        Strategy::kMultiFactorizationCompressed,
+        Strategy::kMultiSolveRandomized}) {
+    if (name == coupled::strategy_name(s)) return s;
+  }
+  std::fprintf(stderr, "unknown --strategy '%s' (see --help)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+double counter_sum(const SweepStats& sw, const char* name) {
+  double total = 0;
+  for (const auto& f : sw.freqs) {
+    auto it = f.counters.find(name);
+    if (it != f.counters.end()) total += it->second;
+  }
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  args.describe("n", "total unknowns of the scene (default 6000)");
+  args.describe("freqs",
+                "frequencies: start:stop:step or comma list "
+                "(default 1.1:1.275:0.025, 8 points)");
+  args.describe("strategy",
+                "coupling strategy name (default multi-solve-compressed)");
+  args.describe("scatterers", "extra detached BEM shells (default 1)");
+  args.describe("eps", "low-rank accuracy (default 1e-4)");
+  args.describe("tol", "refinement tolerance (default 1e-8)");
+  args.describe("lagged-sweeps",
+                "refinement-sweep floor for lagged solves (default 40; "
+                "sweeps are ~10x cheaper than a refactorization)");
+  args.describe("no-lagged", "disable tier-3 frequency-lagged refinement");
+  bench::describe_threads(args);
+  bench::describe_precision(args);
+  bench::Observability::describe(args);
+  args.check(
+      "Frequency sweep with factorization recycling vs the naive sweep: "
+      "amortizes symbolic analysis, cluster trees, ACA ranks and (via "
+      "frequency-lagged refinement) whole factorizations across the "
+      "shifted operators A(omega) = K + (sigma - omega^2) M.");
+  bench::Observability obs(args, "bench_sweep");
+
+  fembem::SweepParams sp;
+  sp.total_unknowns = static_cast<index_t>(args.get_int("n", 6000));
+  sp.scatterers = static_cast<index_t>(args.get_int("scatterers", 1));
+  // A frequency-response-style fine grid: the lagged contraction rate
+  // scales with |omega^2 - omega'^2|, so closely spaced frequencies are
+  // exactly where tier 3 pays (EXPERIMENTS.md).
+  const std::vector<double> omegas = args.get_range(
+      "freqs", {1.1, 1.125, 1.15, 1.175, 1.2, 1.225, 1.25, 1.275});
+
+  Config cfg;
+  cfg.strategy = strategy_by_name(args.get(
+      "strategy", coupled::strategy_name(Strategy::kMultiSolveCompressed)));
+  cfg.eps = args.get_double("eps", 1e-4);
+  cfg.refine_tolerance = args.get_double("tol", 1e-8);
+  cfg.refine_iterations = 4;
+  bench::apply_threads(args, cfg);
+  bench::apply_precision(args, cfg);
+
+  log_info("[sweep] building scene: N=", sp.total_unknowns, ", ",
+           omegas.size(), " frequencies, strategy ",
+           coupled::strategy_name(cfg.strategy));
+  fembem::SweepFamily<double> family(sp);
+  log_info("[sweep] scene: nv=", family.nv(), " ns=", family.ns());
+
+  auto run_mode = [&](bool recycle) {
+    SweepOptions opt;
+    opt.config = cfg;
+    opt.recycle = recycle;
+    opt.lagged_refinement = recycle && !args.get_bool("no-lagged", false);
+    opt.lagged_refine_iterations =
+        static_cast<int>(args.get_int("lagged-sweeps", 40));
+    coupled::SweepDriver<double> driver(family, opt);
+    log_info("[sweep] ", recycle ? "recycled" : "naive", " sweep ...");
+    SweepStats sw = driver.run(omegas);
+    log_info("[sweep]   -> ", sw.success ? "ok" : sw.failure.c_str(), ", ",
+             TablePrinter::fmt(sw.total_seconds, 2), " s total, ",
+             sw.factorizations, " factorizations, ", sw.lagged_solves,
+             " lagged solves");
+    return sw;
+  };
+
+  const SweepStats naive = run_mode(false);
+  const SweepStats recycled = run_mode(true);
+
+  TablePrinter table({"mode", "s/freq", "total s", "factorizations",
+                      "lagged", "aca crosses", "worst rel err"});
+  auto add_mode = [&](const char* mode, const SweepStats& sw) {
+    double worst = 0;
+    for (const auto& f : sw.freqs)
+      worst = std::max(worst, f.relative_error);
+    table.add_row({mode, TablePrinter::fmt(sw.seconds_per_frequency, 3),
+                   TablePrinter::fmt(sw.total_seconds, 2),
+                   TablePrinter::fmt_int(sw.factorizations),
+                   TablePrinter::fmt_int(sw.lagged_solves),
+                   TablePrinter::fmt_int(static_cast<long long>(
+                       counter_sum(sw, "aca.iterations"))),
+                   bench::sci(worst)});
+  };
+  add_mode("naive", naive);
+  add_mode("recycled", recycled);
+  std::printf("\nfrequency sweep, %zu points, %s, N=%lld\n", omegas.size(),
+              coupled::strategy_name(cfg.strategy),
+              static_cast<long long>(sp.total_unknowns));
+  table.print();
+
+  // Per-frequency detail of the recycled sweep: which tier served each
+  // frequency, and the refinement effort it took.
+  std::printf("\nrecycled sweep per frequency:\n");
+  std::printf("  %8s %10s %14s %8s %12s\n", "omega", "s", "served by",
+              "sweeps", "rel err");
+  for (const auto& f : recycled.freqs)
+    std::printf("  %8.3f %10.3f %14s %8d %12.2e\n", f.omega, f.seconds,
+                f.lagged ? "lagged" : "refactorized", f.refine_sweeps,
+                f.relative_error);
+
+  const double speedup = recycled.total_seconds > 0
+                             ? naive.total_seconds / recycled.total_seconds
+                             : 0.0;
+  std::printf("\nrecycled vs naive: %.2fx faster, %d vs %d factorizations, "
+              "%lld vs %lld ACA crosses\n",
+              speedup, recycled.factorizations, naive.factorizations,
+              static_cast<long long>(counter_sum(recycled,
+                                                 "aca.iterations")),
+              static_cast<long long>(counter_sum(naive, "aca.iterations")));
+
+  // Self-validation: the sweep exists to amortize; if the recycled sweep
+  // did not save at least one factorization at equal accuracy the
+  // recycling machinery regressed.
+  bool valid = naive.success && recycled.success;
+  if (valid && recycled.factorizations >= static_cast<int>(omegas.size())) {
+    std::fprintf(stderr,
+                 "VALIDATION: recycled sweep refactorized at every "
+                 "frequency (no lagged service)\n");
+    valid = false;
+  }
+  double worst_recycled = 0;
+  for (const auto& f : recycled.freqs)
+    worst_recycled = std::max(worst_recycled, f.relative_error);
+  if (valid && cfg.refine_tolerance > 0 &&
+      worst_recycled > 100 * cfg.refine_tolerance) {
+    std::fprintf(stderr,
+                 "VALIDATION: recycled relative error %.2e far above the "
+                 "refinement tolerance %.2e\n",
+                 worst_recycled, cfg.refine_tolerance);
+    valid = false;
+  }
+  if (!valid) ++bench::unexpected_failures();
+
+  // Flat report: both sweeps side by side, distinguishable from the
+  // RunReport shape by the "freq_sweep" key (cs-report renders it).
+  const std::string report_path = args.get("report", "");
+  if (!report_path.empty()) {
+    std::string out = "{\"binary\":\"bench_sweep\"";
+    out += ",\"strategy\":\"" +
+           std::string(coupled::strategy_name(cfg.strategy)) + "\"";
+    out += ",\"n_total\":" + std::to_string(family.total());
+    out += ",\"n_fem\":" + std::to_string(family.nv());
+    out += ",\"n_bem\":" + std::to_string(family.ns());
+    out += ",\"frequencies\":" + std::to_string(omegas.size());
+    out += ",\"speedup_recycled_vs_naive\":" + json::number(speedup);
+    out += ",\"freq_sweep\":[";
+    out += "{\"mode\":\"naive\",\"stats\":" +
+           coupled::sweep_stats_json(naive) + "},";
+    out += "{\"mode\":\"recycled\",\"stats\":" +
+           coupled::sweep_stats_json(recycled) + "}";
+    out += "]}\n";
+    std::FILE* f = std::fopen(report_path.c_str(), "w");
+    if (f != nullptr) {
+      std::fwrite(out.data(), 1, out.size(), f);
+      std::fclose(f);
+      log_info("report: wrote sweep report to ", report_path);
+    } else {
+      log_warn("report: cannot open ", report_path, " for writing");
+    }
+  }
+  obs.finish();
+  return bench::exit_status();
+}

@@ -1,5 +1,6 @@
 #include "common/cli.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
@@ -75,6 +76,54 @@ double CliArgs::get_double(const std::string& name, double fallback) const {
   } catch (const std::exception&) {
     bad_value(name, it->second, "a number");
   }
+}
+
+std::vector<double> CliArgs::get_range(
+    const std::string& name, const std::vector<double>& fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string& value = it->second;
+  const char* kind = "a range start:stop:step or a comma list";
+
+  // One number token of the value; the whole token must parse.
+  auto parse_num = [&](const std::string& tok) -> double {
+    try {
+      std::size_t used = 0;
+      const double v = std::stod(tok, &used);
+      if (used != tok.size() || tok.empty()) bad_value(name, value, kind);
+      return v;
+    } catch (const std::exception&) {
+      bad_value(name, value, kind);
+    }
+  };
+  auto split = [&](char sep) {
+    std::vector<std::string> toks;
+    std::size_t pos = 0;
+    while (true) {
+      const std::size_t next = value.find(sep, pos);
+      toks.push_back(value.substr(pos, next - pos));
+      if (next == std::string::npos) break;
+      pos = next + 1;
+    }
+    return toks;
+  };
+
+  if (value.find(':') != std::string::npos) {
+    const auto toks = split(':');
+    if (toks.size() != 3) bad_value(name, value, kind);
+    const double start = parse_num(toks[0]);
+    const double stop = parse_num(toks[1]);
+    const double step = parse_num(toks[2]);
+    if (!(step > 0) || stop < start) bad_value(name, value, kind);
+    std::vector<double> out;
+    // Half-a-step slack so "100:1000:50" includes 1000 despite rounding.
+    for (double v = start; v <= stop + step * 0.5; v += step)
+      out.push_back(std::min(v, stop));
+    return out;
+  }
+  std::vector<double> out;
+  for (const auto& tok : split(',')) out.push_back(parse_num(tok));
+  return out;
 }
 
 bool CliArgs::get_bool(const std::string& name, bool fallback) const {

@@ -5,6 +5,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 namespace cs {
 
@@ -17,6 +18,13 @@ class CliArgs {
   long long get_int(const std::string& name, long long fallback) const;
   double get_double(const std::string& name, double fallback) const;
   bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Numeric list value: either an inclusive range "start:stop:step"
+  /// (step > 0, start <= stop; e.g. --freqs 100:1000:50 expands to 100,
+  /// 150, ..., 1000) or an explicit comma list "1.5,2,8". Malformed
+  /// values exit(2) naming the flag, like get_int/get_double.
+  std::vector<double> get_range(const std::string& name,
+                                const std::vector<double>& fallback) const;
 
   /// Register a known flag with help text; call before parse_check().
   void describe(const std::string& name, const std::string& help);

@@ -432,6 +432,12 @@ const char* metric_name(Metric m) {
     case Metric::kOocInCoreFallbacks: return "ooc.incore_fallbacks";
     case Metric::kRefineStalls: return "refine.stalls";
     case Metric::kPrecisionEscalations: return "precision.escalations";
+    case Metric::kAcaIterations: return "aca.iterations";
+    case Metric::kAcaRankHintHits: return "aca.rank_hint_hits";
+    case Metric::kAcaRankHintMisses: return "aca.rank_hint_misses";
+    case Metric::kSparseAnalysisReuses: return "mf.analysis_reuses";
+    case Metric::kHmatStructureReuses: return "hmat.structure_reuses";
+    case Metric::kLaggedSolves: return "sweep.lagged_solves";
     case Metric::kCount: break;
   }
   return "?";
@@ -447,6 +453,24 @@ std::map<std::string, double> Metrics::snapshot() const {
   for (int m = 0; m < static_cast<int>(Metric::kCount); ++m) {
     const double v = get(static_cast<Metric>(m));
     if (v != 0.0) out[metric_name(static_cast<Metric>(m))] = v;
+  }
+  return out;
+}
+
+std::map<std::string, double> Metrics::delta_since(
+    const Values& before) const {
+  std::map<std::string, double> out;
+  for (int i = 0; i < static_cast<int>(Metric::kCount); ++i) {
+    const Metric m = static_cast<Metric>(i);
+    const double now = get(m);
+    const double base = before[static_cast<std::size_t>(i)];
+    if (is_high_water(m)) {
+      // A high-water mark that advanced during the run belongs to it; one
+      // that did not is stale history and is omitted.
+      if (now > base) out[metric_name(m)] = now;
+    } else if (now != base) {
+      out[metric_name(m)] = now - base;
+    }
   }
   return out;
 }

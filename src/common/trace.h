@@ -245,8 +245,11 @@ std::string validate_chrome_trace(const std::string& json_text);
 
 /// Scalar counters summarizing one solve, collected whether or not tracing
 /// is enabled (plain atomics; the cost is negligible against the work they
-/// count). solve_coupled() resets them on entry and snapshots them into
-/// SolveStats::counters on exit.
+/// count). The counters are process-cumulative; a run that wants per-run
+/// figures takes a values() snapshot on entry and reports delta_since() on
+/// exit (what solve_coupled and FactoredCoupled::solve do for
+/// SolveStats::counters), so several solves in one process — a frequency
+/// sweep, a bench driver — each carry their own numbers.
 enum class Metric : int {
   kPanelsProduced = 0,       ///< multi-solve pipeline panels built
   kPanelsFolded,             ///< panels folded into the Schur accumulator
@@ -266,6 +269,13 @@ enum class Metric : int {
   kOocInCoreFallbacks,       ///< OOC spills abandoned; panel kept in core
   kRefineStalls,             ///< refinement plateaus under single factors
   kPrecisionEscalations,     ///< single -> double factor re-factorizations
+  kAcaIterations,            ///< ACA cross products built (adaptive steps)
+  kAcaRankHintHits,          ///< warm-started ACA converged under the hint
+  kAcaRankHintMisses,        ///< hinted cap bound; ACA re-ran at full cap
+  kSparseAnalysisReuses,     ///< multifrontal factorizations on a reused
+                             ///< symbolic analysis
+  kHmatStructureReuses,      ///< H-matrix assemblies on a reused skeleton
+  kLaggedSolves,             ///< frequency-lagged solve attempts (sweep)
   kCount
 };
 
@@ -302,6 +312,32 @@ class Metrics {
 
   /// Non-zero counters by name (the SolveStats summary).
   std::map<std::string, double> snapshot() const;
+
+  /// Raw values of every counter (zeros included) — the "before" snapshot
+  /// of a per-run delta.
+  using Values =
+      std::array<double, static_cast<std::size_t>(Metric::kCount)>;
+  Values values() const {
+    Values out{};
+    for (std::size_t i = 0; i < out.size(); ++i)
+      out[i] = values_[i].load(std::memory_order_relaxed);
+    return out;
+  }
+
+  /// True for high-water metrics recorded with observe_max rather than
+  /// add: their per-run figure is the current value (when it advanced
+  /// past the snapshot), not a difference.
+  static bool is_high_water(Metric m) {
+    return m == Metric::kRecompressRankMax;
+  }
+
+  /// Per-run counters since `before` (a values() snapshot taken at run
+  /// start): additive counters report the difference, high-water metrics
+  /// their current value when it advanced; zero deltas are omitted.
+  /// Concurrent runs in other threads smear into each other's deltas —
+  /// the same caveat the global counters always had, now bounded to the
+  /// overlap window instead of the whole process lifetime.
+  std::map<std::string, double> delta_since(const Values& before) const;
 
  private:
   Metrics() = default;

@@ -16,6 +16,7 @@
 #include "common/random.h"
 #include "common/trace.h"
 #include "coupled/planner.h"
+#include "coupled/sweep.h"
 #include "dense/dense_solver.h"
 #include "hmat/hmatrix.h"
 #include "sparsedirect/multifrontal.h"
@@ -102,7 +103,10 @@ struct FactoredImpl {
   SolveStats fstats;  ///< factorization-run stats (nrhs == 0)
   bool ok = false;
 
-  std::optional<hmat::ClusterTree> tree;
+  /// Shared (not owned exclusively) when a sweep's SweepContext handed
+  /// out its cached tree: the handle must survive the context and vice
+  /// versa, and a const tree is safely shared between both.
+  std::shared_ptr<const hmat::ClusterTree> tree;
   sparse::Csr<T> A_sv_tree;  ///< coupling rows permuted to tree order
 
   /// Exactly one precision bank holds the factors: the input-precision
@@ -240,7 +244,10 @@ struct Run {
   const Degrade& deg;
   SolveStats& stats;
   detail::FactoredImpl<T>& out;
-  ClusterTree tree;            // surface dof clustering
+  SweepContext* sweep;         // cross-frequency reuse (may be null)
+  // Surface dof clustering; shared with the SweepContext when sweeping
+  // (declared after `sweep` so the ctor init list can consult it).
+  std::shared_ptr<const ClusterTree> tree;
   sparse::Csr<T> A_sv_tree;    // coupling rows in tree order (input scalar)
 
   // Factor-precision operator views. When ST == T these point straight at
@@ -253,18 +260,21 @@ struct Run {
   PermutedGenerator<ST> gen_tree;
 
   Run(const CoupledSystem<T>& s, const Config& c, const Degrade& d,
-      SolveStats& st, detail::FactoredImpl<T>& o)
+      SolveStats& st, detail::FactoredImpl<T>& o, SweepContext* sw)
       : sys(s),
         cfg(c),
         deg(d),
         stats(st),
         out(o),
-        tree(s.surface_points(), c.hmat_leaf),
+        sweep(sw),
+        tree(sw ? sw->acquire_tree(s.surface_points(), c.hmat_leaf)
+                : std::make_shared<const ClusterTree>(s.surface_points(),
+                                                      c.hmat_leaf)),
         cast_ss(make_cast(s)),
-        gen_tree(base_gen(s, cast_ss), tree.original_of_tree()) {
+        gen_tree(base_gen(s, cast_ss), tree->original_of_tree()) {
     // Permute the coupling rows once.
     MemoryScope scope(MemTag::kCouplingBlock);
-    const auto& perm = tree.tree_of_original();
+    const auto& perm = tree->tree_of_original();
     sparse::Triplets<T> trip(sys.ns(), sys.nv());
     for (index_t r = 0; r < sys.A_sv.rows(); ++r)
       for (offset_t k = sys.A_sv.row_begin(r); k < sys.A_sv.row_end(r); ++k)
@@ -330,12 +340,34 @@ struct Run {
   /// Sparse factorization with the failure classified at the site: an
   /// unpivoted-LDLT zero pivot is a recoverable kNumericalBreakdown (the
   /// driver retries with LU); an LU zero pivot means the matrix really is
-  /// singular.
+  /// singular. When sweeping, `sweep_key` names this block's symbolic
+  /// analysis in the SweepContext: a stored analysis that still matches
+  /// the matrix/options (pattern identity is guaranteed by the shifted
+  /// family; factorize_with re-validates anyway) replaces the analysis
+  /// phase, and a cold factorization exports its analysis for the next
+  /// frequency. A validation mismatch — e.g. a degraded retry that
+  /// flipped LDLT to LU — silently falls back to cold analysis.
   void factorize_sparse(MultifrontalSolver<ST>& mf, const sparse::Csr<ST>& A,
-                        bool symmetric, index_t schur_size) const {
+                        bool symmetric, index_t schur_size,
+                        const char* sweep_key = nullptr) const {
     const SolverOptions so = sparse_options(symmetric, schur_size);
     try {
-      mf.factorize(A, so);
+      bool reused = false;
+      if (sweep && sweep_key) {
+        if (const auto* a = sweep->find_analysis(sweep_key)) {
+          try {
+            mf.factorize_with(A, so, *a);
+            reused = true;
+          } catch (const std::invalid_argument&) {
+            // stale analysis (reshaped problem): re-analyze below
+          }
+        }
+      }
+      if (!reused) {
+        mf.factorize(A, so);
+        if (sweep && sweep_key)
+          sweep->store_analysis(sweep_key, mf.export_analysis());
+      }
     } catch (const la::SingularMatrix& e) {
       throw ClassifiedError(so.symmetric ? ErrorCode::kNumericalBreakdown
                                          : ErrorCode::kSingular,
@@ -348,6 +380,17 @@ struct Run {
     ho.eps = cfg.eps;
     ho.eta = cfg.eta;
     return ho;
+  }
+
+  /// Assemble the compressed Schur base S_0 = A_ss (tree order), reusing
+  /// the sweep's recorded block skeleton and per-leaf rank hints when one
+  /// is available. The skeleton is scalar-independent, so a
+  /// precision-escalated retry keeps reusing it.
+  HMatrix<ST> assemble_schur_base() const {
+    if (sweep)
+      return HMatrix<ST>::assemble(*tree, *tree, gen_ss(), h_options(),
+                                   sweep->skeleton("schur"));
+    return HMatrix<ST>::assemble(*tree, *tree, gen_ss(), h_options());
   }
 
  private:
@@ -371,6 +414,21 @@ struct Run {
   }
 };
 
+/// Frequency-lagged mode for solve_batch (FactoredCoupled::solve_lagged):
+/// the factors belong to a *neighboring* operator of the same family, and
+/// iterative refinement against `residual_sys` — the operator actually
+/// being solved — is what turns the lagged direct solve into an exact
+/// answer. Refinement is mandatory and *strict*: a stall or running out of
+/// sweeps above tolerance throws at site "refine.stall" regardless of
+/// factor precision, because the caller has a better option (factorize the
+/// target afresh).
+template <class T>
+struct BatchOverride {
+  const CoupledSystem<T>* residual_sys = nullptr;
+  int refine_iterations = 0;
+  double refine_tolerance = 0;
+};
+
 /// Common solution sequence (paper eq. (7)), generalized to an nrhs-column
 /// block: forms the reduced right-hand side, solves the Schur system,
 /// back-substitutes and optionally refines — all on blocks. On entry
@@ -382,8 +440,9 @@ struct Run {
 /// thread count.
 template <class T>
 void solve_batch(const detail::FactoredImpl<T>& f, MatrixView<T> B_v,
-                 MatrixView<T> B_s, SolveStats& stats) {
-  const CoupledSystem<T>& sys = *f.sys;
+                 MatrixView<T> B_s, SolveStats& stats,
+                 const BatchOverride<T>* ov = nullptr) {
+  const CoupledSystem<T>& sys = ov ? *ov->residual_sys : *f.sys;
   const index_t nv = sys.nv();
   const index_t ns = sys.ns();
   const index_t nrhs = B_v.cols();
@@ -397,10 +456,16 @@ void solve_batch(const detail::FactoredImpl<T>& f, MatrixView<T> B_v,
   const auto& perm = f.tree->tree_of_original();
   const auto& orig = f.tree->original_of_tree();
 
+  const int refine_its =
+      ov ? ov->refine_iterations : f.cfg.refine_iterations;
+  const double refine_tol =
+      ov ? ov->refine_tolerance : f.cfg.refine_tolerance;
+  const bool strict = ov != nullptr;  // lagged mode: must reach tolerance
+
   // Refinement re-applies the exact operator against the original
   // right-hand side after B_v/B_s have been overwritten with the solution.
   Matrix<T> Bv0, Bs0;
-  if (f.cfg.refine_iterations > 0) {
+  if (refine_its > 0) {
     Bv0 = Matrix<T>(nv, nrhs);
     Bs0 = Matrix<T>(ns, nrhs);
     Bv0.view().copy_from(la::ConstMatrixView<T>(B_v));
@@ -465,8 +530,9 @@ void solve_batch(const detail::FactoredImpl<T>& f, MatrixView<T> B_v,
   // recovery, so a plateau (or a non-finite residual) is thrown as a
   // recoverable numerical breakdown at site "refine.stall".
   double prev_worst = std::numeric_limits<double>::infinity();
-  const double stall_floor = std::max(f.cfg.refine_tolerance, 1e-9);
-  for (int it = 0; it < f.cfg.refine_iterations; ++it) {
+  const double stall_floor = std::max(refine_tol, 1e-9);
+  bool converged = false;
+  for (int it = 0; it < refine_its; ++it) {
     StageScope stage(stats.stages, "solution.refine");
     stage.span()
         .arg("sweep", static_cast<long long>(it))
@@ -508,25 +574,38 @@ void solve_batch(const detail::FactoredImpl<T>& f, MatrixView<T> B_v,
     // Converged: every column meets the requested tolerance, skip the
     // remaining sweeps (refine_tolerance == 0 keeps the historical
     // fixed-sweep behavior).
-    if (f.cfg.refine_tolerance > 0 && worst <= f.cfg.refine_tolerance)
+    if (refine_tol > 0 && worst <= refine_tol) {
+      converged = true;
       break;
+    }
 
     // Stalled: non-finite residual, or — past the first correction — a
     // contraction factor below 2x while still above the accuracy the
-    // factors should support. Only the mixed-precision path throws (the
-    // recovery is to re-factorize in double); a full-precision plateau has
-    // no better factorization to escalate to. The failpoint forces the
-    // stall deterministically for the resilience tests.
+    // factors should support. The mixed-precision path throws (the
+    // recovery is to re-factorize in double), and so does the strict
+    // lagged mode (the recovery is to factorize the target operator
+    // afresh); a full-precision plateau on matching factors has no better
+    // factorization to escalate to. The failpoint forces the stall
+    // deterministically for the resilience tests.
+    // The contraction bar differs by mode: mixed precision demands 2x per
+    // sweep (a float-factor plateau sits far above tolerance and double
+    // factors are one retry away), but frequency-lagged factors contract
+    // at ~||A(w)^-1 (A(w') - A(w))||, legitimately slow for wider
+    // frequency steps — only near-stagnation proves they cannot deliver.
+    const double contraction_bar = strict && !f.single ? 0.9 : 0.5;
     bool stalled = !std::isfinite(worst);
-    if (f.single && it >= 2 && worst > stall_floor && worst > 0.5 * prev_worst)
+    if ((f.single || strict) && it >= 2 && worst > stall_floor &&
+        worst > contraction_bar * prev_worst)
       stalled = true;
     if (failpoint("refine.stall")) stalled = true;
-    if (stalled && f.single) {
+    if (stalled && (f.single || strict)) {
       Metrics::instance().add(Metric::kRefineStalls, 1);
       throw ClassifiedError(
           ErrorCode::kNumericalBreakdown, "refine.stall",
           "iterative refinement stalled at relative residual " +
-              std::to_string(worst) + " with single-precision factors");
+              std::to_string(worst) +
+              (strict ? " with frequency-lagged factors"
+                      : " with single-precision factors"));
     }
     prev_worst = worst;
 
@@ -553,6 +632,17 @@ void solve_batch(const detail::FactoredImpl<T>& f, MatrixView<T> B_v,
         B_s(orig[static_cast<std::size_t>(p)], j) += dt(p, j);
     }
     stats.refine_sweeps = it + 1;
+  }
+  // Strict mode must *demonstrate* convergence: the loop ending with
+  // corrections still pending above tolerance means the lagged factors
+  // cannot deliver the requested accuracy at this frequency.
+  if (strict && !converged) {
+    Metrics::instance().add(Metric::kRefineStalls, 1);
+    throw ClassifiedError(
+        ErrorCode::kNumericalBreakdown, "refine.stall",
+        "frequency-lagged refinement did not reach tolerance " +
+            std::to_string(refine_tol) + " within " +
+            std::to_string(refine_its) + " sweeps");
   }
 }
 
@@ -608,7 +698,7 @@ void run_multisolve(Run<T, ST>& run, bool blocked, bool compressed) {
   {
     ScopedPhase phase(stats.phases, "sparse_factorization");
     TraceSpan span("phase", "sparse_factorization");
-    run.factorize_sparse(mf, *run.A_vv_st, true, 0);
+    run.factorize_sparse(mf, *run.A_vv_st, true, 0, "vv");
   }
   stats.sparse_factor_bytes = mf.factor_bytes();
 
@@ -665,8 +755,7 @@ void run_multisolve(Run<T, ST>& run, bool blocked, bool compressed) {
       TraceSpan span("phase", "schur");
       {
         StageScope stage(stats.stages, "schur.assemble");
-        S_store = HMatrix<ST>::assemble(run.tree, run.tree, run.gen_ss(),
-                                        run.h_options());
+        S_store = run.assemble_schur_base();
       }
       HMatrix<ST>& S = *S_store;
       const index_t panel = std::max(cfg.n_S, cfg.n_c);
@@ -818,7 +907,7 @@ void run_multisolve_randomized(Run<T, ST>& run) {
   {
     ScopedPhase phase(stats.phases, "sparse_factorization");
     TraceSpan span("phase", "sparse_factorization");
-    run.factorize_sparse(mf, *run.A_vv_st, true, 0);
+    run.factorize_sparse(mf, *run.A_vv_st, true, 0, "vv");
   }
   stats.sparse_factor_bytes = mf.factor_bytes();
 
@@ -837,8 +926,7 @@ void run_multisolve_randomized(Run<T, ST>& run) {
     TraceSpan span("phase", "schur");
     {
       StageScope stage(stats.stages, "schur.assemble");
-      S_store = HMatrix<ST>::assemble(run.tree, run.tree, run.gen_ss(),
-                                      run.h_options());
+      S_store = run.assemble_schur_base();
     }
     HMatrix<ST>& S = *S_store;
 
@@ -959,7 +1047,7 @@ void run_advanced(Run<T, ST>& run) {
       }
     MemoryScope scope(MemTag::kSparseMatrix);
     auto K = sparse::Csr<ST>::from_triplets(trip);
-    run.factorize_sparse(mf, K, true, ns);
+    run.factorize_sparse(mf, K, true, ns, "K");
   }
   stats.sparse_factor_bytes = mf.factor_bytes();
 
@@ -1018,8 +1106,7 @@ void run_multifacto(Run<T, ST>& run, bool compressed) {
   if (compressed) {
     ScopedPhase phase(stats.phases, "schur");
     StageScope stage(stats.stages, "schur.assemble");
-    S_h = HMatrix<ST>::assemble(run.tree, run.tree, run.gen_ss(),
-                                run.h_options());
+    S_h = run.assemble_schur_base();
   } else {
     MemoryScope scope(MemTag::kSchurDense);
     S_dense = Matrix<ST>(ns, ns);
@@ -1069,8 +1156,12 @@ void run_multifacto(Run<T, ST>& run, bool compressed) {
     MemoryScope scope(MemTag::kSparseMatrix);
     auto W = sparse::Csr<ST>::from_triplets(trip);
     // Superfluous re-factorization of A_vv on every call: the API
-    // limitation that gives the algorithm its name.
-    run.factorize_sparse(mf, W, false, p);
+    // limitation that gives the algorithm its name. In a sweep each
+    // (bi, bj) block at least reuses its own symbolic analysis across
+    // frequencies (a changed n_b reshapes W and fails validation — cold).
+    const std::string wkey =
+        "W:" + std::to_string(job.bi) + ":" + std::to_string(job.bj);
+    run.factorize_sparse(mf, W, false, p, wkey.c_str());
   };
 
   MultifrontalSolver<ST> mf_last;  // the last diagonal factorization serves
@@ -1213,8 +1304,8 @@ void run_multifacto(Run<T, ST>& run, bool compressed) {
 template <class T, class ST>
 void run_strategy_in(const CoupledSystem<T>& system, const Config& cfg,
                      const Degrade& deg, SolveStats& stats,
-                     detail::FactoredImpl<T>& out) {
-  Run<T, ST> run(system, cfg, deg, stats, out);
+                     detail::FactoredImpl<T>& out, SweepContext* sweep) {
+  Run<T, ST> run(system, cfg, deg, stats, out, sweep);
   switch (cfg.strategy) {
     case Strategy::kBaselineCoupling:
       run_multisolve(run, /*blocked=*/false, /*compressed=*/false);
@@ -1249,11 +1340,11 @@ void run_strategy_in(const CoupledSystem<T>& system, const Config& cfg,
 template <class T>
 void run_strategy(const CoupledSystem<T>& system, const Config& cfg,
                   const Degrade& deg, SolveStats& stats,
-                  detail::FactoredImpl<T>& out) {
+                  detail::FactoredImpl<T>& out, SweepContext* sweep) {
   if (cfg.factor_precision == Precision::kSingle) {
-    run_strategy_in<T, single_of_t<T>>(system, cfg, deg, stats, out);
+    run_strategy_in<T, single_of_t<T>>(system, cfg, deg, stats, out, sweep);
   } else {
-    run_strategy_in<T, T>(system, cfg, deg, stats, out);
+    run_strategy_in<T, T>(system, cfg, deg, stats, out, sweep);
   }
 }
 
@@ -1378,7 +1469,8 @@ const char* plan_recovery(const SolveError& err, Config& cfg, Degrade& deg,
 template <class T>
 void run_attempts(const CoupledSystem<T>& system, const Config& config,
                   detail::FactoredImpl<T>& impl, SolveStats& stats,
-                  const std::function<void(detail::FactoredImpl<T>&)>& after) {
+                  const std::function<void(detail::FactoredImpl<T>&)>& after,
+                  SweepContext* sweep = nullptr) {
   Config eff = config;
   Degrade deg;
   const int max_attempts =
@@ -1390,7 +1482,7 @@ void run_attempts(const CoupledSystem<T>& system, const Config& config,
     impl.reset_factors();
     impl.cfg = eff;
     try {
-      run_strategy(system, eff, deg, stats, impl);
+      run_strategy(system, eff, deg, stats, impl, sweep);
       impl.ok = true;
       if (after) after(impl);
       stats.success = true;
@@ -1469,7 +1561,11 @@ void with_solver_session(const Config& config, SolveStats& stats,
   const bool was_tracing = tracer.enabled();
   const bool own_session = config.trace_enabled && !was_tracing;
   if (own_session) tracer.set_enabled(true);
-  Metrics::instance().reset();
+  // Counters are reported as a delta over this call, not a global reset:
+  // a sweep runs many solver sessions in one process and each report must
+  // carry its own run's counts (and concurrent sessions must not clobber
+  // each other's baselines).
+  const Metrics::Values metrics_before = Metrics::instance().values();
   std::optional<TraceSampler> sampler;
   if (tracer.enabled() && config.trace_sample_us > 0)
     sampler.emplace(config.trace_sample_us);
@@ -1502,7 +1598,7 @@ void with_solver_session(const Config& config, SolveStats& stats,
     stats.planner_misprediction =
         static_cast<double>(stats.planner_predicted_bytes) /
         static_cast<double>(stats.peak_bytes);
-  stats.counters = Metrics::instance().snapshot();
+  stats.counters = Metrics::instance().delta_since(metrics_before);
 
   sampler.reset();  // final memory sample, then stop the sampler thread
   if (own_session) {
@@ -1819,7 +1915,8 @@ std::size_t load_factored_impl(const std::string& path,
 
   // The cluster tree is rebuilt deterministically from the live geometry;
   // the coupling section cross-checks its permutation against the save.
-  f.tree.emplace(system.surface_points(), f.cfg.hmat_leaf);
+  f.tree = std::make_shared<const ClusterTree>(system.surface_points(),
+                                               f.cfg.hmat_leaf);
 
   in.open_section("coupling");
   read_coupling(in, system, f);
@@ -1905,7 +2002,8 @@ SolveStats solve_coupled(const CoupledSystem<T>& system,
 
 template <class T>
 FactoredCoupled<T> factorize_coupled(const CoupledSystem<T>& system,
-                                     const Config& config) {
+                                     const Config& config,
+                                     SweepContext* sweep) {
   FactoredCoupled<T> handle;
   handle.impl_ = std::make_unique<detail::FactoredImpl<T>>();
   detail::FactoredImpl<T>& impl = *handle.impl_;
@@ -1927,7 +2025,7 @@ FactoredCoupled<T> factorize_coupled(const CoupledSystem<T>& system,
 
   const auto audit_in = planner_audit_inputs(system, config);
   with_solver_session(config, stats, "factorize", [&] {
-    run_attempts<T>(system, config, impl, stats, nullptr);
+    run_attempts<T>(system, config, impl, stats, nullptr, sweep);
     record_planner_audit<T>(audit_in, impl.cfg, stats);
   });
   return handle;
@@ -1994,10 +2092,13 @@ SolveStats FactoredCoupled<T>::solve(la::MatrixView<T> B_v,
     stats.failure = failure_text(stats.error);
     return stats;
   }
-  // Deliberately no budget/thread scopes, no Metrics reset and no retry
-  // ladder here: solve() must be safe to call concurrently from several
-  // threads against one factorization, so it runs entirely in the caller's
-  // context and reports any failure without touching global state.
+  // Deliberately no budget/thread scopes and no retry ladder here: solve()
+  // must be safe to call concurrently from several threads against one
+  // factorization, so it runs entirely in the caller's context and reports
+  // any failure without touching global state. The counters are a read-only
+  // delta of the process-wide Metrics (concurrent solves may bleed into
+  // each other's deltas; each count still happened during this window).
+  const Metrics::Values metrics_before = Metrics::instance().values();
   Timer total;
   try {
     solve_batch(*impl_, B_v, B_s, stats);
@@ -2008,6 +2109,77 @@ SolveStats FactoredCoupled<T>::solve(la::MatrixView<T> B_v,
     trace_instant("error", error_code_name(stats.error.code));
   }
   stats.total_seconds = total.seconds();
+  stats.counters = Metrics::instance().delta_since(metrics_before);
+  return stats;
+}
+
+template <class T>
+SolveStats FactoredCoupled<T>::solve_lagged(
+    const fembem::CoupledSystem<T>& target, la::MatrixView<T> B_v,
+    la::MatrixView<T> B_s) const {
+  SolveStats stats;
+  stats.nrhs = B_v.cols();
+  if (!ok()) {
+    stats.error = SolveError{ErrorCode::kInternal, "handle",
+                             "solve_lagged on an unfactored handle"};
+    stats.failure = failure_text(stats.error);
+    return stats;
+  }
+  stats.n_fem = target.nv();
+  stats.n_bem = target.ns();
+  stats.n_total = target.total();
+  stats.factor_precision = impl_->cfg.factor_precision;
+  if (target.nv() != impl_->sys->nv() || target.ns() != impl_->sys->ns()) {
+    stats.error = SolveError{ErrorCode::kInternal, "handle",
+                             "target system shape differs from the "
+                             "factored system"};
+    stats.failure = failure_text(stats.error);
+    return stats;
+  }
+  if (B_v.cols() != B_s.cols() || B_v.rows() != target.nv() ||
+      B_s.rows() != target.ns()) {
+    stats.error = SolveError{ErrorCode::kInternal, "handle",
+                             "right-hand-side block shape mismatch"};
+    stats.failure = failure_text(stats.error);
+    return stats;
+  }
+  // Lagged refinement without a convergence target would silently return
+  // the neighboring frequency's answer.
+  if (!(impl_->cfg.refine_tolerance > 0) ||
+      impl_->cfg.refine_iterations < 1) {
+    stats.error =
+        SolveError{ErrorCode::kInternal, "handle",
+                   "solve_lagged requires refine_tolerance > 0 and "
+                   "refine_iterations >= 1"};
+    stats.failure = failure_text(stats.error);
+    return stats;
+  }
+  // Armed like save(): the refine.stall failpoint must be able to force
+  // the fallback path deterministically in the sweep tests.
+  ScopedFailpoints failpoints(impl_->cfg.failpoints);
+  BatchOverride<T> ov;
+  ov.residual_sys = &target;
+  ov.refine_iterations = impl_->cfg.refine_iterations;
+  // Two decades below the configured bar: a fresh solve's last sweep
+  // overshoots the tolerance by its (fast) contraction factor, while the
+  // slowly-contracting lagged iteration halts right at it — leaving a
+  // forward error a full kappa(A) above the fresh path. Aiming lower
+  // equalizes the two, so a sweep's accuracy does not depend on which
+  // tier served each frequency.
+  ov.refine_tolerance = 0.01 * impl_->cfg.refine_tolerance;
+  const Metrics::Values metrics_before = Metrics::instance().values();
+  Timer total;
+  try {
+    Metrics::instance().add(Metric::kLaggedSolves, 1);
+    solve_batch(*impl_, B_v, B_s, stats, &ov);
+    stats.success = true;
+  } catch (...) {
+    stats.error = classify_current_exception();
+    stats.failure = failure_text(stats.error);
+    trace_instant("error", error_code_name(stats.error.code));
+  }
+  stats.total_seconds = total.seconds();
+  stats.counters = Metrics::instance().delta_since(metrics_before);
   return stats;
 }
 
@@ -2111,9 +2283,9 @@ template SolveStats solve_coupled<double>(const CoupledSystem<double>&,
 template SolveStats solve_coupled<complexd>(const CoupledSystem<complexd>&,
                                             const Config&);
 template FactoredCoupled<double> factorize_coupled<double>(
-    const CoupledSystem<double>&, const Config&);
+    const CoupledSystem<double>&, const Config&, SweepContext*);
 template FactoredCoupled<complexd> factorize_coupled<complexd>(
-    const CoupledSystem<complexd>&, const Config&);
+    const CoupledSystem<complexd>&, const Config&, SweepContext*);
 template FactoredCoupled<double> load_factored<double>(
     const std::string&, const CoupledSystem<double>&, const Config&);
 template FactoredCoupled<complexd> load_factored<complexd>(

@@ -271,6 +271,11 @@ template <class T>
 struct FactoredImpl;
 }  // namespace detail
 
+/// Recyclable state shared by the solves of one frequency sweep (owned by
+/// sweep::SweepDriver, threaded through factorize_coupled). Defined in
+/// sweep.h; factorize_coupled treats a null pointer as "no sweep".
+class SweepContext;
+
 /// Persistent factorization of a coupled system: the interior multifrontal
 /// factors, the (dense or H-) Schur factorization, the BEM cluster
 /// permutation and the tree-ordered coupling block, kept alive so one
@@ -320,6 +325,20 @@ class FactoredCoupled {
   /// independent single-column solves at any thread count. Never throws.
   SolveStats solve(la::MatrixView<T> B_v, la::MatrixView<T> B_s) const;
 
+  /// Frequency-lagged solve: use this handle's factors — computed for a
+  /// *neighboring* operator of the same family — as the direct
+  /// preconditioner, and iteratively refine against `target` (residuals
+  /// are formed with the target operator, corrections solved with the
+  /// retained factors). Converges when the spectral distance between the
+  /// two operators is small, letting a sweep skip a fresh factorization;
+  /// when refinement stalls or misses config().refine_tolerance within
+  /// config().refine_iterations sweeps, the returned stats carry a
+  /// kNumericalBreakdown at site "refine.stall" and the caller should
+  /// factorize the target afresh. `target` must have the same dimensions
+  /// as the factored system. Never throws.
+  SolveStats solve_lagged(const fembem::CoupledSystem<T>& target,
+                          la::MatrixView<T> B_v, la::MatrixView<T> B_s) const;
+
   /// Serialize the factored state to a crash-consistent checkpoint file
   /// (CRC32C-checksummed sections, manifest footer fsynced last as the
   /// commit record; see DESIGN.md §14). Returns the bytes written, or 0 on
@@ -332,7 +351,8 @@ class FactoredCoupled {
  private:
   template <class U>
   friend FactoredCoupled<U> factorize_coupled(
-      const fembem::CoupledSystem<U>& system, const Config& config);
+      const fembem::CoupledSystem<U>& system, const Config& config,
+      SweepContext* sweep);
   template <class U>
   friend FactoredCoupled<U> load_factored(
       const std::string& path, const fembem::CoupledSystem<U>& system,
@@ -347,9 +367,18 @@ class FactoredCoupled {
 /// instead of solving a built-in RHS. On failure the returned handle has
 /// ok() == false and stats() carries the classified error. The system must
 /// outlive the handle.
+///
+/// `sweep` (optional) is the recycling context of a frequency sweep: when
+/// given, the symbolic sparse analysis, the BEM cluster tree and the
+/// H-matrix block skeleton (with converged-rank warm starts) are reused
+/// from — and recorded for — the other frequencies of the family. The
+/// context must outlive every handle factored with it (it owns the shared
+/// cluster tree). Reuse is keyed and validated, so a mismatching system
+/// silently degrades to a cold factorization.
 template <class T>
 FactoredCoupled<T> factorize_coupled(const fembem::CoupledSystem<T>& system,
-                                     const Config& config);
+                                     const Config& config,
+                                     SweepContext* sweep = nullptr);
 
 /// Restore a FactoredCoupled handle from a checkpoint written by
 /// FactoredCoupled::save. The format version, scalar type, system

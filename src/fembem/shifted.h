@@ -1,0 +1,193 @@
+// Shifted operator family for frequency sweeps: the volume operator of the
+// coupled system becomes A_vv(omega) = K + (sigma - omega^2) M with the
+// stiffness K and mass M assembled *once* from one triplet stream, so every
+// frequency shares one CSR pattern, one mesh, one BEM surface and one
+// coupling block. Only values change along the sweep — which is exactly
+// what makes the sweep engine's symbolic/cluster-tree reuse legal (see
+// DESIGN.md on sweep recycling).
+#pragma once
+
+#include <stdexcept>
+
+#include "fembem/system.h"
+
+namespace cs::fembem {
+
+/// Frequency-independent split of the volume operator. `stiffness` and
+/// `mass` are built from identical (i,j) triplet streams, so their CSR
+/// patterns are bit-identical and `at()` can combine them value-wise.
+template <class T>
+struct ShiftedOperator {
+  sparse::Csr<T> stiffness;  ///< K
+  sparse::Csr<T> mass;       ///< M (same pattern as K)
+  double sigma_real = 1.0;   ///< regularizing real mass shift
+  double sigma_imag = 0.0;   ///< absorption (complex case)
+
+  /// A_vv(omega) = K + (sigma_r + i sigma_i - omega^2) M, combined
+  /// entry-wise on the shared pattern: no re-assembly, no re-sorting, and
+  /// the result's pattern is identical at every frequency.
+  sparse::Csr<T> at(double omega) const {
+    if (mass.nnz() != stiffness.nnz())
+      throw std::logic_error("shifted operator: K and M patterns differ");
+    FemCoefficients c;
+    c.kappa = omega;
+    c.sigma_real = sigma_real;
+    c.sigma_imag = sigma_imag;
+    const T shift = detail::volume_coefficient<T>(c);
+    sparse::Csr<T> a = stiffness;
+    for (offset_t k = 0; k < a.nnz(); ++k)
+      a.value_ref(k) += shift * mass.value(k);
+    return a;
+  }
+};
+
+/// Assemble K and M in one pass over the mesh. Both triplet buffers see
+/// the same add() sequence of (i,j) pairs, so from_triplets produces the
+/// same sorted/merged pattern for both.
+template <class T>
+ShiftedOperator<T> assemble_shifted_operator(const PipeMesh& mesh,
+                                             double sigma_real,
+                                             double sigma_imag) {
+  const index_t n = mesh.n_nodes();
+  sparse::Triplets<T> kt(n, n), mt(n, n);
+  kt.i.reserve(mesh.tets.size() * 16);
+  kt.j.reserve(mesh.tets.size() * 16);
+  kt.v.reserve(mesh.tets.size() * 16);
+  mt.i.reserve(mesh.tets.size() * 16);
+  mt.j.reserve(mesh.tets.size() * 16);
+  mt.v.reserve(mesh.tets.size() * 16);
+  for (const auto& tet : mesh.tets) {
+    const auto e = detail::tet_element(
+        mesh.nodes[static_cast<std::size_t>(tet[0])],
+        mesh.nodes[static_cast<std::size_t>(tet[1])],
+        mesh.nodes[static_cast<std::size_t>(tet[2])],
+        mesh.nodes[static_cast<std::size_t>(tet[3])]);
+    for (int i = 0; i < 4; ++i)
+      for (int j = 0; j < 4; ++j) {
+        const index_t r = tet[static_cast<std::size_t>(i)];
+        const index_t c = tet[static_cast<std::size_t>(j)];
+        kt.add(r, c, T(e.stiffness[static_cast<std::size_t>(i)]
+                                  [static_cast<std::size_t>(j)]));
+        mt.add(r, c, T(e.mass[static_cast<std::size_t>(i)]
+                             [static_cast<std::size_t>(j)]));
+      }
+  }
+  ShiftedOperator<T> op;
+  op.stiffness = sparse::Csr<T>::from_triplets(kt);
+  op.mass = sparse::Csr<T>::from_triplets(mt);
+  op.sigma_real = sigma_real;
+  op.sigma_imag = sigma_imag;
+  return op;
+}
+
+/// Scene parameters for a sweep family. Mirrors SystemParams minus the
+/// single wavenumber (that is what the sweep varies), plus a multi-
+/// scatterer count so the BEM share and block-structure richness can be
+/// raised (detached shells at increasing offsets, BEM-only dofs).
+struct SweepParams {
+  index_t total_unknowns = 20000;
+  double sigma_real = 1.0;
+  double sigma_imag = 0.0;
+  bool symmetric_bem = true;
+  index_t scatterers = 0;             ///< extra detached shells
+  double extra_surface_ratio = 0.25;  ///< BEM-only dofs per shell (fraction)
+  bool paper_proportions = true;
+  index_t n_radial = 0;
+};
+
+/// One meshed scene, many frequencies. Everything frequency-independent
+/// (mesh, K/M split, BEM surface, coupling block, manufactured reference)
+/// is built once in the constructor; at(omega) only re-values the volume
+/// operator, instantiates the kernel generator at the new wavenumber and
+/// manufactures the matching right-hand side.
+template <class T>
+class SweepFamily {
+ public:
+  explicit SweepFamily(const SweepParams& params) {
+    PipeParams dims;
+    if (params.paper_proportions) {
+      const index_t bem = paper_bem_count(params.total_unknowns);
+      dims = pipe_dims_for_split(params.total_unknowns - bem, bem);
+    } else {
+      dims = pipe_dims_for_total(params.total_unknowns, params.n_radial);
+    }
+    mesh_ = make_pipe_mesh(dims);
+    op_ = assemble_shifted_operator<T>(mesh_, params.sigma_real,
+                                       params.sigma_imag);
+    symmetric_ = params.symmetric_bem;
+
+    surface_ = make_bem_surface(mesh_);
+    const index_t coupled_surface =
+        static_cast<index_t>(surface_.points.size());
+    for (index_t s = 0; s < params.scatterers; ++s) {
+      const index_t extra = static_cast<index_t>(
+          params.extra_surface_ratio * coupled_surface);
+      const index_t nt = std::max<index_t>(
+          8, static_cast<index_t>(std::sqrt(extra / 2.0)));
+      const index_t nz = std::max<index_t>(2, extra / nt);
+      append_extra_surface(surface_, nt, nz, /*radius=*/2.0, /*length=*/6.0,
+                           /*offset_x=*/6.0 + 6.0 * static_cast<double>(s));
+    }
+
+    // Coupling rows for the mesh boundary dofs; BEM-only dofs (the
+    // scatterer shells) get zero rows.
+    const index_t ns = static_cast<index_t>(surface_.points.size());
+    auto coupling = assemble_coupling<T>(mesh_);
+    if (ns == coupling.rows()) {
+      coupling_ = std::move(coupling);
+    } else {
+      sparse::Triplets<T> trip(ns, mesh_.n_nodes());
+      for (index_t r = 0; r < coupling.rows(); ++r)
+        for (offset_t k = coupling.row_begin(r); k < coupling.row_end(r); ++k)
+          trip.add(r, coupling.col(k), coupling.value(k));
+      coupling_ = sparse::Csr<T>::from_triplets(trip);
+    }
+
+    // The manufactured reference is frequency-independent so every
+    // frequency of the sweep reports a comparable relative error.
+    x_v_ref_ = la::Vector<T>(mesh_.n_nodes());
+    x_s_ref_ = la::Vector<T>(ns);
+    for (index_t i = 0; i < mesh_.n_nodes(); ++i)
+      x_v_ref_[i] = detail::reference_field<T>(
+          mesh_.nodes[static_cast<std::size_t>(i)], 0.0);
+    for (index_t i = 0; i < ns; ++i)
+      x_s_ref_[i] = detail::reference_field<T>(
+          surface_.points[static_cast<std::size_t>(i)], 0.4);
+  }
+
+  index_t nv() const { return mesh_.n_nodes(); }
+  index_t ns() const { return static_cast<index_t>(surface_.points.size()); }
+  index_t total() const { return nv() + ns(); }
+
+  /// The coupled system at frequency `omega` — same mesh, same patterns,
+  /// same surface geometry as every other frequency of the family.
+  CoupledSystem<T> at(double omega) const {
+    CoupledSystem<T> sys;
+    sys.A_vv = op_.at(omega);
+    sys.A_sv = coupling_;
+    sys.A_ss = std::make_unique<BemGenerator<T>>(surface_, omega, symmetric_);
+    sys.symmetric = symmetric_;
+    sys.x_v_ref = x_v_ref_;
+    sys.x_s_ref = x_s_ref_;
+
+    sys.b_v = la::Vector<T>(nv());
+    sys.b_s = la::Vector<T>(ns());
+    // b_v = A_vv x_v + A_sv^T x_s.
+    sys.A_vv.spmv(T{1}, sys.x_v_ref.data(), T{0}, sys.b_v.data());
+    sys.A_sv.spmv_trans(T{1}, sys.x_s_ref.data(), T{1}, sys.b_v.data());
+    // b_s = A_sv x_v + A_ss x_s.
+    generator_matvec(*sys.A_ss, sys.x_s_ref.data(), sys.b_s.data());
+    sys.A_sv.spmv(T{1}, sys.x_v_ref.data(), T{1}, sys.b_s.data());
+    return sys;
+  }
+
+ private:
+  PipeMesh mesh_;
+  ShiftedOperator<T> op_;
+  BemSurface surface_;
+  sparse::Csr<T> coupling_;
+  bool symmetric_ = true;
+  la::Vector<T> x_v_ref_, x_s_ref_;
+};
+
+}  // namespace cs::fembem

@@ -7,6 +7,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/trace.h"
 #include "la/qr_svd.h"
 
 namespace cs::hmat {
@@ -79,12 +80,16 @@ thread_local std::vector<From> CastGenerator<To, From>::scratch_;
 /// generator, at relative accuracy eps. Returns U (m x k), V (n x k) with
 /// block ~= U V^T. If convergence is not reached within max_rank crosses
 /// the factors found so far are returned (rank == max_rank signals a hard
-/// block; callers may fall back to dense assembly).
+/// block; callers may fall back to dense assembly). `rank_hint` (>= 0)
+/// pre-reserves cross storage for the expected converged rank — a pure
+/// capacity hint from a frequency sweep's previous solve of the same
+/// block; it never changes which crosses are built.
 template <class T>
 la::RkFactors<T> aca_assemble(const MatrixGenerator<T>& gen,
                               const std::vector<index_t>& row_ids,
                               const std::vector<index_t>& col_ids,
-                              real_of_t<T> eps, index_t max_rank = -1) {
+                              real_of_t<T> eps, index_t max_rank = -1,
+                              index_t rank_hint = -1) {
   using R = real_of_t<T>;
   const index_t m = static_cast<index_t>(row_ids.size());
   const index_t n = static_cast<index_t>(col_ids.size());
@@ -94,6 +99,12 @@ la::RkFactors<T> aca_assemble(const MatrixGenerator<T>& gen,
 
   std::vector<la::Vector<T>> us;
   std::vector<la::Vector<T>> vs;
+  if (rank_hint > 0) {
+    const std::size_t cap =
+        static_cast<std::size_t>(std::min(rank_hint, kmax));
+    us.reserve(cap);
+    vs.reserve(cap);
+  }
   std::vector<char> row_used(static_cast<std::size_t>(m), 0);
   std::vector<char> col_used(static_cast<std::size_t>(n), 0);
 
@@ -193,6 +204,8 @@ la::RkFactors<T> aca_assemble(const MatrixGenerator<T>& gen,
 
   la::RkFactors<T> rk;
   const index_t k = static_cast<index_t>(us.size());
+  if (k > 0)
+    Metrics::instance().add(Metric::kAcaIterations, static_cast<double>(k));
   rk.U = la::Matrix<T>(m, k);
   rk.V = la::Matrix<T>(n, k);
   for (index_t c = 0; c < k; ++c) {

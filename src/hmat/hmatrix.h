@@ -27,6 +27,7 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <stdexcept>
@@ -53,6 +54,29 @@ struct HOptions {
   index_t aca_max_rank_ratio = 2;  ///< ACA rank cap = min(m,n)/ratio
 };
 
+/// Recyclable assembly state of one H-matrix block structure across a
+/// frequency sweep. The structure itself is deterministic in (cluster
+/// tree, HOptions); the skeleton captures it once (block kinds in DFS
+/// pre-order) so later assemblies of the same operator family skip the
+/// per-block admissibility derivation, and records each leaf's converged
+/// assembly outcome (ACA rank or dense fallback, in DFS leaf order) to
+/// warm-start the next frequency's adaptive compression. Scalar
+/// independent: the hints are starting points, not results.
+struct BlockSkeleton {
+  static constexpr index_t kNoHint = -1;        ///< no usable hint
+  static constexpr index_t kDenseFallback = -2; ///< ACA stagnated last time
+  /// Headroom added to a hinted rank before it caps the warm-started ACA:
+  /// a block whose rank grew by more than this between neighboring
+  /// frequencies re-runs uncapped (a counted miss).
+  static constexpr index_t kRankHintMargin = 8;
+
+  index_t rows = 0, cols = 0;        ///< identity check before reuse
+  std::vector<std::uint8_t> kinds;   ///< block kinds, DFS pre-order
+  std::vector<index_t> leaf_hints;   ///< per-leaf outcome, DFS leaf order
+
+  bool empty() const { return kinds.empty(); }
+};
+
 template <class T>
 class HMatrix {
  public:
@@ -69,6 +93,55 @@ class HMatrix {
     HMatrix h = build_structure(rows.root(), cols.root(), opt);
     h.fill_from_generator(gen, rows.original_of_tree(),
                           cols.original_of_tree());
+    return h;
+  }
+
+  /// Warm assembly for frequency sweeps: replay the block structure
+  /// recorded in `warm` (skipping the per-block admissibility derivation)
+  /// and seed each adaptive leaf compression with its outcome at the
+  /// previous frequency. An empty or mismatching skeleton degrades to the
+  /// cold path. On return the skeleton holds this assembly's structure and
+  /// outcomes, ready for the next frequency. Legality: the structure
+  /// depends only on cluster geometry and options, both invariant under an
+  /// operator shift; the hints are capacity seeds that never change which
+  /// crosses ACA builds, so warm and cold assemblies of a given operator
+  /// produce identical factors.
+  static HMatrix assemble(const ClusterTree& rows, const ClusterTree& cols,
+                          const MatrixGenerator<T>& gen, const HOptions& opt,
+                          BlockSkeleton& warm) {
+    TraceSpan span("hmat", "hmat.assemble");
+    span.arg("rows", static_cast<long long>(rows.root().size()))
+        .arg("cols", static_cast<long long>(cols.root().size()));
+    HMatrix h;
+    bool reused = false;
+    if (!warm.empty() && warm.rows == rows.root().size() &&
+        warm.cols == cols.root().size()) {
+      bool ok = true;
+      std::size_t cursor = 0;
+      HMatrix replay = build_structure_from(rows.root(), cols.root(), opt,
+                                            warm.kinds, cursor, ok);
+      if (ok && cursor == warm.kinds.size()) {
+        h = std::move(replay);
+        reused = true;
+        Metrics::instance().add(Metric::kHmatStructureReuses, 1);
+      }
+    }
+    if (!reused) {
+      h = build_structure(rows.root(), cols.root(), opt);
+      warm.rows = rows.root().size();
+      warm.cols = cols.root().size();
+      warm.kinds.clear();
+      // Recorded before filling so build-time demotions (Rk leaves turned
+      // dense because compression did not pay) stay out of the structural
+      // record; they recur naturally at each frequency.
+      h.record_kinds(warm.kinds);
+      warm.leaf_hints.clear();  // hints are keyed to the recorded leaf order
+    }
+    std::vector<index_t> outcomes;
+    h.fill_from_generator(gen, rows.original_of_tree(),
+                          cols.original_of_tree(),
+                          reused ? &warm.leaf_hints : nullptr, &outcomes);
+    warm.leaf_hints = std::move(outcomes);
     return h;
   }
 
@@ -285,6 +358,50 @@ class HMatrix {
     return h;
   }
 
+  /// Rebuild the block structure by replaying a recorded DFS pre-order
+  /// kind sequence instead of deriving admissibility per block. Sets `ok`
+  /// to false (and stops descending) when the record cannot match this
+  /// cluster tree: sequence exhausted, unknown kind, or a recorded Node
+  /// over leaf clusters.
+  static HMatrix build_structure_from(const ClusterNode& rn,
+                                      const ClusterNode& cn,
+                                      const HOptions& opt,
+                                      const std::vector<std::uint8_t>& kinds,
+                                      std::size_t& cursor, bool& ok) {
+    HMatrix h;
+    h.row_ = &rn;
+    h.col_ = &cn;
+    h.opt_ = opt;
+    if (cursor >= kinds.size() ||
+        kinds[cursor] > static_cast<std::uint8_t>(Kind::kRk)) {
+      ok = false;
+      return h;
+    }
+    h.kind_ = static_cast<Kind>(kinds[cursor++]);
+    if (h.kind_ == Kind::kNode) {
+      if (rn.is_leaf() || cn.is_leaf()) {
+        ok = false;
+        return h;
+      }
+      const ClusterNode* rks[2] = {rn.left.get(), rn.right.get()};
+      const ClusterNode* cks[2] = {cn.left.get(), cn.right.get()};
+      for (int i = 0; i < 2 && ok; ++i)
+        for (int j = 0; j < 2 && ok; ++j)
+          h.child_[static_cast<std::size_t>(2 * i + j)] =
+              std::make_unique<HMatrix>(build_structure_from(
+                  *rks[i], *cks[j], opt, kinds, cursor, ok));
+    }
+    return h;
+  }
+
+  /// Append this subtree's block kinds in DFS pre-order (the order
+  /// build_structure_from replays them in).
+  void record_kinds(std::vector<std::uint8_t>& out) const {
+    out.push_back(static_cast<std::uint8_t>(kind_));
+    if (kind_ == Kind::kNode)
+      for (const auto& c : child_) c->record_kinds(out);
+  }
+
   HMatrix& child(int i, int j) {
     return *child_[static_cast<std::size_t>(2 * i + j)];
   }
@@ -359,21 +476,40 @@ class HMatrix {
     }
   }
 
+  /// Fill every leaf from the generator. When `hints`/`outcomes` are
+  /// given (frequency-sweep warm start) they are indexed by the
+  /// deterministic DFS leaf order, so warm-started assembly is identical
+  /// at any thread count.
   void fill_from_generator(const MatrixGenerator<T>& gen,
                            const std::vector<index_t>& row_orig,
-                           const std::vector<index_t>& col_orig) {
+                           const std::vector<index_t>& col_orig,
+                           const std::vector<index_t>* hints = nullptr,
+                           std::vector<index_t>* outcomes = nullptr) {
+    // Leaves are independent: assemble them in parallel (the paper's
+    // multi-threaded H assembly). parallel_for_capture keeps exceptions
+    // (e.g. BudgetExceeded) from escaping the parallel region.
+    std::vector<HMatrix*> leaves;
+    collect_leaves(leaves);
+    if (outcomes) outcomes->assign(leaves.size(), BlockSkeleton::kNoHint);
+    parallel_for_capture(leaves.size(), [&](std::size_t l) {
+      const index_t hint = hints && l < hints->size()
+                               ? (*hints)[l]
+                               : BlockSkeleton::kNoHint;
+      const index_t got = leaves[l]->fill_leaf(gen, row_orig, col_orig, hint);
+      if (outcomes) (*outcomes)[l] = got;
+    });
+  }
+
+  /// Assemble one leaf. Returns the leaf's outcome for the next sweep
+  /// frequency: the converged ACA rank, BlockSkeleton::kDenseFallback when
+  /// the adaptive compression stagnated, or kNoHint for dense leaves.
+  index_t fill_leaf(const MatrixGenerator<T>& gen,
+                    const std::vector<index_t>& row_orig,
+                    const std::vector<index_t>& col_orig, index_t hint) {
+    index_t outcome = BlockSkeleton::kNoHint;
     switch (kind_) {
-      case Kind::kNode: {
-        // Leaves are independent: assemble them in parallel (the paper's
-        // multi-threaded H assembly). parallel_for_capture keeps exceptions
-        // (e.g. BudgetExceeded) from escaping the parallel region.
-        std::vector<HMatrix*> leaves;
-        collect_leaves(leaves);
-        parallel_for_capture(leaves.size(), [&](std::size_t l) {
-          leaves[l]->fill_from_generator(gen, row_orig, col_orig);
-        });
-        break;
-      }
+      case Kind::kNode:
+        throw std::logic_error("fill_leaf called on an interior block");
       case Kind::kRk: {
         // Ledger: low-rank leaf storage (and its ACA/RRQR scratch). The
         // scope lives here, inside the per-leaf call, because assembly
@@ -390,9 +526,31 @@ class HMatrix {
         // reached without meeting eps): the recovery is the same in-place
         // dense fallback a real non-convergence takes.
         const bool forced_fallback = failpoint("aca.converge");
-        rk_ = aca_assemble(gen, rids, cids, real_of_t<T>(opt_.eps), cap);
-        if (forced_fallback ||
-            (rk_.rank() >= cap && cap < std::min(rows(), cols()))) {
+        // A kDenseFallback hint means ACA stagnated here at the previous
+        // frequency: the shifted neighbor skips the doomed run and goes
+        // straight to the dense compression the cold path ends in.
+        bool fell_back =
+            forced_fallback || hint == BlockSkeleton::kDenseFallback;
+        if (!fell_back) {
+          index_t run_cap = cap;
+          if (hint >= 0)
+            run_cap = std::min<index_t>(
+                cap, hint + BlockSkeleton::kRankHintMargin);
+          rk_ = aca_assemble(gen, rids, cids, real_of_t<T>(opt_.eps),
+                             run_cap, hint);
+          if (run_cap < cap && rk_.rank() >= run_cap) {
+            // The hinted cap bound: the block's rank outgrew the
+            // warm-start window. Re-run unrestricted so the factors match
+            // the cold path's exactly.
+            Metrics::instance().add(Metric::kAcaRankHintMisses, 1);
+            rk_ = aca_assemble(gen, rids, cids, real_of_t<T>(opt_.eps), cap);
+          } else if (run_cap < cap) {
+            Metrics::instance().add(Metric::kAcaRankHintHits, 1);
+          }
+          fell_back = rk_.rank() >= cap && cap < std::min(rows(), cols());
+          if (!fell_back) outcome = rk_.rank();
+        }
+        if (fell_back) {
           // ACA did not converge within the rank cap: fall back to dense
           // evaluation + deterministic compression.
           Metrics::instance().add(Metric::kAcaFallbacks, 1);
@@ -403,6 +561,7 @@ class HMatrix {
                     &dense(0, j));
           rk_ = la::rrqr_compress(la::ConstMatrixView<T>(dense.view()),
                                   real_of_t<T>(opt_.eps));
+          outcome = BlockSkeleton::kDenseFallback;
         } else {
           // ACA overestimates the rank; recompress (ACA+).
           la::truncate_rk(rk_, real_of_t<T>(opt_.eps));
@@ -421,6 +580,7 @@ class HMatrix {
         break;
       }
     }
+    return outcome;
   }
 
   void fill_from_dense(la::ConstMatrixView<T> dense) {

@@ -97,6 +97,31 @@ struct SolverStats {
   offset_t compressed_panels = 0;
   offset_t dense_panels = 0;
   std::size_t ooc_bytes = 0;  ///< factor bytes spilled to disk
+  /// True when this factorization adopted a previously exported
+  /// SparseAnalysis instead of re-running the analysis phase.
+  bool analysis_reused = false;
+};
+
+/// Reusable result of the analysis phase (fill-reducing ordering +
+/// elimination tree + symbolic supernode partition). Scalar-independent
+/// and copyable: a frequency sweep over shifted operators
+/// A(omega) = K - omega^2 M computes it once and feeds it to
+/// factorize_with() at every subsequent frequency — the analysis depends
+/// only on the sparsity pattern, which the shift leaves untouched.
+struct SparseAnalysis {
+  // Pattern identity and the analysis-shaping options, verified by
+  // factorize_with() before any reuse.
+  index_t n = 0;
+  offset_t nnz = 0;
+  bool symmetric = true;
+  index_t schur_size = 0;
+  ordering::Method ordering = ordering::Method::kNestedDissection;
+  index_t relax_zeros = 16;
+  index_t max_supernode = 256;
+
+  Symbolic sym;
+  std::vector<index_t> perm;  ///< caller index -> permuted index
+  offset_t factor_entries_dense = 0;
 };
 
 /// Multifrontal direct solver. Usage:
@@ -163,6 +188,83 @@ class MultifrontalSolver {
     permuted_.reset();
     permuted_t_.reset();
     factored_ = false;
+  }
+
+  /// Export the analysis of the last factorize()/analyze_only() call for
+  /// reuse on another matrix with the identical sparsity pattern.
+  SparseAnalysis export_analysis() const {
+    if (perm_.empty())
+      throw std::logic_error("export_analysis() before any analysis");
+    SparseAnalysis a;
+    a.n = stats_.n;
+    a.nnz = stats_.nnz_input;
+    a.symmetric = opt_.symmetric;
+    a.schur_size = opt_.schur_size;
+    a.ordering = opt_.ordering;
+    a.relax_zeros = opt_.relax_zeros;
+    a.max_supernode = opt_.max_supernode;
+    a.sym = sym_;
+    a.perm = perm_;
+    a.factor_entries_dense = stats_.factor_entries_dense;
+    return a;
+  }
+
+  /// factorize() with the analysis phase replaced by a previously exported
+  /// one: adopts the ordering and symbolic assembly tree, rebuilds only
+  /// the permuted value copies and runs the numeric factorization. The
+  /// matrix must match the analysis in dimension, nnz and every
+  /// analysis-shaping option; a mismatch throws std::invalid_argument so
+  /// a degraded retry that flips `symmetric` or `schur_size` re-analyzes
+  /// instead of silently reusing a stale tree.
+  void factorize_with(const sparse::Csr<T>& A, const SolverOptions& opt,
+                      const SparseAnalysis& analysis) {
+    if (A.rows() != A.cols())
+      throw std::invalid_argument("matrix must be square");
+    if (A.rows() != analysis.n || A.nnz() != analysis.nnz ||
+        opt.symmetric != analysis.symmetric ||
+        opt.schur_size != analysis.schur_size ||
+        opt.ordering != analysis.ordering ||
+        opt.relax_zeros != analysis.relax_zeros ||
+        opt.max_supernode != analysis.max_supernode)
+      throw std::invalid_argument(
+          "sparse analysis does not match this matrix/options");
+    opt_ = opt;
+    stats_ = SolverStats{};
+    stats_.n = A.rows();
+    stats_.n_eliminated = A.rows() - opt.schur_size;
+    stats_.nnz_input = A.nnz();
+    stats_.analysis_reused = true;
+
+    Timer timer;
+    {
+      TraceSpan span("sparse", "mf.analyze_reuse");
+      span.arg("n", static_cast<long long>(stats_.n));
+      sym_ = analysis.sym;
+      perm_ = analysis.perm;
+      MemoryScope scope(MemTag::kSparseMatrix);
+      permuted_ =
+          std::make_unique<sparse::Csr<T>>(A.permuted_symmetric(perm_));
+      if (!opt_.symmetric)
+        permuted_t_ =
+            std::make_unique<sparse::Csr<T>>(permuted_->transposed());
+      stats_.n_fronts = static_cast<index_t>(sym_.fronts.size());
+      stats_.peak_front_rows = sym_.peak_front_rows;
+      stats_.factor_entries_dense = analysis.factor_entries_dense;
+    }
+    stats_.analyze_seconds = timer.seconds();
+    Metrics::instance().add(Metric::kSparseAnalysisReuses, 1);
+
+    timer.reset();
+    {
+      TraceSpan span("sparse", "mf.factor");
+      span.arg("n", static_cast<long long>(stats_.n))
+          .arg("fronts", static_cast<long long>(stats_.n_fronts));
+      numeric();
+    }
+    stats_.factor_seconds = timer.seconds();
+    permuted_.reset();
+    permuted_t_.reset();
+    factored_ = true;
   }
 
   /// In-place solve of the eliminated subsystem: B (n_eliminated x nrhs,

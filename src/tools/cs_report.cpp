@@ -217,6 +217,126 @@ std::string analyze_bench_report(const json::Value& report,
   return out;
 }
 
+/// One mode entry ("naive" / "recycled") of a bench_sweep report, or
+/// nullptr. The stats object carries the SweepStats JSON.
+const json::Value* sweep_mode_stats(const json::Value& report,
+                                    const char* mode) {
+  const json::Value* fs = report.find("freq_sweep");
+  if (fs == nullptr || !fs->is_array()) return nullptr;
+  for (const auto& entry : fs->array) {
+    if (sstr(entry.find("mode"), "") == mode) {
+      const json::Value* stats = entry.find("stats");
+      if (stats != nullptr && stats->is_object()) return stats;
+    }
+  }
+  return nullptr;
+}
+
+double sweep_counter(const json::Value* stats, const char* name) {
+  if (stats == nullptr) return 0;
+  const json::Value* freqs = stats->find("freqs");
+  if (freqs == nullptr || !freqs->is_array()) return 0;
+  double total = 0;
+  for (const auto& f : freqs->array) {
+    const json::Value* counters = f.find("counters");
+    if (counters != nullptr && counters->is_object())
+      total += dnum(counters->find(name));
+  }
+  return total;
+}
+
+/// Analysis of a bench_sweep flat report ("freq_sweep" array): naive vs
+/// recycled summary, then the per-frequency service table of the recycled
+/// sweep — which tier served each frequency and at what cost.
+std::string analyze_freq_sweep_report(const json::Value& report,
+                                      const ReportOptions&) {
+  std::string out;
+  out += fmt("== frequency-sweep report: %s ==\n",
+             sstr(report.find("binary")).c_str());
+  out += fmt("  strategy   : %s\n", sstr(report.find("strategy")).c_str());
+  out += fmt("  n          : %.0f  (fem %.0f, bem %.0f)\n",
+             dnum(report.find("n_total")), dnum(report.find("n_fem")),
+             dnum(report.find("n_bem")));
+  out += fmt("  frequencies: %.0f\n", dnum(report.find("frequencies")));
+  out += fmt("  speedup    : %.2fx recycled vs naive\n",
+             dnum(report.find("speedup_recycled_vs_naive")));
+
+  out += fmt("  %-10s %8s %9s %15s %8s %12s\n", "mode", "s/freq", "total s",
+             "factorizations", "lagged", "aca crosses");
+  for (const char* mode : {"naive", "recycled"}) {
+    const json::Value* stats = sweep_mode_stats(report, mode);
+    if (stats == nullptr) continue;
+    const json::Value* ok = stats->find("success");
+    const bool success = ok != nullptr && ok->is_bool() && ok->boolean;
+    out += fmt("  %-10s %8.3f %9.2f %15.0f %8.0f %12.0f%s\n", mode,
+               dnum(stats->find("seconds_per_frequency")),
+               dnum(stats->find("total_seconds")),
+               dnum(stats->find("factorizations")),
+               dnum(stats->find("lagged_solves")),
+               sweep_counter(stats, "aca.iterations"),
+               success ? "" : "  FAILED");
+    if (!success) {
+      const std::string why = sstr(stats->find("failure"), "");
+      if (!why.empty()) out += fmt("    failure: %s\n", why.c_str());
+    }
+  }
+
+  const json::Value* recycled = sweep_mode_stats(report, "recycled");
+  const json::Value* freqs =
+      recycled != nullptr ? recycled->find("freqs") : nullptr;
+  if (freqs != nullptr && freqs->is_array() && !freqs->array.empty()) {
+    out += "  recycled sweep per frequency:\n";
+    out += fmt("  %10s %9s %14s %7s %10s  %s\n", "omega", "s", "served by",
+               "sweeps", "rel err", "fallback");
+    for (const auto& f : freqs->array) {
+      const json::Value* lagged = f.find("lagged");
+      const bool is_lagged =
+          lagged != nullptr && lagged->is_bool() && lagged->boolean;
+      const std::string fallback = sstr(f.find("fallback_reason"), "");
+      out += fmt("  %10.4f %9.3f %14s %7.0f %10.2e  %s\n",
+                 dnum(f.find("omega")), dnum(f.find("seconds")),
+                 is_lagged ? "lagged" : "refactorized",
+                 dnum(f.find("refine_sweeps")),
+                 dnum(f.find("relative_error")),
+                 fallback.empty() ? "-" : fallback.c_str());
+    }
+  }
+  return out;
+}
+
+/// A-vs-B over two bench_sweep reports, matched by mode. The row every
+/// recycling regression shows up in: s/freq and factorization counts of
+/// the recycled sweep drifting toward the naive ones.
+std::string diff_freq_sweep_reports(const json::Value& a,
+                                    const json::Value& b) {
+  std::string out;
+  out += fmt("== sweep diff: A=%s vs B=%s ==\n",
+             sstr(a.find("binary")).c_str(), sstr(b.find("binary")).c_str());
+  out += fmt("  %-10s %9s %9s %6s %7s %7s %8s %8s\n", "mode", "s/freq A",
+             "s/freq B", "B/A", "facto A", "facto B", "lagged A", "lagged B");
+  for (const char* mode : {"naive", "recycled"}) {
+    const json::Value* sa = sweep_mode_stats(a, mode);
+    const json::Value* sb = sweep_mode_stats(b, mode);
+    if (sa == nullptr && sb == nullptr) continue;
+    if (sa == nullptr || sb == nullptr) {
+      out += fmt("  %-10s only in %s\n", mode, sa != nullptr ? "A" : "B");
+      continue;
+    }
+    const double ta = dnum(sa->find("seconds_per_frequency"));
+    const double tb = dnum(sb->find("seconds_per_frequency"));
+    out += fmt("  %-10s %9.3f %9.3f %6.2f %7.0f %7.0f %8.0f %8.0f\n", mode,
+               ta, tb, ta > 0 ? tb / ta : 0.0,
+               dnum(sa->find("factorizations")),
+               dnum(sb->find("factorizations")),
+               dnum(sa->find("lagged_solves")),
+               dnum(sb->find("lagged_solves")));
+  }
+  out += fmt("  speedup    : A %.2fx, B %.2fx recycled vs naive\n",
+             dnum(a.find("speedup_recycled_vs_naive")),
+             dnum(b.find("speedup_recycled_vs_naive")));
+  return out;
+}
+
 }  // namespace
 
 json::Value load_report(const std::string& path) {
@@ -232,13 +352,16 @@ json::Value load_report(const std::string& path) {
   std::string err;
   if (!json::parse(text, &doc, &err))
     throw std::runtime_error("cs-report: " + path + " is not JSON: " + err);
-  // Two accepted shapes: a RunReport ("runs" array) and the bench_solve
-  // flat report, recognizable by its "sweep" array.
+  // Three accepted shapes: a RunReport ("runs" array), the bench_solve
+  // flat report ("sweep" nrhs array) and the bench_sweep flat report
+  // ("freq_sweep" per-mode array).
   const bool has_runs =
       doc.find("runs") != nullptr && doc.find("runs")->is_array();
   const bool has_sweep =
       doc.find("sweep") != nullptr && doc.find("sweep")->is_array();
-  if (!has_runs && !has_sweep)
+  const bool has_freq_sweep = doc.find("freq_sweep") != nullptr &&
+                              doc.find("freq_sweep")->is_array();
+  if (!has_runs && !has_sweep && !has_freq_sweep)
     throw std::runtime_error("cs-report: " + path +
                              " lacks a \"runs\" array (not a run report?)");
   return doc;
@@ -248,6 +371,9 @@ std::string analyze_report(const json::Value& report,
                            const ReportOptions& opts) {
   const json::Value* runs = report.find("runs");
   if (runs == nullptr || !runs->is_array()) {
+    const json::Value* freq_sweep = report.find("freq_sweep");
+    if (freq_sweep != nullptr && freq_sweep->is_array())
+      return analyze_freq_sweep_report(report, opts);
     const json::Value* sweep = report.find("sweep");
     if (sweep != nullptr && sweep->is_array())
       return analyze_bench_report(report, opts);
@@ -288,6 +414,10 @@ std::string analyze_report(const json::Value& report,
 
 std::string diff_reports(const json::Value& a, const json::Value& b,
                          const ReportOptions&) {
+  // Two bench_sweep reports diff mode-by-mode instead of run-by-run.
+  if (a.find("freq_sweep") != nullptr && a.find("freq_sweep")->is_array() &&
+      b.find("freq_sweep") != nullptr && b.find("freq_sweep")->is_array())
+    return diff_freq_sweep_reports(a, b);
   const json::Value* runs_a = a.find("runs");
   const json::Value* runs_b = b.find("runs");
   if (runs_a == nullptr || !runs_a->is_array() || runs_b == nullptr ||

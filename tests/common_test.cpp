@@ -244,6 +244,41 @@ TEST(CliDeathTest, IntOverflowIsUsageError) {
               "invalid value for --n");
 }
 
+TEST(Cli, RangeExpandsColonSyntaxIncludingStop) {
+  const char* argv[] = {"prog", "--freqs=1.0:2.0:0.25"};
+  CliArgs args(2, const_cast<char**>(argv));
+  const std::vector<double> got = args.get_range("freqs", {});
+  ASSERT_EQ(got.size(), 5u);
+  EXPECT_DOUBLE_EQ(got.front(), 1.0);
+  EXPECT_DOUBLE_EQ(got[2], 1.5);
+  // The stop endpoint is included even when accumulated rounding lands
+  // the last step a hair past it.
+  EXPECT_DOUBLE_EQ(got.back(), 2.0);
+}
+
+TEST(Cli, RangeParsesCommaListAndFallback) {
+  const char* argv[] = {"prog", "--freqs=0.5,1.5,2.5"};
+  CliArgs args(2, const_cast<char**>(argv));
+  const std::vector<double> got = args.get_range("freqs", {});
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_DOUBLE_EQ(got[1], 1.5);
+  EXPECT_EQ(args.get_range("missing", {7.0}).size(), 1u);
+}
+
+TEST(CliDeathTest, MalformedRangeIsUsageErrorNotAbort) {
+  const char* argv[] = {"prog", "--freqs=1.0:2.0", "--bad=1.0:2.0:x",
+                        "--down=2.0:1.0:0.5", "--zero=1.0:2.0:0.0"};
+  CliArgs args(5, const_cast<char**>(argv));
+  EXPECT_EXIT(args.get_range("freqs", {}), testing::ExitedWithCode(2),
+              "invalid value for --freqs");
+  EXPECT_EXIT(args.get_range("bad", {}), testing::ExitedWithCode(2),
+              "invalid value for --bad");
+  EXPECT_EXIT(args.get_range("down", {}), testing::ExitedWithCode(2),
+              "invalid value for --down");
+  EXPECT_EXIT(args.get_range("zero", {}), testing::ExitedWithCode(2),
+              "invalid value for --zero");
+}
+
 TEST(Cli, WellFormedValuesStillParse) {
   const char* argv[] = {"prog", "--n=-3", "--eps=1e-6", "--ratio=0.5"};
   CliArgs args(4, const_cast<char**>(argv));

@@ -92,6 +92,62 @@ TEST(CsReport, ToleratesPrePlannerReportsWithDashMarkers) {
   EXPECT_EQ(out.find("n/a"), std::string::npos);
 }
 
+/// Minimal bench_sweep-shaped report (the "freq_sweep" flat shape).
+json::Value freq_sweep_report(double recycled_spf, int factorizations) {
+  const std::string text =
+      "{\"binary\":\"bench_sweep\",\"strategy\":\"multi-solve-compressed\","
+      "\"n_total\":4318,\"n_fem\":3136,\"n_bem\":1182,\"frequencies\":2,"
+      "\"speedup_recycled_vs_naive\":2.5,\"freq_sweep\":["
+      "{\"mode\":\"naive\",\"stats\":{\"success\":true,"
+      "\"factorizations\":2,\"lagged_solves\":0,\"total_seconds\":4.0,"
+      "\"seconds_per_frequency\":2.0,\"freqs\":[]}},"
+      "{\"mode\":\"recycled\",\"stats\":{\"success\":true,"
+      "\"factorizations\":" +
+      std::to_string(factorizations) +
+      ",\"lagged_solves\":1,\"total_seconds\":1.6,"
+      "\"seconds_per_frequency\":" +
+      std::to_string(recycled_spf) +
+      ",\"freqs\":["
+      "{\"omega\":1.1,\"refactorized\":true,\"lagged\":false,"
+      "\"fallback_reason\":\"no_factors\",\"seconds\":1.4,"
+      "\"relative_error\":1.4e-08,\"refine_sweeps\":1,"
+      "\"counters\":{\"aca.iterations\":2584}},"
+      "{\"omega\":1.125,\"refactorized\":false,\"lagged\":true,"
+      "\"seconds\":0.2,\"relative_error\":1.8e-08,\"refine_sweeps\":8,"
+      "\"counters\":{\"aca.iterations\":0}}]}}]}";
+  json::Value doc;
+  std::string err;
+  EXPECT_TRUE(json::parse(text, &doc, &err)) << err;
+  return doc;
+}
+
+TEST(CsReport, FreqSweepAnalysisShowsModesAndServiceTiers) {
+  const json::Value report = freq_sweep_report(0.8, 1);
+  std::string out;
+  ASSERT_NO_THROW(out = tools::analyze_report(report));
+  EXPECT_NE(out.find("frequency-sweep report: bench_sweep"),
+            std::string::npos);
+  EXPECT_NE(out.find("2.50x recycled vs naive"), std::string::npos);
+  EXPECT_NE(out.find("naive"), std::string::npos);
+  EXPECT_NE(out.find("recycled sweep per frequency"), std::string::npos);
+  // Per-frequency rows name the serving tier and the fallback reason.
+  EXPECT_NE(out.find("refactorized"), std::string::npos);
+  EXPECT_NE(out.find("lagged"), std::string::npos);
+  EXPECT_NE(out.find("no_factors"), std::string::npos);
+  EXPECT_EQ(out.find("FAILED"), std::string::npos);
+}
+
+TEST(CsReport, FreqSweepDiffComparesModesAcrossReports) {
+  const json::Value a = freq_sweep_report(0.8, 1);
+  const json::Value b = freq_sweep_report(1.6, 2);
+  std::string out;
+  ASSERT_NO_THROW(out = tools::diff_reports(a, b));
+  EXPECT_NE(out.find("sweep diff"), std::string::npos);
+  EXPECT_NE(out.find("recycled"), std::string::npos);
+  // The recycled s/freq doubled from A to B: the B/A column says 2.00.
+  EXPECT_NE(out.find("2.00"), std::string::npos);
+}
+
 TEST(CsReport, LoadRejectsMissingAndMalformedFiles) {
   EXPECT_THROW(tools::load_report(data_path("does_not_exist.json")),
                std::runtime_error);
