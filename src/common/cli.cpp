@@ -3,26 +3,47 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <stdexcept>
+#include <exception>
 
 namespace cs {
+
+namespace {
+
+// Every malformed command line — positional argument, duplicate flag,
+// unparseable value — exits 2 with a one-line diagnostic, the same
+// contract as the unknown-flag path in check(). A daemon launched from a
+// service manager must fail its unit visibly, not die on an uncaught
+// exception with a stack-unwind abort message.
+[[noreturn]] void usage_error(const std::string& what) {
+  std::fprintf(stderr, "%s (see --help)\n", what.c_str());
+  std::exit(2);
+}
+
+}  // namespace
 
 CliArgs::CliArgs(int argc, char** argv) {
   program_ = argc > 0 ? argv[0] : "program";
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
-      throw std::runtime_error("unexpected positional argument: " + arg);
+      usage_error("unexpected positional argument '" + arg + "'");
     }
     arg = arg.substr(2);
+    std::string name, value;
     auto eq = arg.find('=');
     if (eq != std::string::npos) {
-      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
     } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      values_[arg] = argv[++i];
+      name = arg;
+      value = argv[++i];
     } else {
-      values_[arg] = "true";
+      name = arg;
+      value = "true";
     }
+    if (values_.count(name))
+      usage_error("duplicate flag --" + name);
+    values_[name] = value;
   }
 }
 

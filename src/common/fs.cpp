@@ -1,0 +1,26 @@
+#include "common/fs.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdlib>
+
+namespace cs {
+
+std::string default_tmp_dir() {
+  const char* env = std::getenv("TMPDIR");
+  std::string dir = (env && *env) ? env : "/tmp";
+  while (dir.size() > 1 && dir.back() == '/') dir.pop_back();
+  return dir;
+}
+
+std::string probe_writable_dir(const std::string& dir) {
+  if (dir.empty()) return "empty path";
+  struct stat st;
+  if (::stat(dir.c_str(), &st) != 0) return "no such directory";
+  if (!S_ISDIR(st.st_mode)) return "not a directory";
+  if (::access(dir.c_str(), W_OK | X_OK) != 0) return "not writable";
+  return "";
+}
+
+}  // namespace cs

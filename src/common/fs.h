@@ -1,0 +1,23 @@
+// Small filesystem helpers shared by the out-of-core layer, checkpoints
+// and the solver service: where scratch files go and whether a configured
+// directory can actually host them. Centralised so every component that
+// spills to disk resolves $TMPDIR the same way and rejects a bad
+// directory at configuration time instead of erroring mid-factorization.
+#pragma once
+
+#include <string>
+
+namespace cs {
+
+/// Scratch directory for spill/checkpoint files: `$TMPDIR` when set and
+/// non-empty, else "/tmp". Trailing slashes are stripped so callers can
+/// append "/name" unconditionally.
+std::string default_tmp_dir();
+
+/// Check that `dir` exists, is a directory, and is writable+searchable by
+/// this process. Returns an empty string when usable, else a short
+/// human-readable reason ("no such directory", "not a directory",
+/// "not writable"). Never throws.
+std::string probe_writable_dir(const std::string& dir);
+
+}  // namespace cs

@@ -438,6 +438,15 @@ const char* metric_name(Metric m) {
     case Metric::kSparseAnalysisReuses: return "mf.analysis_reuses";
     case Metric::kHmatStructureReuses: return "hmat.structure_reuses";
     case Metric::kLaggedSolves: return "sweep.lagged_solves";
+    case Metric::kServeRequests: return "serve.requests";
+    case Metric::kServeCacheHits: return "serve.cache_hit";
+    case Metric::kServeCacheMisses: return "serve.cache_miss";
+    case Metric::kServeCacheEvictions: return "serve.cache_evict";
+    case Metric::kServeCacheSpills: return "serve.cache_spill";
+    case Metric::kServeCacheRestores: return "serve.cache_restore";
+    case Metric::kServeFactorizations: return "serve.factorizations";
+    case Metric::kServeCoalescedBatches: return "serve.coalesced_batches";
+    case Metric::kServeCoalescedColumns: return "serve.coalesced_columns";
     case Metric::kCount: break;
   }
   return "?";

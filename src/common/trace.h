@@ -276,6 +276,15 @@ enum class Metric : int {
                              ///< symbolic analysis
   kHmatStructureReuses,      ///< H-matrix assemblies on a reused skeleton
   kLaggedSolves,             ///< frequency-lagged solve attempts (sweep)
+  kServeRequests,            ///< solve requests accepted by the service
+  kServeCacheHits,           ///< requests served by a resident factorization
+  kServeCacheMisses,         ///< requests that had to factorize or restore
+  kServeCacheEvictions,      ///< cache entries evicted (budget/LRU)
+  kServeCacheSpills,         ///< evictions spilled to a checkpoint file
+  kServeCacheRestores,       ///< entries re-admitted from a spill checkpoint
+  kServeFactorizations,      ///< full factorizations run by the service
+  kServeCoalescedBatches,    ///< coalesced solve() batch calls issued
+  kServeCoalescedColumns,    ///< RHS columns carried by coalesced batches
   kCount
 };
 

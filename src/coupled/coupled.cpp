@@ -17,6 +17,7 @@
 #include "common/trace.h"
 #include "coupled/planner.h"
 #include "coupled/sweep.h"
+#include "fembem/fingerprint.h"
 #include "dense/dense_solver.h"
 #include "hmat/hmatrix.h"
 #include "sparsedirect/multifrontal.h"
@@ -81,10 +82,34 @@ std::string validate_config(const Config& c) {
   if (c.num_threads < 0) return "num_threads must be >= 0";
   if (c.max_recovery_attempts < 0)
     return "max_recovery_attempts must be >= 0";
-  if (c.out_of_core && c.ooc_dir.empty())
-    return "ooc_dir must be non-empty when out_of_core is on";
+  if (c.out_of_core) {
+    // Probe the spill directory now: an unusable ooc_dir must reject the
+    // config up front (a daemon fails at startup), not surface as an
+    // "ooc.open" IoError minutes into the factorization at first spill.
+    // The "ooc_dir: " prefix lets config_error() classify this as kIo.
+    if (c.ooc_dir.empty())
+      return "ooc_dir: must be non-empty when out_of_core is on";
+    const std::string reason = probe_writable_dir(c.ooc_dir);
+    if (!reason.empty()) return "ooc_dir: '" + c.ooc_dir + "' " + reason;
+  }
   return FailpointRegistry::check(c.failpoints);
 }
+
+namespace {
+
+/// Map a validate_config complaint to a structured error: filesystem
+/// problems (the "ooc_dir: " prefix) are kIo at site "ooc.dir" so callers
+/// and the recovery ladder see the same taxonomy as a spill-time failure;
+/// everything else is a plain kInternal config error.
+SolveError config_error(const std::string& problem) {
+  constexpr const char* kDirPrefix = "ooc_dir: ";
+  if (problem.rfind(kDirPrefix, 0) == 0)
+    return SolveError{ErrorCode::kIo, "ooc.dir",
+                      problem.substr(std::string(kDirPrefix).size())};
+  return SolveError{ErrorCode::kInternal, "config", problem};
+}
+
+}  // namespace
 
 namespace detail {
 
@@ -1611,75 +1636,15 @@ void with_solver_session(const Config& config, SolveStats& stats,
 // Checkpointing (DESIGN.md §14): durable save/load of a FactoredCoupled.
 // ---------------------------------------------------------------------------
 
-/// On-disk code of the checkpoint's input scalar type.
-template <class T>
-struct ScalarCode;
-template <>
-struct ScalarCode<double> {
-  static constexpr std::uint32_t v = 1;
-};
-template <>
-struct ScalarCode<complexd> {
-  static constexpr std::uint32_t v = 2;
-};
+// The system identity (fembem::SystemFingerprint, fembem/fingerprint.h)
+// is shared with the solver-service factorization cache: the factors are
+// only valid for the exact system they were computed from, so load checks
+// dimensions, sparsity, matrix values and the BEM geometry — not just
+// shapes — before trusting a single factor byte.
+using fembem::SystemFingerprint;
+using fembem::detail::vec_crc;
 
-template <class T>
-std::uint32_t vec_crc(const std::vector<T>& v) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  return v.empty() ? 0
-                   : serialize::crc32c(0, v.data(), v.size() * sizeof(T));
-}
-
-/// CRC32C over a CSR matrix's structure and values in row-major scan
-/// order (row pointers are implied by the per-row scan, so two CSRs with
-/// identical entries hash identically regardless of how they were built).
-template <class T>
-std::uint32_t csr_crc(const sparse::Csr<T>& A) {
-  std::uint32_t c = 0;
-  for (index_t r = 0; r < A.rows(); ++r)
-    for (offset_t k = A.row_begin(r); k < A.row_end(r); ++k) {
-      const index_t col = A.col(k);
-      const T v = A.value(k);
-      c = serialize::crc32c(c, &col, sizeof col);
-      c = serialize::crc32c(c, &v, sizeof v);
-    }
-  return c;
-}
-
-/// Identity of the coupled system a checkpoint belongs to. The factors are
-/// only valid for the exact system they were computed from, so load checks
-/// dimensions, sparsity, matrix values and the BEM geometry — not just
-/// shapes — before trusting a single factor byte.
-struct Fingerprint {
-  std::uint32_t scalar = 0;
-  std::int64_t nv = 0, ns = 0, nnz_vv = 0, nnz_sv = 0;
-  std::uint8_t symmetric = 0;
-  std::uint32_t crc_vv = 0, crc_sv = 0, crc_pts = 0;
-
-  bool operator==(const Fingerprint& o) const {
-    return scalar == o.scalar && nv == o.nv && ns == o.ns &&
-           nnz_vv == o.nnz_vv && nnz_sv == o.nnz_sv &&
-           symmetric == o.symmetric && crc_vv == o.crc_vv &&
-           crc_sv == o.crc_sv && crc_pts == o.crc_pts;
-  }
-};
-
-template <class T>
-Fingerprint fingerprint_of(const CoupledSystem<T>& sys) {
-  Fingerprint fp;
-  fp.scalar = ScalarCode<T>::v;
-  fp.nv = sys.nv();
-  fp.ns = sys.ns();
-  fp.nnz_vv = sys.A_vv.nnz();
-  fp.nnz_sv = sys.A_sv.nnz();
-  fp.symmetric = sys.symmetric ? 1 : 0;
-  fp.crc_vv = csr_crc(sys.A_vv);
-  fp.crc_sv = csr_crc(sys.A_sv);
-  fp.crc_pts = vec_crc(sys.surface_points());
-  return fp;
-}
-
-void write_fingerprint(serialize::Writer& w, const Fingerprint& fp) {
+void write_fingerprint(serialize::Writer& w, const SystemFingerprint& fp) {
   w.write_u32(fp.scalar);
   w.write_i64(fp.nv);
   w.write_i64(fp.ns);
@@ -1691,8 +1656,8 @@ void write_fingerprint(serialize::Writer& w, const Fingerprint& fp) {
   w.write_u32(fp.crc_pts);
 }
 
-Fingerprint read_fingerprint(serialize::Reader& in) {
-  Fingerprint fp;
+SystemFingerprint read_fingerprint(serialize::Reader& in) {
+  SystemFingerprint fp;
   fp.scalar = in.read_u32();
   fp.nv = in.read_i64();
   fp.ns = in.read_i64();
@@ -1705,7 +1670,8 @@ Fingerprint read_fingerprint(serialize::Reader& in) {
   return fp;
 }
 
-void check_fingerprint(const Fingerprint& stored, const Fingerprint& live) {
+void check_fingerprint(const SystemFingerprint& stored,
+                       const SystemFingerprint& live) {
   if (stored.scalar != live.scalar)
     throw ClassifiedError(
         ErrorCode::kIo, "ckpt.scalar",
@@ -1842,7 +1808,7 @@ std::size_t save_factored_impl(const detail::FactoredImpl<T>& f,
   TraceSpan span("phase", "checkpoint_save");
   serialize::Writer w(path);
   w.begin_section("meta");
-  write_fingerprint(w, fingerprint_of(*f.sys));
+  write_fingerprint(w, f.sys->fingerprint());
   w.write_u8(f.single ? 1 : 0);
   w.write_u64(f.fstats.sparse_factor_bytes);
   w.write_u64(f.fstats.schur_bytes);
@@ -1898,7 +1864,7 @@ std::size_t load_factored_impl(const std::string& path,
   serialize::Reader in(path);  // verifies trailer, footer, every CRC
 
   in.open_section("meta");
-  check_fingerprint(read_fingerprint(in), fingerprint_of(system));
+  check_fingerprint(read_fingerprint(in), system.fingerprint());
   const bool single = in.read_u8() != 0;
   stats.sparse_factor_bytes = static_cast<std::size_t>(in.read_u64());
   stats.schur_bytes = static_cast<std::size_t>(in.read_u64());
@@ -1967,7 +1933,7 @@ SolveStats solve_coupled(const CoupledSystem<T>& system,
   {
     const std::string problem = validate_config(config);
     if (!problem.empty()) {
-      stats.error = SolveError{ErrorCode::kInternal, "config", problem};
+      stats.error = config_error(problem);
       stats.failure = failure_text(stats.error);
       return stats;
     }
@@ -2017,7 +1983,7 @@ FactoredCoupled<T> factorize_coupled(const CoupledSystem<T>& system,
   {
     const std::string problem = validate_config(config);
     if (!problem.empty()) {
-      stats.error = SolveError{ErrorCode::kInternal, "config", problem};
+      stats.error = config_error(problem);
       stats.failure = failure_text(stats.error);
       return handle;
     }
@@ -2226,7 +2192,7 @@ FactoredCoupled<T> load_factored(const std::string& path,
     // so it is validated exactly like a factorize_coupled config.
     const std::string problem = validate_config(config);
     if (!problem.empty()) {
-      stats.error = SolveError{ErrorCode::kInternal, "config", problem};
+      stats.error = config_error(problem);
       stats.failure = failure_text(stats.error);
       return handle;
     }

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "common/fs.h"
 #include "common/memory.h"
 #include "common/timer.h"
 #include "fembem/system.h"
@@ -164,7 +165,10 @@ struct Config {
   /// ooc_dir; see sparsedirect::SolverOptions). auto_recover may also
   /// enable this mid-run as a budget-recovery action.
   bool out_of_core = false;
-  std::string ooc_dir = "/tmp";
+  /// Spill directory ($TMPDIR when set, else /tmp). validate_config
+  /// rejects a missing or unwritable directory up front — a daemon must
+  /// fail at startup, not minutes into a request at first spill.
+  std::string ooc_dir = default_tmp_dir();
 
   /// Failpoint spec armed for the duration of the solve, e.g.
   /// "ooc.write=hit:2,aca.converge=once" (see common/failpoint.h; the

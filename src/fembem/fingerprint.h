@@ -1,0 +1,124 @@
+// Identity of a coupled system, as a compact checksummed fingerprint.
+//
+// The factors of a CoupledSystem are only valid for the exact system they
+// were computed from, so both durable checkpoints (coupled.cpp, DESIGN.md
+// §14) and the solver-service factorization cache (src/server/, DESIGN.md
+// §16) need a cheap, collision-resistant identity: dimensions, sparsity,
+// matrix values and the BEM geometry — not just shapes. This header is
+// that single shared implementation; cache keys and checkpoint validation
+// can never diverge because both call CoupledSystem<T>::fingerprint().
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <tuple>
+
+#include "common/serialize.h"
+#include "fembem/system.h"
+
+namespace cs::fembem {
+
+/// On-disk / on-wire code of the system's scalar type.
+template <class T>
+struct ScalarCodeOf;
+template <>
+struct ScalarCodeOf<double> {
+  static constexpr std::uint32_t v = 1;
+};
+template <>
+struct ScalarCodeOf<complexd> {
+  static constexpr std::uint32_t v = 2;
+};
+
+namespace detail {
+
+template <class T>
+std::uint32_t vec_crc(const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return v.empty() ? 0
+                   : serialize::crc32c(0, v.data(), v.size() * sizeof(T));
+}
+
+/// CRC32C over a CSR matrix's structure and values in row-major scan
+/// order (row pointers are implied by the per-row scan, so two CSRs with
+/// identical entries hash identically regardless of how they were built).
+template <class T>
+std::uint32_t csr_crc(const sparse::Csr<T>& A) {
+  std::uint32_t c = 0;
+  for (index_t r = 0; r < A.rows(); ++r)
+    for (offset_t k = A.row_begin(r); k < A.row_end(r); ++k) {
+      const index_t col = A.col(k);
+      const T v = A.value(k);
+      c = serialize::crc32c(c, &col, sizeof col);
+      c = serialize::crc32c(c, &v, sizeof v);
+    }
+  return c;
+}
+
+}  // namespace detail
+
+struct SystemFingerprint {
+  std::uint32_t scalar = 0;
+  std::int64_t nv = 0, ns = 0, nnz_vv = 0, nnz_sv = 0;
+  std::uint8_t symmetric = 0;
+  std::uint32_t crc_vv = 0, crc_sv = 0, crc_pts = 0;
+
+  auto key() const {
+    return std::tie(scalar, nv, ns, nnz_vv, nnz_sv, symmetric, crc_vv,
+                    crc_sv, crc_pts);
+  }
+  bool operator==(const SystemFingerprint& o) const {
+    return key() == o.key();
+  }
+  bool operator!=(const SystemFingerprint& o) const { return !(*this == o); }
+  /// Strict weak ordering so a fingerprint can key an ordered map (the
+  /// server's factorization cache).
+  bool operator<(const SystemFingerprint& o) const { return key() < o.key(); }
+
+  /// 64-bit mix of all fields — a wire-friendly digest for logs and
+  /// replies. Equality of fingerprints is the authoritative test; the
+  /// digest is for display and cheap client-side comparison.
+  std::uint64_t digest() const {
+    auto mix = [](std::uint64_t h, std::uint64_t v) {
+      h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+      return h;
+    };
+    std::uint64_t h = 0x243f6a8885a308d3ull;
+    h = mix(h, scalar);
+    h = mix(h, static_cast<std::uint64_t>(nv));
+    h = mix(h, static_cast<std::uint64_t>(ns));
+    h = mix(h, static_cast<std::uint64_t>(nnz_vv));
+    h = mix(h, static_cast<std::uint64_t>(nnz_sv));
+    h = mix(h, symmetric);
+    h = mix(h, crc_vv);
+    h = mix(h, crc_sv);
+    h = mix(h, crc_pts);
+    return h;
+  }
+
+  /// 16-hex-digit digest, usable in file names (checkpoint spill paths).
+  std::string hex() const {
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(digest()));
+    return buf;
+  }
+};
+
+template <class T>
+SystemFingerprint CoupledSystem<T>::fingerprint() const {
+  SystemFingerprint fp;
+  fp.scalar = ScalarCodeOf<T>::v;
+  fp.nv = nv();
+  fp.ns = ns();
+  fp.nnz_vv = A_vv.nnz();
+  fp.nnz_sv = A_sv.nnz();
+  fp.symmetric = symmetric ? 1 : 0;
+  fp.crc_vv = detail::csr_crc(A_vv);
+  fp.crc_sv = detail::csr_crc(A_sv);
+  fp.crc_pts = detail::vec_crc(surface_points());
+  return fp;
+}
+
+}  // namespace cs::fembem

@@ -19,6 +19,8 @@
 
 namespace cs::fembem {
 
+struct SystemFingerprint;
+
 template <class T>
 struct CoupledSystem {
   sparse::Csr<T> A_vv;  ///< nv x nv, symmetric (complex symmetric if T cplx)
@@ -35,6 +37,12 @@ struct CoupledSystem {
   const std::vector<Point3>& surface_points() const {
     return A_ss->surface().points;
   }
+
+  /// Checksummed identity of this system (dimensions, sparsity, matrix
+  /// values, BEM geometry). One shared implementation keys both the
+  /// durable-checkpoint validation and the solver-service factorization
+  /// cache; defined in fembem/fingerprint.h.
+  SystemFingerprint fingerprint() const;
 
   /// Relative error of a computed solution against the reference,
   /// || [xv; xs] - ref || / || ref || (2-norm over all unknowns).

@@ -121,11 +121,22 @@ inline void store_tile(T alpha, const real_of_t<T>* acc_re,
 
 /// Size-based dispatch: shapes below this stay on the unpacked kernel
 /// (packing and zero-padded tiles do not pay off for tiny or skinny
-/// operands -- notably the ACA rank-1 updates, where k == 1). The flop
-/// threshold matches the library-wide OpenMP parallelization threshold.
+/// operands -- notably the ACA rank-1 updates, where k == 1).
+///
+/// Deliberately a function of (m, k) ONLY, never of n. Both engines
+/// accumulate each output column independently in a fixed scan order, but
+/// they do not produce the same bits as each other (the packed engine
+/// reassociates the k loop into KC panels). If the engine choice depended
+/// on the column count, solving a block of right-hand sides could flip a
+/// column onto a different engine than solving that column alone --
+/// breaking the solver-wide contract that batched solves are per-column
+/// bitwise identical to single-RHS solves (which the serve-layer request
+/// coalescer relies on). The m*k threshold meets the historical m*n*k
+/// flop threshold (2^16) at the old n >= 8 boundary.
 inline bool use_packed_gemm(index_t m, index_t n, index_t k) {
-  return m >= 8 && n >= 8 && k >= 16 &&
-         static_cast<offset_t>(m) * n * k >= (offset_t{1} << 16);
+  (void)n;
+  return m >= 8 && k >= 16 &&
+         static_cast<offset_t>(m) * k >= (offset_t{1} << 13);
 }
 
 /// C += alpha * op(A) * op(B) through the packed engine. beta must already

@@ -1,0 +1,144 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace cs::server {
+
+ServeClient::~ServeClient() { close(); }
+
+void ServeClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void ServeClient::connect_unix(const std::string& path) {
+  close();
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw IoError("client.connect", "socket() failed", errno);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    throw IoError("client.connect", "unix socket path too long: " + path, 0);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const int err = errno;
+    ::close(fd);
+    throw IoError("client.connect", "connect(" + path + ") failed", err);
+  }
+  fd_ = fd;
+}
+
+void ServeClient::connect_tcp(const std::string& host, int port) {
+  close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw IoError("client.connect", "socket() failed", errno);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw IoError("client.connect", "bad address: " + host, 0);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const int err = errno;
+    ::close(fd);
+    throw IoError("client.connect", "connect(" + host + ") failed", err);
+  }
+  fd_ = fd;
+}
+
+Frame ServeClient::roundtrip(MsgType type, const WireWriter& w,
+                             MsgType expect) {
+  write_frame(fd_, type, w);
+  Frame reply;
+  if (!read_frame(fd_, &reply))
+    throw IoError("client.read", "server closed the connection", 0);
+  if (reply.type == MsgType::kError) {
+    WireReader r(reply.payload);
+    throw ClassifiedError(ErrorCode::kInternal, "client.reply", r.str());
+  }
+  if (reply.type != expect)
+    throw ClassifiedError(ErrorCode::kInternal, "client.reply",
+                          "unexpected reply type");
+  return reply;
+}
+
+void ServeClient::ping() { roundtrip(MsgType::kPing, {}, MsgType::kPong); }
+
+ServeClient::Description ServeClient::describe(const SceneSpec& scene) {
+  WireWriter w;
+  put_scene(w, scene);
+  Frame reply = roundtrip(MsgType::kDescribe, w, MsgType::kDescribeOk);
+  WireReader r(reply.payload);
+  Description d;
+  d.nv = r.i64();
+  d.ns = r.i64();
+  d.digest = r.u64();
+  d.resident = r.u8() != 0;
+  return d;
+}
+
+ServeClient::SolveReply ServeClient::solve(const SceneSpec& scene,
+                                           std::vector<double>& b_v,
+                                           std::vector<double>& b_s) {
+  WireWriter w;
+  put_scene(w, scene);
+  w.u64(b_v.size());
+  w.u64(b_s.size());
+  w.doubles(b_v.data(), b_v.size());
+  w.doubles(b_s.data(), b_s.size());
+
+  write_frame(fd_, MsgType::kSolve, w);
+  Frame reply;
+  if (!read_frame(fd_, &reply))
+    throw IoError("client.read", "server closed the connection", 0);
+
+  SolveReply out;
+  if (reply.type == MsgType::kError) {
+    WireReader r(reply.payload);
+    out.ok = false;
+    out.error = r.str();
+    return out;
+  }
+  if (reply.type != MsgType::kSolveOk)
+    throw ClassifiedError(ErrorCode::kInternal, "client.reply",
+                          "unexpected reply type");
+  WireReader r(reply.payload);
+  const std::uint64_t nv = r.u64();
+  const std::uint64_t ns = r.u64();
+  if (nv != b_v.size() || ns != b_s.size())
+    throw ClassifiedError(ErrorCode::kInternal, "client.reply",
+                          "solution dimensions do not match the request");
+  r.doubles(b_v.data(), nv);
+  r.doubles(b_s.data(), ns);
+  out.ok = true;
+  out.cache_hit = r.u8() != 0;
+  out.source = r.str();
+  out.batch_columns = r.u32();
+  out.solve_seconds = r.f64();
+  out.server_seconds = r.f64();
+  return out;
+}
+
+std::string ServeClient::stats_json() {
+  Frame reply = roundtrip(MsgType::kStats, {}, MsgType::kStatsOk);
+  WireReader r(reply.payload);
+  return r.str();
+}
+
+void ServeClient::shutdown_server() {
+  roundtrip(MsgType::kShutdown, {}, MsgType::kShutdownOk);
+}
+
+}  // namespace cs::server

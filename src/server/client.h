@@ -1,0 +1,61 @@
+// Blocking client of the solver service: one connection, framed
+// request/reply pairs (protocol.h). Used by bench_serve's load generator
+// and by tests; a third-party client only needs the protocol header.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "server/protocol.h"
+
+namespace cs::server {
+
+class ServeClient {
+ public:
+  ServeClient() = default;
+  ~ServeClient();
+  ServeClient(ServeClient&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  ServeClient& operator=(ServeClient&&) = delete;
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Throw IoError at "client.connect" on failure.
+  void connect_unix(const std::string& path);
+  void connect_tcp(const std::string& host, int port);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  struct Description {
+    std::int64_t nv = 0;
+    std::int64_t ns = 0;
+    std::uint64_t digest = 0;
+    bool resident = false;
+  };
+
+  struct SolveReply {
+    bool ok = false;
+    std::string error;  ///< server-side classification when !ok
+    bool cache_hit = false;
+    std::string source;
+    std::uint32_t batch_columns = 1;
+    double solve_seconds = 0;
+    double server_seconds = 0;  ///< server-side enqueue-to-reply time
+  };
+
+  void ping();
+  Description describe(const SceneSpec& scene);
+  /// Solve one RHS in place (b_v: nv doubles, b_s: ns doubles). Transport
+  /// errors throw; a server-side solve failure comes back in the reply.
+  SolveReply solve(const SceneSpec& scene, std::vector<double>& b_v,
+                   std::vector<double>& b_s);
+  std::string stats_json();
+  /// Ask the daemon to exit; returns after the kShutdownOk reply.
+  void shutdown_server();
+
+ private:
+  Frame roundtrip(MsgType type, const WireWriter& w, MsgType expect);
+  int fd_ = -1;
+};
+
+}  // namespace cs::server

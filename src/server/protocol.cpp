@@ -1,0 +1,150 @@
+#include "server/protocol.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "common/serialize.h"
+
+namespace cs::server {
+
+bool valid_request_type(std::uint8_t t) {
+  switch (static_cast<MsgType>(t)) {
+    case MsgType::kPing:
+    case MsgType::kDescribe:
+    case MsgType::kSolve:
+    case MsgType::kStats:
+    case MsgType::kShutdown:
+      return true;
+    // Replies are not valid *requests*, but a reader must still accept
+    // them when it is the client side; frame validation only rejects
+    // codes outside the protocol entirely.
+    case MsgType::kPong:
+    case MsgType::kDescribeOk:
+    case MsgType::kSolveOk:
+    case MsgType::kStatsOk:
+    case MsgType::kShutdownOk:
+    case MsgType::kError:
+      return true;
+  }
+  return false;
+}
+
+void put_scene(WireWriter& w, const SceneSpec& s) {
+  w.i64(s.total_unknowns);
+  w.f64(s.kappa);
+  w.f64(s.sigma_real);
+  w.f64(s.sigma_imag);
+  w.u8(s.symmetric);
+  w.f64(s.extra_surface_ratio);
+}
+
+SceneSpec get_scene(WireReader& r) {
+  SceneSpec s;
+  s.total_unknowns = r.i64();
+  s.kappa = r.f64();
+  s.sigma_real = r.f64();
+  s.sigma_imag = r.f64();
+  s.symmetric = r.u8();
+  s.extra_surface_ratio = r.f64();
+  return s;
+}
+
+namespace {
+
+/// Read exactly n bytes. Returns the count read before EOF (== n when the
+/// peer kept the connection up); throws IoError on a socket error.
+std::size_t read_full(int fd, void* buf, std::size_t n) {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, p + got, n - got);
+    if (r == 0) return got;
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw IoError("proto.read", "socket read failed", errno);
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return got;
+}
+
+[[noreturn]] void malformed(const std::string& what) {
+  throw ClassifiedError(ErrorCode::kInternal, "proto.frame", what);
+}
+
+}  // namespace
+
+bool read_frame(int fd, Frame* out) {
+  // Header: magic u32, type u8, payload_len u64.
+  std::uint8_t header[13];
+  const std::size_t got = read_full(fd, header, sizeof header);
+  if (got == 0) return false;  // clean EOF between frames
+  if (got < sizeof header)
+    throw ClassifiedError(ErrorCode::kInternal, "proto.truncated",
+                          "EOF inside frame header");
+  std::uint32_t magic;
+  std::uint64_t len;
+  std::memcpy(&magic, header, 4);
+  const std::uint8_t type = header[4];
+  std::memcpy(&len, header + 5, 8);
+
+  if (magic != kMagic) malformed("bad frame magic");
+  if (!valid_request_type(type)) malformed("unknown message type");
+  if (len > kMaxPayloadBytes) malformed("payload length exceeds cap");
+
+  out->type = static_cast<MsgType>(type);
+  out->payload.resize(static_cast<std::size_t>(len));
+  if (read_full(fd, out->payload.data(), out->payload.size()) !=
+      out->payload.size())
+    throw ClassifiedError(ErrorCode::kInternal, "proto.truncated",
+                          "EOF inside frame payload");
+
+  std::uint32_t stored_crc;
+  if (read_full(fd, &stored_crc, 4) != 4)
+    throw ClassifiedError(ErrorCode::kInternal, "proto.truncated",
+                          "EOF before frame checksum");
+  const std::uint32_t crc = out->payload.empty()
+                                ? 0
+                                : serialize::crc32c(0, out->payload.data(),
+                                                    out->payload.size());
+  if (crc != stored_crc) malformed("frame checksum mismatch");
+  return true;
+}
+
+void write_frame(int fd, MsgType type,
+                 const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> buf;
+  buf.reserve(13 + payload.size() + 4);
+  const std::uint32_t magic = kMagic;
+  const std::uint8_t t = static_cast<std::uint8_t>(type);
+  const std::uint64_t len = payload.size();
+  const std::uint32_t crc =
+      payload.empty() ? 0
+                      : serialize::crc32c(0, payload.data(), payload.size());
+  auto append = [&buf](const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf.insert(buf.end(), b, b + n);
+  };
+  append(&magic, 4);
+  append(&t, 1);
+  append(&len, 8);
+  append(payload.data(), payload.size());
+  append(&crc, 4);
+
+  std::size_t sent = 0;
+  while (sent < buf.size()) {
+    // MSG_NOSIGNAL: a peer that vanished mid-reply must surface as EPIPE
+    // on this call, not as a process-wide SIGPIPE.
+    const ssize_t w =
+        ::send(fd, buf.data() + sent, buf.size() - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw IoError("proto.write", "socket write failed", errno);
+    }
+    sent += static_cast<std::size_t>(w);
+  }
+}
+
+}  // namespace cs::server

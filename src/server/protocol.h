@@ -1,0 +1,168 @@
+// Wire protocol of the solver service (DESIGN.md §16).
+//
+// Frames are length-prefixed and checksummed so a reader can always tell
+// a short read from a corrupt peer:
+//
+//   [magic u32 "CSRV"] [type u8] [payload_len u64] [payload] [crc32c u32]
+//
+// The CRC covers the payload only (the header fields are validated by
+// value: known magic, known type, sane length). A malformed frame — bad
+// magic, oversized length, CRC mismatch, truncated payload — must never
+// kill the daemon: the connection handler replies kError and closes that
+// one connection. All integers are little-endian host order (the service
+// targets single-node machines, not cross-endian links).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/error.h"
+
+namespace cs::server {
+
+inline constexpr std::uint32_t kMagic = 0x43535256;  // "CSRV"
+/// Largest accepted payload; a length beyond this is a malformed frame,
+/// not an allocation request (a corrupt length must not OOM the daemon).
+inline constexpr std::uint64_t kMaxPayloadBytes = 256ull << 20;
+
+enum class MsgType : std::uint8_t {
+  kPing = 1,
+  kPong = 2,
+  kDescribe = 3,    ///< SceneSpec -> dimensions + fingerprint digest
+  kDescribeOk = 4,
+  kSolve = 5,       ///< SceneSpec + one RHS column -> solution column
+  kSolveOk = 6,
+  kStats = 7,       ///< -> service counters as a JSON string
+  kStatsOk = 8,
+  kShutdown = 9,    ///< ask the daemon to stop accepting and exit
+  kShutdownOk = 10,
+  kError = 255,     ///< string payload: what went wrong with the request
+};
+
+/// True for the message types a conforming peer may send as a request.
+bool valid_request_type(std::uint8_t t);
+
+/// Parameters of the coupled scene a client wants solved — the arguments
+/// of fembem::make_pipe_system, not matrix data. The daemon rebuilds the
+/// system deterministically from the spec and keys its cache on the
+/// *fingerprint* of the built system, so two specs that build the same
+/// system share one factorization.
+struct SceneSpec {
+  std::int64_t total_unknowns = 20000;
+  double kappa = 0.0;
+  double sigma_real = 1.0;
+  double sigma_imag = 0.0;
+  std::uint8_t symmetric = 1;
+  double extra_surface_ratio = 0.0;
+
+  auto key() const {
+    return std::tie(total_unknowns, kappa, sigma_real, sigma_imag, symmetric,
+                    extra_surface_ratio);
+  }
+  bool operator==(const SceneSpec& o) const { return key() == o.key(); }
+  bool operator<(const SceneSpec& o) const { return key() < o.key(); }
+};
+
+/// Append-only payload builder (POD puts, little-endian host order).
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { raw(&v, sizeof v); }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void i64(std::int64_t v) { raw(&v, sizeof v); }
+  void f64(double v) { raw(&v, sizeof v); }
+  void str(const std::string& s) {
+    u64(s.size());
+    raw(s.data(), s.size());
+  }
+  void doubles(const double* p, std::size_t n) { raw(p, n * sizeof(double)); }
+
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked payload reader. Underflow throws a ClassifiedError at
+/// site "proto.truncated" — the connection handler turns it into a clean
+/// kError reply instead of reading past the buffer.
+class WireReader {
+ public:
+  WireReader(const std::uint8_t* data, std::size_t size)
+      : p_(data), n_(size) {}
+  explicit WireReader(const std::vector<std::uint8_t>& buf)
+      : WireReader(buf.data(), buf.size()) {}
+
+  std::uint8_t u8() { return get<std::uint8_t>(); }
+  std::uint32_t u32() { return get<std::uint32_t>(); }
+  std::uint64_t u64() { return get<std::uint64_t>(); }
+  std::int64_t i64() { return get<std::int64_t>(); }
+  double f64() { return get<double>(); }
+  std::string str() {
+    const std::uint64_t len = u64();
+    need(len);
+    std::string s(reinterpret_cast<const char*>(p_ + off_),
+                  static_cast<std::size_t>(len));
+    off_ += static_cast<std::size_t>(len);
+    return s;
+  }
+  void doubles(double* out, std::size_t n) {
+    need(n * sizeof(double));
+    std::memcpy(out, p_ + off_, n * sizeof(double));
+    off_ += n * sizeof(double);
+  }
+  std::size_t remaining() const { return n_ - off_; }
+
+ private:
+  template <class T>
+  T get() {
+    need(sizeof(T));
+    T v;
+    std::memcpy(&v, p_ + off_, sizeof(T));
+    off_ += sizeof(T);
+    return v;
+  }
+  void need(std::uint64_t n) const {
+    if (n > n_ - off_)
+      throw ClassifiedError(ErrorCode::kInternal, "proto.truncated",
+                            "payload ends before field");
+  }
+  const std::uint8_t* p_;
+  std::size_t n_;
+  std::size_t off_ = 0;
+};
+
+void put_scene(WireWriter& w, const SceneSpec& s);
+SceneSpec get_scene(WireReader& r);
+
+struct Frame {
+  MsgType type = MsgType::kError;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Read one frame. Returns false on a clean EOF before any header byte
+/// (peer closed between requests). Throws:
+///   * IoError("proto.read")                 — socket error,
+///   * ClassifiedError at "proto.truncated"  — EOF mid-frame,
+///   * ClassifiedError at "proto.frame"      — bad magic / unknown type /
+///                                             oversize length / CRC
+///                                             mismatch.
+bool read_frame(int fd, Frame* out);
+
+/// Write one frame; loops over partial writes, uses MSG_NOSIGNAL so a
+/// dead peer yields EPIPE (an IoError at "proto.write"), not SIGPIPE.
+void write_frame(int fd, MsgType type,
+                 const std::vector<std::uint8_t>& payload);
+
+inline void write_frame(int fd, MsgType type, const WireWriter& w) {
+  write_frame(fd, type, w.bytes());
+}
+
+}  // namespace cs::server

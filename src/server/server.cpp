@@ -1,0 +1,247 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+
+#include "common/log.h"
+
+namespace cs::server {
+
+SocketServer::SocketServer(SolverService& service) : service_(service) {
+  // A client that disconnects while a reply is in flight must surface as
+  // EPIPE on the write (handled per connection), not kill the daemon.
+  std::signal(SIGPIPE, SIG_IGN);
+}
+
+SocketServer::~SocketServer() { stop(); }
+
+void SocketServer::listen_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw IoError("serve.listen", "socket() failed", errno);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    throw IoError("serve.listen", "unix socket path too long: " + path, 0);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());  // replace a stale socket file
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const int err = errno;
+    ::close(fd);
+    throw IoError("serve.listen", "bind(" + path + ") failed", err);
+  }
+  if (::listen(fd, 128) < 0) {
+    const int err = errno;
+    ::close(fd);
+    throw IoError("serve.listen", "listen(" + path + ") failed", err);
+  }
+  unix_path_ = path;
+  start(fd);
+}
+
+int SocketServer::listen_tcp(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw IoError("serve.listen", "socket() failed", errno);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const int err = errno;
+    ::close(fd);
+    throw IoError("serve.listen", "bind(loopback) failed", err);
+  }
+  if (::listen(fd, 128) < 0) {
+    const int err = errno;
+    ::close(fd);
+    throw IoError("serve.listen", "listen failed", err);
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  start(fd);
+  return port_;
+}
+
+void SocketServer::start(int listen_fd) {
+  listen_fd_ = listen_fd;
+  running_.store(true);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void SocketServer::accept_loop() {
+  while (running_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // stop() closed the listener (EBADF/EINVAL) or something fatal
+      // happened to it; either way the accept loop is done.
+      break;
+    }
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (!running_.load()) {
+      ::close(fd);
+      break;
+    }
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+}
+
+void SocketServer::serve_connection(int fd) {
+  bool shutdown_requested = false;
+  for (;;) {
+    Frame frame;
+    try {
+      if (!read_frame(fd, &frame)) break;  // clean EOF
+    } catch (const ClassifiedError& ex) {
+      // Malformed or truncated frame: answer if the peer might still be
+      // listening, then drop the connection. The daemon lives on.
+      try {
+        WireWriter w;
+        w.str(ex.error().site + ": " + ex.error().detail);
+        write_frame(fd, MsgType::kError, w);
+      } catch (const std::exception&) {
+      }
+      break;
+    } catch (const std::exception&) {
+      break;  // socket error: nothing to answer to
+    }
+
+    try {
+      switch (frame.type) {
+        case MsgType::kPing:
+          write_frame(fd, MsgType::kPong, std::vector<std::uint8_t>{});
+          break;
+        case MsgType::kDescribe: {
+          WireReader r(frame.payload);
+          const SceneSpec scene = get_scene(r);
+          const SolverService::SceneInfo info = service_.describe(scene);
+          WireWriter w;
+          w.i64(info.nv);
+          w.i64(info.ns);
+          w.u64(info.digest);
+          w.u8(info.resident ? 1 : 0);
+          write_frame(fd, MsgType::kDescribeOk, w);
+          break;
+        }
+        case MsgType::kSolve: {
+          WireReader r(frame.payload);
+          const SceneSpec scene = get_scene(r);
+          const std::uint64_t nv = r.u64();
+          const std::uint64_t ns = r.u64();
+          if (r.remaining() != (nv + ns) * sizeof(double))
+            throw ClassifiedError(ErrorCode::kInternal, "proto.frame",
+                                  "solve payload size mismatch");
+          std::vector<double> b_v(nv), b_s(ns);
+          r.doubles(b_v.data(), nv);
+          r.doubles(b_s.data(), ns);
+          const SolverService::SceneInfo info = service_.describe(scene);
+          if (static_cast<std::uint64_t>(info.nv) != nv ||
+              static_cast<std::uint64_t>(info.ns) != ns)
+            throw ClassifiedError(ErrorCode::kInternal, "serve.request",
+                                  "RHS dimensions do not match the scene");
+          const RequestResult res =
+              service_.solve(scene, b_v.data(), b_s.data());
+          if (!res.ok) {
+            WireWriter w;
+            w.str("serve.solve: " + res.error);
+            write_frame(fd, MsgType::kError, w);
+            break;
+          }
+          WireWriter w;
+          w.u64(nv);
+          w.u64(ns);
+          w.doubles(b_v.data(), nv);
+          w.doubles(b_s.data(), ns);
+          w.u8(res.cache_hit ? 1 : 0);
+          w.str(res.source);
+          w.u32(static_cast<std::uint32_t>(res.batch_columns));
+          w.f64(res.solve_seconds);
+          w.f64(res.total_seconds);
+          write_frame(fd, MsgType::kSolveOk, w);
+          break;
+        }
+        case MsgType::kStats: {
+          WireWriter w;
+          w.str(service_.stats_json());
+          write_frame(fd, MsgType::kStatsOk, w);
+          break;
+        }
+        case MsgType::kShutdown:
+          write_frame(fd, MsgType::kShutdownOk, std::vector<std::uint8_t>{});
+          shutdown_requested = true;
+          break;
+        default: {
+          WireWriter w;
+          w.str("serve.request: unexpected message type");
+          write_frame(fd, MsgType::kError, w);
+          break;
+        }
+      }
+    } catch (const ClassifiedError& ex) {
+      // A bad request payload is the client's problem, not the daemon's:
+      // reply with the classification and keep the connection open.
+      try {
+        WireWriter w;
+        w.str(ex.error().site + ": " + ex.error().detail);
+        write_frame(fd, MsgType::kError, w);
+      } catch (const std::exception&) {
+        break;
+      }
+    } catch (const std::exception& ex) {
+      // Reply write failed (peer gone) or an unexpected error: close
+      // this connection only.
+      (void)ex;
+      break;
+    }
+    if (shutdown_requested) break;
+  }
+  {
+    // De-register before closing so stop() never shutdown()s a closed
+    // (and possibly reused) descriptor.
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
+                    conn_fds_.end());
+  }
+  ::close(fd);
+  if (shutdown_requested && on_shutdown_) on_shutdown_();
+}
+
+void SocketServer::stop() {
+  if (!running_.exchange(false)) return;
+  if (listen_fd_ >= 0) {
+    // shutdown() wakes the blocking accept(); close() releases the fd.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    conn_fds_.clear();
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads)
+    if (t.joinable()) t.join();
+  if (!unix_path_.empty()) {
+    ::unlink(unix_path_.c_str());
+    unix_path_.clear();
+  }
+}
+
+}  // namespace cs::server

@@ -1,0 +1,71 @@
+// Socket front-end of the solver service (DESIGN.md §16): a listener on a
+// Unix-domain or loopback TCP socket, one handler thread per connection,
+// each connection carrying any number of framed requests in sequence.
+// Concurrency comes from concurrent connections — the coalescer in
+// SolverService batches them into shared solve calls.
+//
+// Failure behavior: a malformed frame (bad magic, oversize, CRC mismatch,
+// truncated payload) gets a kError reply — when the peer is still
+// readable — and closes that one connection; the daemon itself never dies
+// on client input. SIGPIPE is ignored on the server path so a client that
+// vanishes mid-reply surfaces as EPIPE on the write, not a fatal signal.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/service.h"
+
+namespace cs::server {
+
+class SocketServer {
+ public:
+  /// The server borrows the service; it must outlive the server.
+  explicit SocketServer(SolverService& service);
+  ~SocketServer();
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Bind + listen on a Unix-domain socket at `path` (an existing socket
+  /// file is replaced) and start the accept loop. Throws IoError at
+  /// "serve.listen" when the socket cannot be bound.
+  void listen_unix(const std::string& path);
+
+  /// Bind + listen on loopback TCP. `port` 0 picks a free port; the
+  /// chosen port is returned and available from port() afterwards.
+  int listen_tcp(int port);
+
+  /// Called (once) when a client sends kShutdown, after the kShutdownOk
+  /// reply is flushed. Typical daemon use: flip the exit flag.
+  void on_shutdown(std::function<void()> fn) { on_shutdown_ = std::move(fn); }
+
+  /// Stop accepting, close every open connection and join all threads.
+  /// Idempotent; also run by the destructor.
+  void stop();
+
+  int port() const { return port_; }
+  bool running() const { return running_.load(); }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+  void start(int listen_fd);
+
+  SolverService& service_;
+  std::function<void()> on_shutdown_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::string unix_path_;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+  std::mutex conn_mu_;  ///< guards conn_fds_ and conn_threads_
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+};
+
+}  // namespace cs::server

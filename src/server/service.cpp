@@ -1,0 +1,493 @@
+#include "server/service.h"
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/timer.h"
+#include "common/trace.h"
+#include "coupled/planner.h"
+#include "fembem/system.h"
+#include "la/matrix.h"
+
+namespace cs::server {
+
+namespace {
+
+std::unique_ptr<fembem::CoupledSystem<double>> build_system(
+    const SceneSpec& scene) {
+  fembem::SystemParams prm;
+  prm.total_unknowns = static_cast<index_t>(scene.total_unknowns);
+  prm.kappa = scene.kappa;
+  prm.sigma_real = scene.sigma_real;
+  prm.sigma_imag = scene.sigma_imag;
+  prm.symmetric_bem = scene.symmetric != 0;
+  prm.extra_surface_ratio = scene.extra_surface_ratio;
+  return std::make_unique<fembem::CoupledSystem<double>>(
+      fembem::make_pipe_system<double>(prm));
+}
+
+void count(Metric m, ServiceCounters* c,
+           std::atomic<std::uint64_t> ServiceCounters::*field,
+           std::uint64_t delta = 1) {
+  (c->*field).fetch_add(delta, std::memory_order_relaxed);
+  Metrics::instance().add(m, static_cast<double>(delta));
+}
+
+}  // namespace
+
+/// One queued single-RHS request, fulfilled by the batch leader.
+struct SolverService::Pending {
+  double* b_v = nullptr;
+  double* b_s = nullptr;
+  bool done = false;
+  bool ok = false;
+  std::string error;
+  index_t batch_columns = 1;
+  double solve_seconds = 0;
+};
+
+struct SolverService::Entry {
+  enum class State {
+    kEmpty,    ///< no factors (never loaded, evicted, or failed load)
+    kLoading,  ///< one request is factorizing/restoring; others wait
+    kReady,    ///< factors resident, handle usable
+    kSpilled,  ///< factors on disk at spill_path; restore on next request
+  };
+
+  SceneSpec scene;
+  fembem::SystemFingerprint fp;
+  index_t nv = 0, ns = 0;
+
+  State state = State::kEmpty;
+  std::string spill_path;
+  /// The handle borrows `sys`, so it is declared after it: member
+  /// destruction runs in reverse order, destroying the handle first.
+  std::unique_ptr<fembem::CoupledSystem<double>> sys;
+  coupled::FactoredCoupled<double> handle;
+  std::size_t bytes = 0;  ///< charged against the service byte budget
+
+  std::atomic<std::uint64_t> last_used{0};
+  int pinned = 0;    ///< requests currently using handle (blocks eviction)
+  bool solving = false;           ///< a batch leader owns the handle
+  std::deque<Pending*> queue;     ///< coalescer: waiting single-RHS columns
+
+  std::mutex m;
+  std::condition_variable cv;
+};
+
+SolverService::SolverService(const ServeOptions& opts) : opts_(opts) {
+  const std::string problem = coupled::validate_config(opts_.solver);
+  if (!problem.empty())
+    throw ClassifiedError(ErrorCode::kInternal, "serve.config", problem);
+  if (opts_.max_entries < 1)
+    throw ClassifiedError(ErrorCode::kInternal, "serve.config",
+                          "max_entries must be >= 1");
+  if (opts_.max_batch < 1)
+    throw ClassifiedError(ErrorCode::kInternal, "serve.config",
+                          "max_batch must be >= 1");
+  if (opts_.coalesce_window_us < 0)
+    throw ClassifiedError(ErrorCode::kInternal, "serve.config",
+                          "coalesce_window_us must be >= 0");
+  if (opts_.spill_on_evict) {
+    const std::string reason = probe_writable_dir(opts_.spill_dir);
+    if (!reason.empty())
+      throw ClassifiedError(
+          ErrorCode::kIo, "serve.config",
+          "spill_dir '" + opts_.spill_dir + "' " + reason);
+  }
+}
+
+SolverService::~SolverService() {
+  // Spill files are a cache tier, not durable state: remove them.
+  for (auto& [fp, e] : entries_)
+    if (!e->spill_path.empty()) std::remove(e->spill_path.c_str());
+}
+
+std::shared_ptr<SolverService::Entry> SolverService::lookup_or_build(
+    const SceneSpec& scene) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = scenes_.find(scene);
+  if (it != scenes_.end()) return it->second;
+
+  // First sight of this spec: build the system (deterministic and much
+  // cheaper than a factorization) to learn its fingerprint. Two specs
+  // that build the same system alias one entry — the cache is keyed on
+  // the fingerprint, exactly like checkpoint validation.
+  auto sys = build_system(scene);
+  const fembem::SystemFingerprint fp = sys->fingerprint();
+  if (auto fit = entries_.find(fp); fit != entries_.end()) {
+    scenes_[scene] = fit->second;
+    return fit->second;
+  }
+  auto e = std::make_shared<Entry>();
+  e->scene = scene;
+  e->fp = fp;
+  e->nv = sys->nv();
+  e->ns = sys->ns();
+  e->sys = std::move(sys);
+  scenes_[scene] = e;
+  entries_[fp] = e;
+  return e;
+}
+
+void SolverService::evict_locked(Entry& e) {
+  count(Metric::kServeCacheEvictions, &counters_,
+        &ServiceCounters::evictions);
+  e.state = Entry::State::kEmpty;
+  if (opts_.spill_on_evict) {
+    const std::string path =
+        opts_.spill_dir + "/cs_serve_" + e.fp.hex() + ".ckpt";
+    SolveError err;
+    if (e.handle.save(path, &err) > 0) {
+      e.spill_path = path;
+      e.state = Entry::State::kSpilled;
+      count(Metric::kServeCacheSpills, &counters_, &ServiceCounters::spills);
+    }
+    // A failed save silently degrades to a plain drop: the next request
+    // refactorizes, which is correct, just slower.
+  }
+  // The handle borrows the system: destroy it first, then the system.
+  e.handle = coupled::FactoredCoupled<double>();
+  e.sys.reset();
+  resident_bytes_ -= e.bytes;
+  e.bytes = 0;
+}
+
+void SolverService::make_room(std::size_t needed, const Entry* keep) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (;;) {
+    // One pass: count resident entries and pick the least-recently-used
+    // evictable one. Entry locks are only try_lock'd — a busy entry is
+    // both unevictable and counted resident, and a blocking lock here
+    // (mu_ held) could deadlock against request threads.
+    std::size_t resident = 0;
+    std::shared_ptr<Entry> victim;
+    std::unique_lock<std::mutex> victim_lock;
+    for (auto& [fp, c] : entries_) {
+      std::unique_lock<std::mutex> cl(c->m, std::try_to_lock);
+      if (!cl.owns_lock()) {
+        ++resident;
+        continue;
+      }
+      if (c->state == Entry::State::kReady ||
+          c->state == Entry::State::kLoading)
+        ++resident;
+      const bool evictable =
+          c.get() != keep && c->state == Entry::State::kReady &&
+          c->pinned == 0 && !c->solving && c->queue.empty();
+      if (evictable &&
+          (!victim || c->last_used.load(std::memory_order_relaxed) <
+                          victim->last_used.load(std::memory_order_relaxed))) {
+        victim = c;
+        victim_lock = std::move(cl);
+      }
+    }
+    const bool over_bytes =
+        opts_.cache_budget_bytes > 0 && resident_bytes_ > 0 &&
+        resident_bytes_ + needed > opts_.cache_budget_bytes;
+    const bool over_count = resident > opts_.max_entries;
+    // No victim: every other entry is busy. Proceed anyway — like the
+    // planner's admission controller, serial progress is always
+    // admissible; genuine exhaustion surfaces as a classified budget
+    // error from the factorization itself.
+    if ((!over_bytes && !over_count) || !victim) return;
+    evict_locked(*victim);
+  }
+}
+
+std::shared_ptr<SolverService::Entry> SolverService::ensure_ready(
+    const SceneSpec& scene, RequestResult* res) {
+  std::shared_ptr<Entry> e = lookup_or_build(scene);
+
+  std::unique_lock<std::mutex> el(e->m);
+  for (;;) {
+    if (e->state == Entry::State::kReady) {
+      ++e->pinned;
+      e->last_used.store(++lru_tick_, std::memory_order_relaxed);
+      res->cache_hit = true;
+      res->source = "resident";
+      count(Metric::kServeCacheHits, &counters_, &ServiceCounters::cache_hits);
+      return e;
+    }
+    if (e->state == Entry::State::kLoading) {
+      // Another request is already factorizing this fingerprint; wait
+      // for it instead of duplicating the work.
+      e->cv.wait(el);
+      continue;
+    }
+    break;  // kEmpty or kSpilled: this request loads
+  }
+
+  const bool try_restore =
+      e->state == Entry::State::kSpilled && !e->spill_path.empty();
+  e->state = Entry::State::kLoading;
+  el.unlock();
+  count(Metric::kServeCacheMisses, &counters_, &ServiceCounters::cache_misses);
+
+  // While state is kLoading only this thread touches sys/handle/spill_path.
+  bool ok = true;
+  std::string error;
+  try {
+    if (!e->sys) e->sys = build_system(scene);
+
+    // Planner-gated admission: charge the predicted peak of the coming
+    // factorization against the budget and evict idle LRU entries first.
+    std::size_t predicted = 0;
+    try {
+      const auto in = coupled::planner_inputs(*e->sys, opts_.solver);
+      predicted =
+          coupled::predict_peak(opts_.solver.strategy, in, opts_.solver);
+    } catch (const std::exception&) {
+      predicted = 0;  // admission falls back to the entry-count bound
+    }
+    make_room(predicted, e.get());
+
+    coupled::FactoredCoupled<double> h;
+    if (try_restore) {
+      h = coupled::load_factored(e->spill_path, *e->sys, opts_.solver);
+      if (h.ok()) {
+        res->source = "checkpoint";
+        count(Metric::kServeCacheRestores, &counters_,
+              &ServiceCounters::restores);
+      }
+      // A stale or torn spill file falls through to refactorization.
+      std::remove(e->spill_path.c_str());
+      e->spill_path.clear();
+    }
+    if (!h.ok()) {
+      h = coupled::factorize_coupled(*e->sys, opts_.solver);
+      if (h.ok()) {
+        res->source = "fresh";
+        count(Metric::kServeFactorizations, &counters_,
+              &ServiceCounters::factorizations);
+      } else {
+        ok = false;
+        const coupled::SolveStats& st = h.stats();
+        error = st.failure.empty() ? st.error.detail : st.failure;
+        if (error.empty()) error = "factorization failed";
+      }
+    }
+    if (ok) {
+      const std::size_t bytes = std::max<std::size_t>(
+          h.stats().factor_bytes + h.stats().schur_bytes, 1);
+      {
+        std::lock_guard<std::mutex> g(mu_);
+        resident_bytes_ += bytes;
+      }
+      el.lock();
+      e->handle = std::move(h);
+      e->bytes = bytes;
+      e->state = Entry::State::kReady;
+      ++e->pinned;
+      e->last_used.store(++lru_tick_, std::memory_order_relaxed);
+      el.unlock();
+    }
+  } catch (const std::exception& ex) {
+    ok = false;
+    error = ex.what();
+  }
+  if (!ok) {
+    el.lock();
+    e->state = Entry::State::kEmpty;  // the next request may retry
+    el.unlock();
+    res->error = error;
+  }
+  e->cv.notify_all();
+  return ok ? e : nullptr;
+}
+
+void SolverService::unpin(Entry& e) {
+  {
+    std::lock_guard<std::mutex> g(e.m);
+    --e.pinned;
+  }
+  e.cv.notify_all();
+}
+
+void SolverService::run_batches(Entry& e,
+                                std::unique_lock<std::mutex>& el) {
+  while (!e.queue.empty()) {
+    if (opts_.coalesce_window_us > 0) {
+      // Hold the door one coalescing window so stragglers join this
+      // batch instead of the next; requests keep enqueueing meanwhile.
+      el.unlock();
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(opts_.coalesce_window_us));
+      el.lock();
+    }
+    std::vector<Pending*> batch;
+    while (!e.queue.empty() &&
+           static_cast<index_t>(batch.size()) < opts_.max_batch) {
+      batch.push_back(e.queue.front());
+      e.queue.pop_front();
+    }
+    el.unlock();
+
+    const index_t k = static_cast<index_t>(batch.size());
+    la::Matrix<double> Bv(e.nv, k), Bs(e.ns, k);
+    for (index_t j = 0; j < k; ++j) {
+      std::memcpy(Bv.view().col(j).data(), batch[j]->b_v,
+                  sizeof(double) * static_cast<std::size_t>(e.nv));
+      std::memcpy(Bs.view().col(j).data(), batch[j]->b_s,
+                  sizeof(double) * static_cast<std::size_t>(e.ns));
+    }
+    Timer timer;
+    const coupled::SolveStats stats = e.handle.solve(Bv.view(), Bs.view());
+    const double solve_seconds = timer.seconds();
+    count(Metric::kServeCoalescedBatches, &counters_,
+          &ServiceCounters::coalesced_batches);
+    count(Metric::kServeCoalescedColumns, &counters_,
+          &ServiceCounters::coalesced_columns, k);
+
+    std::string error;
+    if (!stats.success) {
+      error = stats.failure.empty() ? stats.error.detail : stats.failure;
+      if (error.empty()) error = "solve failed";
+    }
+    if (stats.success) {
+      // The waiters are blocked until done flips, so their buffers are
+      // safe to fill without the entry lock.
+      for (index_t j = 0; j < k; ++j) {
+        std::memcpy(batch[j]->b_v, Bv.view().col(j).data(),
+                    sizeof(double) * static_cast<std::size_t>(e.nv));
+        std::memcpy(batch[j]->b_s, Bs.view().col(j).data(),
+                    sizeof(double) * static_cast<std::size_t>(e.ns));
+      }
+    }
+    el.lock();
+    for (Pending* p : batch) {
+      p->ok = stats.success;
+      p->error = error;
+      p->batch_columns = k;
+      p->solve_seconds = solve_seconds;
+      p->done = true;
+    }
+    trace_gauge_add("serve.queue_depth", -static_cast<long>(k));
+    e.cv.notify_all();
+  }
+}
+
+RequestResult SolverService::solve(const SceneSpec& scene, double* b_v,
+                                   double* b_s) {
+  RequestResult res;
+  Timer total;
+  count(Metric::kServeRequests, &counters_, &ServiceCounters::requests);
+  TraceSpan span("serve", "serve.request");
+
+  std::shared_ptr<Entry> e;
+  try {
+    e = ensure_ready(scene, &res);
+  } catch (const std::exception& ex) {
+    res.error = ex.what();
+  }
+  if (!e) {
+    res.ok = false;
+    if (res.error.empty()) res.error = "factorization unavailable";
+    res.total_seconds = total.seconds();
+    return res;
+  }
+
+  if (!opts_.coalesce) {
+    Timer timer;
+    la::MatrixView<double> Bv(b_v, e->nv, 1, e->nv);
+    la::MatrixView<double> Bs(b_s, e->ns, 1, e->ns);
+    const coupled::SolveStats stats = e->handle.solve(Bv, Bs);
+    res.solve_seconds = timer.seconds();
+    res.ok = stats.success;
+    if (!stats.success) {
+      res.error = stats.failure.empty() ? stats.error.detail : stats.failure;
+      if (res.error.empty()) res.error = "solve failed";
+    }
+  } else {
+    Pending p;
+    p.b_v = b_v;
+    p.b_s = b_s;
+    std::unique_lock<std::mutex> el(e->m);
+    e->queue.push_back(&p);
+    trace_gauge_add("serve.queue_depth", 1);
+    // Leader election: the first request to find the entry idle solves
+    // the whole queue; followers wait. A follower woken with its column
+    // still pending and no leader active takes over (the previous leader
+    // drained the queue and exited just before this column enqueued).
+    for (;;) {
+      if (p.done) break;
+      if (!e->solving) {
+        e->solving = true;
+        run_batches(*e, el);
+        e->solving = false;
+        e->cv.notify_all();
+        continue;
+      }
+      e->cv.wait(el);
+    }
+    res.ok = p.ok;
+    res.error = p.error;
+    res.batch_columns = p.batch_columns;
+    res.solve_seconds = p.solve_seconds;
+  }
+  unpin(*e);
+  res.total_seconds = total.seconds();
+  span.arg("columns", static_cast<long long>(res.batch_columns))
+      .arg("hit", static_cast<long long>(res.cache_hit ? 1 : 0));
+  return res;
+}
+
+SolverService::SceneInfo SolverService::describe(const SceneSpec& scene) {
+  std::shared_ptr<Entry> e = lookup_or_build(scene);
+  std::lock_guard<std::mutex> g(e->m);
+  SceneInfo info;
+  info.nv = e->nv;
+  info.ns = e->ns;
+  info.digest = e->fp.digest();
+  info.resident = e->state == Entry::State::kReady;
+  return info;
+}
+
+std::size_t SolverService::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resident_bytes_;
+}
+
+std::string SolverService::stats_json() const {
+  std::size_t resident_entries = 0, spilled_entries = 0, scenes = 0;
+  std::size_t bytes = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    scenes = scenes_.size();
+    bytes = resident_bytes_;
+    for (const auto& [fp, e] : entries_) {
+      std::unique_lock<std::mutex> el(e->m, std::try_to_lock);
+      if (!el.owns_lock()) {
+        ++resident_entries;  // busy entries hold live factors
+        continue;
+      }
+      if (e->state == Entry::State::kReady ||
+          e->state == Entry::State::kLoading)
+        ++resident_entries;
+      if (e->state == Entry::State::kSpilled) ++spilled_entries;
+    }
+  }
+  auto v = [](const std::atomic<std::uint64_t>& a) {
+    return std::to_string(a.load(std::memory_order_relaxed));
+  };
+  std::string out = "{";
+  out += "\"requests\": " + v(counters_.requests);
+  out += ", \"cache_hit\": " + v(counters_.cache_hits);
+  out += ", \"cache_miss\": " + v(counters_.cache_misses);
+  out += ", \"cache_evict\": " + v(counters_.evictions);
+  out += ", \"cache_spill\": " + v(counters_.spills);
+  out += ", \"cache_restore\": " + v(counters_.restores);
+  out += ", \"factorizations\": " + v(counters_.factorizations);
+  out += ", \"coalesced_batches\": " + v(counters_.coalesced_batches);
+  out += ", \"coalesced_columns\": " + v(counters_.coalesced_columns);
+  out += ", \"resident_entries\": " + std::to_string(resident_entries);
+  out += ", \"spilled_entries\": " + std::to_string(spilled_entries);
+  out += ", \"scenes\": " + std::to_string(scenes);
+  out += ", \"resident_bytes\": " + std::to_string(bytes);
+  out += "}";
+  return out;
+}
+
+}  // namespace cs::server

@@ -1,0 +1,154 @@
+// The solver service: a factorization cache plus a request coalescer
+// (DESIGN.md §16). This is the transport-independent core — the socket
+// server (server.h) and in-process tests drive the same object.
+//
+// Cache: entries are keyed on the *fingerprint* of the built system (the
+// same SystemFingerprint that validates checkpoints, so cache keys and
+// checkpoint identity can never diverge). Admission is sized by the
+// planner: before factorizing, predict_peak() of the configured strategy
+// is charged against the byte budget and least-recently-used idle entries
+// are evicted until it fits. Eviction either drops the factors or spills
+// them to a checkpoint file (FactoredCoupled::save); a spilled entry is
+// re-admitted via load_factored — restore, not refactorize.
+//
+// Coalescer: concurrent single-RHS requests for the same fingerprint are
+// batched into one FactoredCoupled::solve(B_v, B_s) call. solve() is
+// per-column bitwise identical to single-column solves at any thread
+// count, so coalescing changes throughput, never answers. The first
+// request to find the entry idle becomes the batch leader: it waits one
+// coalescing window for stragglers, swaps the queue (up to max_batch
+// columns), runs the batched solve and fulfills every waiter, looping
+// until the queue is dry.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/fs.h"
+#include "coupled/coupled.h"
+#include "fembem/fingerprint.h"
+#include "server/protocol.h"
+
+namespace cs::server {
+
+struct ServeOptions {
+  coupled::Config solver;  ///< strategy/eps/blocking of every factorization
+
+  /// Byte budget of resident factorizations (0 = unlimited; entry count
+  /// still bounded by max_entries). Planner-predicted peaks gate
+  /// admission, measured factor bytes are charged after the fact.
+  std::size_t cache_budget_bytes = 0;
+  std::size_t max_entries = 8;
+
+  bool coalesce = true;
+  /// How long a batch leader waits for stragglers before solving. Zero
+  /// still coalesces whatever queued while the previous batch ran.
+  int coalesce_window_us = 200;
+  index_t max_batch = 256;  ///< RHS columns per coalesced solve call
+
+  /// Evicted entries are saved to `spill_dir` as checkpoints and restored
+  /// by load_factored on the next request instead of refactorizing.
+  bool spill_on_evict = false;
+  std::string spill_dir = default_tmp_dir();
+};
+
+/// Outcome of one solve request, for the reply and the latency histogram.
+struct RequestResult {
+  bool ok = false;
+  std::string error;       ///< short description when !ok
+  bool cache_hit = false;  ///< served by an already-resident factorization
+  /// Where the factors came from when this request had to load them:
+  /// "resident" (hit), "fresh" (factorized), "checkpoint" (restored).
+  std::string source;
+  index_t batch_columns = 1;  ///< columns in the coalesced solve that
+                              ///< carried this request (1 = uncoalesced)
+  double solve_seconds = 0;   ///< the batched solve call
+  double total_seconds = 0;   ///< enqueue to reply
+};
+
+/// Monotonic service counters (mirrored into the global Metrics layer as
+/// serve.* so traces and SolveStats summaries see them too).
+struct ServiceCounters {
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> cache_hits{0};
+  std::atomic<std::uint64_t> cache_misses{0};
+  std::atomic<std::uint64_t> evictions{0};
+  std::atomic<std::uint64_t> spills{0};
+  std::atomic<std::uint64_t> restores{0};
+  std::atomic<std::uint64_t> factorizations{0};
+  std::atomic<std::uint64_t> coalesced_batches{0};
+  std::atomic<std::uint64_t> coalesced_columns{0};
+};
+
+class SolverService {
+ public:
+  /// Validates the options up front (solver config including ooc_dir, and
+  /// spill_dir when spilling is on); throws ClassifiedError at site
+  /// "serve.config" on a bad configuration — a daemon rejects bad config
+  /// at startup, not minutes into a request.
+  explicit SolverService(const ServeOptions& opts);
+  ~SolverService();
+  SolverService(const SolverService&) = delete;
+  SolverService& operator=(const SolverService&) = delete;
+
+  struct SceneInfo {
+    index_t nv = 0;
+    index_t ns = 0;
+    std::uint64_t digest = 0;  ///< SystemFingerprint::digest()
+    bool resident = false;     ///< factors currently in memory
+  };
+
+  /// Dimensions + fingerprint of the system a spec builds. Builds (and
+  /// caches) the system but never factorizes.
+  SceneInfo describe(const SceneSpec& scene);
+
+  /// Solve one RHS column in place: b_v (nv doubles) / b_s (ns doubles)
+  /// hold the RHS on entry and the solution on success. Factorizes,
+  /// restores from spill, or reuses resident factors as needed; never
+  /// throws (failures come back classified in RequestResult::error).
+  RequestResult solve(const SceneSpec& scene, double* b_v, double* b_s);
+
+  /// Service counters + cache occupancy as a JSON object (the kStatsOk
+  /// payload and the bench report's counter block).
+  std::string stats_json() const;
+
+  const ServiceCounters& counters() const { return counters_; }
+  std::size_t resident_bytes() const;
+  const ServeOptions& options() const { return opts_; }
+
+ private:
+  struct Pending;
+  struct Entry;
+
+  /// Find or create the entry for a scene and bring its factors into
+  /// memory (factorize or restore), pinning it for the caller. On success
+  /// fills hit/source in *res and returns the entry; on failure fills
+  /// res->error and returns nullptr.
+  std::shared_ptr<Entry> ensure_ready(const SceneSpec& scene,
+                                      RequestResult* res);
+  std::shared_ptr<Entry> lookup_or_build(const SceneSpec& scene);
+  /// Evict idle LRU entries until `needed` more bytes fit under the
+  /// budget (and the entry count fits under max_entries). `keep` is never
+  /// evicted.
+  void make_room(std::size_t needed, const Entry* keep);
+  void evict_locked(Entry& e);
+  void unpin(Entry& e);
+  void run_batches(Entry& e, std::unique_lock<std::mutex>& el);
+
+  ServeOptions opts_;
+  ServiceCounters counters_;
+
+  mutable std::mutex mu_;  ///< guards the maps + byte accounting + LRU tick
+  std::map<SceneSpec, std::shared_ptr<Entry>> scenes_;
+  std::map<fembem::SystemFingerprint, std::shared_ptr<Entry>> entries_;
+  std::size_t resident_bytes_ = 0;
+  std::atomic<std::uint64_t> lru_tick_{0};
+};
+
+}  // namespace cs::server

@@ -35,6 +35,7 @@
 
 #include "common/error.h"
 #include "common/failpoint.h"
+#include "common/fs.h"
 #include "common/log.h"
 #include "common/memory.h"
 #include "common/serialize.h"
@@ -79,7 +80,7 @@ struct SolverOptions {
   /// as each front completes and streamed back during solves (the OOC
   /// feature the paper's solvers offer; trades solve I/O for memory).
   bool out_of_core = false;
-  std::string ooc_dir = "/tmp";
+  std::string ooc_dir = default_tmp_dir();  ///< $TMPDIR when set, else /tmp
   /// fsync the spill file after every spilled panel (see OocPanelStore).
   bool ooc_sync_on_spill = false;
 };

@@ -21,6 +21,7 @@
 
 #include "common/error.h"
 #include "common/failpoint.h"
+#include "common/fs.h"
 #include "common/serialize.h"
 #include "sparsedirect/blr.h"
 
@@ -39,7 +40,7 @@ class OocPanelStore {
   /// `sync_on_spill` fsyncs the backing file at the end of every spill()
   /// — slower, but a crash right after a spill cannot leave a factor
   /// panel half-written in the page cache.
-  explicit OocPanelStore(const std::string& dir = "/tmp",
+  explicit OocPanelStore(const std::string& dir = default_tmp_dir(),
                          bool sync_on_spill = false)
       : sync_on_spill_(sync_on_spill) {
     const std::string path = dir + "/cs_ooc_XXXXXX";

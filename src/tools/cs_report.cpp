@@ -304,6 +304,48 @@ std::string analyze_freq_sweep_report(const json::Value& report,
   return out;
 }
 
+/// Analysis of a bench_serve flat report ("serve" per-mode array): the
+/// serving-traffic table (requests/sec, p50/p99, batch width) plus the
+/// cache counters the daemon's whole point rests on — hits on repeat
+/// fingerprints with exactly one factorization per scene.
+std::string analyze_serve_report(const json::Value& report,
+                                 const ReportOptions&) {
+  std::string out;
+  out += fmt("== serve report: %s ==\n", sstr(report.find("binary")).c_str());
+  const std::string strategy = sstr(report.find("strategy"), "");
+  if (!strategy.empty()) out += fmt("  strategy   : %s\n", strategy.c_str());
+  out += fmt("  n          : %.0f  (fem %.0f, bem %.0f)\n",
+             dnum(report.find("n_total")), dnum(report.find("nv")),
+             dnum(report.find("ns")));
+  out += fmt("  concurrency: %.0f\n", dnum(report.find("concurrency")));
+  const json::Value* speedup = report.find("coalesced_speedup");
+  if (speedup != nullptr)
+    out += fmt("  speedup    : %.2fx coalesced vs uncoalesced\n",
+               dnum(speedup));
+
+  out += fmt("  %-12s %9s %9s %9s %9s %10s %6s %6s %7s\n", "mode", "req/s",
+             "p50 ms", "p99 ms", "max batch", "batches", "hits", "misses",
+             "factos");
+  const json::Value* serve = report.find("serve");
+  if (serve != nullptr && serve->is_array()) {
+    for (const auto& m : serve->array) {
+      const double failures =
+          dnum(m.find("failures")) + dnum(m.find("mismatches"));
+      out += fmt("  %-12s %9.1f %9.2f %9.2f %9.0f %10.0f %6.0f %6.0f %7.0f%s\n",
+                 sstr(m.find("mode"), "?").c_str(),
+                 dnum(m.find("requests_per_second")), dnum(m.find("p50_ms")),
+                 dnum(m.find("p99_ms")), dnum(m.find("max_batch_columns")),
+                 dnum(m.find("coalesced_batches")), dnum(m.find("cache_hits")),
+                 dnum(m.find("cache_misses")), dnum(m.find("factorizations")),
+                 failures > 0 ? "  FAILED" : "");
+      if (failures > 0)
+        out += fmt("    %.0f failed requests, %.0f bitwise mismatches\n",
+                   dnum(m.find("failures")), dnum(m.find("mismatches")));
+    }
+  }
+  return out;
+}
+
 /// A-vs-B over two bench_sweep reports, matched by mode. The row every
 /// recycling regression shows up in: s/freq and factorization counts of
 /// the recycled sweep drifting toward the naive ones.
@@ -352,16 +394,19 @@ json::Value load_report(const std::string& path) {
   std::string err;
   if (!json::parse(text, &doc, &err))
     throw std::runtime_error("cs-report: " + path + " is not JSON: " + err);
-  // Three accepted shapes: a RunReport ("runs" array), the bench_solve
-  // flat report ("sweep" nrhs array) and the bench_sweep flat report
-  // ("freq_sweep" per-mode array).
+  // Four accepted shapes: a RunReport ("runs" array), the bench_solve
+  // flat report ("sweep" nrhs array), the bench_sweep flat report
+  // ("freq_sweep" per-mode array) and the bench_serve flat report
+  // ("serve" per-mode array).
   const bool has_runs =
       doc.find("runs") != nullptr && doc.find("runs")->is_array();
   const bool has_sweep =
       doc.find("sweep") != nullptr && doc.find("sweep")->is_array();
   const bool has_freq_sweep = doc.find("freq_sweep") != nullptr &&
                               doc.find("freq_sweep")->is_array();
-  if (!has_runs && !has_sweep && !has_freq_sweep)
+  const bool has_serve =
+      doc.find("serve") != nullptr && doc.find("serve")->is_array();
+  if (!has_runs && !has_sweep && !has_freq_sweep && !has_serve)
     throw std::runtime_error("cs-report: " + path +
                              " lacks a \"runs\" array (not a run report?)");
   return doc;
@@ -374,6 +419,9 @@ std::string analyze_report(const json::Value& report,
     const json::Value* freq_sweep = report.find("freq_sweep");
     if (freq_sweep != nullptr && freq_sweep->is_array())
       return analyze_freq_sweep_report(report, opts);
+    const json::Value* serve = report.find("serve");
+    if (serve != nullptr && serve->is_array())
+      return analyze_serve_report(report, opts);
     const json::Value* sweep = report.find("sweep");
     if (sweep != nullptr && sweep->is_array())
       return analyze_bench_report(report, opts);

@@ -9,6 +9,7 @@
 
 #include "common/buffer.h"
 #include "common/cli.h"
+#include "common/fs.h"
 #include "common/json.h"
 #include "common/memory.h"
 #include "common/random.h"
@@ -206,6 +207,23 @@ TEST(PhaseTimes, OverlappingScopesMergeIntoWallTime) {
   EXPECT_LE(p.get("overlap"), elapsed + 0.05);
 }
 
+TEST(Fs, DefaultTmpDirRespectsTmpdirEnv) {
+  const char* saved = std::getenv("TMPDIR");
+  const std::string before = saved ? saved : "";
+  ::setenv("TMPDIR", "/var/tmp///", 1);
+  EXPECT_EQ(default_tmp_dir(), "/var/tmp");  // trailing slashes stripped
+  ::unsetenv("TMPDIR");
+  EXPECT_EQ(default_tmp_dir(), "/tmp");
+  if (saved) ::setenv("TMPDIR", before.c_str(), 1);
+}
+
+TEST(Fs, ProbeWritableDirReportsReasons) {
+  EXPECT_EQ(probe_writable_dir(::testing::TempDir()), "");
+  EXPECT_FALSE(probe_writable_dir("").empty());
+  EXPECT_FALSE(probe_writable_dir("/nonexistent/cs_probe").empty());
+  EXPECT_FALSE(probe_writable_dir("/dev/null").empty());  // not a directory
+}
+
 TEST(Cli, ParsesFlagsInBothForms) {
   const char* argv[] = {"prog", "--n=100", "--eps", "1e-3", "--verbose"};
   CliArgs args(5, const_cast<char**>(argv));
@@ -216,9 +234,21 @@ TEST(Cli, ParsesFlagsInBothForms) {
   EXPECT_FALSE(args.has("missing"));
 }
 
-TEST(Cli, RejectsPositionalArguments) {
+// A positional argument is a usage error with the same exit-2 contract as
+// a malformed value — not an uncaught std::runtime_error abort.
+TEST(CliDeathTest, PositionalArgumentIsUsageErrorNotAbort) {
   const char* argv[] = {"prog", "oops"};
-  EXPECT_THROW(CliArgs(2, const_cast<char**>(argv)), std::runtime_error);
+  EXPECT_EXIT(CliArgs(2, const_cast<char**>(argv)),
+              testing::ExitedWithCode(2),
+              "unexpected positional argument 'oops'");
+}
+
+// "--n 100 --n 200" silently taking the last value hides typos in long
+// command lines; a repeated flag is rejected up front.
+TEST(CliDeathTest, DuplicateFlagIsUsageError) {
+  const char* argv[] = {"prog", "--n", "100", "--n=200"};
+  EXPECT_EXIT(CliArgs(4, const_cast<char**>(argv)),
+              testing::ExitedWithCode(2), "duplicate flag --n");
 }
 
 // A malformed numeric value must be a usage error naming the flag and a

@@ -516,7 +516,9 @@ TEST_P(FactoredSweep, MultiRhsMatchesIndependentSingleRhsBitwise) {
   EXPECT_EQ(f.nv(), sys.nv());
   EXPECT_EQ(f.ns(), sys.ns());
 
-  const index_t nrhs = 3;
+  // Wide enough to cross the packed-gemm dispatch boundary (historically
+  // n >= 8): batch width must never change which kernel a column sees.
+  const index_t nrhs = 9;
   la::Matrix<double> Xv = scaled_rhs(sys.b_v, nrhs);
   la::Matrix<double> Xs = scaled_rhs(sys.b_s, nrhs);
   SolveStats batch;
@@ -852,6 +854,27 @@ TEST(ConfigValidation, SingleFactorsRequireRefinement) {
   EXPECT_TRUE(validate_config(c).empty());
   c.refine_tolerance = -1e-9;
   EXPECT_FALSE(validate_config(c).empty());
+}
+
+// A missing or unwritable spill directory must reject the config up front
+// as a structured I/O error — not surface as "ooc.open" mid-factorization
+// at first spill. (The serving daemon validates config at startup.)
+TEST(ConfigValidation, BadOocDirFailsFastAsIoError) {
+  Config c;
+  c.out_of_core = true;
+  c.ooc_dir = "/nonexistent/cs_ooc_probe";
+  const std::string problem = validate_config(c);
+  ASSERT_FALSE(problem.empty());
+  EXPECT_NE(problem.find("ooc_dir"), std::string::npos);
+
+  c.auto_recover = false;  // the dir never appears; no point retrying
+  auto stats = solve_coupled(real_system(), c);
+  ASSERT_FALSE(stats.success);
+  EXPECT_EQ(stats.error.code, ErrorCode::kIo);
+  EXPECT_EQ(stats.error.site, "ooc.dir");
+
+  c.ooc_dir = ::testing::TempDir();
+  EXPECT_TRUE(validate_config(c).empty()) << validate_config(c);
 }
 
 TEST(Resilience, ForcedRefineStallEscalatesToDoubleFactors) {

@@ -148,6 +148,52 @@ TEST(CsReport, FreqSweepDiffComparesModesAcrossReports) {
   EXPECT_NE(out.find("2.00"), std::string::npos);
 }
 
+TEST(CsReport, ServeAnalysisShowsModesSpeedupAndCacheCounters) {
+  // Minimal bench_serve-shaped report (the "serve" flat shape).
+  const std::string text =
+      "{\"binary\":\"bench_serve\",\"strategy\":\"multi-solve\","
+      "\"n_total\":3000,\"nv\":2304,\"ns\":720,\"concurrency\":16,"
+      "\"coalesce_window_us\":200,\"coalesced_speedup\":4.44,\"serve\":["
+      "{\"mode\":\"uncoalesced\",\"requests\":64,\"failures\":0,"
+      "\"mismatches\":0,\"seconds\":0.37,\"requests_per_second\":172.7,"
+      "\"p50_ms\":72.68,\"p99_ms\":147.43,\"max_batch_columns\":1,"
+      "\"cache_hits\":64,\"cache_misses\":1,\"factorizations\":1,"
+      "\"coalesced_batches\":0,\"coalesced_columns\":0},"
+      "{\"mode\":\"coalesced\",\"requests\":64,\"failures\":0,"
+      "\"mismatches\":0,\"seconds\":0.08,\"requests_per_second\":766.9,"
+      "\"p50_ms\":18.11,\"p99_ms\":32.07,\"max_batch_columns\":16,"
+      "\"cache_hits\":64,\"cache_misses\":1,\"factorizations\":1,"
+      "\"coalesced_batches\":6,\"coalesced_columns\":65}]}";
+  json::Value report;
+  std::string err;
+  ASSERT_TRUE(json::parse(text, &report, &err)) << err;
+  std::string out;
+  ASSERT_NO_THROW(out = tools::analyze_report(report));
+  EXPECT_NE(out.find("serve report: bench_serve"), std::string::npos);
+  EXPECT_NE(out.find("4.44x coalesced vs uncoalesced"), std::string::npos);
+  EXPECT_NE(out.find("uncoalesced"), std::string::npos);
+  EXPECT_NE(out.find("766.9"), std::string::npos);  // coalesced req/s
+  EXPECT_NE(out.find("32.07"), std::string::npos);  // coalesced p99
+  EXPECT_EQ(out.find("FAILED"), std::string::npos);
+}
+
+TEST(CsReport, ServeAnalysisFlagsFailedOrMismatchedRequests) {
+  const std::string text =
+      "{\"binary\":\"bench_serve\",\"n_total\":3000,\"nv\":2304,\"ns\":720,"
+      "\"concurrency\":16,\"serve\":[{\"mode\":\"coalesced\",\"requests\":8,"
+      "\"failures\":0,\"mismatches\":2,\"requests_per_second\":100.0,"
+      "\"p50_ms\":1.0,\"p99_ms\":2.0,\"max_batch_columns\":4,"
+      "\"cache_hits\":8,\"cache_misses\":1,\"factorizations\":1,"
+      "\"coalesced_batches\":2,\"coalesced_columns\":8}]}";
+  json::Value report;
+  std::string err;
+  ASSERT_TRUE(json::parse(text, &report, &err)) << err;
+  std::string out;
+  ASSERT_NO_THROW(out = tools::analyze_report(report));
+  EXPECT_NE(out.find("FAILED"), std::string::npos);
+  EXPECT_NE(out.find("2 bitwise mismatches"), std::string::npos);
+}
+
 TEST(CsReport, LoadRejectsMissingAndMalformedFiles) {
   EXPECT_THROW(tools::load_report(data_path("does_not_exist.json")),
                std::runtime_error);

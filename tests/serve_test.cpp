@@ -1,0 +1,423 @@
+// Solver service (DESIGN.md §16): the factorization cache must hit on a
+// repeat fingerprint with zero refactorizations, evict-and-restore under
+// a tight budget without leaking tracked memory, and coalesced batches
+// must be bitwise identical to individual solves. The socket layer must
+// answer malformed frames with clean errors — never die on client input.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/memory.h"
+#include "coupled/coupled.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/service.h"
+
+namespace cs::server {
+namespace {
+
+SceneSpec small_scene() {
+  SceneSpec s;
+  s.total_unknowns = 1200;
+  return s;
+}
+
+SceneSpec other_scene() {
+  // 2000 unknowns rounds to a genuinely different pipe mesh than 1200
+  // (nearby counts may round to the same mesh and share the fingerprint).
+  SceneSpec s;
+  s.total_unknowns = 2000;
+  return s;
+}
+
+ServeOptions fast_options() {
+  ServeOptions o;
+  o.solver.strategy = coupled::Strategy::kMultiSolve;
+  o.solver.eps = 1e-4;
+  o.coalesce_window_us = 0;  // tests should not sleep per batch
+  return o;
+}
+
+/// Deterministic RHS column for request r of a scene.
+void fill_rhs(index_t nv, index_t ns, int r, std::vector<double>* b_v,
+              std::vector<double>* b_s) {
+  b_v->resize(static_cast<std::size_t>(nv));
+  b_s->resize(static_cast<std::size_t>(ns));
+  std::uint32_t s = 12345u + static_cast<std::uint32_t>(r) * 977u;
+  for (auto* vec : {b_v, b_s})
+    for (double& x : *vec) {
+      s = s * 1664525u + 1013904223u;
+      x = 1.0 + double(s >> 8) / double(1u << 24);
+    }
+}
+
+TEST(SolverService, CacheHitOnRepeatFingerprintNoRefactorization) {
+  SolverService service(fast_options());
+  const SceneSpec scene = small_scene();
+  const auto info = service.describe(scene);
+  ASSERT_GT(info.nv, 0);
+  ASSERT_GT(info.ns, 0);
+  EXPECT_FALSE(info.resident);
+
+  std::vector<double> b_v, b_s;
+  for (int r = 0; r < 3; ++r) {
+    fill_rhs(info.nv, info.ns, r, &b_v, &b_s);
+    const RequestResult res = service.solve(scene, b_v.data(), b_s.data());
+    ASSERT_TRUE(res.ok) << res.error;
+    if (r == 0) {
+      EXPECT_FALSE(res.cache_hit);
+      EXPECT_EQ(res.source, "fresh");
+    } else {
+      EXPECT_TRUE(res.cache_hit);
+      EXPECT_EQ(res.source, "resident");
+    }
+  }
+  const auto& c = service.counters();
+  EXPECT_EQ(c.factorizations.load(), 1u);
+  EXPECT_EQ(c.cache_misses.load(), 1u);
+  EXPECT_GE(c.cache_hits.load(), 2u);
+  EXPECT_TRUE(service.describe(scene).resident);
+}
+
+TEST(SolverService, CoalescedBatchBitwiseMatchesIndividualSolves) {
+  // Reference: individual single-column solves against a directly
+  // factorized handle with the same config.
+  ServeOptions opts = fast_options();
+  const SceneSpec scene = small_scene();
+  fembem::SystemParams prm;
+  prm.total_unknowns = static_cast<index_t>(scene.total_unknowns);
+  const auto sys = fembem::make_pipe_system<double>(prm);
+  const auto handle = coupled::factorize_coupled(sys, opts.solver);
+  ASSERT_TRUE(handle.ok()) << handle.stats().failure;
+
+  constexpr int kRequests = 12;
+  const index_t nv = sys.nv(), ns = sys.ns();
+  std::vector<std::vector<double>> ref_v(kRequests), ref_s(kRequests);
+  for (int r = 0; r < kRequests; ++r) {
+    fill_rhs(nv, ns, r, &ref_v[r], &ref_s[r]);
+    la::MatrixView<double> Bv(ref_v[r].data(), nv, 1, nv);
+    la::MatrixView<double> Bs(ref_s[r].data(), ns, 1, ns);
+    ASSERT_TRUE(handle.solve(Bv, Bs).success);
+  }
+
+  // Service: the same columns fired concurrently, coalesced into batches.
+  SolverService service(opts);
+  std::vector<std::vector<double>> got_v(kRequests), got_s(kRequests);
+  {
+    std::vector<double> warm_v, warm_s;
+    fill_rhs(nv, ns, 0, &warm_v, &warm_s);
+    ASSERT_TRUE(service.solve(scene, warm_v.data(), warm_s.data()).ok);
+  }
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kRequests);
+  for (int r = 0; r < kRequests; ++r)
+    threads.emplace_back([&, r] {
+      fill_rhs(nv, ns, r, &got_v[r], &got_s[r]);
+      const RequestResult res =
+          service.solve(scene, got_v[r].data(), got_s[r].data());
+      if (!res.ok) ++failures;
+    });
+  for (auto& t : threads) t.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  // solve() is per-column bitwise deterministic at any thread count, so
+  // coalescing must change throughput, never a single bit of an answer.
+  for (int r = 0; r < kRequests; ++r) {
+    EXPECT_EQ(std::memcmp(got_v[r].data(), ref_v[r].data(),
+                          sizeof(double) * static_cast<std::size_t>(nv)),
+              0)
+        << "request " << r << " volume block differs";
+    EXPECT_EQ(std::memcmp(got_s[r].data(), ref_s[r].data(),
+                          sizeof(double) * static_cast<std::size_t>(ns)),
+              0)
+        << "request " << r << " surface block differs";
+  }
+  EXPECT_GE(service.counters().coalesced_columns.load(),
+            static_cast<std::uint64_t>(kRequests));
+}
+
+TEST(SolverService, EvictionUnderTightBudgetSpillsAndReadmits) {
+  ServeOptions opts = fast_options();
+  opts.cache_budget_bytes = 1;  // any second entry forces an eviction
+  opts.spill_on_evict = true;
+  opts.spill_dir = ::testing::TempDir();
+
+  const SceneSpec a = small_scene();
+  const SceneSpec b = other_scene();
+
+  // Materialize lazy global state (mesh caches, tracker) before the
+  // baseline snapshot so the ledger assertion sees only cache churn.
+  const std::size_t baseline = MemoryTracker::instance().current();
+  {
+    SolverService service(opts);
+    const auto ia = service.describe(a);
+    const auto ib = service.describe(b);
+    ASSERT_NE(ia.digest, ib.digest);
+
+    std::vector<double> b_v, b_s;
+    fill_rhs(ia.nv, ia.ns, 0, &b_v, &b_s);
+    ASSERT_TRUE(service.solve(a, b_v.data(), b_s.data()).ok);
+    const std::size_t resident_one = service.resident_bytes();
+    EXPECT_GT(resident_one, 0u);
+
+    // Loading B must evict + spill A (budget fits at most one entry).
+    fill_rhs(ib.nv, ib.ns, 1, &b_v, &b_s);
+    ASSERT_TRUE(service.solve(b, b_v.data(), b_s.data()).ok);
+    EXPECT_EQ(service.counters().evictions.load(), 1u);
+    EXPECT_EQ(service.counters().spills.load(), 1u);
+    EXPECT_FALSE(service.describe(a).resident);
+
+    // Eviction must return the evicted entry's bytes to the ledger:
+    // exactly one factorization is charged at any time.
+    EXPECT_LE(service.resident_bytes(), resident_one * 2);
+
+    // Requesting A again re-admits it from the spill checkpoint — a
+    // restore, not a refactorization.
+    fill_rhs(ia.nv, ia.ns, 2, &b_v, &b_s);
+    const RequestResult res = service.solve(a, b_v.data(), b_s.data());
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.source, "checkpoint");
+    EXPECT_EQ(service.counters().restores.load(), 1u);
+    EXPECT_EQ(service.counters().factorizations.load(), 2u);  // A, B only
+  }
+  // Destroying the service frees every factorization and system: tracked
+  // memory returns to the pre-service baseline.
+  EXPECT_EQ(MemoryTracker::instance().current(), baseline);
+}
+
+TEST(SolverService, StartupRejectsBadSpillDirectory) {
+  ServeOptions opts = fast_options();
+  opts.spill_on_evict = true;
+  opts.spill_dir = "/nonexistent/cs_serve_spill";
+  EXPECT_THROW(SolverService service(opts), ClassifiedError);
+}
+
+TEST(SolverService, StartupRejectsBadSolverConfig) {
+  ServeOptions opts = fast_options();
+  opts.solver.eps = -1.0;
+  EXPECT_THROW(SolverService service(opts), ClassifiedError);
+}
+
+// -- socket layer ----------------------------------------------------------
+
+class ServeSocketTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    service_ = std::make_unique<SolverService>(fast_options());
+    server_ = std::make_unique<SocketServer>(*service_);
+    port_ = server_->listen_tcp(0);
+  }
+  void TearDown() override {
+    server_->stop();
+    server_.reset();
+    service_.reset();
+  }
+
+  ServeClient connect() {
+    ServeClient c;
+    c.connect_tcp("127.0.0.1", port_);
+    return c;
+  }
+
+  std::unique_ptr<SolverService> service_;
+  std::unique_ptr<SocketServer> server_;
+  int port_ = 0;
+};
+
+TEST_F(ServeSocketTest, PingDescribeSolveStatsRoundTrip) {
+  ServeClient client = connect();
+  client.ping();
+  const auto d = client.describe(small_scene());
+  ASSERT_GT(d.nv, 0);
+  ASSERT_GT(d.ns, 0);
+
+  std::vector<double> b_v, b_s;
+  fill_rhs(static_cast<index_t>(d.nv), static_cast<index_t>(d.ns), 0, &b_v,
+           &b_s);
+  const auto first = client.solve(small_scene(), b_v, b_s);
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_EQ(first.source, "fresh");
+
+  fill_rhs(static_cast<index_t>(d.nv), static_cast<index_t>(d.ns), 1, &b_v,
+           &b_s);
+  const auto second = client.solve(small_scene(), b_v, b_s);
+  ASSERT_TRUE(second.ok) << second.error;
+  EXPECT_TRUE(second.cache_hit);
+
+  const std::string stats = client.stats_json();
+  EXPECT_NE(stats.find("\"cache_hit\""), std::string::npos);
+  EXPECT_NE(stats.find("\"factorizations\": 1"), std::string::npos);
+}
+
+TEST_F(ServeSocketTest, MalformedFramesGetErrorRepliesNotDaemonDeath) {
+  // Garbage bytes: bad magic -> kError reply, connection closed, daemon
+  // alive.
+  {
+    ServeClient probe = connect();
+    ServeClient garbage = connect();
+    // Reach into the raw socket: a conforming client cannot emit a bad
+    // frame, so build one by hand.
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    ::close(fd);
+  }
+  auto raw_connect = [&]() {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port_));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+              0);
+    return fd;
+  };
+
+  {
+    // Bad magic.
+    const int fd = raw_connect();
+    const char junk[32] = "this is not a CSRV frame at all";
+    ASSERT_EQ(::send(fd, junk, sizeof junk, 0),
+              static_cast<ssize_t>(sizeof junk));
+    Frame reply;
+    ASSERT_TRUE(read_frame(fd, &reply));
+    EXPECT_EQ(reply.type, MsgType::kError);
+    ::close(fd);
+  }
+  {
+    // Valid header, truncated payload: close mid-frame.
+    const int fd = raw_connect();
+    WireWriter w;
+    put_scene(w, small_scene());
+    std::vector<std::uint8_t> frame;
+    const std::uint32_t magic = kMagic;
+    const std::uint8_t type = static_cast<std::uint8_t>(MsgType::kDescribe);
+    const std::uint64_t lie = w.bytes().size() + 1000;  // longer than sent
+    auto append = [&frame](const void* p, std::size_t n) {
+      const auto* b = static_cast<const std::uint8_t*>(p);
+      frame.insert(frame.end(), b, b + n);
+    };
+    append(&magic, 4);
+    append(&type, 1);
+    append(&lie, 8);
+    append(w.bytes().data(), w.bytes().size());
+    ASSERT_EQ(::send(fd, frame.data(), frame.size(), 0),
+              static_cast<ssize_t>(frame.size()));
+    ::shutdown(fd, SHUT_WR);  // EOF inside the promised payload
+    // The server may reply kError or just close; either way it must not
+    // die. Drain whatever comes back.
+    char buf[256];
+    while (::recv(fd, buf, sizeof buf, 0) > 0) {
+    }
+    ::close(fd);
+  }
+  {
+    // Corrupt CRC.
+    const int fd = raw_connect();
+    std::vector<std::uint8_t> frame;
+    const std::uint32_t magic = kMagic;
+    const std::uint8_t type = static_cast<std::uint8_t>(MsgType::kPing);
+    const std::uint64_t len = 4;
+    const std::uint32_t payload = 0xdeadbeef;
+    const std::uint32_t bad_crc = 0x12345678;
+    auto append = [&frame](const void* p, std::size_t n) {
+      const auto* b = static_cast<const std::uint8_t*>(p);
+      frame.insert(frame.end(), b, b + n);
+    };
+    append(&magic, 4);
+    append(&type, 1);
+    append(&len, 8);
+    append(&payload, 4);
+    append(&bad_crc, 4);
+    ASSERT_EQ(::send(fd, frame.data(), frame.size(), 0),
+              static_cast<ssize_t>(frame.size()));
+    Frame reply;
+    ASSERT_TRUE(read_frame(fd, &reply));
+    EXPECT_EQ(reply.type, MsgType::kError);
+    ::close(fd);
+  }
+
+  // The daemon survived all three abuses and still serves.
+  ServeClient after = connect();
+  after.ping();
+  const auto d = after.describe(small_scene());
+  EXPECT_GT(d.nv, 0);
+}
+
+TEST_F(ServeSocketTest, ClientVanishingMidRequestDoesNotKillServer) {
+  // A client that sends a full solve request and disconnects before the
+  // reply exercises the EPIPE path (SIGPIPE must be ignored).
+  ServeClient client = connect();
+  const auto d = client.describe(small_scene());
+  {
+    ServeClient doomed = connect();
+    std::vector<double> b_v, b_s;
+    fill_rhs(static_cast<index_t>(d.nv), static_cast<index_t>(d.ns), 7, &b_v,
+             &b_s);
+    std::thread killer([&doomed] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      doomed.close();
+    });
+    try {
+      doomed.solve(small_scene(), b_v, b_s);
+    } catch (const std::exception&) {
+      // Expected: the connection died under the request.
+    }
+    killer.join();
+  }
+  // Server is still healthy.
+  std::vector<double> b_v, b_s;
+  fill_rhs(static_cast<index_t>(d.nv), static_cast<index_t>(d.ns), 8, &b_v,
+           &b_s);
+  const auto res = client.solve(small_scene(), b_v, b_s);
+  EXPECT_TRUE(res.ok) << res.error;
+}
+
+TEST_F(ServeSocketTest, ServeConcurrentClientsCoalescesAndAnswersAll) {
+  ServeClient warm = connect();
+  const auto d = warm.describe(small_scene());
+  std::vector<double> b_v, b_s;
+  fill_rhs(static_cast<index_t>(d.nv), static_cast<index_t>(d.ns), 0, &b_v,
+           &b_s);
+  ASSERT_TRUE(warm.solve(small_scene(), b_v, b_s).ok);
+
+  constexpr int kClients = 8;
+  constexpr int kRequestsEach = 3;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c)
+    clients.emplace_back([&, c] {
+      try {
+        ServeClient cl;
+        cl.connect_tcp("127.0.0.1", port_);
+        for (int r = 0; r < kRequestsEach; ++r) {
+          std::vector<double> v, s;
+          fill_rhs(static_cast<index_t>(d.nv), static_cast<index_t>(d.ns),
+                   c * 100 + r, &v, &s);
+          if (!cl.solve(small_scene(), v, s).ok) ++failures;
+        }
+      } catch (const std::exception&) {
+        ++failures;
+      }
+    });
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  const auto& counters = service_->counters();
+  EXPECT_EQ(counters.factorizations.load(), 1u);
+  EXPECT_GE(counters.requests.load(),
+            static_cast<std::uint64_t>(kClients * kRequestsEach + 1));
+}
+
+}  // namespace
+}  // namespace cs::server
